@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the old-protocol substrate (NTT + MSM) — the
+//! real arithmetic behind Table 7's Libsnark column.
+
+use batchzk_curve::{G1Affine, msm, msm_naive};
+use batchzk_field::{Field, Fr, NttDomain};
+use criterion::{Criterion, black_box, criterion_group, criterion_main};
+use rand::{SeedableRng, rngs::StdRng};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for log in [10u32, 12, 14] {
+        let domain = NttDomain::<Fr>::new(log);
+        let values: Vec<Fr> = (0..domain.size()).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_function(format!("forward/2^{log}"), |bench| {
+            bench.iter(|| {
+                let mut v = values.clone();
+                domain.forward(black_box(&mut v));
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_msm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msm");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let points: Vec<G1Affine> = (0..1usize << 12)
+        .map(|i| G1Affine::from_counter(1 + i as u64))
+        .collect();
+    let scalars: Vec<Fr> = (0..points.len()).map(|_| Fr::random(&mut rng)).collect();
+    for log in [8u32, 10, 12] {
+        let n = 1usize << log;
+        group.bench_function(format!("pippenger/2^{log}"), |bench| {
+            bench.iter(|| msm(black_box(&points[..n]), black_box(&scalars[..n])))
+        });
+    }
+    // Pippenger's advantage over naive double-and-add (sanity of the
+    // baseline: Libsnark uses the fast algorithm).
+    group.bench_function("naive/2^8", |bench| {
+        bench.iter(|| msm_naive(black_box(&points[..256]), black_box(&scalars[..256])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_msm);
+criterion_main!(benches);

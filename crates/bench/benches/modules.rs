@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the CPU reference modules — the real
+//! arithmetic behind the CPU columns of Tables 3, 4 and 5.
+
+use std::time::Duration;
+
+use batchzk_encoder::{Encoder, EncoderParams};
+use batchzk_field::{Field, Fr};
+use batchzk_hash::hash_block;
+use batchzk_merkle::MerkleTree;
+use batchzk_sumcheck::algorithm1;
+use criterion::{Criterion, black_box, criterion_group, criterion_main};
+use rand::{SeedableRng, rngs::StdRng};
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    c.bench_function("field/mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    c.bench_function("field/add", |bench| bench.iter(|| black_box(a) + black_box(b)));
+    c.bench_function("field/inverse", |bench| {
+        bench.iter(|| black_box(a).inverse().unwrap())
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let block = [0x5au8; 64];
+    c.bench_function("sha256/compress_block", |bench| {
+        bench.iter(|| hash_block(black_box(&block)))
+    });
+}
+
+fn bench_merkle_cpu(c: &mut Criterion) {
+    // Table 3 CPU column (Orion-like reference).
+    let mut group = c.benchmark_group("merkle_cpu");
+    group.sample_size(10);
+    for log in [10u32, 12, 14] {
+        let blocks: Vec<[u8; 64]> = (0..1usize << log)
+            .map(|i| {
+                let mut b = [0u8; 64];
+                b[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                b
+            })
+            .collect();
+        group.bench_function(format!("build/2^{log}"), |bench| {
+            bench.iter(|| MerkleTree::from_blocks(black_box(&blocks)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sumcheck_cpu(c: &mut Criterion) {
+    // Table 4 CPU column (Arkworks-like reference, paper Algorithm 1).
+    let mut group = c.benchmark_group("sumcheck_cpu");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    for log in [10u32, 12, 14] {
+        let table: Vec<Fr> = (0..1usize << log).map(|_| Fr::random(&mut rng)).collect();
+        let rs: Vec<Fr> = (0..log).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_function(format!("algorithm1/2^{log}"), |bench| {
+            bench.iter(|| algorithm1::prove(black_box(table.clone()), black_box(&rs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoder_cpu(c: &mut Criterion) {
+    // Table 5 CPU column (Orion-like reference).
+    let mut group = c.benchmark_group("encoder_cpu");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let mut rng = StdRng::seed_from_u64(3);
+    for log in [10u32, 12, 14] {
+        let enc = Encoder::<Fr>::new(1 << log, EncoderParams::default(), 7);
+        let msg: Vec<Fr> = (0..1usize << log).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_function(format!("encode/2^{log}"), |bench| {
+            bench.iter(|| enc.encode(black_box(&msg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_field_ops,
+    bench_sha256,
+    bench_merkle_cpu,
+    bench_sumcheck_cpu,
+    bench_encoder_cpu
+);
+criterion_main!(benches);

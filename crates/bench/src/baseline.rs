@@ -1,0 +1,173 @@
+//! The Groth16-style "old protocol" baselines of Tables 7, 8 and 10:
+//! Libsnark (CPU, real NTT+MSM arithmetic timed on this machine) and
+//! Bellperson (GPU, the same operation counts charged to the simulator).
+//!
+//! A Groth16 prover at circuit size `S` is dominated by (cf. the paper's
+//! Table 1 and the Libsnark/Bellperson implementations):
+//!
+//! * ~4 multi-scalar multiplications of ~`S` terms (three in G1, one in G2
+//!   ≈ two G1-equivalents — we charge 5 G1-equivalent MSMs);
+//! * ~7 NTTs over a domain of ~`2S` (three forward, three inverse, one
+//!   coset evaluation).
+
+use std::time::Instant;
+
+use batchzk_curve::{G1Affine, msm, msm_group_op_count};
+use batchzk_field::{Field, Fr, NttDomain};
+use batchzk_gpu_sim::{DeviceProfile, Gpu, KernelStep, Work};
+use rand::{SeedableRng, rngs::StdRng};
+
+/// G1-equivalent MSMs in one Groth16 proof.
+pub const MSM_COUNT: u64 = 5;
+/// NTT transforms (of size 2S) in one Groth16 proof.
+pub const NTT_COUNT: u64 = 7;
+/// Modeled device bytes per constraint for a resident Groth16 proving run
+/// (witness + bases + FFT buffers + proving key), calibrated against the
+/// paper's Table 10 (1.38 GB at S = 2^20 ⇒ ~1.4 KB per constraint).
+pub const BELLPERSON_BYTES_PER_CONSTRAINT: u64 = 1400;
+
+/// Timed breakdown of a CPU (Libsnark-like) Groth16-style prover.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuGrothTimes {
+    /// MSM time in ms.
+    pub msm_ms: f64,
+    /// NTT time in ms.
+    pub ntt_ms: f64,
+    /// Total (MSM + NTT + glue) in ms.
+    pub total_ms: f64,
+}
+
+/// Runs the real MSM and NTT workloads of one proof at `2^log_s`
+/// constraints on this CPU and reports wall-clock times.
+///
+/// To keep the harness affordable, one MSM and one NTT are timed and the
+/// per-proof counts are applied as multipliers.
+pub fn groth16_cpu(log_s: u32) -> CpuGrothTimes {
+    let s = 1usize << log_s;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // MSM of S terms over real BN254 points.
+    let points: Vec<G1Affine> = (0..s)
+        .map(|i| G1Affine::from_counter(1 + i as u64))
+        .collect();
+    let scalars: Vec<Fr> = (0..s).map(|_| Fr::random(&mut rng)).collect();
+    let t = Instant::now();
+    let _ = msm(&points, &scalars);
+    let msm_ms = t.elapsed().as_secs_f64() * 1e3 * MSM_COUNT as f64;
+
+    // NTT over a domain of 2S.
+    let domain = NttDomain::<Fr>::new(log_s + 1);
+    let mut values: Vec<Fr> = (0..domain.size()).map(|_| Fr::random(&mut rng)).collect();
+    let t = Instant::now();
+    domain.forward(&mut values);
+    let ntt_ms = t.elapsed().as_secs_f64() * 1e3 * NTT_COUNT as f64;
+
+    CpuGrothTimes {
+        msm_ms,
+        ntt_ms,
+        total_ms: msm_ms + ntt_ms + 0.02 * (msm_ms + ntt_ms),
+    }
+}
+
+/// Simulated breakdown of a GPU (Bellperson-like) Groth16-style prover.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuGrothTimes {
+    /// MSM time in ms.
+    pub msm_ms: f64,
+    /// NTT time in ms.
+    pub ntt_ms: f64,
+    /// Per-proof latency in ms (no batching: Bellperson proves one proof
+    /// at a time, which is also its amortized cost).
+    pub total_ms: f64,
+    /// Device bytes resident during the proof.
+    pub mem_bytes: u64,
+}
+
+/// Charges one proof's NTT+MSM operation counts to the simulated device.
+/// Bellperson-style provers parallelize within one proof, so the whole
+/// device works on a single proof at a time.
+pub fn groth16_gpu(profile: &DeviceProfile, log_s: u32) -> GpuGrothTimes {
+    let s = 1usize << log_s;
+    let mut gpu = Gpu::new(profile.clone());
+    let threads = profile.cuda_cores;
+
+    let msm_units = msm_group_op_count(s) * MSM_COUNT;
+    let group_cost = gpu.cost().group_add;
+    // Phase 1: bucket accumulation — embarrassingly parallel.
+    gpu.execute_step(
+        &[KernelStep::new("bellperson-msm", threads, Work::Uniform {
+            units: msm_units,
+            cycles_per_unit: group_cost,
+        })],
+        &[],
+        true,
+    );
+    // Phase 2: bucket reduction — the running-sum over 2^c buckets is a
+    // serial dependency chain per window. Pre-cuZK GPU MSMs (Bellperson's
+    // generation) execute it with one thread per window; parallelizing this
+    // phase is precisely the contribution of later work (cuZK, GZKP), so
+    // charging the serial chain is the historically faithful model.
+    let c = batchzk_curve::window_size(s);
+    let windows = (254 + c - 1) / c;
+    let reduce_chain = (2u64 << c) * group_cost;
+    gpu.execute_step(
+        &[KernelStep::new(
+            "bellperson-msm-reduce",
+            windows as u32,
+            Work::Items(vec![reduce_chain; windows * MSM_COUNT as usize]),
+        )],
+        &[],
+        true,
+    );
+    let msm_ms = gpu.elapsed_ms();
+
+    let butterflies = {
+        let half = (s as u64) * 2 / 2;
+        half * (log_s as u64 + 1) * NTT_COUNT
+    };
+    let ntt_cost = gpu.cost().ntt_butterfly();
+    gpu.execute_step(
+        &[KernelStep::new("bellperson-ntt", threads, Work::Uniform {
+            units: butterflies,
+            cycles_per_unit: ntt_cost,
+        })],
+        &[],
+        true,
+    );
+    let total_ms = gpu.elapsed_ms();
+
+    GpuGrothTimes {
+        msm_ms,
+        ntt_ms: total_ms - msm_ms,
+        total_ms,
+        mem_bytes: s as u64 * BELLPERSON_BYTES_PER_CONSTRAINT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_groth_times_scale_with_size() {
+        let small = groth16_cpu(8);
+        let large = groth16_cpu(11);
+        assert!(large.total_ms > small.total_ms);
+        assert!(small.msm_ms > 0.0 && small.ntt_ms > 0.0);
+    }
+
+    #[test]
+    fn gpu_groth_faster_than_v100_on_h100() {
+        let v = groth16_gpu(&DeviceProfile::v100(), 14);
+        let h = groth16_gpu(&DeviceProfile::h100(), 14);
+        assert!(h.total_ms < v.total_ms);
+        assert_eq!(v.mem_bytes, (1u64 << 14) * BELLPERSON_BYTES_PER_CONSTRAINT);
+    }
+
+    #[test]
+    fn msm_dominates_ntt_on_gpu() {
+        // The paper's Table 7: MSM is the larger share in Groth16 provers.
+        let g = groth16_gpu(&DeviceProfile::v100(), 16);
+        assert!(g.msm_ms > g.ntt_ms);
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `tables <experiment|all> [--quick|--medium|--paper]`
+//! where experiment is one of `table3..table11`, `fig4`, `fig9`,
+//! `ablation`.
+
+use batchzk_bench::experiments;
+use batchzk_bench::scale::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::paper()
+    } else if args.iter().any(|a| a == "--medium") {
+        Scale::medium()
+    } else {
+        Scale::quick()
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+
+    println!("# BatchZK reproduction — experiment harness");
+    println!("scale: {}\n", scale.tag);
+
+    let all = which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    if want("table3") {
+        println!("{}", experiments::table3(&scale));
+    }
+    if want("table4") {
+        println!("{}", experiments::table4(&scale));
+    }
+    if want("table5") {
+        println!("{}", experiments::table5(&scale));
+    }
+    if want("table6") {
+        println!("{}", experiments::table6(&scale));
+    }
+    if want("table7") {
+        println!("{}", experiments::table7(&scale));
+    }
+    if want("table8") {
+        println!("{}", experiments::table8(&scale));
+    }
+    if want("table9") {
+        println!("{}", experiments::table9(&scale));
+    }
+    if want("table10") {
+        println!("{}", experiments::table10(&scale));
+    }
+    if want("table11") {
+        println!("{}", experiments::table11(&scale));
+    }
+    if want("fig4") {
+        println!("{}", experiments::fig4(&scale));
+    }
+    if want("fig9") {
+        println!("{}", experiments::fig9(&scale));
+    }
+    if want("ablation") {
+        println!("{}", experiments::ablation(&scale));
+    }
+}

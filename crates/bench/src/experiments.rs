@@ -1,0 +1,777 @@
+//! Runners that regenerate every table and figure of the paper's
+//! evaluation (§6). Each function returns a rendered markdown table; the
+//! `tables` binary dispatches on experiment id.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use batchzk_encoder::{Encoder, EncoderParams};
+use batchzk_field::{Field, Fr};
+use batchzk_gpu_sim::{DeviceProfile, Gpu};
+use batchzk_pipeline::{allocate_threads, encoder as penc, merkle as pmerkle, naive, sumcheck as psum};
+use batchzk_zkp::batch::module_weights;
+use batchzk_zkp::r1cs::synthetic_r1cs;
+use batchzk_zkp::{PcsParams, pcs, prove_batch, spartan};
+use rand::{SeedableRng, rngs::StdRng};
+
+use crate::baseline::{BELLPERSON_BYTES_PER_CONSTRAINT, groth16_cpu, groth16_gpu};
+use crate::scale::Scale;
+
+/// Thread budget for module pipelines (the paper's §4 example budget).
+const MODULE_THREADS: u32 = 10_240;
+/// Concurrent kernels in the naive baselines.
+const NAIVE_CONCURRENCY: usize = 4;
+
+fn tree_batch(log_n: u32, count: usize) -> Vec<Vec<[u8; 64]>> {
+    (0..count)
+        .map(|t| {
+            (0..1usize << log_n)
+                .map(|i| {
+                    let mut b = [0u8; 64];
+                    b[..8].copy_from_slice(&((t << 40 | i) as u64).to_le_bytes());
+                    b
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn sumcheck_batch(log_n: u32, count: usize, seed: u64) -> Vec<psum::SumcheckTask<Fr>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let table: Vec<Fr> = (0..1usize << log_n).map(|_| Fr::random(&mut rng)).collect();
+            let rs: Vec<Fr> = (0..log_n).map(|_| Fr::random(&mut rng)).collect();
+            psum::SumcheckTask::new(table, rs)
+        })
+        .collect()
+}
+
+fn message_batch(log_n: u32, count: usize, seed: u64) -> Vec<Vec<Fr>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..1usize << log_n).map(|_| Fr::random(&mut rng)).collect())
+        .collect()
+}
+
+fn pcs_params() -> PcsParams {
+    PcsParams {
+        num_col_tests: 32,
+        ..PcsParams::default()
+    }
+}
+
+/// Table 3: Merkle-tree module throughput (trees/ms).
+pub fn table3(scale: &Scale) -> String {
+    let mut out = String::from(
+        "## Table 3 — Merkle tree module throughput (trees/ms)\n\n\
+         | Size | Orion-like (CPU) | Simon-like (GPU naive) | Ours (GPU pipelined) | vs CPU | vs GPU |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for &log in &scale.module_logs {
+        // CPU reference (single tree, real time).
+        let blocks = tree_batch(log, 1);
+        let t = Instant::now();
+        let _ = batchzk_merkle::MerkleTree::from_blocks(&blocks[0]);
+        let cpu_ms = t.elapsed().as_secs_f64() * 1e3;
+        let cpu_tput = 1.0 / cpu_ms;
+
+        let batch = tree_batch(log, scale.module_batch);
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let naive_stats =
+            naive::merkle_naive(&mut gpu, batch.clone(), MODULE_THREADS, NAIVE_CONCURRENCY)
+                .stats;
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let piped_stats = pmerkle::run_pipelined(&mut gpu, batch, MODULE_THREADS, true).stats;
+
+        out.push_str(&format!(
+            "| 2^{log} | {:.4e} | {:.3} | {:.3} | {:.1}x | {:.2}x |\n",
+            cpu_tput,
+            naive_stats.throughput_per_ms,
+            piped_stats.throughput_per_ms,
+            piped_stats.throughput_per_ms / cpu_tput,
+            piped_stats.throughput_per_ms / naive_stats.throughput_per_ms,
+        ));
+    }
+    out
+}
+
+/// Table 4: sum-check module throughput (proofs/ms).
+pub fn table4(scale: &Scale) -> String {
+    let mut out = String::from(
+        "## Table 4 — Sum-check module throughput (proofs/ms)\n\n\
+         | Size | Arkworks-like (CPU) | Icicle-like (GPU naive) | Ours (GPU pipelined) | vs CPU | vs GPU |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for &log in &scale.module_logs {
+        let task = &sumcheck_batch(log, 1, log as u64)[0];
+        let table = task.table_snapshot();
+        let rs = task.randomness().to_vec();
+        let t = Instant::now();
+        let _ = batchzk_sumcheck::algorithm1::prove(table, &rs);
+        let cpu_ms = t.elapsed().as_secs_f64() * 1e3;
+        let cpu_tput = 1.0 / cpu_ms;
+
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let naive_stats = naive::sumcheck_naive(
+            &mut gpu,
+            sumcheck_batch(log, scale.module_batch, 100 + log as u64),
+            MODULE_THREADS,
+            NAIVE_CONCURRENCY,
+        )
+        .stats;
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let piped_stats = psum::run_pipelined(
+            &mut gpu,
+            sumcheck_batch(log, scale.module_batch, 200 + log as u64),
+            MODULE_THREADS,
+            true,
+        )
+        .stats;
+
+        out.push_str(&format!(
+            "| 2^{log} | {:.4e} | {:.3} | {:.3} | {:.1}x | {:.2}x |\n",
+            cpu_tput,
+            naive_stats.throughput_per_ms,
+            piped_stats.throughput_per_ms,
+            piped_stats.throughput_per_ms / cpu_tput,
+            piped_stats.throughput_per_ms / naive_stats.throughput_per_ms,
+        ));
+    }
+    out
+}
+
+/// Table 5: linear-time encoder module throughput (codes/ms).
+pub fn table5(scale: &Scale) -> String {
+    let mut out = String::from(
+        "## Table 5 — Linear-time encoder module throughput (codes/ms)\n\n\
+         | Size | Orion-like (CPU) | Ours-np (GPU naive) | Ours (GPU pipelined) | vs CPU | vs np |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for &log in &scale.module_logs {
+        let encoder = Arc::new(Encoder::<Fr>::new(
+            1usize << log,
+            EncoderParams::default(),
+            7,
+        ));
+        let msg = &message_batch(log, 1, log as u64)[0];
+        let t = Instant::now();
+        let _ = encoder.encode(msg);
+        let cpu_ms = t.elapsed().as_secs_f64() * 1e3;
+        let cpu_tput = 1.0 / cpu_ms;
+
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let naive_stats = naive::encode_naive(
+            &mut gpu,
+            Arc::clone(&encoder),
+            message_batch(log, scale.module_batch, 300 + log as u64),
+            MODULE_THREADS,
+            NAIVE_CONCURRENCY,
+        )
+        .stats;
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let piped_stats = penc::run_pipelined(
+            &mut gpu,
+            encoder,
+            message_batch(log, scale.module_batch, 400 + log as u64),
+            MODULE_THREADS,
+            true,
+            true,
+        )
+        .stats;
+
+        out.push_str(&format!(
+            "| 2^{log} | {:.4e} | {:.3} | {:.3} | {:.1}x | {:.2}x |\n",
+            cpu_tput,
+            naive_stats.throughput_per_ms,
+            piped_stats.throughput_per_ms,
+            piped_stats.throughput_per_ms / cpu_tput,
+            piped_stats.throughput_per_ms / naive_stats.throughput_per_ms,
+        ));
+    }
+    out
+}
+
+/// Table 6: the latency/throughput trade-off of pipelining.
+pub fn table6(scale: &Scale) -> String {
+    let mut out = String::from(
+        "## Table 6 — Module latency (ms): pipelining trades latency for throughput\n\n\
+         | Size | Module | Non-pipelined (ms) | Ours pipelined (ms) | Speedup |\n\
+         |---|---|---|---|---|\n",
+    );
+    let logs = [scale.module_logs[scale.module_logs.len() - 1], scale.module_logs[0]];
+    for &log in &logs {
+        // Merkle.
+        let batch = tree_batch(log, scale.module_batch);
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let nl = naive::merkle_naive(&mut gpu, batch.clone(), MODULE_THREADS, 1)
+            .stats
+            .mean_latency_ms;
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let pl = pmerkle::run_pipelined(&mut gpu, batch, MODULE_THREADS, true)
+            .stats
+            .mean_latency_ms;
+        out.push_str(&format!(
+            "| 2^{log} | Merkle | {nl:.3} | {pl:.3} | {:.3}x |\n",
+            nl / pl
+        ));
+        // Sum-check.
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let nl = naive::sumcheck_naive(
+            &mut gpu,
+            sumcheck_batch(log, scale.module_batch, 1),
+            MODULE_THREADS,
+            1,
+        )
+        .stats
+        .mean_latency_ms;
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let pl = psum::run_pipelined(
+            &mut gpu,
+            sumcheck_batch(log, scale.module_batch, 1),
+            MODULE_THREADS,
+            true,
+        )
+        .stats
+        .mean_latency_ms;
+        out.push_str(&format!(
+            "| 2^{log} | Sumcheck | {nl:.3} | {pl:.3} | {:.3}x |\n",
+            nl / pl
+        ));
+        // Encoder.
+        let encoder = Arc::new(Encoder::<Fr>::new(
+            1usize << log,
+            EncoderParams::default(),
+            7,
+        ));
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let nl = naive::encode_naive(
+            &mut gpu,
+            Arc::clone(&encoder),
+            message_batch(log, scale.module_batch, 2),
+            MODULE_THREADS,
+            1,
+        )
+        .stats
+        .mean_latency_ms;
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let pl = penc::run_pipelined(
+            &mut gpu,
+            encoder,
+            message_batch(log, scale.module_batch, 2),
+            MODULE_THREADS,
+            true,
+            true,
+        )
+        .stats
+        .mean_latency_ms;
+        out.push_str(&format!(
+            "| 2^{log} | Encoder | {nl:.3} | {pl:.3} | {:.3}x |\n",
+            nl / pl
+        ));
+    }
+    out
+}
+
+/// Per-module amortized breakdown of the pipelined system.
+struct OursBreakdown {
+    merkle_ms: f64,
+    sumcheck_ms: f64,
+    encoder_ms: f64,
+    total_ms: f64,
+    latency_ms: f64,
+    throughput_per_ms: f64,
+    peak_mem: u64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    cycles: usize,
+}
+
+fn run_ours(profile: &DeviceProfile, log_s: u32, batch: usize, multi_stream: bool) -> OursBreakdown {
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << log_s, 42);
+    let r1cs = Arc::new(r1cs);
+    let instances: Vec<_> = (0..batch)
+        .map(|_| (inputs.clone(), witness.clone()))
+        .collect();
+    let mut gpu = Gpu::new(profile.clone());
+    let weights = module_weights(&gpu, &r1cs, &pcs_params());
+    let threads = allocate_threads(MODULE_THREADS, &weights);
+    let run = prove_batch(
+        &mut gpu,
+        r1cs,
+        pcs_params(),
+        instances,
+        MODULE_THREADS,
+        multi_stream,
+    );
+    let tasks = run.stats.tasks as f64;
+    let module_ms = |name: &str, t: u32| -> f64 {
+        gpu.kernel_stats()
+            .get(name)
+            .map(|s| {
+                gpu.profile()
+                    .cycles_to_seconds(s.busy_cycles / t.max(1) as u64)
+                    * 1e3
+                    / tasks
+            })
+            .unwrap_or(0.0)
+    };
+    OursBreakdown {
+        encoder_ms: module_ms("system-encoder", threads[0]),
+        merkle_ms: module_ms("system-merkle", threads[1]),
+        sumcheck_ms: module_ms("system-sumcheck", threads[2]),
+        total_ms: run.stats.total_ms / tasks,
+        latency_ms: run.stats.mean_latency_ms,
+        throughput_per_ms: run.stats.throughput_per_ms,
+        peak_mem: run.stats.peak_mem_bytes,
+        h2d_bytes: run.stats.h2d_bytes,
+        d2h_bytes: run.stats.d2h_bytes,
+        cycles: batch + 3,
+    }
+}
+
+/// CPU (Orion&Arkworks-like) prover breakdown, real wall-clock.
+struct CpuBreakdown {
+    merkle_ms: f64,
+    sumcheck_ms: f64,
+    encoder_ms: f64,
+    total_ms: f64,
+}
+
+fn run_cpu_prover(log_s: u32) -> CpuBreakdown {
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << log_s, 42);
+    let params = pcs_params();
+    let z = r1cs.assemble_z(&inputs, &witness);
+
+    let t = Instant::now();
+    let encoded = pcs::commit_encode(&params, &z[r1cs.half_len()..]);
+    let encoder_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let (commitment, data) = pcs::commit_merkle(encoded);
+    let merkle_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut transcript = spartan::statement_transcript(&r1cs, &inputs);
+    transcript.absorb_digest(b"w-commitment", &commitment.root);
+    let t = Instant::now();
+    let part = spartan::run_sumchecks(&r1cs, &z, &mut transcript);
+    let sumcheck_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let y_prime = &part.point_y[..part.point_y.len() - 1];
+    let _ = pcs::open(&params, &data, y_prime, &mut transcript);
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    CpuBreakdown {
+        merkle_ms,
+        sumcheck_ms,
+        encoder_ms,
+        total_ms: encoder_ms + merkle_ms + sumcheck_ms + open_ms,
+    }
+}
+
+/// Table 7: amortized per-proof time of the four systems.
+pub fn table7(scale: &Scale) -> String {
+    let mut out = String::from(
+        "## Table 7 — Amortized per-proof time (ms)\n\n\
+         | S | Libsnark-like MSM | NTT | Proof | Bellperson-like MSM | NTT | Proof | O&A Merkle | Sumcheck | Encoder | Proof | Ours Merkle | Sumcheck | Encoder | Proof |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for &log in &scale.system_logs {
+        let cpu_groth = groth16_cpu(log);
+        let gpu_groth = groth16_gpu(&DeviceProfile::gh200(), log);
+        let cpu = run_cpu_prover(log);
+        let ours = run_ours(&DeviceProfile::gh200(), log, scale.system_batch, true);
+        out.push_str(&format!(
+            "| 2^{log} | {:.1} | {:.1} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+            cpu_groth.msm_ms,
+            cpu_groth.ntt_ms,
+            cpu_groth.total_ms,
+            gpu_groth.msm_ms,
+            gpu_groth.ntt_ms,
+            gpu_groth.total_ms,
+            cpu.merkle_ms,
+            cpu.sumcheck_ms,
+            cpu.encoder_ms,
+            cpu.total_ms,
+            ours.merkle_ms,
+            ours.sumcheck_ms,
+            ours.encoder_ms,
+            ours.total_ms,
+        ));
+    }
+    out.push_str("\nSpeedup summary (Proof columns):\n\n| S | Ours vs Bellperson-like | Ours vs Orion&Arkworks-like |\n|---|---|---|\n");
+    for &log in &scale.system_logs {
+        let gpu_groth = groth16_gpu(&DeviceProfile::gh200(), log);
+        let cpu = run_cpu_prover(log);
+        let ours = run_ours(&DeviceProfile::gh200(), log, scale.system_batch, true);
+        out.push_str(&format!(
+            "| 2^{log} | {:.1}x | {:.1}x |\n",
+            gpu_groth.total_ms / ours.total_ms,
+            cpu.total_ms / ours.total_ms,
+        ));
+    }
+    out
+}
+
+/// Table 8: throughput and latency across GPUs.
+pub fn table8(scale: &Scale) -> String {
+    let log = scale.system_logs[0];
+    let mut out = format!(
+        "## Table 8 — ZKP systems across GPUs (S = 2^{log})\n\n\
+         | GPU | Bellperson-like latency (s) | Ours latency (s) | Speedup | Bellperson-like (proofs/s) | Ours (proofs/s) | Speedup |\n\
+         |---|---|---|---|---|---|---|\n"
+    );
+    for profile in [
+        DeviceProfile::v100(),
+        DeviceProfile::a100(),
+        DeviceProfile::rtx3090ti(),
+        DeviceProfile::h100(),
+    ] {
+        let groth = groth16_gpu(&profile, log);
+        let ours = run_ours(&profile, log, scale.system_batch, true);
+        let groth_latency_s = groth.total_ms / 1e3;
+        let groth_tput = 1e3 / groth.total_ms;
+        let ours_latency_s = ours.latency_ms / 1e3;
+        let ours_tput = ours.throughput_per_ms * 1e3;
+        out.push_str(&format!(
+            "| {} | {:.4} | {:.4} | {:.2}x | {:.2} | {:.2} | {:.1}x |\n",
+            profile.name,
+            groth_latency_s,
+            ours_latency_s,
+            groth_latency_s / ours_latency_s,
+            groth_tput,
+            ours_tput,
+            ours_tput / groth_tput,
+        ));
+    }
+    out
+}
+
+/// Table 9: communication/computation overlap per pipeline cycle.
+pub fn table9(scale: &Scale) -> String {
+    let log = scale.system_logs[0];
+    let mut out = format!(
+        "## Table 9 — Amortized per-cycle CPU-GPU communication vs computation (S = 2^{log})\n\n\
+         | GPU | Connection | Comm. size/cycle | Comm. time (ms) | Comp. time (ms) | Overall w/ overlap (ms) | w/o overlap (ms) |\n\
+         |---|---|---|---|---|---|---|\n"
+    );
+    for profile in [
+        DeviceProfile::v100(),
+        DeviceProfile::a100(),
+        DeviceProfile::rtx3090ti(),
+        DeviceProfile::h100(),
+    ] {
+        // run_ours reports total_ms as *amortized per task*; recover the
+        // whole-run wall time, then divide by pipeline cycles.
+        let overlapped = run_ours(&profile, log, scale.system_batch, true);
+        let serial = run_ours(&profile, log, scale.system_batch, false);
+        let tasks = scale.system_batch as f64;
+        let cycles = overlapped.cycles as f64;
+        let bytes_per_cycle =
+            (overlapped.h2d_bytes + overlapped.d2h_bytes) as f64 / cycles;
+        let comm_cycles = profile.transfer_cycles(bytes_per_cycle as u64);
+        let comm_ms = profile.cycles_to_seconds(comm_cycles) * 1e3;
+        let overall_per_cycle = overlapped.total_ms * tasks / cycles;
+        let serial_per_cycle = serial.total_ms * tasks / cycles;
+        let comp_per_cycle = (serial_per_cycle - comm_ms).max(0.0);
+        out.push_str(&format!(
+            "| {} | {} | {:.1} MB | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+            profile.name,
+            profile.interconnect.name(),
+            bytes_per_cycle / (1 << 20) as f64,
+            comm_ms,
+            comp_per_cycle,
+            overall_per_cycle,
+            serial_per_cycle,
+        ));
+    }
+    out
+}
+
+/// Table 10: amortized device memory per in-flight proof.
+pub fn table10(scale: &Scale) -> String {
+    let mut out = String::from(
+        "## Table 10 — Amortized device memory per in-flight proof (GB)\n\n\
+         | S | Bellperson-like | Ours | Ratio |\n\
+         |---|---|---|---|\n",
+    );
+    const IN_FLIGHT: u64 = 4; // pipeline depth of the Figure 7 system
+    for &log in &scale.system_logs {
+        let bell = (1u64 << log) * BELLPERSON_BYTES_PER_CONSTRAINT;
+        let ours = run_ours(&DeviceProfile::gh200(), log, scale.system_batch, true);
+        let ours_per = ours.peak_mem / IN_FLIGHT;
+        out.push_str(&format!(
+            "| 2^{log} | {:.4} | {:.4} | {:.1}x |\n",
+            bell as f64 / (1u64 << 30) as f64,
+            ours_per as f64 / (1u64 << 30) as f64,
+            bell as f64 / ours_per as f64,
+        ));
+    }
+    out
+}
+
+/// Table 11: the verifiable machine-learning application.
+pub fn table11(scale: &Scale) -> String {
+    use batchzk_vml::{MlService, network};
+    let net = network::vgg16(scale.vgg_divisor);
+    let macs = net.total_macs();
+    let svc = MlService::new(net, pcs_params());
+    let images: Vec<_> = (0..scale.vgg_batch)
+        .map(|i| network::synthetic_image(i as u64, &svc.network().input_shape))
+        .collect();
+    let mut gpu = Gpu::new(DeviceProfile::gh200());
+    let run = svc.serve_batch(&mut gpu, &images, MODULE_THREADS);
+    for p in &run.predictions {
+        assert!(svc.verify_prediction(p), "generated proof failed to verify");
+    }
+    let tput = run.stats.throughput_per_ms * 1e3;
+    let latency_s = run.stats.mean_latency_ms / 1e3;
+    format!(
+        "## Table 11 — Verifiable ML (VGG-16 shape / width divisor {} = {} MACs, {} constraints)\n\n\
+         | Scheme | Throughput (proofs/s) | Latency (s) | Accuracy |\n\
+         |---|---|---|---|\n\
+         | zkCNN (paper-reported, not rerun) | 0.0113 | 88.3 | 90.30% |\n\
+         | ZKML (paper-reported, not rerun) | 0.0017 | 637 | 90.37% |\n\
+         | ZENO (paper-reported, not rerun) | 0.0208 | 48.0 | 84.19% |\n\
+         | Ours (simulated GH200) | {:.4} | {:.4} | N/A (synthetic weights) |\n\n\
+         Paper's own row: 9.5220 proofs/s, 15.2 s latency, 93.93% accuracy.\n",
+        scale.vgg_divisor,
+        macs,
+        svc.r1cs().num_constraints(),
+        tput,
+        latency_s,
+    )
+}
+
+fn render_trace(trace: &[batchzk_gpu_sim::UtilSample], buckets: usize) -> String {
+    if trace.is_empty() {
+        return "(empty)".into();
+    }
+    let total: u64 = trace.iter().map(|s| s.len).sum();
+    let mut out = String::new();
+    let bucket_len = (total / buckets as u64).max(1);
+    let mut acc_busy = 0.0f64;
+    let mut acc_len = 0u64;
+    let glyphs = [' ', '1', '2', '3', '4', '5', '6', '7', '8', '9'];
+    for s in trace {
+        acc_busy += s.compute_utilization * s.len as f64;
+        acc_len += s.len;
+        while acc_len >= bucket_len && out.len() < buckets {
+            let u = acc_busy / acc_len as f64;
+            let g = glyphs[((u * 9.0).round() as usize).min(9)];
+            out.push(g);
+            acc_busy = 0.0;
+            acc_len = 0;
+        }
+    }
+    out
+}
+
+/// Figure 4: thread workload over time, intuitive vs pipelined Merkle.
+pub fn fig4(scale: &Scale) -> String {
+    // Use the largest size: small workloads are kernel-launch bound and
+    // leave the whole device idle in both schemes.
+    let log = scale.module_logs[0];
+    let batch = tree_batch(log, scale.module_batch * 2);
+    let mut gpu = Gpu::new(DeviceProfile::gh200());
+    let _ = naive::merkle_naive(&mut gpu, batch.clone(), MODULE_THREADS, NAIVE_CONCURRENCY);
+    let naive_trace = render_trace(gpu.utilization_trace(), 60);
+    let naive_mean = gpu.mean_compute_utilization();
+    let mut gpu = Gpu::new(DeviceProfile::gh200());
+    let _ = pmerkle::run_pipelined(&mut gpu, batch, MODULE_THREADS, true);
+    let piped_trace = render_trace(gpu.utilization_trace(), 60);
+    let piped_mean = gpu.mean_compute_utilization();
+    format!(
+        "## Figure 4 — GPU thread workload over time, batch Merkle generation (2^{log} blocks/tree)\n\n\
+         Each character = one time bucket; digit = utilization decile (9 = fully busy).\n\n\
+         ```\n(a) intuitive : [{naive_trace}]  mean {naive_mean:.2}\n(b) pipelined : [{piped_trace}]  mean {piped_mean:.2}\n```\n"
+    )
+}
+
+/// Figure 9: GPU core utilization of the three modules on the RTX 3090 Ti.
+pub fn fig9(scale: &Scale) -> String {
+    let log = scale.module_logs[0];
+    let profile = DeviceProfile::rtx3090ti();
+    let mut out = format!(
+        "## Figure 9 — GPU core utilization on {} (size 2^{log})\n\n\
+         Each character = one time bucket; digit = utilization decile.\n\n```\n",
+        profile.name
+    );
+
+    // Merkle.
+    let batch = tree_batch(log, scale.module_batch * 2);
+    let mut gpu = Gpu::new(profile.clone());
+    let _ = naive::merkle_naive(&mut gpu, batch.clone(), MODULE_THREADS, NAIVE_CONCURRENCY);
+    out.push_str(&format!(
+        "merkle    naive     : [{}]  mean {:.2}\n",
+        render_trace(gpu.utilization_trace(), 56),
+        gpu.mean_compute_utilization()
+    ));
+    let mut gpu = Gpu::new(profile.clone());
+    let _ = pmerkle::run_pipelined(&mut gpu, batch, MODULE_THREADS, true);
+    out.push_str(&format!(
+        "merkle    pipelined : [{}]  mean {:.2}\n",
+        render_trace(gpu.utilization_trace(), 56),
+        gpu.mean_compute_utilization()
+    ));
+
+    // Sum-check.
+    let mut gpu = Gpu::new(profile.clone());
+    let _ = naive::sumcheck_naive(
+        &mut gpu,
+        sumcheck_batch(log, scale.module_batch * 2, 5),
+        MODULE_THREADS,
+        NAIVE_CONCURRENCY,
+    );
+    out.push_str(&format!(
+        "sumcheck  naive     : [{}]  mean {:.2}\n",
+        render_trace(gpu.utilization_trace(), 56),
+        gpu.mean_compute_utilization()
+    ));
+    let mut gpu = Gpu::new(profile.clone());
+    let _ = psum::run_pipelined(
+        &mut gpu,
+        sumcheck_batch(log, scale.module_batch * 2, 5),
+        MODULE_THREADS,
+        true,
+    );
+    out.push_str(&format!(
+        "sumcheck  pipelined : [{}]  mean {:.2}\n",
+        render_trace(gpu.utilization_trace(), 56),
+        gpu.mean_compute_utilization()
+    ));
+
+    // Encoder.
+    let encoder = Arc::new(Encoder::<Fr>::new(1usize << log, EncoderParams::default(), 7));
+    let mut gpu = Gpu::new(profile.clone());
+    let _ = naive::encode_naive(
+        &mut gpu,
+        Arc::clone(&encoder),
+        message_batch(log, scale.module_batch * 2, 6),
+        MODULE_THREADS,
+        NAIVE_CONCURRENCY,
+    );
+    out.push_str(&format!(
+        "encoder   naive     : [{}]  mean {:.2}\n",
+        render_trace(gpu.utilization_trace(), 56),
+        gpu.mean_compute_utilization()
+    ));
+    let mut gpu = Gpu::new(profile);
+    let _ = penc::run_pipelined(
+        &mut gpu,
+        encoder,
+        message_batch(log, scale.module_batch * 2, 6),
+        MODULE_THREADS,
+        true,
+        true,
+    );
+    out.push_str(&format!(
+        "encoder   pipelined : [{}]  mean {:.2}\n```\n",
+        render_trace(gpu.utilization_trace(), 56),
+        gpu.mean_compute_utilization()
+    ));
+    out
+}
+
+/// Ablation: warp bucket-sorting (on/off) and multi-stream overlap
+/// (on/off) — the two §3.3/§4 design choices DESIGN.md calls out.
+pub fn ablation(scale: &Scale) -> String {
+    // Warp sorting only pays off when per-stage rows exceed the stage's
+    // thread slice (multi-wave regime) — run the encoder with a tight
+    // thread budget, as a loaded production system would.
+    let log = scale.module_logs[1];
+    let encoder_threads = 512;
+    let encoder = Arc::new(Encoder::<Fr>::new(1usize << log, EncoderParams::default(), 7));
+    let msgs = message_batch(log, scale.module_batch, 8);
+    let mut gpu = Gpu::new(DeviceProfile::gh200());
+    let sorted = penc::run_pipelined(
+        &mut gpu,
+        Arc::clone(&encoder),
+        msgs.clone(),
+        encoder_threads,
+        true,
+        true,
+    )
+    .stats;
+    let mut gpu = Gpu::new(DeviceProfile::gh200());
+    let unsorted =
+        penc::run_pipelined(&mut gpu, encoder, msgs, encoder_threads, true, false).stats;
+
+    let log_s = scale.system_logs[scale.system_logs.len() - 1];
+    let overlap = run_ours(&DeviceProfile::v100(), log_s, scale.system_batch, true);
+    let serial = run_ours(&DeviceProfile::v100(), log_s, scale.system_batch, false);
+
+    format!(
+        "## Ablations\n\n\
+         | Design choice | Off | On | Gain |\n\
+         |---|---|---|---|\n\
+         | Warp bucket-sorting (encoder 2^{log}, codes/ms) | {:.3} | {:.3} | {:.2}x |\n\
+         | Multi-stream overlap (system 2^{log_s} on V100, ms/proof) | {:.3} | {:.3} | {:.2}x |\n",
+        unsorted.throughput_per_ms,
+        sorted.throughput_per_ms,
+        sorted.throughput_per_ms / unsorted.throughput_per_ms,
+        serial.total_ms,
+        overlap.total_ms,
+        serial.total_ms / overlap.total_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            module_logs: vec![8, 7],
+            // >> pipeline depth (9 stages at 2^8) so steady state holds.
+            module_batch: 40,
+            system_logs: vec![9, 8],
+            system_batch: 3,
+            vgg_divisor: 64,
+            vgg_batch: 2,
+            tag: "test",
+        }
+    }
+
+    #[test]
+    fn module_tables_render() {
+        let s = tiny_scale();
+        for table in [table3(&s), table4(&s), table5(&s), table6(&s)] {
+            assert!(table.contains("|"), "missing rows: {table}");
+            assert!(table.matches('\n').count() > 4);
+        }
+    }
+
+    #[test]
+    fn system_tables_render() {
+        let s = tiny_scale();
+        for table in [table7(&s), table8(&s), table9(&s), table10(&s)] {
+            assert!(table.contains("2^") || table.contains("V100"), "{table}");
+        }
+    }
+
+    #[test]
+    fn figures_render() {
+        let s = tiny_scale();
+        assert!(fig4(&s).contains("pipelined"));
+        assert!(fig9(&s).contains("encoder"));
+    }
+
+    #[test]
+    fn ablation_renders() {
+        assert!(ablation(&tiny_scale()).contains("Warp"));
+    }
+
+    #[test]
+    fn pipelined_always_beats_naive_in_module_tables() {
+        // The core comparative claim at any scale: the "vs GPU" column > 1.
+        let s = tiny_scale();
+        let t3 = table3(&s);
+        for line in t3.lines().filter(|l| l.starts_with("| 2^")) {
+            let last = line.split('|').rev().nth(1).unwrap().trim();
+            let speedup: f64 = last.trim_end_matches('x').parse().unwrap();
+            assert!(speedup > 1.0, "pipelined must win: {line}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # batchzk-bench
+//!
+//! The benchmark harness: runners that regenerate every table and figure of
+//! the paper's evaluation (the `tables` binary), the Groth16-style baseline
+//! models (Libsnark/Bellperson columns), and the Criterion micro-benchmarks
+//! under `benches/`.
+//!
+//! ```text
+//! cargo run -p batchzk-bench --release --bin tables -- all
+//! cargo run -p batchzk-bench --release --bin tables -- table3 --medium
+//! cargo run -p batchzk-bench --release --bin tables -- table7 --paper
+//! ```
+
+pub mod baseline;
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,83 @@
+//! Experiment scale configuration.
+//!
+//! The paper's workloads (2^18–2^22 elements, full VGG-16) take hours of
+//! real CPU arithmetic under simulation, so the harness defaults to a
+//! proportionally scaled-down sweep that preserves every comparative shape
+//! (who wins, by what factor, where the crossovers fall). Pass `--paper`
+//! to run the full-size sweep.
+
+/// Workload sizes for one harness run.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// log2 sizes for the module tables (3, 4, 5), largest first.
+    pub module_logs: Vec<u32>,
+    /// Batch size for module pipeline runs.
+    pub module_batch: usize,
+    /// log2 circuit sizes for the system tables (7, 10), largest first.
+    pub system_logs: Vec<u32>,
+    /// Batch size for system pipeline runs.
+    pub system_batch: usize,
+    /// VGG width divisor for Table 11 (1 = full VGG-16).
+    pub vgg_divisor: usize,
+    /// Batch of images for Table 11.
+    pub vgg_batch: usize,
+    /// Human-readable tag recorded in outputs.
+    pub tag: &'static str,
+}
+
+impl Scale {
+    /// Fast sweep (minutes): sizes 2^10–2^14, reduced VGG.
+    pub fn quick() -> Self {
+        Self {
+            module_logs: vec![14, 13, 12, 11, 10],
+            // Well past the pipeline depth (log N + 1 stages) so the
+            // steady state dominates fill/drain.
+            module_batch: 48,
+            system_logs: vec![14, 13, 12],
+            system_batch: 6,
+            vgg_divisor: 32,
+            vgg_batch: 4,
+            tag: "quick (sizes /16 of paper)",
+        }
+    }
+
+    /// The paper's exact sizes (very slow on CPU-simulated hardware).
+    pub fn paper() -> Self {
+        Self {
+            module_logs: vec![22, 21, 20, 19, 18],
+            module_batch: 12,
+            system_logs: vec![22, 21, 20, 19, 18],
+            system_batch: 6,
+            vgg_divisor: 1,
+            vgg_batch: 4,
+            tag: "paper scale",
+        }
+    }
+
+    /// Intermediate sweep for overnight runs.
+    pub fn medium() -> Self {
+        Self {
+            module_logs: vec![18, 17, 16, 15, 14],
+            module_batch: 48,
+            system_logs: vec![16, 15, 14],
+            system_batch: 6,
+            vgg_divisor: 16,
+            vgg_batch: 4,
+            tag: "medium (sizes /16..64 of paper)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_descending() {
+        for s in [Scale::quick(), Scale::paper(), Scale::medium()] {
+            assert!(s.module_logs.windows(2).all(|w| w[0] > w[1]));
+            assert!(s.system_logs.windows(2).all(|w| w[0] > w[1]));
+            assert!(s.module_batch >= 2 && s.system_batch >= 2);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Multi-scalar multiplication: naive reference and Pippenger's bucket
+//! method.
+//!
+//! MSM dominates Groth16-style provers (the paper's Table 1); Table 7/8
+//! charge the Libsnark/Bellperson baseline columns with exactly this
+//! computation.
+
+use batchzk_field::Fr;
+
+use crate::g1::{G1Affine, G1Projective};
+
+/// Naive MSM: `Σ scalar_i · point_i` via per-term double-and-add. Reference
+/// oracle for [`msm`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn msm_naive(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    points
+        .iter()
+        .zip(scalars)
+        .fold(G1Projective::identity(), |acc, (p, s)| {
+            acc.add(&G1Projective::from(*p).mul_scalar(s))
+        })
+}
+
+/// Chooses Pippenger's window size for `n` terms.
+pub fn window_size(n: usize) -> usize {
+    match n {
+        0..=3 => 1,
+        4..=31 => 3,
+        32..=255 => 5,
+        256..=2047 => 7,
+        2048..=16383 => 10,
+        16384..=131071 => 13,
+        _ => 16,
+    }
+}
+
+/// Pippenger bucket-method MSM.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn msm(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    if points.is_empty() {
+        return G1Projective::identity();
+    }
+    let c = window_size(points.len());
+    let limbs: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical_limbs()).collect();
+    let num_windows = (254 + c - 1) / c;
+
+    // Process windows from the most significant down, accumulating with
+    // `c` doublings between windows.
+    let mut total = G1Projective::identity();
+    for w in (0..num_windows).rev() {
+        for _ in 0..c {
+            total = total.double();
+        }
+        let mut buckets = vec![G1Projective::identity(); (1 << c) - 1];
+        let bit_offset = w * c;
+        for (point, scalar_limbs) in points.iter().zip(&limbs) {
+            let idx = window_value(scalar_limbs, bit_offset, c);
+            if idx > 0 {
+                buckets[idx - 1] = buckets[idx - 1].add_affine(point);
+            }
+        }
+        // Running-sum trick: Σ_k k·bucket_k with 2·(2^c) additions.
+        let mut running = G1Projective::identity();
+        let mut window_sum = G1Projective::identity();
+        for b in buckets.iter().rev() {
+            running = running.add(b);
+            window_sum = window_sum.add(&running);
+        }
+        total = total.add(&window_sum);
+    }
+    total
+}
+
+/// Extracts `width` bits of a 256-bit little-endian scalar starting at
+/// `bit_offset`.
+fn window_value(limbs: &[u64; 4], bit_offset: usize, width: usize) -> usize {
+    let mut v = 0usize;
+    for i in 0..width {
+        let bit = bit_offset + i;
+        if bit >= 256 {
+            break;
+        }
+        if (limbs[bit / 64] >> (bit % 64)) & 1 == 1 {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+/// Operation counts for one MSM, used by the GPU-simulator cost model for
+/// the Bellperson baseline: Pippenger performs roughly
+/// `num_windows · (n + 2^(c+1))` group additions plus 254 doublings.
+pub fn msm_group_op_count(n: usize) -> u64 {
+    let c = window_size(n);
+    let windows = (254 + c - 1) / c;
+    (windows as u64) * (n as u64 + (1u64 << (c + 1))) + 254
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchzk_field::Field;
+    use rand::{SeedableRng, rngs::StdRng};
+
+    fn fixture(n: usize, seed: u64) -> (Vec<G1Affine>, Vec<Fr>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<G1Affine> = (0..n)
+            .map(|i| G1Affine::from_counter(1 + i as u64 * 7))
+            .collect();
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        (points, scalars)
+    }
+
+    #[test]
+    fn pippenger_matches_naive() {
+        for n in [1usize, 2, 3, 7, 32, 100] {
+            let (points, scalars) = fixture(n, n as u64);
+            assert_eq!(msm(&points, &scalars), msm_naive(&points, &scalars), "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_msm_is_identity() {
+        assert!(msm(&[], &[]).is_identity());
+    }
+
+    #[test]
+    fn zero_scalars_give_identity() {
+        let (points, _) = fixture(10, 1);
+        let scalars = vec![Fr::ZERO; 10];
+        assert!(msm(&points, &scalars).is_identity());
+    }
+
+    #[test]
+    fn one_scalars_give_point_sum() {
+        let (points, _) = fixture(8, 2);
+        let scalars = vec![Fr::ONE; 8];
+        let expect = points.iter().fold(G1Projective::identity(), |acc, p| {
+            acc.add_affine(p)
+        });
+        assert_eq!(msm(&points, &scalars), expect);
+    }
+
+    #[test]
+    fn msm_is_bilinear_in_scalars() {
+        let (points, s1) = fixture(16, 3);
+        let (_, s2) = fixture(16, 4);
+        let sum: Vec<Fr> = s1.iter().zip(&s2).map(|(a, b)| *a + *b).collect();
+        assert_eq!(
+            msm(&points, &sum),
+            msm(&points, &s1).add(&msm(&points, &s2))
+        );
+    }
+
+    #[test]
+    fn op_count_is_monotone() {
+        assert!(msm_group_op_count(1 << 10) < msm_group_op_count(1 << 14));
+        assert!(msm_group_op_count(1 << 14) < msm_group_op_count(1 << 18));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let (points, _) = fixture(4, 5);
+        let _ = msm(&points, &[Fr::ONE]);
+    }
+}

@@ -1,0 +1,71 @@
+//! # batchzk-encoder
+//!
+//! The linear-time (Spielman/Brakedown) error-correcting encoder from §2.4
+//! and §3.3 of the paper: seeded sparse expander matrices in CSR form, the
+//! recursive code flattened into forward/backward phases (the structure the
+//! two interconnected GPU pipelines of Figure 6 exploit), and the
+//! bucket-sorted warp schedule used to balance SIMD lanes.
+//!
+//! # Examples
+//!
+//! ```
+//! use batchzk_encoder::{Encoder, EncoderParams};
+//! use batchzk_field::{Field, Fr};
+//!
+//! let enc = Encoder::<Fr>::new(128, EncoderParams::default(), 7);
+//! let msg = vec![Fr::ONE; 128];
+//! let code = enc.encode(&msg);
+//! assert!(code.len() > msg.len());
+//! ```
+
+mod code;
+mod sparse;
+
+pub use code::{Encoder, EncoderParams, Level};
+pub use sparse::{SparseMatrix, WARP_SIZE};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use batchzk_field::{Field, Fr};
+    use proptest::prelude::*;
+
+    fn arb_fr() -> impl Strategy<Value = Fr> {
+        any::<[u8; 64]>().prop_map(|b| Fr::from_uniform_bytes(&b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn encoding_linearity(
+            x in proptest::collection::vec(arb_fr(), 96),
+            y in proptest::collection::vec(arb_fr(), 96),
+            a in arb_fr(),
+            b in arb_fr(),
+        ) {
+            let enc = Encoder::<Fr>::new(96, EncoderParams::default(), 3);
+            let combo: Vec<Fr> = x.iter().zip(&y).map(|(p, q)| a * *p + b * *q).collect();
+            let ex = enc.encode(&x);
+            let ey = enc.encode(&y);
+            let ec = enc.encode(&combo);
+            for i in 0..enc.codeword_len() {
+                prop_assert_eq!(ec[i], a * ex[i] + b * ey[i]);
+            }
+        }
+
+        #[test]
+        fn zero_encodes_to_zero(n in 33usize..200) {
+            let enc = Encoder::<Fr>::new(n, EncoderParams::default(), 5);
+            let code = enc.encode(&vec![Fr::ZERO; n]);
+            prop_assert!(code.iter().all(|c| c.is_zero()));
+        }
+
+        #[test]
+        fn systematic_prefix(x in proptest::collection::vec(arb_fr(), 80)) {
+            let enc = Encoder::<Fr>::new(80, EncoderParams::default(), 5);
+            let code = enc.encode(&x);
+            prop_assert_eq!(&code[..80], &x[..]);
+        }
+    }
+}

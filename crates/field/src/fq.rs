@@ -1,0 +1,113 @@
+//! The BN254 base field `Fq`, coordinate field of the G1 curve used by the
+//! Pippenger MSM baseline (Table 7/8's Libsnark/Bellperson column).
+//!
+//! `q = 21888242871839275222246405745257275088696311157297823662689037894645226208583`
+
+use crate::declare_field;
+
+declare_field!(
+    /// BN254 base field element (256-bit, Montgomery form).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use batchzk_field::{Field, Fq};
+    ///
+    /// let x = Fq::from(3u64);
+    /// assert_eq!(x.square(), Fq::from(9u64));
+    /// ```
+    pub struct Fq;
+    modulus = [
+        0x3c208c16d87cfd47,
+        0x97816a916871ca8d,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ],
+    generator = 3,
+    two_adicity = 1,
+);
+
+impl Fq {
+    /// Computes a square root via the `p ≡ 3 (mod 4)` shortcut
+    /// (`sqrt(a) = a^{(p+1)/4}`), returning `None` for non-residues.
+    ///
+    /// Needed by the curve crate to hash/validate points.
+    pub fn sqrt(&self) -> Option<Self> {
+        use crate::{Field, limb};
+        // (q + 1) / 4
+        let (p1, carry) = limb::add_wide(&Self::MODULUS, &[1, 0, 0, 0]);
+        debug_assert_eq!(carry, 0);
+        let exp = limb::shr(&p1, 2);
+        let cand = self.pow(&exp);
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+    use rand::{SeedableRng, rngs::StdRng};
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(Fq::INV.wrapping_mul(Fq::MODULUS[0]), u64::MAX);
+        assert_eq!(Fq::ONE.to_canonical_limbs(), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fq_field_axioms_smoke() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let a = Fq::random(&mut rng);
+            let b = Fq::random(&mut rng);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a + b, b + a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fq::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_of_squares() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            let a = Fq::random(&mut rng);
+            let sq = a.square();
+            let r = sq.sqrt().expect("square must have a root");
+            assert!(r == a || r == -a);
+        }
+    }
+
+    #[test]
+    fn sqrt_rejects_non_residues() {
+        // The generator 3 is a non-residue iff q ≡ 3 (mod 4) and 3 is not a
+        // QR; verify empirically by squaring-test: count roots found over a
+        // deterministic sample — a non-residue must return None.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen_none = false;
+        for _ in 0..20 {
+            let a = Fq::random(&mut rng);
+            if a.sqrt().is_none() {
+                seen_none = true;
+                // Euler criterion cross-check: a^((q-1)/2) == -1.
+                let exp = crate::limb::shr(
+                    &crate::limb::sub_wide(&Fq::MODULUS, &[1, 0, 0, 0]).0,
+                    1,
+                );
+                assert_eq!(a.pow(&exp), -Fq::ONE);
+            }
+        }
+        assert!(seen_none, "expected at least one non-residue in sample");
+    }
+
+    #[test]
+    fn fq_and_fr_are_distinct_moduli() {
+        assert_ne!(Fq::MODULUS, crate::Fr::MODULUS);
+    }
+}

@@ -1,0 +1,212 @@
+//! The BN254 scalar field `Fr` — the workhorse field of the whole system.
+//!
+//! `r = 21888242871839275222246405745257275088548364400416034343698204186575808495617`
+//!
+//! `r - 1` is divisible by `2^28`, which makes `Fr` NTT-friendly: the
+//! Groth16-style baseline (Table 7) runs its number-theoretic transforms in
+//! this same field, so the old-protocol vs. new-protocol comparison charges
+//! identical arithmetic to both sides.
+
+use crate::declare_field;
+
+declare_field!(
+    /// BN254 scalar field element (256-bit, Montgomery form).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use batchzk_field::{Field, Fr};
+    ///
+    /// let x = Fr::from(2u64);
+    /// assert_eq!(x + x, Fr::from(4u64));
+    /// ```
+    pub struct Fr;
+    modulus = [
+        0x43e1f593f0000001,
+        0x2833e84879b97091,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ],
+    generator = 5,
+    two_adicity = 28,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, limb};
+    use rand::{SeedableRng, rngs::StdRng};
+
+    /// Schoolbook 256x256 -> 512-bit multiply followed by binary long
+    /// division: an independent oracle for Montgomery multiplication.
+    fn naive_mul_mod(a: &limb::Limbs, b: &limb::Limbs, p: &limb::Limbs) -> limb::Limbs {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u64;
+            for j in 0..4 {
+                let (lo, c) = limb::mac(wide[i + j], a[i], b[j], carry);
+                wide[i + j] = lo;
+                carry = c;
+            }
+            wide[i + 4] = carry;
+        }
+        // Binary reduction: process bits from the top.
+        let mut rem = [0u64; 4];
+        for bit in (0..512).rev() {
+            // rem <<= 1 (top bit of rem is always 0 because rem < p < 2^255)
+            let mut carry = (wide[bit / 64] >> (bit % 64)) & 1;
+            for limb_ in rem.iter_mut() {
+                let new_carry = *limb_ >> 63;
+                *limb_ = (*limb_ << 1) | carry;
+                carry = new_carry;
+            }
+            if limb::geq(&rem, p) {
+                rem = limb::sub_wide(&rem, p).0;
+            }
+        }
+        rem
+    }
+
+    #[test]
+    fn derived_constants_consistent() {
+        // INV * p[0] == -1 mod 2^64
+        assert_eq!(Fr::INV.wrapping_mul(Fr::MODULUS[0]), u64::MAX);
+        // R2 == R * R mod p via the independent oracle.
+        assert_eq!(naive_mul_mod(&Fr::R, &Fr::R, &Fr::MODULUS), Fr::R2);
+        // mont_mul(R, 1) == 1, i.e. ONE round-trips.
+        assert_eq!(Fr::ONE.to_canonical_limbs(), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mont_mul_matches_schoolbook_oracle() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
+            let expect = naive_mul_mod(
+                &a.to_canonical_limbs(),
+                &b.to_canonical_limbs(),
+                &Fr::MODULUS,
+            );
+            assert_eq!((a * b).to_canonical_limbs(), expect);
+        }
+    }
+
+    #[test]
+    fn add_sub_neg_identities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
+            assert_eq!(a + b - b, a);
+            assert_eq!(a - a, Fr::ZERO);
+            assert_eq!(a + (-a), Fr::ZERO);
+            assert_eq!(-(-a), a);
+        }
+        assert_eq!(-Fr::ZERO, Fr::ZERO);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = Fr::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.inverse().unwrap(), Fr::ONE);
+        }
+        assert_eq!(Fr::ZERO.inverse(), None);
+        assert_eq!(Fr::ONE.inverse(), Some(Fr::ONE));
+    }
+
+    #[test]
+    fn two_adic_root_has_exact_order() {
+        let w = Fr::two_adic_root(Fr::TWO_ADICITY);
+        // w^(2^28) == 1 but w^(2^27) != 1.
+        let mut x = w;
+        for _ in 0..(Fr::TWO_ADICITY - 1) {
+            x = x.square();
+        }
+        assert_ne!(x, Fr::ONE);
+        assert_eq!(x.square(), Fr::ONE);
+        assert_eq!(x, -Fr::ONE); // the primitive square root of 1 that isn't 1
+
+        // Consistency across k: root(k)^2 == root(k-1).
+        for k in 1..=8 {
+            assert_eq!(Fr::two_adic_root(k).square(), Fr::two_adic_root(k - 1));
+        }
+        assert_eq!(Fr::two_adic_root(0), Fr::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-adicity")]
+    fn two_adic_root_beyond_adicity_panics() {
+        let _ = Fr::two_adic_root(Fr::TWO_ADICITY + 1);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = Fr::random(&mut rng);
+            assert_eq!(Fr::from_bytes(&a.to_bytes()), Some(a));
+        }
+        // The modulus itself is rejected.
+        let mut modulus_bytes = [0u8; 32];
+        for (i, limb) in Fr::MODULUS.iter().enumerate() {
+            modulus_bytes[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert_eq!(Fr::from_bytes(&modulus_bytes), None);
+    }
+
+    #[test]
+    fn from_uniform_bytes_is_consistent() {
+        // All-zero bytes map to zero; a single low byte maps to that value.
+        assert_eq!(Fr::from_uniform_bytes(&[0u8; 64]), Fr::ZERO);
+        let mut b = [0u8; 64];
+        b[0] = 9;
+        assert_eq!(Fr::from_uniform_bytes(&b), Fr::from(9u64));
+        // The high half contributes value * 2^256 mod p == value * R.
+        let mut b = [0u8; 64];
+        b[32] = 1;
+        let r_elem = Fr::from_canonical_limbs(Fr::R);
+        assert_eq!(Fr::from_uniform_bytes(&b), r_elem);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced")]
+    fn from_canonical_rejects_unreduced() {
+        let _ = Fr::from_canonical_limbs(Fr::MODULUS);
+    }
+
+    #[test]
+    fn display_and_debug_render_canonical_hex() {
+        let x = Fr::from(255u64);
+        assert!(format!("{x}").ends_with("ff"));
+        assert!(format!("{x:?}").starts_with("Fr(0x"));
+    }
+
+    #[test]
+    fn serde_roundtrip_rejects_bad_bytes() {
+        // Use a tiny hand-rolled serde check via serde's value test pattern:
+        // serialize to bytes through a Vec-backed serializer is out of scope
+        // here; the zkp crate integration tests cover full proof round-trips.
+        // Here we just confirm the byte codec used by serde is canonical.
+        let x = Fr::from(123456789u64);
+        let bytes = x.to_bytes();
+        assert_eq!(Fr::from_bytes(&bytes), Some(x));
+    }
+
+    #[test]
+    fn distributivity_smoke() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
+            let c = Fr::random(&mut rng);
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!((a + b) * c, a * c + b * c);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! # batchzk-field
+//!
+//! 256-bit prime-field arithmetic for the BatchZK reproduction: the BN254
+//! scalar field [`Fr`] (used by every ZKP module) and base field [`Fq`] (used
+//! by the MSM baseline's curve), plus batch inversion and a radix-2 NTT for
+//! the old-protocol (Groth16-style) baseline.
+//!
+//! Field elements are stored in Montgomery form over four 64-bit limbs. All
+//! per-field constants are derived from the modulus at compile time — see
+//! [`mod@limb`] — and cross-checked against schoolbook arithmetic in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use batchzk_field::{Field, Fr, batch_invert};
+//!
+//! # fn main() {
+//! let a = Fr::from(3u64);
+//! let b = Fr::from(4u64);
+//! assert_eq!((a + b) * (a - b), a.square() - b.square());
+//!
+//! let mut xs = vec![a, b];
+//! batch_invert(&mut xs);
+//! assert_eq!(xs[0] * a, Fr::ONE);
+//! # }
+//! ```
+
+pub mod limb;
+mod mont;
+mod traits;
+
+mod batch;
+mod fq;
+mod fr;
+pub mod ntt;
+
+pub use batch::batch_invert;
+pub use fq::Fq;
+pub use fr::Fr;
+pub use ntt::NttDomain;
+pub use traits::{Field, field_from_i64};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_fr() -> impl Strategy<Value = Fr> {
+        any::<[u8; 64]>().prop_map(|b| Fr::from_uniform_bytes(&b))
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_fr(), b in arb_fr()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn add_associates(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn mul_commutes(a in arb_fr(), b in arb_fr()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn mul_associates(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn mul_distributes(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_is_add_neg(a in arb_fr(), b in arb_fr()) {
+            prop_assert_eq!(a - b, a + (-b));
+        }
+
+        #[test]
+        fn inverse_cancels(a in arb_fr()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a * a.inverse().unwrap(), Fr::ONE);
+        }
+
+        #[test]
+        fn square_is_self_mul(a in arb_fr()) {
+            prop_assert_eq!(a.square(), a * a);
+        }
+
+        #[test]
+        fn double_is_add_self(a in arb_fr()) {
+            prop_assert_eq!(a.double(), a + a);
+        }
+
+        #[test]
+        fn bytes_roundtrip(a in arb_fr()) {
+            prop_assert_eq!(Fr::from_bytes(&a.to_bytes()), Some(a));
+        }
+
+        #[test]
+        fn batch_invert_matches_pointwise(v in proptest::collection::vec(arb_fr(), 0..32)) {
+            let mut batched = v.clone();
+            batch_invert(&mut batched);
+            for (orig, inv) in v.iter().zip(&batched) {
+                if orig.is_zero() {
+                    prop_assert_eq!(*inv, Fr::ZERO);
+                } else {
+                    prop_assert_eq!(*inv, orig.inverse().unwrap());
+                }
+            }
+        }
+
+        #[test]
+        fn pow_adds_exponents(a in arb_fr(), x in 0u64..1000, y in 0u64..1000) {
+            prop_assert_eq!(a.pow(&[x]) * a.pow(&[y]), a.pow(&[x + y]));
+        }
+    }
+}

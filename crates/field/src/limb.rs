@@ -1,0 +1,267 @@
+//! Low-level multi-precision limb arithmetic on little-endian `[u64; 4]`
+//! values.
+//!
+//! These helpers are the building blocks for the Montgomery field
+//! implementation in the `mont` module. Everything here is `const fn` so the
+//! per-field constants (`R`, `R2`, `INV`, …) can be derived from the modulus
+//! at compile time instead of being hand-copied magic numbers.
+
+/// Number of 64-bit limbs in a field element.
+pub const NLIMBS: usize = 4;
+
+/// A 256-bit little-endian integer.
+pub type Limbs = [u64; NLIMBS];
+
+/// Computes `a + b + carry`, returning the low 64 bits and the new carry.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Computes `a - b - borrow`, returning the low 64 bits and the new borrow
+/// (0 or 1).
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Computes `a + b * c + carry`, returning the low 64 bits and the new carry.
+#[inline(always)]
+pub const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) * (c as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Returns `true` if `a >= b` as 256-bit integers.
+#[inline]
+pub const fn geq(a: &Limbs, b: &Limbs) -> bool {
+    let mut i = NLIMBS;
+    while i > 0 {
+        i -= 1;
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` if all limbs are zero.
+#[inline]
+pub const fn is_zero(a: &Limbs) -> bool {
+    a[0] == 0 && a[1] == 0 && a[2] == 0 && a[3] == 0
+}
+
+/// Adds two 256-bit integers, returning the sum and the carry-out bit.
+#[inline]
+pub const fn add_wide(a: &Limbs, b: &Limbs) -> (Limbs, u64) {
+    let (r0, c) = adc(a[0], b[0], 0);
+    let (r1, c) = adc(a[1], b[1], c);
+    let (r2, c) = adc(a[2], b[2], c);
+    let (r3, c) = adc(a[3], b[3], c);
+    ([r0, r1, r2, r3], c)
+}
+
+/// Subtracts `b` from `a`, returning the difference and the borrow-out bit.
+#[inline]
+pub const fn sub_wide(a: &Limbs, b: &Limbs) -> (Limbs, u64) {
+    let (r0, bw) = sbb(a[0], b[0], 0);
+    let (r1, bw) = sbb(a[1], b[1], bw);
+    let (r2, bw) = sbb(a[2], b[2], bw);
+    let (r3, bw) = sbb(a[3], b[3], bw);
+    ([r0, r1, r2, r3], bw)
+}
+
+/// Modular addition of values already reduced below `p` (`a, b < p`).
+#[inline]
+pub const fn add_mod(a: &Limbs, b: &Limbs, p: &Limbs) -> Limbs {
+    let (sum, carry) = add_wide(a, b);
+    if carry != 0 || geq(&sum, p) {
+        sub_wide(&sum, p).0
+    } else {
+        sum
+    }
+}
+
+/// Modular subtraction of values already reduced below `p` (`a, b < p`).
+#[inline]
+pub const fn sub_mod(a: &Limbs, b: &Limbs, p: &Limbs) -> Limbs {
+    let (diff, borrow) = sub_wide(a, b);
+    if borrow != 0 {
+        add_wide(&diff, p).0
+    } else {
+        diff
+    }
+}
+
+/// Computes `-p^{-1} mod 2^64` for an odd modulus `p` via Newton iteration.
+pub const fn mont_inv64(p0: u64) -> u64 {
+    // Newton's method doubles the number of correct low bits per step;
+    // 6 steps suffice for 64 bits, we run a few extra for clarity.
+    let mut inv = 1u64;
+    let mut i = 0;
+    while i < 63 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(p0.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv.wrapping_neg()
+}
+
+/// Computes `2^k mod p` by repeated modular doubling (compile-time use).
+pub const fn pow2_mod(k: usize, p: &Limbs) -> Limbs {
+    let mut x: Limbs = [1, 0, 0, 0];
+    let mut i = 0;
+    while i < k {
+        x = add_mod(&x, &x, p);
+        i += 1;
+    }
+    x
+}
+
+/// Montgomery multiplication (CIOS): returns `a * b * 2^{-256} mod p`.
+///
+/// Both inputs must be below `p`; the result is below `p`. `inv` is
+/// `-p^{-1} mod 2^64` as produced by [`mont_inv64`].
+#[inline]
+pub const fn mont_mul(a: &Limbs, b: &Limbs, p: &Limbs, inv: u64) -> Limbs {
+    let mut t = [0u64; NLIMBS + 2];
+    let mut i = 0;
+    while i < NLIMBS {
+        // t += a[i] * b
+        let mut carry = 0u64;
+        let mut j = 0;
+        while j < NLIMBS {
+            let (lo, c) = mac(t[j], a[i], b[j], carry);
+            t[j] = lo;
+            carry = c;
+            j += 1;
+        }
+        let (s, c) = adc(t[NLIMBS], carry, 0);
+        t[NLIMBS] = s;
+        t[NLIMBS + 1] = c;
+
+        // Reduce: m chosen so the lowest limb of t + m*p is zero, then
+        // shift down one limb.
+        let m = t[0].wrapping_mul(inv);
+        let (_, mut carry) = mac(t[0], m, p[0], 0);
+        let mut j = 1;
+        while j < NLIMBS {
+            let (lo, c) = mac(t[j], m, p[j], carry);
+            t[j - 1] = lo;
+            carry = c;
+            j += 1;
+        }
+        let (s, c) = adc(t[NLIMBS], carry, 0);
+        t[NLIMBS - 1] = s;
+        t[NLIMBS] = t[NLIMBS + 1] + c;
+        t[NLIMBS + 1] = 0;
+        i += 1;
+    }
+    let r: Limbs = [t[0], t[1], t[2], t[3]];
+    if t[NLIMBS] != 0 || geq(&r, p) {
+        sub_wide(&r, p).0
+    } else {
+        r
+    }
+}
+
+/// Shifts a 256-bit integer right by `k` bits (`k < 256`).
+#[inline]
+pub const fn shr(a: &Limbs, k: usize) -> Limbs {
+    let limb_shift = k / 64;
+    let bit_shift = k % 64;
+    let mut out = [0u64; NLIMBS];
+    let mut i = 0;
+    while i + limb_shift < NLIMBS {
+        let lo = a[i + limb_shift] >> bit_shift;
+        let hi = if bit_shift > 0 && i + limb_shift + 1 < NLIMBS {
+            a[i + limb_shift + 1] << (64 - bit_shift)
+        } else {
+            0
+        };
+        out[i] = lo | hi;
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 3), (6, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mac_wide() {
+        // u64::MAX^2 + u64::MAX + u64::MAX = 2^128 - 1
+        assert_eq!(
+            mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX),
+            (u64::MAX, u64::MAX)
+        );
+        assert_eq!(mac(1, 2, 3, 4), (11, 0));
+    }
+
+    #[test]
+    fn geq_ordering() {
+        assert!(geq(&[0, 0, 0, 1], &[u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(geq(&[5, 0, 0, 0], &[5, 0, 0, 0]));
+        assert!(!geq(&[4, 0, 0, 0], &[5, 0, 0, 0]));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [u64::MAX, 7, 0, 1];
+        let b = [3, u64::MAX, 2, 0];
+        let (s, c) = add_wide(&a, &b);
+        assert_eq!(c, 0);
+        let (d, bw) = sub_wide(&s, &b);
+        assert_eq!(bw, 0);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn mont_inv64_is_neg_inverse() {
+        for p0 in [1u64, 3, 0x43e1f593f0000001, 0x3c208c16d87cfd47, u64::MAX] {
+            let inv = mont_inv64(p0);
+            assert_eq!(p0.wrapping_mul(inv.wrapping_neg()), 1, "p0={p0}");
+        }
+    }
+
+    #[test]
+    fn pow2_mod_small() {
+        // Modulo 7: 2^k cycles 1,2,4,1,2,4,...
+        let p = [7, 0, 0, 0];
+        assert_eq!(pow2_mod(0, &p), [1, 0, 0, 0]);
+        assert_eq!(pow2_mod(1, &p), [2, 0, 0, 0]);
+        assert_eq!(pow2_mod(3, &p), [1, 0, 0, 0]);
+        assert_eq!(pow2_mod(256, &p), [2, 0, 0, 0]); // 256 mod 3 == 1 -> 2
+    }
+
+    #[test]
+    fn shr_shifts() {
+        let a = [0, 0, 0, 1u64 << 63];
+        assert_eq!(shr(&a, 255), [1, 0, 0, 0]);
+        let b = [0x10, 0, 0, 0];
+        assert_eq!(shr(&b, 4), [1, 0, 0, 0]);
+        let c = [0, 1, 0, 0];
+        assert_eq!(shr(&c, 64), [1, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,324 @@
+//! The [`declare_field!`] macro: generates a 4-limb Montgomery-form prime
+//! field from nothing but its modulus, a multiplicative generator, and its
+//! two-adicity.
+//!
+//! All derived constants (`R = 2^256 mod p`, `R^2 mod p`, `-p^{-1} mod 2^64`)
+//! are computed at compile time by `const fn`s in [`crate::limb`], so the
+//! only trusted inputs are the modulus limbs themselves — which the generated
+//! test modules cross-check against schoolbook arithmetic.
+
+/// Declares a 256-bit prime field type in Montgomery representation.
+///
+/// # Usage
+///
+/// ```ignore
+/// declare_field!(
+///     /// BN254 scalar field.
+///     pub struct Fr;
+///     modulus = [l0, l1, l2, l3],
+///     generator = 5,
+///     two_adicity = 28,
+/// );
+/// ```
+#[macro_export]
+macro_rules! declare_field {
+    (
+        $(#[$attr:meta])*
+        pub struct $name:ident;
+        modulus = $modulus:expr,
+        generator = $generator:expr,
+        two_adicity = $two_adicity:expr,
+    ) => {
+        $(#[$attr])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name($crate::limb::Limbs);
+
+        impl $name {
+            /// The field modulus `p`, little-endian limbs.
+            pub const MODULUS: $crate::limb::Limbs = $modulus;
+            /// `2^256 mod p` (the Montgomery radix).
+            pub const R: $crate::limb::Limbs =
+                $crate::limb::pow2_mod(256, &Self::MODULUS);
+            /// `2^512 mod p` (used to enter Montgomery form).
+            pub const R2: $crate::limb::Limbs =
+                $crate::limb::pow2_mod(512, &Self::MODULUS);
+            /// `-p^{-1} mod 2^64`.
+            pub const INV: u64 = $crate::limb::mont_inv64(Self::MODULUS[0]);
+
+            /// Builds an element from its Montgomery representation.
+            /// Internal: callers must guarantee `limbs < p`.
+            #[allow(dead_code)]
+            #[inline]
+            pub(crate) const fn from_mont_limbs(limbs: $crate::limb::Limbs) -> Self {
+                Self(limbs)
+            }
+
+            /// Exposes the raw Montgomery representation.
+            #[inline]
+            pub const fn to_mont_limbs(self) -> $crate::limb::Limbs {
+                self.0
+            }
+
+            /// Builds an element from canonical (non-Montgomery) limbs.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value is not reduced below the modulus.
+            pub fn from_canonical_limbs(limbs: $crate::limb::Limbs) -> Self {
+                assert!(
+                    $crate::limb::geq(&Self::MODULUS, &limbs) && limbs != Self::MODULUS,
+                    "value not reduced below the modulus"
+                );
+                Self($crate::limb::mont_mul(
+                    &limbs,
+                    &Self::R2,
+                    &Self::MODULUS,
+                    Self::INV,
+                ))
+            }
+
+            /// Returns the canonical (non-Montgomery) limbs of this element.
+            pub fn to_canonical_limbs(self) -> $crate::limb::Limbs {
+                $crate::limb::mont_mul(&self.0, &[1, 0, 0, 0], &Self::MODULUS, Self::INV)
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                let c = self.to_canonical_limbs();
+                write!(
+                    f,
+                    concat!(stringify!($name), "(0x{:016x}{:016x}{:016x}{:016x})"),
+                    c[3], c[2], c[1], c[0]
+                )
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                let c = self.to_canonical_limbs();
+                write!(f, "0x{:016x}{:016x}{:016x}{:016x}", c[3], c[2], c[1], c[0])
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self::from_canonical_limbs([v, 0, 0, 0])
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self::from(v as u64)
+            }
+        }
+
+        impl From<bool> for $name {
+            fn from(v: bool) -> Self {
+                Self::from(v as u64)
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self($crate::limb::add_mod(&self.0, &rhs.0, &Self::MODULUS))
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self($crate::limb::sub_mod(&self.0, &rhs.0, &Self::MODULUS))
+            }
+        }
+
+        impl core::ops::Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                Self($crate::limb::mont_mul(
+                    &self.0,
+                    &rhs.0,
+                    &Self::MODULUS,
+                    Self::INV,
+                ))
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                if $crate::limb::is_zero(&self.0) {
+                    self
+                } else {
+                    Self($crate::limb::sub_wide(&Self::MODULUS, &self.0).0)
+                }
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl core::ops::MulAssign for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(<Self as $crate::Field>::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                iter.fold(<Self as $crate::Field>::ZERO, |a, b| a + *b)
+            }
+        }
+
+        impl core::iter::Product for $name {
+            fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(<Self as $crate::Field>::ONE, |a, b| a * b)
+            }
+        }
+
+        impl $crate::Field for $name {
+            const ZERO: Self = Self([0, 0, 0, 0]);
+            const ONE: Self = Self(Self::R);
+            const MODULUS_BITS: u32 = 254;
+            const TWO_ADICITY: u32 = $two_adicity;
+
+            fn inverse(&self) -> Option<Self> {
+                if $crate::limb::is_zero(&self.0) {
+                    return None;
+                }
+                // Fermat: a^{p-2}.
+                let p_minus_2 =
+                    $crate::limb::sub_wide(&Self::MODULUS, &[2, 0, 0, 0]).0;
+                Some(self.pow(&p_minus_2))
+            }
+
+            fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+                let mut bytes = [0u8; 64];
+                rng.fill_bytes(&mut bytes);
+                Self::from_uniform_bytes(&bytes)
+            }
+
+            fn to_bytes(&self) -> [u8; 32] {
+                let c = self.to_canonical_limbs();
+                let mut out = [0u8; 32];
+                for (i, limb) in c.iter().enumerate() {
+                    out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+                }
+                out
+            }
+
+            fn from_bytes(bytes: &[u8; 32]) -> Option<Self> {
+                let mut limbs = [0u64; 4];
+                for (i, limb) in limbs.iter_mut().enumerate() {
+                    *limb = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+                }
+                if $crate::limb::geq(&limbs, &Self::MODULUS) {
+                    None
+                } else {
+                    Some(Self::from_canonical_limbs(limbs))
+                }
+            }
+
+            fn from_uniform_bytes(bytes: &[u8; 64]) -> Self {
+                let mut lo = [0u64; 4];
+                let mut hi = [0u64; 4];
+                for i in 0..4 {
+                    lo[i] = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+                    hi[i] =
+                        u64::from_le_bytes(bytes[32 + i * 8..40 + i * 8].try_into().unwrap());
+                }
+                // value = lo + hi * 2^256; 2^256 === R (mod p), so the
+                // Montgomery form is mont(lo, R2) + mont(mont(hi, R2), R2).
+                let lo_m = $crate::limb::mont_mul(&lo, &Self::R2, &Self::MODULUS, Self::INV);
+                let hi_m = $crate::limb::mont_mul(&hi, &Self::R2, &Self::MODULUS, Self::INV);
+                let hi_m =
+                    $crate::limb::mont_mul(&hi_m, &Self::R2, &Self::MODULUS, Self::INV);
+                Self($crate::limb::add_mod(&lo_m, &hi_m, &Self::MODULUS))
+            }
+
+            fn generator() -> Self {
+                Self::from($generator as u64)
+            }
+
+            fn two_adic_root(k: u32) -> Self {
+                assert!(
+                    k <= Self::TWO_ADICITY,
+                    "requested 2^{k}-th root exceeds two-adicity {}",
+                    Self::TWO_ADICITY
+                );
+                // g^((p-1) / 2^k)
+                let p_minus_1 = $crate::limb::sub_wide(&Self::MODULUS, &[1, 0, 0, 0]).0;
+                let exp = $crate::limb::shr(&p_minus_1, k as usize);
+                Self::generator().pow(&exp)
+            }
+        }
+
+        impl serde::Serialize for $name {
+            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_bytes(&<Self as $crate::Field>::to_bytes(self))
+            }
+        }
+
+        impl<'de> serde::Deserialize<'de> for $name {
+            fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> serde::de::Visitor<'de> for V {
+                    type Value = $name;
+                    fn expecting(
+                        &self,
+                        f: &mut core::fmt::Formatter<'_>,
+                    ) -> core::fmt::Result {
+                        write!(f, "32 canonical little-endian field bytes")
+                    }
+                    fn visit_bytes<E: serde::de::Error>(
+                        self,
+                        v: &[u8],
+                    ) -> Result<Self::Value, E> {
+                        let arr: [u8; 32] = v
+                            .try_into()
+                            .map_err(|_| E::custom("expected 32 bytes"))?;
+                        <$name as $crate::Field>::from_bytes(&arr)
+                            .ok_or_else(|| E::custom("non-canonical field element"))
+                    }
+                    fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let mut arr = [0u8; 32];
+                        for (i, b) in arr.iter_mut().enumerate() {
+                            *b = seq.next_element()?.ok_or_else(|| {
+                                serde::de::Error::invalid_length(i, &self)
+                            })?;
+                        }
+                        <$name as $crate::Field>::from_bytes(&arr)
+                            .ok_or_else(|| serde::de::Error::custom("non-canonical"))
+                    }
+                }
+                d.deserialize_bytes(V)
+            }
+        }
+    };
+}

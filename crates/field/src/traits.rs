@@ -1,0 +1,152 @@
+//! The [`Field`] trait shared by every module in the workspace.
+
+use core::fmt::{Debug, Display};
+use core::hash::Hash;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::RngCore;
+
+/// A prime field with enough structure for sum-check, Merkle commitments,
+/// linear-time encoding, and the NTT/MSM baselines.
+///
+/// Implementations are expected to be cheap to copy (a few machine words) and
+/// to perform all arithmetic without heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use batchzk_field::{Field, Fr};
+///
+/// let a = Fr::from(7u64);
+/// let b = Fr::from(6u64);
+/// assert_eq!(a * b, Fr::from(42u64));
+/// assert_eq!(a * a.inverse().unwrap(), Fr::ONE);
+/// ```
+pub trait Field:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + From<u64>
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Product
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Number of bits in the modulus.
+    const MODULUS_BITS: u32;
+    /// Largest `k` such that `2^k` divides `p - 1` (NTT friendliness).
+    const TWO_ADICITY: u32;
+
+    /// Returns `true` if this element is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+
+    /// Returns `self + self`.
+    fn double(&self) -> Self {
+        *self + *self
+    }
+
+    /// Returns `self * self`.
+    fn square(&self) -> Self {
+        *self * *self
+    }
+
+    /// Returns the multiplicative inverse, or `None` for zero.
+    fn inverse(&self) -> Option<Self>;
+
+    /// Raises `self` to the power given as little-endian 64-bit limbs.
+    fn pow(&self, exp: &[u64]) -> Self {
+        let mut res = Self::ONE;
+        for &limb in exp.iter().rev() {
+            for bit in (0..64).rev() {
+                res = res.square();
+                if (limb >> bit) & 1 == 1 {
+                    res *= *self;
+                }
+            }
+        }
+        res
+    }
+
+    /// Samples a uniformly random element.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+
+    /// Canonical little-endian byte encoding (32 bytes for 256-bit fields).
+    fn to_bytes(&self) -> [u8; 32];
+
+    /// Parses a canonical encoding; `None` if the value is not reduced.
+    fn from_bytes(bytes: &[u8; 32]) -> Option<Self>;
+
+    /// Maps 64 uniform bytes onto the field with negligible bias
+    /// (hash-to-field).
+    fn from_uniform_bytes(bytes: &[u8; 64]) -> Self;
+
+    /// Returns a fixed multiplicative generator of the field.
+    fn generator() -> Self;
+
+    /// Returns a primitive `2^k`-th root of unity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > Self::TWO_ADICITY`.
+    fn two_adic_root(k: u32) -> Self;
+}
+
+/// Convenience: converts a possibly-negative i64 into a field element.
+pub fn field_from_i64<F: Field>(v: i64) -> F {
+    if v >= 0 {
+        F::from(v as u64)
+    } else {
+        -F::from(v.unsigned_abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fr;
+
+    #[test]
+    fn from_i64_negatives() {
+        assert_eq!(field_from_i64::<Fr>(-1) + Fr::ONE, Fr::ZERO);
+        assert_eq!(field_from_i64::<Fr>(5), Fr::from(5u64));
+        assert_eq!(field_from_i64::<Fr>(-5) + Fr::from(5u64), Fr::ZERO);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let g = Fr::from(3u64);
+        let mut acc = Fr::ONE;
+        for e in 0..20u64 {
+            assert_eq!(g.pow(&[e]), acc);
+            acc *= g;
+        }
+    }
+
+    #[test]
+    fn pow_multi_limb_exponent() {
+        // g^(2^64) == (g^(2^63))^2
+        let g = Fr::from(7u64);
+        let e63 = g.pow(&[1u64 << 63]);
+        assert_eq!(g.pow(&[0, 1]), e63 * e63);
+    }
+}

@@ -1,0 +1,602 @@
+//! The cycle-level execution engine: kernels, warps, streams and the
+//! simulation clock.
+//!
+//! The simulator advances in *steps* (the paper's pipeline cycles). In each
+//! step the caller submits the set of concurrently-resident kernels — each
+//! with its dedicated thread allocation, exactly the paper's model where
+//! "once GPU kernels are launched, they solely focus on completing their
+//! assigned tasks" — plus any host↔device transfers. The engine computes how
+//! many device cycles the step occupies, applying:
+//!
+//! * **warp SIMD semantics** — threads execute in 32-lane warps; a warp's
+//!   cost is the maximum over its lanes (divergence/imbalance is paid, §3.3);
+//! * **dedicated thread allocations** — kernels run concurrently; the step's
+//!   compute time is the *maximum* over kernels, scaled if the total thread
+//!   count oversubscribes the physical cores;
+//! * **copy/compute overlap** — with multi-stream enabled, the per-direction
+//!   copy engines run concurrently with compute (Table 9); without it,
+//!   transfers serialize.
+//!
+//! Busy/idle accounting per step yields the utilization traces of
+//! Figures 4 and 9.
+
+use std::collections::BTreeMap;
+
+use crate::cost::CostModel;
+use crate::memory::DeviceMemory;
+use crate::profile::DeviceProfile;
+
+/// Warp width (threads per warp).
+pub const WARP_SIZE: u32 = 32;
+
+/// Work submitted to one kernel for one step.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// `units` identical items of `cycles_per_unit` each, distributed
+    /// round-robin across the kernel's threads (perfectly coalesced work —
+    /// the shape of Merkle layers and sum-check rounds).
+    Uniform {
+        /// Number of work items.
+        units: u64,
+        /// Cycles per item.
+        cycles_per_unit: u64,
+    },
+    /// Explicit per-item costs assigned to threads in submission order
+    /// (items `0..threads` form wave 0, etc.). Warp SIMD cost applies within
+    /// each 32-lane group — the shape of sparse-matrix rows in the encoder.
+    Items(Vec<u64>),
+}
+
+impl Work {
+    /// Total useful cycles in this work, ignoring scheduling.
+    pub fn useful_cycles(&self) -> u64 {
+        match self {
+            Work::Uniform {
+                units,
+                cycles_per_unit,
+            } => units * cycles_per_unit,
+            Work::Items(items) => items.iter().sum(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Work::Uniform { units, .. } => *units == 0,
+            Work::Items(items) => items.is_empty(),
+        }
+    }
+}
+
+/// One kernel's contribution to a step.
+#[derive(Debug, Clone)]
+pub struct KernelStep {
+    /// Kernel identity for per-kernel statistics (Figure 4).
+    pub name: String,
+    /// Threads dedicated to this kernel.
+    pub threads: u32,
+    /// The work it executes this step.
+    pub work: Work,
+}
+
+impl KernelStep {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, threads: u32, work: Work) -> Self {
+        Self {
+            name: name.into(),
+            threads,
+            work,
+        }
+    }
+
+    /// Cycles this kernel needs to retire its work with its thread budget.
+    pub fn duration_cycles(&self) -> u64 {
+        assert!(self.threads > 0, "kernel must have at least one thread");
+        match &self.work {
+            Work::Uniform {
+                units,
+                cycles_per_unit,
+            } => {
+                let waves = units.div_ceil(self.threads as u64);
+                waves * cycles_per_unit
+            }
+            Work::Items(items) => {
+                // Items are issued to warps in 32-item chunks, round-robin:
+                // warp w executes chunks w, w + W, w + 2W, ... Each chunk
+                // costs its slowest lane (SIMD divergence); warps retire
+                // their chunks independently, so the kernel finishes when
+                // the busiest warp does.
+                let lanes = (self.threads.min(WARP_SIZE)) as usize;
+                let num_warps = (self.threads as usize).div_ceil(WARP_SIZE as usize);
+                let mut warp_time = vec![0u64; num_warps];
+                for (i, chunk) in items.chunks(lanes).enumerate() {
+                    warp_time[i % num_warps] +=
+                        chunk.iter().copied().max().unwrap_or(0);
+                }
+                warp_time.into_iter().max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// Direction of a host↔device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Host memory to device memory.
+    HostToDevice,
+    /// Device memory to host memory.
+    DeviceToHost,
+}
+
+/// A transfer submitted alongside a step.
+#[derive(Debug, Clone, Copy)]
+pub struct Transfer {
+    /// Payload size.
+    pub bytes: u64,
+    /// Direction.
+    pub dir: Dir,
+}
+
+/// Timing of one executed step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Cycles the compute kernels occupied.
+    pub compute_cycles: u64,
+    /// Cycles the host→device copy engine occupied.
+    pub h2d_cycles: u64,
+    /// Cycles the device→host copy engine occupied.
+    pub d2h_cycles: u64,
+    /// Wall cycles the whole step took (after overlap policy).
+    pub step_cycles: u64,
+    /// Useful compute cycles summed over all threads.
+    pub busy_cycles: u64,
+}
+
+/// One utilization sample (a step), for Figure 4/9-style traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilSample {
+    /// Clock value when the step started.
+    pub start_cycle: u64,
+    /// Step duration in cycles.
+    pub len: u64,
+    /// Fraction of physical core-cycles doing useful work (0..=1).
+    pub utilization: f64,
+    /// Compute cycles of the step (excluding transfer-bound stall).
+    pub compute: u64,
+    /// Threads allocated across the step's kernels.
+    pub alloc_threads: u64,
+    /// Fraction of *allocated thread*-cycles doing useful work during the
+    /// compute phase — the quantity the paper's Figures 4 and 9 plot
+    /// (idle allocated threads, not PCIe stalls or unallocated cores).
+    pub compute_utilization: f64,
+}
+
+/// Per-kernel cumulative statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Useful cycles executed.
+    pub busy_cycles: u64,
+    /// Thread-cycles reserved (threads × step length while resident).
+    pub occupied_cycles: u64,
+    /// Steps this kernel was resident.
+    pub steps: u64,
+}
+
+/// A simulated GPU: profile + cost model + clock + memory + traces.
+#[derive(Debug)]
+pub struct Gpu {
+    profile: DeviceProfile,
+    cost: CostModel,
+    memory: DeviceMemory,
+    clock: u64,
+    trace: Vec<UtilSample>,
+    kernel_stats: BTreeMap<String, KernelStats>,
+    total_busy: u64,
+    total_h2d_bytes: u64,
+    total_d2h_bytes: u64,
+}
+
+impl Gpu {
+    /// Creates a device with the default cost model.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Self::with_cost(profile, CostModel::default())
+    }
+
+    /// Creates a device with an explicit cost model.
+    pub fn with_cost(profile: DeviceProfile, cost: CostModel) -> Self {
+        let memory = DeviceMemory::new(profile.device_mem_bytes);
+        Self {
+            profile,
+            cost,
+            memory,
+            clock: 0,
+            trace: Vec::new(),
+            kernel_stats: BTreeMap::new(),
+            total_busy: 0,
+            total_h2d_bytes: 0,
+            total_d2h_bytes: 0,
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Device memory allocator.
+    pub fn memory(&mut self) -> &mut DeviceMemory {
+        &mut self.memory
+    }
+
+    /// Read-only view of device memory accounting.
+    pub fn memory_ref(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Executes one step: all `kernels` run concurrently on their dedicated
+    /// thread allocations while `transfers` move data. With `multi_stream`
+    /// the copy engines overlap compute; otherwise everything serializes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kernel has zero threads.
+    pub fn execute_step(
+        &mut self,
+        kernels: &[KernelStep],
+        transfers: &[Transfer],
+        multi_stream: bool,
+    ) -> StepOutcome {
+        let mut compute = 0u64;
+        let mut busy = 0u64;
+        let mut total_threads = 0u64;
+        for k in kernels {
+            if k.work.is_empty() {
+                continue;
+            }
+            compute = compute.max(k.duration_cycles() + self.cost.kernel_launch);
+            busy += k.work.useful_cycles();
+            total_threads += k.threads as u64;
+        }
+        // Oversubscription: if more threads are pinned than physical cores,
+        // time dilates proportionally (two-way SMT-style interleaving).
+        if total_threads > self.profile.cuda_cores as u64 {
+            let num = total_threads;
+            let den = self.profile.cuda_cores as u64;
+            compute = compute * num / den;
+        }
+
+        let h2d_bytes: u64 = transfers
+            .iter()
+            .filter(|t| t.dir == Dir::HostToDevice)
+            .map(|t| t.bytes)
+            .sum();
+        let d2h_bytes: u64 = transfers
+            .iter()
+            .filter(|t| t.dir == Dir::DeviceToHost)
+            .map(|t| t.bytes)
+            .sum();
+        let h2d = self.profile.transfer_cycles(h2d_bytes);
+        let d2h = self.profile.transfer_cycles(d2h_bytes);
+
+        let step = if multi_stream {
+            compute.max(h2d).max(d2h)
+        } else {
+            compute + h2d + d2h
+        }
+        .max(1);
+
+        // Traces and accounting.
+        let capacity = self.profile.cuda_cores as f64 * step as f64;
+        let compute_capacity = total_threads as f64 * compute as f64;
+        self.trace.push(UtilSample {
+            start_cycle: self.clock,
+            len: step,
+            utilization: (busy as f64 / capacity).min(1.0),
+            compute,
+            alloc_threads: total_threads,
+            compute_utilization: if compute_capacity > 0.0 {
+                (busy as f64 / compute_capacity).min(1.0)
+            } else {
+                0.0
+            },
+        });
+        for k in kernels {
+            let stats = self.kernel_stats.entry(k.name.clone()).or_default();
+            stats.busy_cycles += k.work.useful_cycles();
+            stats.occupied_cycles += k.threads as u64 * step;
+            stats.steps += 1;
+        }
+        self.clock += step;
+        self.total_busy += busy;
+        self.total_h2d_bytes += h2d_bytes;
+        self.total_d2h_bytes += d2h_bytes;
+
+        StepOutcome {
+            compute_cycles: compute,
+            h2d_cycles: h2d,
+            d2h_cycles: d2h,
+            step_cycles: step,
+            busy_cycles: busy,
+        }
+    }
+
+    /// Total elapsed device cycles.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Total elapsed time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.profile.cycles_to_seconds(self.clock)
+    }
+
+    /// Total elapsed time in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_seconds() * 1e3
+    }
+
+    /// The per-step utilization trace.
+    pub fn utilization_trace(&self) -> &[UtilSample] {
+        &self.trace
+    }
+
+    /// Time-weighted mean core utilization over the whole run.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.clock == 0 {
+            return 0.0;
+        }
+        self.total_busy as f64 / (self.profile.cuda_cores as f64 * self.clock as f64)
+    }
+
+    /// Mean utilization of *allocated threads during compute* across the
+    /// run — the paper's Figure 4/9 metric.
+    pub fn mean_compute_utilization(&self) -> f64 {
+        let capacity: f64 = self
+            .trace
+            .iter()
+            .map(|s| s.alloc_threads as f64 * s.compute as f64)
+            .sum();
+        if capacity == 0.0 {
+            return 0.0;
+        }
+        self.total_busy as f64 / capacity
+    }
+
+    /// Cumulative statistics per kernel name.
+    pub fn kernel_stats(&self) -> &BTreeMap<String, KernelStats> {
+        &self.kernel_stats
+    }
+
+    /// Total bytes moved host→device.
+    pub fn total_h2d_bytes(&self) -> u64 {
+        self.total_h2d_bytes
+    }
+
+    /// Total bytes moved device→host.
+    pub fn total_d2h_bytes(&self) -> u64 {
+        self.total_d2h_bytes
+    }
+
+    /// Resets clock, traces and statistics but keeps memory state.
+    pub fn reset_clock(&mut self) {
+        self.clock = 0;
+        self.trace.clear();
+        self.kernel_stats.clear();
+        self.total_busy = 0;
+        self.total_h2d_bytes = 0;
+        self.total_d2h_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceProfile::v100())
+    }
+
+    #[test]
+    fn uniform_work_duration() {
+        let k = KernelStep::new("k", 64, Work::Uniform {
+            units: 640,
+            cycles_per_unit: 10,
+        });
+        // 640 units over 64 threads = 10 waves of 10 cycles.
+        assert_eq!(k.duration_cycles(), 100);
+        // Non-divisible: 641 units -> 11 waves.
+        let k2 = KernelStep::new("k", 64, Work::Uniform {
+            units: 641,
+            cycles_per_unit: 10,
+        });
+        assert_eq!(k2.duration_cycles(), 110);
+    }
+
+    #[test]
+    fn item_work_pays_warp_divergence() {
+        // 32 items, one slow lane: whole warp pays the slow lane.
+        let mut items = vec![1u64; 32];
+        items[7] = 100;
+        let k = KernelStep::new("k", 32, Work::Items(items.clone()));
+        assert_eq!(k.duration_cycles(), 100);
+        // Same items split into two waves of 16-thread kernel: two warps of
+        // 16 lanes each... threads=16 -> waves of 16 items, 2 waves.
+        let k2 = KernelStep::new("k", 16, Work::Items(items));
+        assert_eq!(k2.duration_cycles(), 100 + 1);
+    }
+
+    #[test]
+    fn concurrent_kernels_take_max() {
+        let mut g = gpu();
+        let launch = g.cost().kernel_launch;
+        let out = g.execute_step(
+            &[
+                KernelStep::new("fast", 32, Work::Uniform {
+                    units: 32,
+                    cycles_per_unit: 10,
+                }),
+                KernelStep::new("slow", 32, Work::Uniform {
+                    units: 32,
+                    cycles_per_unit: 500,
+                }),
+            ],
+            &[],
+            true,
+        );
+        assert_eq!(out.compute_cycles, 500 + launch);
+        assert_eq!(out.busy_cycles, 32 * 10 + 32 * 500);
+    }
+
+    #[test]
+    fn oversubscription_dilates_time() {
+        let mut g = gpu(); // 5120 cores
+        let out = g.execute_step(
+            &[KernelStep::new("k", 10240, Work::Uniform {
+                units: 10240,
+                cycles_per_unit: 100,
+            })],
+            &[],
+            true,
+        );
+        let launch = g.cost().kernel_launch;
+        assert_eq!(out.compute_cycles, (100 + launch) * 2);
+    }
+
+    #[test]
+    fn multi_stream_overlaps_transfers() {
+        let mut g = gpu();
+        let kernels = [KernelStep::new("k", 1024, Work::Uniform {
+            units: 1024 * 1024,
+            cycles_per_unit: 100,
+        })];
+        let transfers = [
+            Transfer {
+                bytes: 1 << 20,
+                dir: Dir::HostToDevice,
+            },
+            Transfer {
+                bytes: 1 << 20,
+                dir: Dir::DeviceToHost,
+            },
+        ];
+        let overlapped = g.execute_step(&kernels, &transfers, true);
+        assert_eq!(
+            overlapped.step_cycles,
+            overlapped
+                .compute_cycles
+                .max(overlapped.h2d_cycles)
+                .max(overlapped.d2h_cycles)
+        );
+        let serialized = g.execute_step(&kernels, &transfers, false);
+        assert_eq!(
+            serialized.step_cycles,
+            serialized.compute_cycles + serialized.h2d_cycles + serialized.d2h_cycles
+        );
+        assert!(serialized.step_cycles > overlapped.step_cycles);
+    }
+
+    #[test]
+    fn utilization_trace_records_steps() {
+        let mut g = gpu();
+        g.execute_step(
+            &[KernelStep::new("k", 5120, Work::Uniform {
+                units: 5120,
+                cycles_per_unit: 1_000_000,
+            })],
+            &[],
+            true,
+        );
+        assert_eq!(g.utilization_trace().len(), 1);
+        let sample = g.utilization_trace()[0];
+        assert!(sample.utilization > 0.95, "full device ~1.0: {sample:?}");
+        // An eighth of the device busy -> ~0.125 utilization.
+        g.execute_step(
+            &[KernelStep::new("k", 640, Work::Uniform {
+                units: 640,
+                cycles_per_unit: 1_000_000,
+            })],
+            &[],
+            true,
+        );
+        let sample = g.utilization_trace()[1];
+        assert!(
+            (sample.utilization - 0.125).abs() < 0.01,
+            "got {}",
+            sample.utilization
+        );
+    }
+
+    #[test]
+    fn kernel_stats_accumulate() {
+        let mut g = gpu();
+        for _ in 0..3 {
+            g.execute_step(
+                &[KernelStep::new("layer0", 64, Work::Uniform {
+                    units: 64,
+                    cycles_per_unit: 10,
+                })],
+                &[],
+                true,
+            );
+        }
+        let stats = g.kernel_stats().get("layer0").unwrap();
+        assert_eq!(stats.steps, 3);
+        assert_eq!(stats.busy_cycles, 3 * 640);
+    }
+
+    #[test]
+    fn empty_kernels_step_still_advances_for_transfers() {
+        let mut g = gpu();
+        let out = g.execute_step(
+            &[],
+            &[Transfer {
+                bytes: 320 << 20,
+                dir: Dir::HostToDevice,
+            }],
+            true,
+        );
+        assert_eq!(out.compute_cycles, 0);
+        assert!(out.step_cycles > 0);
+        let ms = g.profile().cycles_to_seconds(out.step_cycles) * 1e3;
+        assert!((ms - 22.95).abs() < 2.0, "paper Table 9 V100 row: {ms} ms");
+    }
+
+    #[test]
+    fn reset_clock_clears_traces() {
+        let mut g = gpu();
+        g.execute_step(
+            &[KernelStep::new("k", 1, Work::Uniform {
+                units: 1,
+                cycles_per_unit: 5,
+            })],
+            &[],
+            true,
+        );
+        assert!(g.elapsed_cycles() > 0);
+        g.reset_clock();
+        assert_eq!(g.elapsed_cycles(), 0);
+        assert!(g.utilization_trace().is_empty());
+        assert_eq!(g.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn faster_device_finishes_sooner() {
+        let mk = |profile: DeviceProfile| {
+            let mut g = Gpu::new(profile);
+            g.execute_step(
+                &[KernelStep::new("k", 4096, Work::Uniform {
+                    units: 1 << 22,
+                    cycles_per_unit: 130,
+                })],
+                &[],
+                true,
+            );
+            g.elapsed_seconds()
+        };
+        assert!(mk(DeviceProfile::h100()) < mk(DeviceProfile::v100()));
+    }
+}

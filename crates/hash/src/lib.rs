@@ -1,0 +1,63 @@
+//! # batchzk-hash
+//!
+//! From-scratch SHA-256 (FIPS 180-4) with a block-level API matching the
+//! paper's register-resident Merkle kernel, plus the Fiat–Shamir
+//! [`Transcript`] and the Merkle-root-seeded [`Prg`] from Figure 7.
+
+mod prg;
+mod sha256;
+mod transcript;
+
+pub use prg::Prg;
+pub use sha256::{Digest, H0, Sha256, compress, hash_block, hash_pair, sha256};
+pub use transcript::Transcript;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                      split in 0usize..512) {
+            let split = split.min(data.len());
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), sha256(&data));
+        }
+
+        #[test]
+        fn prg_stream_chunking_is_consistent(seed in any::<[u8; 32]>(),
+                                             chunks in proptest::collection::vec(1usize..40, 1..8)) {
+            use rand::RngCore;
+            let total: usize = chunks.iter().sum();
+            let mut whole = vec![0u8; total];
+            Prg::from_seed(seed).fill_bytes(&mut whole);
+            let mut prg = Prg::from_seed(seed);
+            let mut parts = Vec::new();
+            for c in chunks {
+                let mut buf = vec![0u8; c];
+                prg.fill_bytes(&mut buf);
+                parts.extend_from_slice(&buf);
+            }
+            prop_assert_eq!(parts, whole);
+        }
+
+        #[test]
+        fn transcript_diverges_on_any_absorb_difference(
+            a in proptest::collection::vec(any::<u8>(), 0..32),
+            b in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            prop_assume!(a != b);
+            let mut ta = Transcript::new(b"prop");
+            let mut tb = Transcript::new(b"prop");
+            ta.absorb_bytes(b"m", &a);
+            tb.absorb_bytes(b"m", &b);
+            prop_assert_ne!(ta.challenge_bytes(b"c"), tb.challenge_bytes(b"c"));
+        }
+    }
+}

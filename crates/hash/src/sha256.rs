@@ -1,0 +1,308 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! The block compression function is exposed directly because the Merkle
+//! modules hash fixed 64-byte inputs (two 32-byte children): the paper's
+//! kernel keeps the sixteen 32-bit message chunks in registers and runs the
+//! 64 round operations without touching memory (§3.1). [`compress`] mirrors
+//! that structure — a `[u32; 8]` state and a `[u32; 16]` schedule window —
+//! and is what the GPU cost model charges per hash.
+
+/// The SHA-256 initial hash value (FIPS 180-4 §5.3.3).
+pub const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// The 64 round constants (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// A 32-byte SHA-256 digest.
+pub type Digest = [u8; 32];
+
+/// Applies the SHA-256 compression function to one 64-byte block.
+///
+/// The sixteen schedule words live in a fixed-size array — the software
+/// analogue of the register-resident chunks in the paper's GPU kernel.
+#[inline]
+pub fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (i, word) in w.iter_mut().enumerate() {
+        *word = u32::from_be_bytes(block[i * 4..(i + 1) * 4].try_into().unwrap());
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    for t in 0..64 {
+        let wt = if t < 16 {
+            w[t]
+        } else {
+            // Rolling 16-word window instead of a 64-word schedule array.
+            let s0 = small_sigma0(w[(t + 1) % 16]);
+            let s1 = small_sigma1(w[(t + 14) % 16]);
+            let next = w[t % 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[(t + 9) % 16])
+                .wrapping_add(s1);
+            w[t % 16] = next;
+            next
+        };
+        let t1 = h
+            .wrapping_add(big_sigma1(e))
+            .wrapping_add(ch(e, f, g))
+            .wrapping_add(K[t])
+            .wrapping_add(wt);
+        let t2 = big_sigma0(a).wrapping_add(maj(a, b, c));
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+#[inline(always)]
+fn ch(x: u32, y: u32, z: u32) -> u32 {
+    (x & y) ^ (!x & z)
+}
+#[inline(always)]
+fn maj(x: u32, y: u32, z: u32) -> u32 {
+    (x & y) ^ (x & z) ^ (y & z)
+}
+#[inline(always)]
+fn big_sigma0(x: u32) -> u32 {
+    x.rotate_right(2) ^ x.rotate_right(13) ^ x.rotate_right(22)
+}
+#[inline(always)]
+fn big_sigma1(x: u32) -> u32 {
+    x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25)
+}
+#[inline(always)]
+fn small_sigma0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+#[inline(always)]
+fn small_sigma1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+/// Incremental SHA-256 hasher over arbitrary-length input.
+///
+/// # Examples
+///
+/// ```
+/// use batchzk_hash::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(
+///     digest[..4],
+///     [0xba, 0x78, 0x16, 0xbf],
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let want = 64 - self.buffered;
+            let take = want.min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                compress(&mut self.state, &block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            compress(&mut self.state, data[..64].try_into().unwrap());
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Completes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        self.update(&[0x80]);
+        // After the 0x80 byte, total_len changed; remember we want padding
+        // relative to the original message, so compute zeros from buffered.
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        self.total_len = 0; // neutralize accounting for the length words
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot convenience hash.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes exactly one 64-byte block with **no padding** — the raw
+/// Merkle-damgård step used for Merkle tree nodes (512-bit block in, 256-bit
+/// state out). This is the operation counted by the paper's Merkle module.
+#[inline]
+pub fn hash_block(block: &[u8; 64]) -> Digest {
+    let mut state = H0;
+    compress(&mut state, block);
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Hashes the concatenation of two 32-byte children into a parent digest.
+#[inline]
+pub fn hash_pair(left: &Digest, right: &Digest) -> Digest {
+    let mut block = [0u8; 64];
+    block[..32].copy_from_slice(left);
+    block[32..].copy_from_slice(right);
+    hash_block(&block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &Digest) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        // FIPS 180-4 / NIST CAVP known-answer tests.
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..301u32).map(|i| i as u8).collect();
+        for split in [0usize, 1, 17, 63, 64, 65, 128, 300] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Lengths straddling the padding boundary (55/56/57, 63/64/65).
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            for b in &data {
+                h.update(core::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), sha256(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn hash_block_is_single_compression() {
+        let block = [7u8; 64];
+        let d = hash_block(&block);
+        // Must differ from padded sha256 of the same bytes (no finalization).
+        assert_ne!(d, sha256(&block));
+        // And must be deterministic.
+        assert_eq!(d, hash_block(&block));
+    }
+
+    #[test]
+    fn hash_pair_uses_both_children() {
+        let a = [1u8; 32];
+        let b = [2u8; 32];
+        assert_ne!(hash_pair(&a, &b), hash_pair(&b, &a));
+        assert_ne!(hash_pair(&a, &b), hash_pair(&a, &a));
+    }
+}

@@ -1,0 +1,415 @@
+//! The generic systolic pipeline engine.
+//!
+//! Every pipelined module in the paper shares one execution discipline
+//! (§3, §4): the computation is split into stages, each stage is a dedicated
+//! GPU kernel with a fixed thread allocation, and tasks stream through the
+//! stages one per cycle. At any cycle, stage `i` works on the task that
+//! entered `i` cycles ago; at the end of the cycle every task advances one
+//! stage and a new task (if any) enters stage 0. Except for pipeline fill
+//! and drain, every kernel is busy every cycle.
+//!
+//! [`Pipeline::run`] drives the simulated GPU *and* performs the real
+//! computation: each [`PipeStage::process`] mutates the task (hashing,
+//! folding, multiplying — real arithmetic) and returns the cost description
+//! the simulator charges.
+
+use batchzk_gpu_sim::{Dir, Gpu, KernelStep, MemHandle, Transfer, Work};
+
+/// Cost description returned by a stage for one task-cycle.
+#[derive(Debug, Clone)]
+pub struct StageWork {
+    /// The kernel work executed this cycle.
+    pub work: Work,
+    /// Bytes loaded host→device for this task this cycle (dynamic loading).
+    pub h2d_bytes: u64,
+    /// Bytes stored device→host this cycle (dynamic storing).
+    pub d2h_bytes: u64,
+    /// The task's total device-memory footprint *after* this stage.
+    pub mem_after: u64,
+}
+
+/// One stage of a pipelined module.
+pub trait PipeStage<T> {
+    /// Kernel name (appears in per-kernel statistics / Figure 4 traces).
+    fn name(&self) -> String;
+
+    /// Threads dedicated to this stage's kernel.
+    fn threads(&self) -> u32;
+
+    /// Performs the stage's real computation on `task` and returns its cost.
+    fn process(&self, task: &mut T) -> StageWork;
+}
+
+/// Aggregate results of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Total device cycles from first load to last drain.
+    pub total_cycles: u64,
+    /// Total wall time in milliseconds at the device clock.
+    pub total_ms: f64,
+    /// Tasks completed.
+    pub tasks: usize,
+    /// Tasks per millisecond (the paper's throughput metric).
+    pub throughput_per_ms: f64,
+    /// Mean per-task latency (entry to exit) in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Peak device memory over the run, in bytes.
+    pub peak_mem_bytes: u64,
+    /// Time-weighted mean core utilization (0..=1).
+    pub mean_utilization: f64,
+    /// Total host→device traffic in bytes.
+    pub h2d_bytes: u64,
+    /// Total device→host traffic in bytes.
+    pub d2h_bytes: u64,
+}
+
+/// Outcome of [`Pipeline::run`]: the completed tasks in completion order
+/// plus timing statistics.
+#[derive(Debug)]
+pub struct PipelineRun<T> {
+    /// Completed tasks (same order they entered).
+    pub outputs: Vec<T>,
+    /// Statistics of the run.
+    pub stats: RunStats,
+}
+
+struct Slot<T> {
+    task: T,
+    entry_cycle: u64,
+    mem: Option<MemHandle>,
+    mem_bytes: u64,
+}
+
+/// A configured pipeline bound to a simulated GPU.
+pub struct Pipeline<'g, T> {
+    gpu: &'g mut Gpu,
+    stages: Vec<Box<dyn PipeStage<T>>>,
+    multi_stream: bool,
+}
+
+impl<'g, T> Pipeline<'g, T> {
+    /// Creates a pipeline from its stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(
+        gpu: &'g mut Gpu,
+        stages: Vec<Box<dyn PipeStage<T>>>,
+        multi_stream: bool,
+    ) -> Self {
+        assert!(!stages.is_empty(), "a pipeline needs at least one stage");
+        Self {
+            gpu,
+            stages,
+            multi_stream,
+        }
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Streams `tasks` through the pipeline: one task enters per cycle, all
+    /// occupied stages execute concurrently, and one task exits per cycle
+    /// once the pipeline is full.
+    pub fn run(self, tasks: Vec<T>) -> PipelineRun<T> {
+        let Pipeline {
+            gpu,
+            stages,
+            multi_stream,
+        } = self;
+        let num_stages = stages.len();
+        let total_tasks = tasks.len();
+        gpu.memory().reset_peak();
+        let start_cycles = gpu.elapsed_cycles();
+        let start_h2d = gpu.total_h2d_bytes();
+        let start_d2h = gpu.total_d2h_bytes();
+
+        let mut pending = tasks.into_iter();
+        let mut slots: Vec<Option<Slot<T>>> = (0..num_stages).map(|_| None).collect();
+        let mut outputs: Vec<T> = Vec::with_capacity(total_tasks);
+        let mut latencies: Vec<u64> = Vec::with_capacity(total_tasks);
+        let mut in_flight = 0usize;
+        let mut remaining = total_tasks;
+
+        while remaining > 0 || in_flight > 0 {
+            // Admit a new task into stage 0 if it is free.
+            if slots[0].is_none() {
+                if let Some(task) = pending.next() {
+                    slots[0] = Some(Slot {
+                        task,
+                        entry_cycle: gpu.elapsed_cycles(),
+                        mem: None,
+                        mem_bytes: 0,
+                    });
+                    in_flight += 1;
+                    remaining -= 1;
+                }
+            }
+
+            // Execute all occupied stages concurrently.
+            let mut kernels: Vec<KernelStep> = Vec::new();
+            let mut transfers: Vec<Transfer> = Vec::new();
+            let mut mem_updates: Vec<(usize, u64)> = Vec::new();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let Some(slot) = slot.as_mut() else { continue };
+                let sw = stages[i].process(&mut slot.task);
+                kernels.push(KernelStep::new(
+                    stages[i].name(),
+                    stages[i].threads(),
+                    sw.work,
+                ));
+                if sw.h2d_bytes > 0 {
+                    transfers.push(Transfer {
+                        bytes: sw.h2d_bytes,
+                        dir: Dir::HostToDevice,
+                    });
+                }
+                if sw.d2h_bytes > 0 {
+                    transfers.push(Transfer {
+                        bytes: sw.d2h_bytes,
+                        dir: Dir::DeviceToHost,
+                    });
+                }
+                mem_updates.push((i, sw.mem_after));
+            }
+
+            // Apply memory footprints (alloc new before freeing old, so the
+            // transient overlap of a copy shows up in the peak).
+            for (i, new_bytes) in mem_updates {
+                let slot = slots[i].as_mut().expect("slot occupied");
+                if new_bytes != slot.mem_bytes {
+                    let new_handle = if new_bytes > 0 {
+                        Some(
+                            gpu.memory()
+                                .alloc(new_bytes, &stages[i].name())
+                                .expect("pipeline exceeded simulated device memory"),
+                        )
+                    } else {
+                        None
+                    };
+                    if let Some(old) = slot.mem.take() {
+                        gpu.memory().free(old);
+                    }
+                    slot.mem = new_handle;
+                    slot.mem_bytes = new_bytes;
+                }
+            }
+
+            gpu.execute_step(&kernels, &transfers, multi_stream);
+
+            // Advance: the last stage's task exits, everyone shifts by one.
+            if let Some(slot) = slots[num_stages - 1].take() {
+                if let Some(handle) = slot.mem {
+                    gpu.memory().free(handle);
+                }
+                latencies.push(gpu.elapsed_cycles() - slot.entry_cycle);
+                outputs.push(slot.task);
+                in_flight -= 1;
+            }
+            for i in (1..num_stages).rev() {
+                if slots[i].is_none() {
+                    slots[i] = slots[i - 1].take();
+                }
+            }
+        }
+
+        let total_cycles = gpu.elapsed_cycles() - start_cycles;
+        let total_ms = gpu.profile().cycles_to_seconds(total_cycles) * 1e3;
+        let mean_latency_ms = if latencies.is_empty() {
+            0.0
+        } else {
+            let sum: u64 = latencies.iter().sum();
+            gpu.profile().cycles_to_seconds(sum / latencies.len() as u64) * 1e3
+        };
+        let stats = RunStats {
+            total_cycles,
+            total_ms,
+            tasks: total_tasks,
+            throughput_per_ms: if total_ms > 0.0 {
+                total_tasks as f64 / total_ms
+            } else {
+                0.0
+            },
+            mean_latency_ms,
+            peak_mem_bytes: gpu.memory_ref().peak(),
+            mean_utilization: gpu.mean_utilization(),
+            h2d_bytes: gpu.total_h2d_bytes() - start_h2d,
+            d2h_bytes: gpu.total_d2h_bytes() - start_d2h,
+        };
+        PipelineRun { outputs, stats }
+    }
+}
+
+/// Splits `total_threads` across stages proportionally to their work
+/// weights, guaranteeing at least one thread per stage — the paper's §4
+/// allocation rule ("we allocate 2240 = 35×64, 768 = 12×64, and
+/// 7296 = 113×64 threads...").
+pub fn allocate_threads(total_threads: u32, weights: &[u64]) -> Vec<u32> {
+    assert!(!weights.is_empty(), "need at least one stage weight");
+    let total_weight: u64 = weights.iter().sum::<u64>().max(1);
+    let mut out: Vec<u32> = weights
+        .iter()
+        .map(|&w| {
+            let share = (total_threads as u64 * w) / total_weight;
+            share.max(1) as u32
+        })
+        .collect();
+    // Trim any overshoot caused by the min-1 clamp, largest first.
+    let mut sum: u32 = out.iter().sum();
+    while sum > total_threads.max(weights.len() as u32) {
+        let (idx, _) = out
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .expect("non-empty");
+        out[idx] -= 1;
+        sum -= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchzk_gpu_sim::DeviceProfile;
+
+    /// A trivial stage that adds a constant to a u64 task.
+    struct AddStage {
+        amount: u64,
+        threads: u32,
+        cycles: u64,
+    }
+
+    impl PipeStage<u64> for AddStage {
+        fn name(&self) -> String {
+            format!("add-{}", self.amount)
+        }
+        fn threads(&self) -> u32 {
+            self.threads
+        }
+        fn process(&self, task: &mut u64) -> StageWork {
+            *task += self.amount;
+            StageWork {
+                work: Work::Uniform {
+                    units: self.threads as u64,
+                    cycles_per_unit: self.cycles,
+                },
+                h2d_bytes: 0,
+                d2h_bytes: 0,
+                mem_after: 64,
+            }
+        }
+    }
+
+    fn three_stage(gpu: &mut Gpu) -> Pipeline<'_, u64> {
+        let stages: Vec<Box<dyn PipeStage<u64>>> = vec![
+            Box::new(AddStage {
+                amount: 1,
+                threads: 32,
+                cycles: 100,
+            }),
+            Box::new(AddStage {
+                amount: 10,
+                threads: 32,
+                cycles: 100,
+            }),
+            Box::new(AddStage {
+                amount: 100,
+                threads: 32,
+                cycles: 100,
+            }),
+        ];
+        Pipeline::new(gpu, stages, true)
+    }
+
+    #[test]
+    fn tasks_pass_through_all_stages_in_order() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = three_stage(&mut gpu).run(vec![0, 1000, 2000]);
+        assert_eq!(run.outputs, vec![111, 1111, 2111]);
+        assert_eq!(run.stats.tasks, 3);
+    }
+
+    #[test]
+    fn pipeline_overlaps_tasks() {
+        // m tasks through s stages takes m + s - 1 cycles, not m * s.
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = three_stage(&mut gpu).run((0..10).collect());
+        // Each cycle costs the same; total cycles / per-cycle cost = 12.
+        let per_cycle = run.stats.total_cycles / 12;
+        assert!(
+            run.stats.total_cycles >= per_cycle * 12
+                && run.stats.total_cycles < per_cycle * 13,
+            "expected ~12 uniform cycles, got {}",
+            run.stats.total_cycles
+        );
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = three_stage(&mut gpu).run(vec![]);
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.stats.total_cycles, 0);
+    }
+
+    #[test]
+    fn single_task_latency_equals_total() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = three_stage(&mut gpu).run(vec![7]);
+        assert_eq!(run.outputs, vec![118]);
+        assert!((run.stats.mean_latency_ms - run.stats.total_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_is_freed_on_exit() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = three_stage(&mut gpu).run((0..5).collect());
+        assert!(run.stats.peak_mem_bytes >= 64);
+        assert_eq!(gpu.memory_ref().in_use(), 0, "all task memory released");
+        // Peak is bounded by stages * per-task footprint (3 * 64) plus the
+        // transient alloc-before-free overlap of one stage (64).
+        assert!(run.stats.peak_mem_bytes <= 4 * 64);
+    }
+
+    #[test]
+    fn allocate_threads_proportional() {
+        // The paper's example: ratio 35:12:113 over 10240 threads.
+        let alloc = allocate_threads(10240, &[35, 12, 113]);
+        assert_eq!(alloc.len(), 3);
+        let sum: u32 = alloc.iter().sum();
+        assert!(sum <= 10240 && sum > 10000, "sum={sum}");
+        assert!((alloc[0] as f64 / alloc[1] as f64 - 35.0 / 12.0).abs() < 0.1);
+        assert!((alloc[2] as f64 / alloc[0] as f64 - 113.0 / 35.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn allocate_threads_minimum_one() {
+        let alloc = allocate_threads(4, &[1000, 1, 1, 1]);
+        assert!(alloc.iter().all(|&t| t >= 1));
+    }
+
+    #[test]
+    fn mean_utilization_high_in_steady_state() {
+        // Balanced stages + many tasks => most thread-cycles useful.
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let stages: Vec<Box<dyn PipeStage<u64>>> = (0..4)
+            .map(|i| {
+                Box::new(AddStage {
+                    amount: i,
+                    threads: 1280,
+                    cycles: 50_000,
+                }) as Box<dyn PipeStage<u64>>
+            })
+            .collect();
+        let run = Pipeline::new(&mut gpu, stages, true).run((0..64).collect());
+        assert!(
+            run.stats.mean_utilization > 0.8,
+            "steady-state utilization {}",
+            run.stats.mean_utilization
+        );
+    }
+}

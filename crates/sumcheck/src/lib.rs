@@ -1,0 +1,110 @@
+//! # batchzk-sumcheck
+//!
+//! The sum-check protocol (§2.3 of the paper): multilinear polynomials over
+//! the Boolean hypercube, the paper's Algorithm 1 prover with explicit
+//! randomness (the oracle for the pipelined GPU module), and Fiat–Shamir
+//! sum-checks of degree 1–3 used by the Spartan/Brakedown-style SNARK in
+//! `batchzk-zkp`.
+//!
+//! # Examples
+//!
+//! ```
+//! use batchzk_sumcheck::{MultilinearPoly, prove_linear, verify_rounds};
+//! use batchzk_field::{Field, Fr};
+//! use batchzk_hash::Transcript;
+//!
+//! let p = MultilinearPoly::new((0..8u64).map(Fr::from).collect());
+//! let claim = p.hypercube_sum();
+//!
+//! let mut pt = Transcript::new(b"doc");
+//! let out = prove_linear(&p, &mut pt);
+//!
+//! let mut vt = Transcript::new(b"doc");
+//! let (final_claim, _rs) = verify_rounds(claim, &out.proof, 1, &mut vt).unwrap();
+//! assert_eq!(p.evaluate(&out.point()), final_claim);
+//! ```
+
+pub mod algorithm1;
+mod poly;
+mod prove;
+mod rounds;
+
+pub use poly::{MultilinearPoly, eq_eval, eq_table};
+pub use prove::{ProverOutput, prove_cubic_eq, prove_linear, prove_quadratic};
+pub use rounds::{SumcheckProof, interpolate_at, prover_round_challenge, verify_rounds};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use batchzk_field::{Field, Fr};
+    use batchzk_hash::Transcript;
+    use proptest::prelude::*;
+
+    fn arb_fr() -> impl Strategy<Value = Fr> {
+        any::<[u8; 64]>().prop_map(|b| Fr::from_uniform_bytes(&b))
+    }
+
+    fn arb_table(n: usize) -> impl Strategy<Value = Vec<Fr>> {
+        proptest::collection::vec(arb_fr(), 1 << n)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn algorithm1_complete(table in arb_table(6), rs in proptest::collection::vec(arb_fr(), 6)) {
+            let h: Fr = table.iter().copied().sum();
+            let proof = algorithm1::prove(table.clone(), &rs);
+            prop_assert!(algorithm1::verify_with_oracle(h, &proof, &rs, &table));
+        }
+
+        #[test]
+        fn algorithm1_sound_against_sum_tamper(
+            table in arb_table(5),
+            rs in proptest::collection::vec(arb_fr(), 5),
+            delta in arb_fr(),
+        ) {
+            prop_assume!(!delta.is_zero());
+            let h: Fr = table.iter().copied().sum();
+            let proof = algorithm1::prove(table, &rs);
+            prop_assert!(algorithm1::verify(h + delta, &proof, &rs).is_none());
+        }
+
+        #[test]
+        fn fs_linear_complete(table in arb_table(5)) {
+            let p = MultilinearPoly::new(table);
+            let mut pt = Transcript::new(b"prop");
+            let out = prove_linear(&p, &mut pt);
+            let mut vt = Transcript::new(b"prop");
+            let (fc, _) = verify_rounds(p.hypercube_sum(), &out.proof, 1, &mut vt).unwrap();
+            prop_assert_eq!(p.evaluate(&out.point()), fc);
+        }
+
+        #[test]
+        fn quadratic_complete(fa in arb_table(4), ga in arb_table(4)) {
+            let f = MultilinearPoly::new(fa);
+            let g = MultilinearPoly::new(ga);
+            let h: Fr = f.evals().iter().zip(g.evals()).map(|(a, b)| *a * *b).sum();
+            let mut pt = Transcript::new(b"prop2");
+            let out = prove_quadratic(&f, &g, &mut pt);
+            let mut vt = Transcript::new(b"prop2");
+            let (fc, _) = verify_rounds(h, &out.proof, 2, &mut vt).unwrap();
+            prop_assert_eq!(fc, out.final_evals[0] * out.final_evals[1]);
+        }
+
+        #[test]
+        fn eq_eval_symmetric(x in proptest::collection::vec(arb_fr(), 5),
+                             y in proptest::collection::vec(arb_fr(), 5)) {
+            prop_assert_eq!(eq_eval(&x, &y), eq_eval(&y, &x));
+        }
+
+        #[test]
+        fn evaluate_linear_combination(ta in arb_table(4), tb in arb_table(4), pt in proptest::collection::vec(arb_fr(), 4), c in arb_fr()) {
+            let a = MultilinearPoly::new(ta.clone());
+            let b = MultilinearPoly::new(tb.clone());
+            let combo = MultilinearPoly::new(
+                ta.iter().zip(&tb).map(|(x, y)| *x + c * *y).collect());
+            prop_assert_eq!(combo.evaluate(&pt), a.evaluate(&pt) + c * b.evaluate(&pt));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Fiat–Shamir sum-check provers for the polynomial shapes the SNARK needs:
+//! plain multilinear (degree 1), products of two multilinears (degree 2),
+//! and the Spartan core `eq·(a·b - c)` (degree 3).
+
+use batchzk_field::Field;
+use batchzk_hash::Transcript;
+
+use crate::poly::MultilinearPoly;
+use crate::rounds::{SumcheckProof, prover_round_challenge};
+
+/// Output of a prover run: the proof, the challenge vector in round order,
+/// and the final evaluations of each input polynomial at the bound point.
+#[derive(Debug, Clone)]
+pub struct ProverOutput<F> {
+    /// The round polynomials.
+    pub proof: SumcheckProof<F>,
+    /// Challenges `r_1, ..., r_n` in the order they were drawn (round `i`
+    /// fixed variable `x_{n+1-i}`); the evaluation point in `(x_1, ..., x_n)`
+    /// order is [`Self::point`].
+    pub rs: Vec<F>,
+    /// Final evaluation of each input polynomial at the bound point.
+    pub final_evals: Vec<F>,
+}
+
+impl<F: Field> ProverOutput<F> {
+    /// The evaluation point `(x_1, ..., x_n)` the final claims refer to.
+    pub fn point(&self) -> Vec<F> {
+        self.rs.iter().rev().copied().collect()
+    }
+}
+
+/// Proves `H = Σ_b p(b)` for a single multilinear polynomial (degree-1
+/// rounds). Equivalent to Algorithm 1 with transcript-derived randomness.
+pub fn prove_linear<F: Field>(
+    poly: &MultilinearPoly<F>,
+    transcript: &mut Transcript,
+) -> ProverOutput<F> {
+    let mut p = poly.clone();
+    let n = p.num_vars();
+    let mut rounds = Vec::with_capacity(n);
+    let mut rs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let half = p.evals().len() / 2;
+        let g0: F = p.evals()[..half].iter().copied().sum();
+        let g1: F = p.evals()[half..].iter().copied().sum();
+        let round = vec![g0, g1];
+        let r = prover_round_challenge(&round, transcript);
+        rounds.push(round);
+        p.fix_top_variable(r);
+        rs.push(r);
+    }
+    ProverOutput {
+        proof: SumcheckProof { rounds },
+        rs,
+        final_evals: vec![p.evals()[0]],
+    }
+}
+
+/// Proves `H = Σ_b f(b)·g(b)` (degree-2 rounds, evaluations at X ∈ {0,1,2}).
+///
+/// # Panics
+///
+/// Panics if the polynomials have different variable counts.
+pub fn prove_quadratic<F: Field>(
+    f: &MultilinearPoly<F>,
+    g: &MultilinearPoly<F>,
+    transcript: &mut Transcript,
+) -> ProverOutput<F> {
+    assert_eq!(f.num_vars(), g.num_vars(), "variable count mismatch");
+    let mut f = f.clone();
+    let mut g = g.clone();
+    let n = f.num_vars();
+    let mut rounds = Vec::with_capacity(n);
+    let mut rs = Vec::with_capacity(n);
+    let two = F::from(2u64);
+    for _ in 0..n {
+        let half = f.evals().len() / 2;
+        let mut e0 = F::ZERO;
+        let mut e1 = F::ZERO;
+        let mut e2 = F::ZERO;
+        for b in 0..half {
+            let (f0, f1) = (f.evals()[b], f.evals()[b + half]);
+            let (g0, g1) = (g.evals()[b], g.evals()[b + half]);
+            e0 += f0 * g0;
+            e1 += f1 * g1;
+            // X = 2: t(2) = 2·t1 - t0 for a linear table interpolation.
+            e2 += (two * f1 - f0) * (two * g1 - g0);
+        }
+        let round = vec![e0, e1, e2];
+        let r = prover_round_challenge(&round, transcript);
+        rounds.push(round);
+        f.fix_top_variable(r);
+        g.fix_top_variable(r);
+        rs.push(r);
+    }
+    ProverOutput {
+        proof: SumcheckProof { rounds },
+        rs,
+        final_evals: vec![f.evals()[0], g.evals()[0]],
+    }
+}
+
+/// Proves `H = Σ_b eq(b)·(a(b)·c(b) - d(b))` — the Spartan outer sum-check
+/// (degree-3 rounds, evaluations at X ∈ {0,1,2,3}).
+///
+/// The `final_evals` are `[eq, a, c, d]` at the bound point.
+///
+/// # Panics
+///
+/// Panics if the polynomials have different variable counts.
+pub fn prove_cubic_eq<F: Field>(
+    eq: &MultilinearPoly<F>,
+    a: &MultilinearPoly<F>,
+    c: &MultilinearPoly<F>,
+    d: &MultilinearPoly<F>,
+    transcript: &mut Transcript,
+) -> ProverOutput<F> {
+    let n = eq.num_vars();
+    assert!(
+        a.num_vars() == n && c.num_vars() == n && d.num_vars() == n,
+        "variable count mismatch"
+    );
+    let mut eq = eq.clone();
+    let mut a = a.clone();
+    let mut c = c.clone();
+    let mut d = d.clone();
+    let mut rounds = Vec::with_capacity(n);
+    let mut rs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let half = a.evals().len() / 2;
+        let mut evals = [F::ZERO; 4];
+        for b in 0..half {
+            let pairs = [
+                (eq.evals()[b], eq.evals()[b + half]),
+                (a.evals()[b], a.evals()[b + half]),
+                (c.evals()[b], c.evals()[b + half]),
+                (d.evals()[b], d.evals()[b + half]),
+            ];
+            // t(X) = t0 + X·(t1 - t0); evaluate the product expression at
+            // X = 0, 1, 2, 3.
+            for (x, slot) in evals.iter_mut().enumerate() {
+                let xf = F::from(x as u64);
+                let at = |&(t0, t1): &(F, F)| t0 + xf * (t1 - t0);
+                let (eqv, av, cv, dv) =
+                    (at(&pairs[0]), at(&pairs[1]), at(&pairs[2]), at(&pairs[3]));
+                *slot += eqv * (av * cv - dv);
+            }
+        }
+        let round = evals.to_vec();
+        let r = prover_round_challenge(&round, transcript);
+        rounds.push(round);
+        eq.fix_top_variable(r);
+        a.fix_top_variable(r);
+        c.fix_top_variable(r);
+        d.fix_top_variable(r);
+        rs.push(r);
+    }
+    ProverOutput {
+        proof: SumcheckProof { rounds },
+        rs,
+        final_evals: vec![eq.evals()[0], a.evals()[0], c.evals()[0], d.evals()[0]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::eq_table;
+    use crate::rounds::verify_rounds;
+    use batchzk_field::Fr;
+    use rand::{SeedableRng, rngs::StdRng};
+
+    fn rand_poly(n: usize, rng: &mut StdRng) -> MultilinearPoly<Fr> {
+        MultilinearPoly::new((0..1usize << n).map(|_| Fr::random(rng)).collect())
+    }
+
+    #[test]
+    fn linear_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 1..=8 {
+            let p = rand_poly(n, &mut rng);
+            let h = p.hypercube_sum();
+            let mut pt = Transcript::new(b"lin");
+            let out = prove_linear(&p, &mut pt);
+            let mut vt = Transcript::new(b"lin");
+            let (fc, rs) = verify_rounds(h, &out.proof, 1, &mut vt).expect("verifies");
+            assert_eq!(rs, out.rs);
+            assert_eq!(fc, out.final_evals[0]);
+            assert_eq!(p.evaluate(&out.point()), fc, "n={n}");
+        }
+    }
+
+    #[test]
+    fn quadratic_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in 1..=7 {
+            let f = rand_poly(n, &mut rng);
+            let g = rand_poly(n, &mut rng);
+            let h: Fr = f
+                .evals()
+                .iter()
+                .zip(g.evals())
+                .map(|(a, b)| *a * *b)
+                .sum();
+            let mut pt = Transcript::new(b"quad");
+            let out = prove_quadratic(&f, &g, &mut pt);
+            let mut vt = Transcript::new(b"quad");
+            let (fc, _) = verify_rounds(h, &out.proof, 2, &mut vt).expect("verifies");
+            assert_eq!(fc, out.final_evals[0] * out.final_evals[1]);
+            let point = out.point();
+            assert_eq!(f.evaluate(&point), out.final_evals[0]);
+            assert_eq!(g.evaluate(&point), out.final_evals[1]);
+        }
+    }
+
+    #[test]
+    fn cubic_eq_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5;
+        let tau: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let eq = MultilinearPoly::new(eq_table(&tau));
+        let a = rand_poly(n, &mut rng);
+        let c = rand_poly(n, &mut rng);
+        let d = rand_poly(n, &mut rng);
+        let h: Fr = (0..1usize << n)
+            .map(|b| eq.evals()[b] * (a.evals()[b] * c.evals()[b] - d.evals()[b]))
+            .sum();
+        let mut pt = Transcript::new(b"cubic");
+        let out = prove_cubic_eq(&eq, &a, &c, &d, &mut pt);
+        let mut vt = Transcript::new(b"cubic");
+        let (fc, _) = verify_rounds(h, &out.proof, 3, &mut vt).expect("verifies");
+        let [eqv, av, cv, dv]: [Fr; 4] = out.final_evals.clone().try_into().unwrap();
+        assert_eq!(fc, eqv * (av * cv - dv));
+        let point = out.point();
+        assert_eq!(eq.evaluate(&point), eqv);
+        assert_eq!(a.evaluate(&point), av);
+    }
+
+    #[test]
+    fn cubic_eq_zero_claim_when_satisfied() {
+        // If d == a∘c pointwise, the claim is zero regardless of eq.
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 4;
+        let tau: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let eq = MultilinearPoly::new(eq_table(&tau));
+        let a = rand_poly(n, &mut rng);
+        let c = rand_poly(n, &mut rng);
+        let d = MultilinearPoly::new(
+            a.evals().iter().zip(c.evals()).map(|(x, y)| *x * *y).collect(),
+        );
+        let mut pt = Transcript::new(b"sat");
+        let out = prove_cubic_eq(&eq, &a, &c, &d, &mut pt);
+        let mut vt = Transcript::new(b"sat");
+        assert!(verify_rounds(Fr::ZERO, &out.proof, 3, &mut vt).is_some());
+    }
+
+    #[test]
+    fn wrong_claim_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = rand_poly(4, &mut rng);
+        let g = rand_poly(4, &mut rng);
+        let h: Fr = f.evals().iter().zip(g.evals()).map(|(a, b)| *a * *b).sum();
+        let mut pt = Transcript::new(b"neg");
+        let out = prove_quadratic(&f, &g, &mut pt);
+        let mut vt = Transcript::new(b"neg");
+        assert!(verify_rounds(h + Fr::ONE, &out.proof, 2, &mut vt).is_none());
+    }
+
+    #[test]
+    fn transcript_domain_binds_proof() {
+        // Verifying under a different domain must fail the final oracle
+        // check (challenges diverge).
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = rand_poly(5, &mut rng);
+        let h = p.hypercube_sum();
+        let mut pt = Transcript::new(b"domain-a");
+        let out = prove_linear(&p, &mut pt);
+        let mut vt = Transcript::new(b"domain-b");
+        if let Some((fc, rs)) = verify_rounds(h, &out.proof, 1, &mut vt) {
+            let point: Vec<Fr> = rs.iter().rev().copied().collect();
+            assert_ne!(p.evaluate(&point), fc);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared round machinery for Fiat–Shamir sum-checks of arbitrary small
+//! degree: round-polynomial interpolation and the verifier's round loop.
+
+use batchzk_field::{Field, batch_invert};
+use batchzk_hash::Transcript;
+use serde::{Deserialize, Serialize};
+
+/// A Fiat–Shamir sum-check proof: per round, the evaluations of the round
+/// polynomial `g_i` at `X = 0, 1, ..., d` where `d` is the degree bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SumcheckProof<F> {
+    /// `rounds[i]` holds `d + 1` evaluations of round polynomial `g_i`.
+    pub rounds: Vec<Vec<F>>,
+}
+
+impl<F: Field> SumcheckProof<F> {
+    /// Number of rounds (= number of variables summed over).
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// Evaluates the degree-`d` polynomial through the points
+/// `(0, ys[0]), ..., (d, ys[d])` at `r` (Lagrange on consecutive integer
+/// nodes).
+///
+/// # Panics
+///
+/// Panics if `ys` is empty.
+pub fn interpolate_at<F: Field>(ys: &[F], r: F) -> F {
+    assert!(!ys.is_empty(), "need at least one interpolation node");
+    let d = ys.len() - 1;
+    if d == 0 {
+        return ys[0];
+    }
+    // terms (r - k) for k = 0..=d
+    let diffs: Vec<F> = (0..=d).map(|k| r - F::from(k as u64)).collect();
+    // If r is one of the nodes, return directly (denominator would vanish).
+    if let Some(k) = diffs.iter().position(|v| v.is_zero()) {
+        return ys[k];
+    }
+    // prefix[j] = Π_{k<j} diffs[k], suffix[j] = Π_{k>j} diffs[k]
+    let mut prefix = vec![F::ONE; d + 1];
+    for j in 1..=d {
+        prefix[j] = prefix[j - 1] * diffs[j - 1];
+    }
+    let mut suffix = vec![F::ONE; d + 1];
+    for j in (0..d).rev() {
+        suffix[j] = suffix[j + 1] * diffs[j + 1];
+    }
+    // Denominators: j! * (d-j)! * (-1)^{d-j}
+    let mut denoms: Vec<F> = (0..=d)
+        .map(|j| {
+            let mut v = F::ONE;
+            for t in 1..=j {
+                v *= F::from(t as u64);
+            }
+            for t in 1..=(d - j) {
+                v *= F::from(t as u64);
+            }
+            if (d - j) % 2 == 1 { -v } else { v }
+        })
+        .collect();
+    batch_invert(&mut denoms);
+    (0..=d)
+        .map(|j| ys[j] * prefix[j] * suffix[j] * denoms[j])
+        .sum()
+}
+
+/// Runs the verifier's round loop for a degree-`degree` sum-check.
+///
+/// Per round, checks `g_i(0) + g_i(1) == claim`, absorbs the round
+/// polynomial, squeezes the challenge `r_i`, and folds the claim to
+/// `g_i(r_i)`. Returns `(final_claim, rs)` on success; the caller must
+/// finish with an oracle / commitment check of `final_claim` at the point
+/// determined by `rs`.
+pub fn verify_rounds<F: Field>(
+    claim: F,
+    proof: &SumcheckProof<F>,
+    degree: usize,
+    transcript: &mut Transcript,
+) -> Option<(F, Vec<F>)> {
+    let mut claim = claim;
+    let mut rs = Vec::with_capacity(proof.rounds.len());
+    for round in &proof.rounds {
+        if round.len() != degree + 1 {
+            return None;
+        }
+        if round[0] + round[1] != claim {
+            return None;
+        }
+        transcript.absorb_fields(b"sumcheck-round", round);
+        let r: F = transcript.challenge_field(b"sumcheck-r");
+        claim = interpolate_at(round, r);
+        rs.push(r);
+    }
+    Some((claim, rs))
+}
+
+/// Prover-side helper: absorbs a round polynomial and squeezes the matching
+/// challenge (must mirror [`verify_rounds`] exactly).
+pub fn prover_round_challenge<F: Field>(round: &[F], transcript: &mut Transcript) -> F {
+    transcript.absorb_fields(b"sumcheck-round", round);
+    transcript.challenge_field(b"sumcheck-r")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchzk_field::Fr;
+    use rand::{SeedableRng, rngs::StdRng};
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        // f(x) = 3x^3 + 2x^2 + x + 7
+        let f =
+            |x: Fr| Fr::from(3u64) * x * x * x + Fr::from(2u64) * x * x + x + Fr::from(7u64);
+        let ys: Vec<Fr> = (0..4u64).map(|k| f(Fr::from(k))).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let r = Fr::random(&mut rng);
+            assert_eq!(interpolate_at(&ys, r), f(r));
+        }
+        // At the nodes themselves.
+        for k in 0..4u64 {
+            assert_eq!(interpolate_at(&ys, Fr::from(k)), f(Fr::from(k)));
+        }
+    }
+
+    #[test]
+    fn interpolation_degree_zero_and_one() {
+        assert_eq!(interpolate_at(&[Fr::from(5u64)], Fr::from(99u64)), Fr::from(5u64));
+        // Line through (0,1), (1,3): f(x) = 1 + 2x
+        let ys = [Fr::ONE, Fr::from(3u64)];
+        assert_eq!(interpolate_at(&ys, Fr::from(10u64)), Fr::from(21u64));
+    }
+
+    #[test]
+    fn interpolation_linear_in_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ya: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
+        let yb: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
+        let sum: Vec<Fr> = ya.iter().zip(&yb).map(|(a, b)| *a + *b).collect();
+        let r = Fr::random(&mut rng);
+        assert_eq!(
+            interpolate_at(&sum, r),
+            interpolate_at(&ya, r) + interpolate_at(&yb, r)
+        );
+    }
+
+    #[test]
+    fn verify_rounds_rejects_wrong_arity() {
+        let proof = SumcheckProof {
+            rounds: vec![vec![Fr::ONE, Fr::ONE, Fr::ONE]], // 3 evals = degree 2
+        };
+        let mut t = Transcript::new(b"t");
+        assert!(verify_rounds(Fr::from(2u64), &proof, 1, &mut t).is_none());
+    }
+}

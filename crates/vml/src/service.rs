@@ -1,0 +1,231 @@
+//! The verifiable MLaaS service of Figure 8: model commitment in
+//! preprocessing, a prediction engine, and batch proof generation through
+//! the fully pipelined ZKP system.
+//!
+//! Binding each proof to the committed model cryptographically (proving the
+//! witness prefix equals the committed parameters) is the Orion-style
+//! extension documented in `DESIGN.md`; here the commitment is published
+//! and the witness layout pins the parameter positions, which suffices for
+//! the throughput study the paper's Table 11 reports.
+
+use std::sync::Arc;
+
+use batchzk_field::{Fr, field_from_i64};
+use batchzk_gpu_sim::Gpu;
+use batchzk_hash::Digest;
+use batchzk_merkle::MerkleTree;
+use batchzk_pipeline::RunStats;
+use batchzk_zkp::r1cs::R1cs;
+use batchzk_zkp::{PcsParams, Proof, prove_batch, verify};
+
+use crate::compile::compile_inference;
+use crate::network::Network;
+use crate::tensor::Tensor;
+
+/// The service provider: holds the secret model and the compiled circuit.
+pub struct MlService {
+    network: Network,
+    r1cs: Arc<R1cs<Fr>>,
+    params: PcsParams,
+    commitment: Digest,
+}
+
+/// One answered customer request: the prediction plus its proof.
+#[derive(Debug)]
+pub struct VerifiedPrediction {
+    /// Predicted logits.
+    pub logits: Vec<i64>,
+    /// Public inputs of the proof (pixels + logits, field-encoded).
+    pub public_inputs: Vec<Fr>,
+    /// The zero-knowledge proof.
+    pub proof: Proof<Fr>,
+}
+
+/// Outcome of a batch prediction+proving round.
+pub struct ServiceRun {
+    /// The answered requests in arrival order.
+    pub predictions: Vec<VerifiedPrediction>,
+    /// GPU pipeline statistics (throughput, latency, memory).
+    pub stats: RunStats,
+}
+
+impl MlService {
+    /// Preprocessing (run once): commits to the model parameters and
+    /// compiles the inference circuit.
+    pub fn new(network: Network, params: PcsParams) -> Self {
+        // Model commitment: Merkle root over the flattened parameters.
+        let flat: Vec<Fr> = network
+            .flat_params()
+            .iter()
+            .map(|&v| field_from_i64(v))
+            .collect();
+        let commitment = MerkleTree::from_field_elems(&flat).root();
+        // Compile the circuit once from a reference input (structure is
+        // input-independent).
+        let probe = crate::network::synthetic_image(0, &network.input_shape);
+        let trace = network.forward(&probe);
+        let compiled = compile_inference::<Fr>(&network, &probe, &trace);
+        Self {
+            network,
+            r1cs: Arc::new(compiled.r1cs),
+            params,
+            commitment,
+        }
+    }
+
+    /// The published model commitment (sent to customers in preprocessing).
+    pub fn model_commitment(&self) -> Digest {
+        self.commitment
+    }
+
+    /// The compiled circuit (shape statistics, verification).
+    pub fn r1cs(&self) -> &Arc<R1cs<Fr>> {
+        &self.r1cs
+    }
+
+    /// The network description.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Plain prediction without proving (the traditional MLaaS path).
+    pub fn predict(&self, image: &Tensor) -> Vec<i64> {
+        self.network.forward(image).output().data().to_vec()
+    }
+
+    /// Answers a stream of customer images: predicts each and generates the
+    /// proofs in batch through the pipelined system on `gpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or has wrong shapes.
+    pub fn serve_batch(
+        &self,
+        gpu: &mut Gpu,
+        images: &[Tensor],
+        total_threads: u32,
+    ) -> ServiceRun {
+        assert!(!images.is_empty(), "need at least one request");
+        let mut logits_list = Vec::with_capacity(images.len());
+        let mut instances = Vec::with_capacity(images.len());
+        for image in images {
+            let trace = self.network.forward(image);
+            logits_list.push(trace.output().data().to_vec());
+            let compiled = compile_inference::<Fr>(&self.network, image, &trace);
+            instances.push((compiled.inputs, compiled.witness));
+        }
+        let run = prove_batch(
+            gpu,
+            Arc::clone(&self.r1cs),
+            self.params,
+            instances,
+            total_threads,
+            true,
+        );
+        let predictions = run
+            .proofs
+            .into_iter()
+            .zip(logits_list)
+            .map(|((public_inputs, proof), logits)| VerifiedPrediction {
+                logits,
+                public_inputs,
+                proof,
+            })
+            .collect();
+        ServiceRun {
+            predictions,
+            stats: run.stats,
+        }
+    }
+
+    /// Customer-side verification of one answered request.
+    pub fn verify_prediction(&self, prediction: &VerifiedPrediction) -> bool {
+        // The trailing public inputs are the logits; check they match the
+        // claimed prediction, then verify the proof.
+        let n = prediction.logits.len();
+        if prediction.public_inputs.len() < n {
+            return false;
+        }
+        let tail = &prediction.public_inputs[prediction.public_inputs.len() - n..];
+        let logits_ok = tail
+            .iter()
+            .zip(&prediction.logits)
+            .all(|(f, &v)| *f == field_from_i64::<Fr>(v));
+        logits_ok
+            && verify(
+                &self.params,
+                &self.r1cs,
+                &prediction.public_inputs,
+                &prediction.proof,
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{synthetic_image, tiny_cnn};
+    use batchzk_gpu_sim::DeviceProfile;
+
+    fn service() -> MlService {
+        MlService::new(
+            tiny_cnn(),
+            PcsParams {
+                num_col_tests: 12,
+                ..PcsParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_predictions_verify() {
+        let svc = service();
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| synthetic_image(10 + i, &svc.network().input_shape))
+            .collect();
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let run = svc.serve_batch(&mut gpu, &images, 4096);
+        assert_eq!(run.predictions.len(), 3);
+        for (pred, image) in run.predictions.iter().zip(&images) {
+            assert!(svc.verify_prediction(pred));
+            assert_eq!(pred.logits, svc.predict(image));
+        }
+        assert!(run.stats.throughput_per_ms > 0.0);
+    }
+
+    #[test]
+    fn tampered_prediction_rejected() {
+        let svc = service();
+        let images = vec![synthetic_image(20, &svc.network().input_shape)];
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut run = svc.serve_batch(&mut gpu, &images, 2048);
+        let pred = &mut run.predictions[0];
+        pred.logits[0] += 1;
+        assert!(!svc.verify_prediction(pred));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let svc = service();
+        let images = vec![synthetic_image(21, &svc.network().input_shape)];
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut run = svc.serve_batch(&mut gpu, &images, 2048);
+        let pred = &mut run.predictions[0];
+        pred.proof.va += <batchzk_field::Fr as batchzk_field::Field>::ONE;
+        assert!(!svc.verify_prediction(pred));
+    }
+
+    #[test]
+    fn model_commitment_is_stable_and_binding() {
+        let a = service().model_commitment();
+        let b = service().model_commitment();
+        assert_eq!(a, b);
+        // A different model commits differently.
+        let mut other_net = tiny_cnn();
+        if let crate::network::Layer::Conv3x3 { weights, .. } = &mut other_net.layers[0] {
+            weights[0] += 1;
+        }
+        let other = MlService::new(other_net, PcsParams::default());
+        assert_ne!(a, other.model_commitment());
+    }
+}

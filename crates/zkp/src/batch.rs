@@ -1,0 +1,557 @@
+//! The fully pipelined batch proof-generation system (§4, Figure 7).
+//!
+//! Proof tasks stream through four module stages, each a dedicated kernel
+//! group on the simulated GPU:
+//!
+//! 1. **encoder** — assemble `z`, arrange the witness matrix, encode every
+//!    row with the linear-time encoder (dynamic loading: the prover's input
+//!    for one proof arrives per cycle);
+//! 2. **merkle** — hash codeword columns into leaves and build the
+//!    commitment tree, yielding the final root;
+//! 3. **sum-check** — derive randomness from the root (Fiat–Shamir / PRG),
+//!    run both sum-checks over the intermediate tables loaded from host
+//!    memory each cycle;
+//! 4. **assemble** — compute the PCS opening and emit the finished proof
+//!    (pushed out of the pipeline, freeing its slot).
+//!
+//! Thread allocation across modules follows the paper's measured-ratio rule
+//! (§4): weights are the per-module work in cycles under the device cost
+//! model, normalized over the configured thread budget.
+
+use std::sync::Arc;
+
+use batchzk_field::Field;
+use batchzk_gpu_sim::{Gpu, Work};
+use batchzk_hash::Transcript;
+use batchzk_pipeline::{PipeStage, Pipeline, RunStats, StageWork, allocate_threads};
+
+use crate::pcs::{self, EncodedRows, PcsCommitment, PcsParams, PcsProverData};
+use crate::r1cs::R1cs;
+use crate::spartan::{self, Proof, SumcheckPart};
+
+/// A proof-generation task moving through the Figure 7 pipeline.
+pub struct BatchTask<F: Field> {
+    inputs: Vec<F>,
+    witness: Vec<F>,
+    z: Vec<F>,
+    encoded: Option<EncodedRows<F>>,
+    pcs_data: Option<PcsProverData<F>>,
+    commitment: Option<PcsCommitment>,
+    transcript: Option<Transcript>,
+    sumcheck_part: Option<SumcheckPart<F>>,
+    proof: Option<Proof<F>>,
+}
+
+impl<F: Field> BatchTask<F> {
+    fn new(inputs: Vec<F>, witness: Vec<F>) -> Self {
+        Self {
+            inputs,
+            witness,
+            z: Vec::new(),
+            encoded: None,
+            pcs_data: None,
+            commitment: None,
+            transcript: None,
+            sumcheck_part: None,
+            proof: None,
+        }
+    }
+
+    /// The finished proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task has not completed the pipeline.
+    pub fn into_proof(self) -> Proof<F> {
+        self.proof.expect("task has not completed the pipeline")
+    }
+
+    /// The public inputs this task proves against.
+    pub fn inputs(&self) -> &[F] {
+        &self.inputs
+    }
+}
+
+struct EncodeStage<F: Field> {
+    r1cs: Arc<R1cs<F>>,
+    params: PcsParams,
+    threads: u32,
+    spmv_cost: u64,
+}
+
+impl<F: Field> PipeStage<BatchTask<F>> for EncodeStage<F> {
+    fn name(&self) -> String {
+        "system-encoder".into()
+    }
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+    fn process(&self, task: &mut BatchTask<F>) -> StageWork {
+        task.z = self.r1cs.assemble_z(&task.inputs, &task.witness);
+        let w_half = &task.z[self.r1cs.half_len()..];
+        let encoded = pcs::commit_encode(&self.params, w_half);
+        let nnz = encoded.encode_nnz() as u64;
+        let encoded_bytes =
+            (encoded.n_rows() * encoded.codeword_len() * 32) as u64;
+        task.encoded = Some(encoded);
+        StageWork {
+            work: Work::Uniform {
+                units: nnz.max(1),
+                cycles_per_unit: self.spmv_cost,
+            },
+            // Dynamic loading: this proof's prover input arrives now.
+            h2d_bytes: (task.witness.len() * 32) as u64,
+            d2h_bytes: 0,
+            mem_after: encoded_bytes,
+        }
+    }
+}
+
+struct MerkleStage {
+    threads: u32,
+    column_cost: u64,
+}
+
+impl<F: Field> PipeStage<BatchTask<F>> for MerkleStage {
+    fn name(&self) -> String {
+        "system-merkle".into()
+    }
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+    fn process(&self, task: &mut BatchTask<F>) -> StageWork {
+        let encoded = task.encoded.take().expect("encoder stage ran");
+        let columns = encoded.codeword_len() as u64;
+        let encoded_bytes = (encoded.n_rows() * encoded.codeword_len() * 32) as u64;
+        let (commitment, data) = pcs::commit_merkle(encoded);
+        task.commitment = Some(commitment);
+        task.pcs_data = Some(data);
+        StageWork {
+            work: Work::Uniform {
+                units: columns.max(1),
+                cycles_per_unit: self.column_cost,
+            },
+            h2d_bytes: 0,
+            // Intermediate tree layers stream back to host (§3.1); the
+            // encoded matrix stays resident for the opening stage.
+            d2h_bytes: columns * 32,
+            mem_after: encoded_bytes + columns * 64,
+        }
+    }
+}
+
+struct SumcheckStage<F: Field> {
+    r1cs: Arc<R1cs<F>>,
+    threads: u32,
+    pair_cost: u64,
+}
+
+impl<F: Field> PipeStage<BatchTask<F>> for SumcheckStage<F> {
+    fn name(&self) -> String {
+        "system-sumcheck".into()
+    }
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+    fn process(&self, task: &mut BatchTask<F>) -> StageWork {
+        // Randomness seeded by the final Merkle root via the transcript.
+        let mut transcript = Transcript::new(spartan::DOMAIN);
+        spartan::absorb_statement(&mut transcript, &self.r1cs, &task.inputs);
+        let commitment = task.commitment.as_ref().expect("merkle stage ran");
+        transcript.absorb_digest(b"w-commitment", &commitment.root);
+        let part = spartan::run_sumchecks(&self.r1cs, &task.z, &mut transcript);
+        task.sumcheck_part = Some(part);
+        task.transcript = Some(transcript);
+
+        let m = self.r1cs.padded_constraints() as u64;
+        let n = self.r1cs.z_len() as u64;
+        // Sum-check #1 folds four tables of 2m pairs total; #2 two tables
+        // of 2n pairs.
+        let units = 4 * 2 * m + 2 * 2 * n;
+        let table_bytes = (3 * m + n) * 32;
+        let encoded = task.pcs_data.as_ref().expect("merkle stage ran");
+        let resident = (encoded.n_rows() * encoded.codeword_len() * 32) as u64;
+        StageWork {
+            work: Work::Uniform {
+                units,
+                cycles_per_unit: self.pair_cost,
+            },
+            // "The sum-check modules are required to load data from host
+            // memory in each cycle" — the Az/Bz/Cz and z tables.
+            h2d_bytes: table_bytes,
+            d2h_bytes: 0,
+            mem_after: resident + 2 * (3 * m + n) * 32 / 3,
+        }
+    }
+}
+
+struct OpenStage {
+    params: PcsParams,
+    threads: u32,
+    term_cost: u64,
+}
+
+impl<F: Field> PipeStage<BatchTask<F>> for OpenStage {
+    fn name(&self) -> String {
+        "system-assemble".into()
+    }
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+    fn process(&self, task: &mut BatchTask<F>) -> StageWork {
+        let data = task.pcs_data.take().expect("merkle stage ran");
+        let mut transcript = task.transcript.take().expect("sum-check stage ran");
+        let part = task.sumcheck_part.take().expect("sum-check stage ran");
+        let y_prime = &part.point_y[..part.point_y.len() - 1];
+        let (w_eval, opening) = pcs::open(&self.params, &data, y_prime, &mut transcript);
+        let commitment = task.commitment.take().expect("merkle stage ran");
+        let proof = Proof {
+            commitment,
+            sc1: part.sc1,
+            va: part.va,
+            vb: part.vb,
+            vc: part.vc,
+            sc2: part.sc2,
+            w_eval,
+            opening,
+        };
+        let proof_bytes = proof.size_bytes() as u64;
+        let units = (2 * data.n_rows() as u64)
+            * (proof.opening.combined_row.len() as u64);
+        task.proof = Some(proof);
+        StageWork {
+            work: Work::Uniform {
+                units: units.max(1),
+                cycles_per_unit: self.term_cost,
+            },
+            h2d_bytes: 0,
+            // The finished proof leaves the device.
+            d2h_bytes: proof_bytes,
+            mem_after: 0,
+        }
+    }
+}
+
+/// Result of a batch proving run.
+pub struct BatchRun<F: Field> {
+    /// Finished proofs paired with their public inputs, in input order.
+    pub proofs: Vec<(Vec<F>, Proof<F>)>,
+    /// Timing statistics.
+    pub stats: RunStats,
+}
+
+/// Computes the module work weights for thread allocation — the analogue of
+/// the paper's measured 35 : 12 : 113 amortized-time ratio, derived here
+/// from the cost model so the allocation tracks the simulated device.
+pub fn module_weights<F: Field>(
+    gpu: &Gpu,
+    r1cs: &R1cs<F>,
+    params: &PcsParams,
+) -> [u64; 4] {
+    let cost = gpu.cost();
+    let half = r1cs.half_len();
+    let k = half.trailing_zeros() as usize;
+    let (n_rows, n_cols) = pcs::matrix_shape(k);
+    let encoder =
+        batchzk_encoder::Encoder::<F>::new(n_cols, params.encoder, params.seed);
+    let codeword_len = encoder.codeword_len() as u64;
+    let w_encode = (encoder.total_nnz() as u64 * n_rows as u64) * cost.spmv_term();
+    let w_merkle =
+        codeword_len * ((n_rows as u64).div_ceil(2) * cost.sha256_compress + cost.merkle_node());
+    let m = r1cs.padded_constraints() as u64;
+    let n = r1cs.z_len() as u64;
+    let w_sumcheck = (8 * m + 4 * n) * (cost.sumcheck_pair() + cost.shared_access);
+    let w_open = 2 * n_rows as u64 * n_cols as u64 * (cost.field_mul + cost.global_access);
+    [
+        w_encode.max(1),
+        w_merkle.max(1),
+        w_sumcheck.max(1),
+        w_open.max(1),
+    ]
+}
+
+/// Proves a batch of `(inputs, witness)` instances of one circuit through
+/// the fully pipelined system.
+///
+/// # Panics
+///
+/// Panics if `instances` is empty or any assignment is unsatisfying.
+pub fn prove_batch<F: Field>(
+    gpu: &mut Gpu,
+    r1cs: Arc<R1cs<F>>,
+    params: PcsParams,
+    instances: Vec<(Vec<F>, Vec<F>)>,
+    total_threads: u32,
+    multi_stream: bool,
+) -> BatchRun<F> {
+    assert!(!instances.is_empty(), "need at least one instance");
+    let weights = module_weights(gpu, &r1cs, &params);
+    let threads = allocate_threads(total_threads, &weights);
+    let cost = *gpu.cost();
+    let half = r1cs.half_len();
+    let (n_rows, _) = pcs::matrix_shape(half.trailing_zeros() as usize);
+
+    let stages: Vec<Box<dyn PipeStage<BatchTask<F>>>> = vec![
+        Box::new(EncodeStage {
+            r1cs: Arc::clone(&r1cs),
+            params,
+            threads: threads[0],
+            spmv_cost: cost.spmv_term(),
+        }),
+        Box::new(MerkleStage {
+            threads: threads[1],
+            column_cost: (n_rows as u64).div_ceil(2) * cost.sha256_compress
+                + cost.merkle_node(),
+        }),
+        Box::new(SumcheckStage {
+            r1cs: Arc::clone(&r1cs),
+            threads: threads[2],
+            pair_cost: cost.sumcheck_pair() + cost.shared_access,
+        }),
+        Box::new(OpenStage {
+            params,
+            threads: threads[3],
+            term_cost: cost.field_mul + cost.global_access,
+        }),
+    ];
+
+    let tasks: Vec<BatchTask<F>> = instances
+        .into_iter()
+        .map(|(inputs, witness)| BatchTask::new(inputs, witness))
+        .collect();
+    let run = Pipeline::new(gpu, stages, multi_stream).run(tasks);
+    let proofs = run
+        .outputs
+        .into_iter()
+        .map(|t| (t.inputs.clone(), t.proof.expect("completed")))
+        .collect();
+    BatchRun {
+        proofs,
+        stats: run.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r1cs::synthetic_r1cs;
+    use crate::spartan::verify;
+    use batchzk_field::Fr;
+    use batchzk_gpu_sim::DeviceProfile;
+
+    fn test_params() -> PcsParams {
+        PcsParams {
+            num_col_tests: 12,
+            ..PcsParams::default()
+        }
+    }
+
+    /// Builds `count` satisfying instances of one synthetic circuit.
+    fn instances(s: usize, count: usize) -> (Arc<R1cs<Fr>>, Vec<(Vec<Fr>, Vec<Fr>)>) {
+        // Re-deriving witnesses for a shared circuit: rerun the generator
+        // with the same seed (same topology) and vary only the initial
+        // witness value by scaling — multiplication chains stay valid under
+        // scaling only for specific structures, so instead we reuse the same
+        // witness for each slot; the system's per-task work is identical.
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(s, 42);
+        let batch = (0..count)
+            .map(|_| (inputs.clone(), witness.clone()))
+            .collect();
+        (Arc::new(r1cs), batch)
+    }
+
+    #[test]
+    fn batch_proofs_all_verify() {
+        let (r1cs, batch) = instances(24, 6);
+        let params = test_params();
+        let mut gpu = Gpu::new(DeviceProfile::gh200());
+        let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch, 4096, true);
+        assert_eq!(run.proofs.len(), 6);
+        for (inputs, proof) in &run.proofs {
+            assert!(verify(&params, &r1cs, inputs, proof));
+        }
+    }
+
+    #[test]
+    fn batch_proof_equals_single_shot_proof() {
+        // The pipeline must produce byte-identical proofs to the plain
+        // prover (same transcript, same randomness).
+        let (r1cs, batch) = instances(16, 2);
+        let params = test_params();
+        let reference =
+            spartan::prove(&params, &r1cs, &batch[0].0, &batch[0].1);
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch, 2048, true);
+        assert_eq!(run.proofs[0].1, reference);
+        assert_eq!(run.proofs[1].1, reference);
+    }
+
+    #[test]
+    fn throughput_improves_with_batch_size() {
+        let params = test_params();
+        let (r1cs, one) = instances(16, 1);
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let single = prove_batch(&mut gpu, Arc::clone(&r1cs), params, one, 2048, true).stats;
+        let (_, many) = instances(16, 12);
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let batched = prove_batch(&mut gpu, r1cs, params, many, 2048, true).stats;
+        assert!(batched.throughput_per_ms > 1.5 * single.throughput_per_ms);
+    }
+
+    #[test]
+    fn multi_stream_overlap_helps() {
+        let params = test_params();
+        let (r1cs, batch) = instances(24, 8);
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let overlapped =
+            prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch.clone(), 2048, true).stats;
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let serial = prove_batch(&mut gpu, r1cs, params, batch, 2048, false).stats;
+        assert!(overlapped.total_cycles <= serial.total_cycles);
+    }
+
+    #[test]
+    fn device_memory_released() {
+        let params = test_params();
+        let (r1cs, batch) = instances(16, 4);
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let _ = prove_batch(&mut gpu, r1cs, params, batch, 1024, true);
+        assert_eq!(gpu.memory_ref().in_use(), 0);
+    }
+
+    #[test]
+    fn module_weights_are_positive_and_sumcheck_heavy() {
+        let (r1cs, _) = instances(64, 1);
+        let gpu = Gpu::new(DeviceProfile::v100());
+        let w = module_weights(&gpu, &r1cs, &test_params());
+        assert!(w.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn faster_gpu_higher_throughput() {
+        let params = test_params();
+        let (r1cs, batch) = instances(16, 6);
+        let mut v100 = Gpu::new(DeviceProfile::v100());
+        let slow =
+            prove_batch(&mut v100, Arc::clone(&r1cs), params, batch.clone(), 4096, true).stats;
+        let mut h100 = Gpu::new(DeviceProfile::h100());
+        let fast = prove_batch(&mut h100, r1cs, params, batch, 4096, true).stats;
+        assert!(fast.throughput_per_ms > slow.throughput_per_ms);
+    }
+}
+
+/// Continuous batch proving (§4, "the execution of our system at full
+/// workload"): proof tasks flow in as they arrive, the pipeline stays
+/// resident on one device, and the simulation clock accumulates across
+/// chunks — the MLaaS/zkBridge deployment shape where "customer inputs come
+/// in like a flowing stream".
+pub struct StreamingProver<F: Field> {
+    gpu: Gpu,
+    r1cs: Arc<R1cs<F>>,
+    params: PcsParams,
+    total_threads: u32,
+    proofs_emitted: usize,
+}
+
+impl<F: Field> StreamingProver<F> {
+    /// Creates a resident prover on the given device.
+    pub fn new(
+        gpu: Gpu,
+        r1cs: Arc<R1cs<F>>,
+        params: PcsParams,
+        total_threads: u32,
+    ) -> Self {
+        Self {
+            gpu,
+            r1cs,
+            params,
+            total_threads,
+            proofs_emitted: 0,
+        }
+    }
+
+    /// Proves one arriving chunk of instances, returning the finished
+    /// proofs. Device time accumulates across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or any assignment is unsatisfying.
+    pub fn prove_chunk(
+        &mut self,
+        instances: Vec<(Vec<F>, Vec<F>)>,
+    ) -> Vec<(Vec<F>, Proof<F>)> {
+        let run = prove_batch(
+            &mut self.gpu,
+            Arc::clone(&self.r1cs),
+            self.params,
+            instances,
+            self.total_threads,
+            true,
+        );
+        self.proofs_emitted += run.proofs.len();
+        run.proofs
+    }
+
+    /// Total proofs emitted since construction.
+    pub fn proofs_emitted(&self) -> usize {
+        self.proofs_emitted
+    }
+
+    /// Lifetime throughput in proofs per second of simulated device time.
+    pub fn lifetime_throughput_per_sec(&self) -> f64 {
+        let secs = self.gpu.elapsed_seconds();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.proofs_emitted as f64 / secs
+        }
+    }
+
+    /// Borrow of the underlying device (stats, traces, memory accounting).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Shuts the prover down, returning the device.
+    pub fn into_gpu(self) -> Gpu {
+        self.gpu
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::r1cs::synthetic_r1cs;
+    use crate::spartan::verify;
+    use batchzk_field::Fr;
+    use batchzk_gpu_sim::DeviceProfile;
+
+    #[test]
+    fn stream_of_chunks_accumulates() {
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(16, 42);
+        let r1cs = Arc::new(r1cs);
+        let params = PcsParams {
+            num_col_tests: 8,
+            ..PcsParams::default()
+        };
+        let mut prover = StreamingProver::new(
+            Gpu::new(DeviceProfile::gh200()),
+            Arc::clone(&r1cs),
+            params,
+            2048,
+        );
+        for chunk in 0..3 {
+            let proofs =
+                prover.prove_chunk(vec![(inputs.clone(), witness.clone()); 2 + chunk]);
+            for (io, proof) in &proofs {
+                assert!(verify(&params, &r1cs, io, proof));
+            }
+        }
+        assert_eq!(prover.proofs_emitted(), 2 + 3 + 4);
+        assert!(prover.lifetime_throughput_per_sec() > 0.0);
+        // Device memory fully released between chunks.
+        assert_eq!(prover.gpu().memory_ref().in_use(), 0);
+        let gpu = prover.into_gpu();
+        assert!(gpu.elapsed_cycles() > 0);
+    }
+}

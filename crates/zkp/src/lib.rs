@@ -1,0 +1,90 @@
+//! # batchzk-zkp
+//!
+//! The complete zero-knowledge-proof system of the BatchZK reproduction:
+//! R1CS circuits, the Brakedown/Orion linear-code polynomial commitment
+//! (encoder + Merkle tree), the Spartan-style two-sum-check SNARK, and the
+//! fully pipelined batch prover of the paper's Figure 7.
+//!
+//! # Examples
+//!
+//! ```
+//! use batchzk_zkp::{PcsParams, prove, verify};
+//! use batchzk_zkp::r1cs::synthetic_r1cs;
+//! use batchzk_field::Fr;
+//!
+//! let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(16, 7);
+//! let params = PcsParams { num_col_tests: 16, ..PcsParams::default() };
+//! let proof = prove(&params, &r1cs, &inputs, &witness);
+//! assert!(verify(&params, &r1cs, &inputs, &proof));
+//! ```
+
+pub mod batch;
+pub mod pcs;
+pub mod r1cs;
+pub mod spartan;
+
+pub use batch::{BatchRun, StreamingProver, prove_batch};
+pub use pcs::{PcsCommitment, PcsOpening, PcsParams};
+pub use r1cs::{R1cs, R1csBuilder, Var};
+pub use spartan::{Proof, prove, prove_with_artifacts, verify};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use batchzk_field::{Field, Fr};
+    use proptest::prelude::*;
+    use r1cs::{R1csBuilder, Var};
+
+    fn params() -> PcsParams {
+        PcsParams {
+            num_col_tests: 8,
+            ..PcsParams::default()
+        }
+    }
+
+    /// Random multiplication-chain circuits with random witnesses.
+    fn arb_instance() -> impl Strategy<Value = (R1cs<Fr>, Vec<Fr>, Vec<Fr>)> {
+        (2usize..24, any::<u64>()).prop_map(|(s, seed)| r1cs::synthetic_r1cs(s, seed))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prove_verify_roundtrip((r1cs, inputs, witness) in arb_instance()) {
+            let proof = prove(&params(), &r1cs, &inputs, &witness);
+            prop_assert!(verify(&params(), &r1cs, &inputs, &proof));
+        }
+
+        #[test]
+        fn wrong_public_input_rejected(
+            (r1cs, inputs, witness) in arb_instance(),
+            delta in 1u64..1000,
+        ) {
+            let proof = prove(&params(), &r1cs, &inputs, &witness);
+            let mut bad = inputs.clone();
+            bad[0] += Fr::from(delta);
+            prop_assert!(!verify(&params(), &r1cs, &bad, &proof));
+        }
+
+        #[test]
+        fn square_circuit_family(w in 2u64..100_000) {
+            // w^2 = x for arbitrary w.
+            let mut b = R1csBuilder::<Fr>::new();
+            let x = b.new_input();
+            let wit = b.new_witness();
+            b.enforce(
+                vec![(Var::Witness(wit), Fr::ONE)],
+                vec![(Var::Witness(wit), Fr::ONE)],
+                vec![(Var::Input(x), Fr::ONE)],
+            );
+            let r1cs = b.build();
+            let input = Fr::from(w) * Fr::from(w);
+            let proof = prove(&params(), &r1cs, &[input], &[Fr::from(w)]);
+            prop_assert!(verify(&params(), &r1cs, &[input], &proof));
+            // And -w is the other valid witness; w+1 is not.
+            prop_assert!(r1cs.is_satisfied(&r1cs.assemble_z(&[input], &[-Fr::from(w)])));
+            prop_assert!(!r1cs.is_satisfied(&r1cs.assemble_z(&[input], &[Fr::from(w + 1)])));
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Rank-1 constraint systems: the circuit representation the full ZKP
+//! system proves (the paper's "circuit compiled from the function to be
+//! proved", with `S` multiplication gates ⇒ `S` constraints in Table 7).
+//!
+//! The assignment vector is laid out Spartan-style in two power-of-two
+//! halves: `z = (io ‖ w)` where `io = (1, x, 0, ...)` is public and `w` is
+//! the committed witness. The multilinear extension then splits on the top
+//! variable: `z̃(y, y_top) = (1-y_top)·ĩo(y) + y_top·w̃(y)`, which lets the
+//! verifier evaluate the public half itself while the PCS opens only `w̃`.
+
+use batchzk_field::Field;
+use batchzk_sumcheck::MultilinearPoly;
+
+/// A sparse matrix stored as `(row, col, value)` triplets.
+#[derive(Debug, Clone)]
+pub struct SparseTriplets<F> {
+    entries: Vec<(usize, usize, F)>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<F: Field> SparseTriplets<F> {
+    /// Creates a triplet matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn new(rows: usize, cols: usize, entries: Vec<(usize, usize, F)>) -> Self {
+        for &(r, c, _) in &entries {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+        }
+        Self {
+            entries,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The triplets.
+    pub fn entries(&self) -> &[(usize, usize, F)] {
+        &self.entries
+    }
+
+    /// Computes `M · z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != self.cols()`.
+    pub fn mul_vec(&self, z: &[F]) -> Vec<F> {
+        assert_eq!(z.len(), self.cols, "assignment length mismatch");
+        let mut out = vec![F::ZERO; self.rows];
+        for &(r, c, v) in &self.entries {
+            out[r] += v * z[c];
+        }
+        out
+    }
+
+    /// Computes the row-bound combination `m(y) = Σ_x eq_x[x] · M(x, y)` as
+    /// a dense vector over columns (the polynomial of Spartan's second
+    /// sum-check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eq_x.len() < self.rows()`.
+    pub fn bind_rows(&self, eq_x: &[F]) -> Vec<F> {
+        assert!(eq_x.len() >= self.rows, "eq table too small");
+        let mut out = vec![F::ZERO; self.cols];
+        for &(r, c, v) in &self.entries {
+            out[c] += v * eq_x[r];
+        }
+        out
+    }
+
+    /// Evaluates the matrix MLE `M̃(rx, ry)` in `O(nnz)` given precomputed
+    /// eq tables for the two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are smaller than the matrix dimensions.
+    pub fn mle_eval(&self, eq_rx: &[F], eq_ry: &[F]) -> F {
+        assert!(eq_rx.len() >= self.rows && eq_ry.len() >= self.cols);
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| v * eq_rx[r] * eq_ry[c])
+            .sum()
+    }
+}
+
+/// An R1CS instance: `(A·z) ∘ (B·z) = C·z` for `z = (io ‖ w)`.
+#[derive(Debug, Clone)]
+pub struct R1cs<F> {
+    /// Left matrix.
+    pub a: SparseTriplets<F>,
+    /// Right matrix.
+    pub b: SparseTriplets<F>,
+    /// Output matrix.
+    pub c: SparseTriplets<F>,
+    /// Number of constraints (unpadded).
+    num_constraints: usize,
+    /// Public input count (excluding the leading constant one).
+    num_inputs: usize,
+    /// Witness variable count.
+    num_witness: usize,
+    /// Length of each z half (power of two).
+    half_len: usize,
+}
+
+impl<F: Field> R1cs<F> {
+    /// Assembles an instance from its matrices and variable counts.
+    ///
+    /// The column space of the matrices must be `2 * half_len`, where
+    /// `half_len` is the padded size of each half.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions.
+    pub fn new(
+        a: SparseTriplets<F>,
+        b: SparseTriplets<F>,
+        c: SparseTriplets<F>,
+        num_constraints: usize,
+        num_inputs: usize,
+        num_witness: usize,
+        half_len: usize,
+    ) -> Self {
+        assert!(half_len.is_power_of_two(), "half length must be a power of two");
+        assert!(1 + num_inputs <= half_len, "io half overflow");
+        assert!(num_witness <= half_len, "witness half overflow");
+        let cols = 2 * half_len;
+        assert!(
+            a.cols() == cols && b.cols() == cols && c.cols() == cols,
+            "matrix column mismatch"
+        );
+        assert!(
+            a.rows() == num_constraints
+                && b.rows() == num_constraints
+                && c.rows() == num_constraints,
+            "matrix row mismatch"
+        );
+        Self {
+            a,
+            b,
+            c,
+            num_constraints,
+            num_inputs,
+            num_witness,
+            half_len,
+        }
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.num_constraints
+    }
+
+    /// Constraint count padded to a power of two.
+    pub fn padded_constraints(&self) -> usize {
+        self.num_constraints.next_power_of_two().max(2)
+    }
+
+    /// Number of public inputs (excluding the constant one).
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of witness variables.
+    pub fn num_witness(&self) -> usize {
+        self.num_witness
+    }
+
+    /// Length of each z half.
+    pub fn half_len(&self) -> usize {
+        self.half_len
+    }
+
+    /// Total assignment length `2 * half_len`.
+    pub fn z_len(&self) -> usize {
+        2 * self.half_len
+    }
+
+    /// Total non-zeros across the three matrices.
+    pub fn total_nnz(&self) -> usize {
+        self.a.nnz() + self.b.nnz() + self.c.nnz()
+    }
+
+    /// Builds the full assignment `z = (1, x, 0.. ‖ w, 0..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `witness` have the wrong length.
+    pub fn assemble_z(&self, inputs: &[F], witness: &[F]) -> Vec<F> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong public input count");
+        assert_eq!(witness.len(), self.num_witness, "wrong witness count");
+        let mut z = vec![F::ZERO; self.z_len()];
+        z[0] = F::ONE;
+        z[1..1 + inputs.len()].copy_from_slice(inputs);
+        z[self.half_len..self.half_len + witness.len()].copy_from_slice(witness);
+        z
+    }
+
+    /// The public half of z as a multilinear polynomial (verifier-side).
+    pub fn io_poly(&self, inputs: &[F]) -> MultilinearPoly<F> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong public input count");
+        let mut io = vec![F::ZERO; self.half_len];
+        io[0] = F::ONE;
+        io[1..1 + inputs.len()].copy_from_slice(inputs);
+        MultilinearPoly::new(io)
+    }
+
+    /// Checks satisfaction of every constraint.
+    pub fn is_satisfied(&self, z: &[F]) -> bool {
+        if z.len() != self.z_len() {
+            return false;
+        }
+        let az = self.a.mul_vec(z);
+        let bz = self.b.mul_vec(z);
+        let cz = self.c.mul_vec(z);
+        az.iter()
+            .zip(&bz)
+            .zip(&cz)
+            .all(|((a, b), c)| *a * *b == *c)
+    }
+}
+
+/// A linear combination of variables, as `(variable, coefficient)` pairs.
+pub type Lc<F> = Vec<(Var, F)>;
+
+/// A variable reference in the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Var {
+    /// The constant 1.
+    One,
+    /// Public input `i` (0-based).
+    Input(usize),
+    /// Witness variable `i` (0-based).
+    Witness(usize),
+}
+
+/// Incremental R1CS construction.
+///
+/// # Examples
+///
+/// ```
+/// use batchzk_zkp::r1cs::{R1csBuilder, Var};
+/// use batchzk_field::{Field, Fr};
+///
+/// // Prove knowledge of w with w * w = x.
+/// let mut b = R1csBuilder::<Fr>::new();
+/// let x = b.new_input();
+/// let w = b.new_witness();
+/// b.enforce(
+///     vec![(Var::Witness(w), Fr::ONE)],
+///     vec![(Var::Witness(w), Fr::ONE)],
+///     vec![(Var::Input(x), Fr::ONE)],
+/// );
+/// let r1cs = b.build();
+/// let z = r1cs.assemble_z(&[Fr::from(9u64)], &[Fr::from(3u64)]);
+/// assert!(r1cs.is_satisfied(&z));
+/// ```
+#[derive(Debug, Clone)]
+pub struct R1csBuilder<F> {
+    constraints: Vec<(Lc<F>, Lc<F>, Lc<F>)>,
+    num_inputs: usize,
+    num_witness: usize,
+}
+
+impl<F: Field> Default for R1csBuilder<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Field> R1csBuilder<F> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            constraints: Vec::new(),
+            num_inputs: 0,
+            num_witness: 0,
+        }
+    }
+
+    /// Allocates a public input, returning its index.
+    pub fn new_input(&mut self) -> usize {
+        self.num_inputs += 1;
+        self.num_inputs - 1
+    }
+
+    /// Allocates a witness variable, returning its index.
+    pub fn new_witness(&mut self) -> usize {
+        self.num_witness += 1;
+        self.num_witness - 1
+    }
+
+    /// Adds the constraint `⟨a, z⟩ · ⟨b, z⟩ = ⟨c, z⟩`.
+    pub fn enforce(&mut self, a: Lc<F>, b: Lc<F>, c: Lc<F>) {
+        self.constraints.push((a, b, c));
+    }
+
+    /// Number of constraints so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Finalizes the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no constraints were added.
+    pub fn build(self) -> R1cs<F> {
+        assert!(!self.constraints.is_empty(), "empty constraint system");
+        let half_len = (1 + self.num_inputs)
+            .max(self.num_witness)
+            .next_power_of_two()
+            .max(2);
+        let col = |var: Var| match var {
+            Var::One => 0,
+            Var::Input(i) => {
+                assert!(i < self.num_inputs, "unallocated input {i}");
+                1 + i
+            }
+            Var::Witness(i) => {
+                assert!(i < self.num_witness, "unallocated witness {i}");
+                half_len + i
+            }
+        };
+        let rows = self.constraints.len();
+        let cols = 2 * half_len;
+        let mut ta = Vec::new();
+        let mut tb = Vec::new();
+        let mut tc = Vec::new();
+        for (r, (a, b, c)) in self.constraints.into_iter().enumerate() {
+            for (v, coeff) in a {
+                ta.push((r, col(v), coeff));
+            }
+            for (v, coeff) in b {
+                tb.push((r, col(v), coeff));
+            }
+            for (v, coeff) in c {
+                tc.push((r, col(v), coeff));
+            }
+        }
+        R1cs::new(
+            SparseTriplets::new(rows, cols, ta),
+            SparseTriplets::new(rows, cols, tb),
+            SparseTriplets::new(rows, cols, tc),
+            rows,
+            self.num_inputs,
+            self.num_witness,
+            half_len,
+        )
+    }
+}
+
+/// Generates a satisfiable synthetic instance with `s` multiplication
+/// constraints — the workload shape of Table 7 ("circuits with S
+/// multiplication gates").
+///
+/// The circuit chains multiplications `w_{i+1} = w_i · w_{g(i)}` with a
+/// final public output, giving matrices of ~1 non-zero per row per matrix
+/// (the sparsity regime real circuits have).
+pub fn synthetic_r1cs<F: Field>(s: usize, seed: u64) -> (R1cs<F>, Vec<F>, Vec<F>) {
+    use rand::{Rng, SeedableRng, rngs::StdRng};
+    assert!(s >= 2, "need at least two constraints");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = R1csBuilder::<F>::new();
+    let x = builder.new_input();
+
+    // Witness values computed alongside the constraints.
+    let mut w_vals: Vec<F> = vec![F::random(&mut rng)];
+    let w0 = builder.new_witness();
+    debug_assert_eq!(w0, 0);
+    for i in 1..s {
+        let j = rng.gen_range(0..w_vals.len());
+        let wi = builder.new_witness();
+        let val = w_vals[i - 1] * w_vals[j];
+        builder.enforce(
+            vec![(Var::Witness(i - 1), F::ONE)],
+            vec![(Var::Witness(j), F::ONE)],
+            vec![(Var::Witness(wi), F::ONE)],
+        );
+        w_vals.push(val);
+    }
+    // Expose the last value as the public input: w_last * 1 = x.
+    let last = w_vals.len() - 1;
+    builder.enforce(
+        vec![(Var::Witness(last), F::ONE)],
+        vec![(Var::One, F::ONE)],
+        vec![(Var::Input(x), F::ONE)],
+    );
+    let inputs = vec![w_vals[last]];
+    let r1cs = builder.build();
+    (r1cs, inputs, w_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchzk_field::Fr;
+    use batchzk_sumcheck::eq_table;
+    use rand::{SeedableRng, rngs::StdRng};
+
+    fn square_instance() -> (R1cs<Fr>, Vec<Fr>, Vec<Fr>) {
+        // w*w = x
+        let mut b = R1csBuilder::<Fr>::new();
+        let x = b.new_input();
+        let w = b.new_witness();
+        b.enforce(
+            vec![(Var::Witness(w), Fr::ONE)],
+            vec![(Var::Witness(w), Fr::ONE)],
+            vec![(Var::Input(x), Fr::ONE)],
+        );
+        (b.build(), vec![Fr::from(49u64)], vec![Fr::from(7u64)])
+    }
+
+    #[test]
+    fn satisfaction() {
+        let (r1cs, inputs, witness) = square_instance();
+        let z = r1cs.assemble_z(&inputs, &witness);
+        assert!(r1cs.is_satisfied(&z));
+        // Wrong witness fails.
+        let bad = r1cs.assemble_z(&inputs, &[Fr::from(8u64)]);
+        assert!(!r1cs.is_satisfied(&bad));
+        // Wrong input fails.
+        let bad = r1cs.assemble_z(&[Fr::from(50u64)], &witness);
+        assert!(!r1cs.is_satisfied(&bad));
+    }
+
+    #[test]
+    fn synthetic_instances_satisfy() {
+        for s in [2usize, 5, 37, 200] {
+            let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(s, s as u64);
+            let z = r1cs.assemble_z(&inputs, &witness);
+            assert!(r1cs.is_satisfied(&z), "s={s}");
+            assert_eq!(r1cs.num_constraints(), s);
+        }
+    }
+
+    #[test]
+    fn synthetic_rejects_tampered_witness() {
+        let (r1cs, inputs, mut witness) = synthetic_r1cs::<Fr>(50, 1);
+        witness[25] += Fr::ONE;
+        let z = r1cs.assemble_z(&inputs, &witness);
+        assert!(!r1cs.is_satisfied(&z));
+    }
+
+    #[test]
+    fn bind_rows_matches_direct_computation() {
+        let (r1cs, _, _) = synthetic_r1cs::<Fr>(20, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let log_m = r1cs.padded_constraints().trailing_zeros() as usize;
+        let rx: Vec<Fr> = (0..log_m).map(|_| Fr::random(&mut rng)).collect();
+        let eq_rx = eq_table(&rx);
+        let bound = r1cs.a.bind_rows(&eq_rx);
+        // Check one random column against the triplet sum.
+        for col in [0usize, 1, r1cs.z_len() - 1] {
+            let direct: Fr = r1cs
+                .a
+                .entries()
+                .iter()
+                .filter(|&&(_, c, _)| c == col)
+                .map(|&(r, _, v)| v * eq_rx[r])
+                .sum();
+            assert_eq!(bound[col], direct);
+        }
+    }
+
+    #[test]
+    fn mle_eval_consistent_with_bind_rows() {
+        // M̃(rx, ry) must equal ⟨bind_rows(eq_rx), eq_ry⟩.
+        let (r1cs, _, _) = synthetic_r1cs::<Fr>(10, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let log_m = r1cs.padded_constraints().trailing_zeros() as usize;
+        let log_n = r1cs.z_len().trailing_zeros() as usize;
+        let rx: Vec<Fr> = (0..log_m).map(|_| Fr::random(&mut rng)).collect();
+        let ry: Vec<Fr> = (0..log_n).map(|_| Fr::random(&mut rng)).collect();
+        let eq_rx = eq_table(&rx);
+        let eq_ry = eq_table(&ry);
+        for m in [&r1cs.a, &r1cs.b, &r1cs.c] {
+            let via_bind: Fr = m
+                .bind_rows(&eq_rx)
+                .iter()
+                .zip(&eq_ry)
+                .map(|(a, b)| *a * *b)
+                .sum();
+            assert_eq!(m.mle_eval(&eq_rx, &eq_ry), via_bind);
+        }
+    }
+
+    #[test]
+    fn io_poly_matches_z_prefix() {
+        let (r1cs, inputs, witness) = square_instance();
+        let z = r1cs.assemble_z(&inputs, &witness);
+        let io = r1cs.io_poly(&inputs);
+        assert_eq!(io.evals(), &z[..r1cs.half_len()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong public input count")]
+    fn wrong_input_count_panics() {
+        let (r1cs, _, witness) = square_instance();
+        let _ = r1cs.assemble_z(&[], &witness);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_builder_panics() {
+        let _ = R1csBuilder::<Fr>::new().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn triplet_bounds_checked() {
+        let _ = SparseTriplets::new(2, 2, vec![(2, 0, Fr::ONE)]);
+    }
+}

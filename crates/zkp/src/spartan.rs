@@ -1,0 +1,425 @@
+//! The Spartan/Brakedown-style SNARK for R1CS — a complete member of the
+//! paper's "second category" of ZKP protocols (Figure 1): commit the witness
+//! with the linear-code PCS (encoder + Merkle tree), then prove constraint
+//! satisfaction with two sum-checks.
+//!
+//! * **Sum-check #1** (degree 3): `Σ_x eq(τ,x)·(Ãz(x)·B̃z(x) − C̃z(x)) = 0`
+//!   for a transcript-random `τ`, reducing satisfaction to evaluation claims
+//!   `va = Ãz(rx)`, `vb`, `vc`.
+//! * **Sum-check #2** (degree 2): a γ-batched claim
+//!   `Σ_y (γ_a Ã(rx,y) + γ_b B̃(rx,y) + γ_c C̃(rx,y)) · z̃(y)`,
+//!   reducing to one evaluation of `z̃`.
+//! * **PCS opening**: `z̃` splits on its top variable into the public `ĩo`
+//!   and the committed `w̃`; the PCS opens `w̃` at the bound point.
+//!
+//! The verifier evaluates the sparse-matrix MLEs directly in `O(nnz)`
+//! (Spartan's SPARK preprocessing is out of scope — documented in
+//! `DESIGN.md`; prover cost, the paper's measured quantity, is unaffected).
+
+use batchzk_field::Field;
+use batchzk_hash::Transcript;
+use batchzk_sumcheck::{
+    MultilinearPoly, SumcheckProof, eq_eval, eq_table, prove_cubic_eq, prove_quadratic,
+    verify_rounds,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::pcs::{self, PcsCommitment, PcsOpening, PcsParams, PcsProverData};
+use crate::r1cs::R1cs;
+
+/// Domain label binding every proof to this protocol version.
+pub(crate) const DOMAIN: &[u8] = b"batchzk-snark-v1";
+
+/// A complete proof.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Proof<F> {
+    /// Commitment to the witness polynomial `w̃`.
+    pub commitment: PcsCommitment,
+    /// Round polynomials of sum-check #1 (degree 3).
+    pub sc1: SumcheckProof<F>,
+    /// Claimed `Ãz(rx)`.
+    pub va: F,
+    /// Claimed `B̃z(rx)`.
+    pub vb: F,
+    /// Claimed `C̃z(rx)`.
+    pub vc: F,
+    /// Round polynomials of sum-check #2 (degree 2).
+    pub sc2: SumcheckProof<F>,
+    /// Claimed `w̃(ry')`.
+    pub w_eval: F,
+    /// PCS opening of `w̃` at `ry'`.
+    pub opening: PcsOpening<F>,
+}
+
+impl<F: Field> Proof<F> {
+    /// Approximate proof size in bytes (the "several MB" figure of §2.1
+    /// scales with circuit size through the PCS opening).
+    pub fn size_bytes(&self) -> usize {
+        let rounds = self.sc1.rounds.iter().chain(self.sc2.rounds.iter());
+        let sc_elems: usize = rounds.map(|r| r.len()).sum();
+        (sc_elems + 4) * 32 + self.opening.size_bytes() + 48
+    }
+}
+
+/// Intermediate per-instance artifacts, exposed so the batch pipeline can
+/// charge each module's work to the right kernel (Figure 7).
+pub struct ProverArtifacts<F> {
+    /// PCS data for the committed witness.
+    pub pcs_data: PcsProverData<F>,
+    /// The full assignment.
+    pub z: Vec<F>,
+}
+
+/// Proves that `(inputs, witness)` satisfies `r1cs`.
+///
+/// # Panics
+///
+/// Panics if the assignment does not satisfy the instance (an honest-prover
+/// API; producing proofs of false statements is not something we make
+/// convenient).
+pub fn prove<F: Field>(
+    params: &PcsParams,
+    r1cs: &R1cs<F>,
+    inputs: &[F],
+    witness: &[F],
+) -> Proof<F> {
+    prove_with_artifacts(params, r1cs, inputs, witness).0
+}
+
+/// [`prove`], additionally returning intermediate artifacts.
+///
+/// # Panics
+///
+/// Panics if the assignment does not satisfy the instance.
+pub fn prove_with_artifacts<F: Field>(
+    params: &PcsParams,
+    r1cs: &R1cs<F>,
+    inputs: &[F],
+    witness: &[F],
+) -> (Proof<F>, ProverArtifacts<F>) {
+    let z = r1cs.assemble_z(inputs, witness);
+    assert!(r1cs.is_satisfied(&z), "assignment does not satisfy the R1CS");
+
+    let mut transcript = Transcript::new(DOMAIN);
+    absorb_statement(&mut transcript, r1cs, inputs);
+
+    // Module 1+2 (encoder + Merkle): commit the witness half of z.
+    let w_half = &z[r1cs.half_len()..];
+    let (commitment, pcs_data) = pcs::commit(params, w_half);
+    transcript.absorb_digest(b"w-commitment", &commitment.root);
+
+    // Module 3 (sum-check).
+    let part = run_sumchecks(r1cs, &z, &mut transcript);
+
+    // Open w̃ at the bound point (all but the top variable of ry).
+    let y_prime = &part.point_y[..part.point_y.len() - 1];
+    let (w_eval, opening) = pcs::open(params, &pcs_data, y_prime, &mut transcript);
+
+    (
+        Proof {
+            commitment,
+            sc1: part.sc1,
+            va: part.va,
+            vb: part.vb,
+            vc: part.vc,
+            sc2: part.sc2,
+            w_eval,
+            opening,
+        },
+        ProverArtifacts { pcs_data, z },
+    )
+}
+
+/// Builds the prover/verifier transcript with the statement absorbed —
+/// exposed so external harnesses (the benchmark crate) can time the
+/// prover's phases individually.
+pub fn statement_transcript<F: Field>(r1cs: &R1cs<F>, inputs: &[F]) -> Transcript {
+    let mut transcript = Transcript::new(DOMAIN);
+    absorb_statement(&mut transcript, r1cs, inputs);
+    transcript
+}
+
+/// Output of the prover's sum-check phase, consumed by the PCS opening
+/// phase (the hand-off between the sum-check module and proof assembly in
+/// the Figure 7 pipeline).
+#[derive(Debug, Clone)]
+pub struct SumcheckPart<F> {
+    /// Sum-check #1 rounds.
+    pub sc1: SumcheckProof<F>,
+    /// Claimed `Ãz(rx)`.
+    pub va: F,
+    /// Claimed `B̃z(rx)`.
+    pub vb: F,
+    /// Claimed `C̃z(rx)`.
+    pub vc: F,
+    /// Sum-check #2 rounds.
+    pub sc2: SumcheckProof<F>,
+    /// The bound point `ry` of sum-check #2 (in `(y_1, ..)` order).
+    pub point_y: Vec<F>,
+}
+
+/// Runs both prover sum-checks over an assembled assignment. The transcript
+/// must already hold the statement and witness commitment.
+///
+/// # Panics
+///
+/// Panics if `z.len() != r1cs.z_len()`.
+pub fn run_sumchecks<F: Field>(
+    r1cs: &R1cs<F>,
+    z: &[F],
+    transcript: &mut Transcript,
+) -> SumcheckPart<F> {
+    assert_eq!(z.len(), r1cs.z_len(), "assignment length mismatch");
+    // The outer constraint sum-check.
+    let log_m = r1cs.padded_constraints().trailing_zeros() as usize;
+    let tau: Vec<F> = transcript.challenge_fields(b"tau", log_m);
+    let eq_tau = MultilinearPoly::new(eq_table(&tau));
+    let pad = |mut v: Vec<F>| {
+        v.resize(r1cs.padded_constraints(), F::ZERO);
+        MultilinearPoly::new(v)
+    };
+    let az = pad(r1cs.a.mul_vec(z));
+    let bz = pad(r1cs.b.mul_vec(z));
+    let cz = pad(r1cs.c.mul_vec(z));
+    let sc1 = prove_cubic_eq(&eq_tau, &az, &bz, &cz, transcript);
+    let (va, vb, vc) = (
+        sc1.final_evals[1],
+        sc1.final_evals[2],
+        sc1.final_evals[3],
+    );
+    transcript.absorb_fields(b"sc1-claims", &[va, vb, vc]);
+
+    // Batched matrix-opening sum-check.
+    let gamma: Vec<F> = transcript.challenge_fields(b"gamma", 3);
+    let eq_rx = eq_table(&sc1.point());
+    let mut m_combo = vec![F::ZERO; r1cs.z_len()];
+    for (g, m) in gamma.iter().zip([&r1cs.a, &r1cs.b, &r1cs.c]) {
+        for (slot, v) in m_combo.iter_mut().zip(m.bind_rows(&eq_rx)) {
+            *slot += *g * v;
+        }
+    }
+    let m_poly = MultilinearPoly::new(m_combo);
+    let z_poly = MultilinearPoly::new(z.to_vec());
+    let sc2 = prove_quadratic(&m_poly, &z_poly, transcript);
+    let point_y = sc2.point();
+
+    SumcheckPart {
+        sc1: sc1.proof,
+        va,
+        vb,
+        vc,
+        sc2: sc2.proof,
+        point_y,
+    }
+}
+
+/// Verifies a proof against the instance and public inputs.
+pub fn verify<F: Field>(
+    params: &PcsParams,
+    r1cs: &R1cs<F>,
+    inputs: &[F],
+    proof: &Proof<F>,
+) -> bool {
+    if inputs.len() != r1cs.num_inputs() {
+        return false;
+    }
+    let mut transcript = Transcript::new(DOMAIN);
+    absorb_statement(&mut transcript, r1cs, inputs);
+    transcript.absorb_digest(b"w-commitment", &proof.commitment.root);
+
+    // Sum-check #1: claim is zero.
+    let log_m = r1cs.padded_constraints().trailing_zeros() as usize;
+    let tau: Vec<F> = transcript.challenge_fields(b"tau", log_m);
+    if proof.sc1.num_rounds() != log_m {
+        return false;
+    }
+    let Some((final1, rx_rs)) = verify_rounds(F::ZERO, &proof.sc1, 3, &mut transcript)
+    else {
+        return false;
+    };
+    let point_x: Vec<F> = rx_rs.iter().rev().copied().collect();
+    let eq_v = eq_eval(&tau, &point_x);
+    if final1 != eq_v * (proof.va * proof.vb - proof.vc) {
+        return false;
+    }
+    transcript.absorb_fields(b"sc1-claims", &[proof.va, proof.vb, proof.vc]);
+
+    // Sum-check #2: γ-batched matrix openings.
+    let gamma: Vec<F> = transcript.challenge_fields(b"gamma", 3);
+    let claim2 = gamma[0] * proof.va + gamma[1] * proof.vb + gamma[2] * proof.vc;
+    let log_n = r1cs.z_len().trailing_zeros() as usize;
+    if proof.sc2.num_rounds() != log_n {
+        return false;
+    }
+    let Some((final2, ry_rs)) = verify_rounds(claim2, &proof.sc2, 2, &mut transcript)
+    else {
+        return false;
+    };
+    let point_y: Vec<F> = ry_rs.iter().rev().copied().collect();
+
+    // Direct O(nnz) matrix-MLE evaluation (documented simplification).
+    let eq_rx = eq_table(&point_x);
+    let eq_ry = eq_table(&point_y);
+    let m_eval: F = gamma
+        .iter()
+        .zip([&r1cs.a, &r1cs.b, &r1cs.c])
+        .map(|(g, m)| *g * m.mle_eval(&eq_rx, &eq_ry))
+        .sum();
+
+    // z̃(ry) from the public io half and the committed w half.
+    let y_top = point_y[point_y.len() - 1];
+    let y_prime = &point_y[..point_y.len() - 1];
+    let io_eval = r1cs.io_poly(inputs).evaluate(y_prime);
+    let z_eval = (F::ONE - y_top) * io_eval + y_top * proof.w_eval;
+    if final2 != m_eval * z_eval {
+        return false;
+    }
+
+    // PCS opening of w̃.
+    pcs::verify(
+        params,
+        &proof.commitment,
+        y_prime,
+        proof.w_eval,
+        &proof.opening,
+        &mut transcript,
+    )
+}
+
+pub(crate) fn absorb_statement<F: Field>(transcript: &mut Transcript, r1cs: &R1cs<F>, inputs: &[F]) {
+    transcript.absorb_bytes(
+        b"r1cs-shape",
+        &[
+            (r1cs.num_constraints() as u64).to_le_bytes(),
+            (r1cs.num_inputs() as u64).to_le_bytes(),
+            (r1cs.num_witness() as u64).to_le_bytes(),
+            (r1cs.half_len() as u64).to_le_bytes(),
+        ]
+        .concat(),
+    );
+    transcript.absorb_fields(b"public-inputs", inputs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r1cs::{R1csBuilder, Var, synthetic_r1cs};
+    use batchzk_field::Fr;
+
+    fn test_params() -> PcsParams {
+        PcsParams {
+            num_col_tests: 16,
+            ..PcsParams::default()
+        }
+    }
+
+    #[test]
+    fn prove_verify_roundtrip_synthetic() {
+        for s in [4usize, 17, 64, 200] {
+            let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(s, s as u64);
+            let params = test_params();
+            let proof = prove(&params, &r1cs, &inputs, &witness);
+            assert!(verify(&params, &r1cs, &inputs, &proof), "s={s}");
+        }
+    }
+
+    #[test]
+    fn square_circuit_roundtrip() {
+        let mut b = R1csBuilder::<Fr>::new();
+        let x = b.new_input();
+        let w = b.new_witness();
+        b.enforce(
+            vec![(Var::Witness(w), Fr::ONE)],
+            vec![(Var::Witness(w), Fr::ONE)],
+            vec![(Var::Input(x), Fr::ONE)],
+        );
+        let r1cs = b.build();
+        let params = test_params();
+        let proof = prove(&params, &r1cs, &[Fr::from(25u64)], &[Fr::from(5u64)]);
+        assert!(verify(&params, &r1cs, &[Fr::from(25u64)], &proof));
+        // Verifying against different public inputs must fail.
+        assert!(!verify(&params, &r1cs, &[Fr::from(26u64)], &proof));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not satisfy")]
+    fn proving_false_statement_panics() {
+        let (r1cs, inputs, mut witness) = synthetic_r1cs::<Fr>(10, 1);
+        witness[3] += Fr::ONE;
+        let _ = prove(&test_params(), &r1cs, &inputs, &witness);
+    }
+
+    #[test]
+    fn tampered_proofs_rejected() {
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(32, 7);
+        let params = test_params();
+        let proof = prove(&params, &r1cs, &inputs, &witness);
+        assert!(verify(&params, &r1cs, &inputs, &proof));
+
+        // Each field tampered independently must be caught.
+        let mut p = proof.clone();
+        p.va += Fr::ONE;
+        assert!(!verify(&params, &r1cs, &inputs, &p), "va tamper");
+
+        let mut p = proof.clone();
+        p.vc -= Fr::ONE;
+        assert!(!verify(&params, &r1cs, &inputs, &p), "vc tamper");
+
+        let mut p = proof.clone();
+        p.sc1.rounds[0][1] += Fr::ONE;
+        assert!(!verify(&params, &r1cs, &inputs, &p), "sc1 tamper");
+
+        let mut p = proof.clone();
+        let last = p.sc2.rounds.len() - 1;
+        p.sc2.rounds[last][2] += Fr::ONE;
+        assert!(!verify(&params, &r1cs, &inputs, &p), "sc2 tamper");
+
+        let mut p = proof.clone();
+        p.w_eval += Fr::ONE;
+        assert!(!verify(&params, &r1cs, &inputs, &p), "w_eval tamper");
+
+        let mut p = proof.clone();
+        p.commitment.root[0] ^= 1;
+        assert!(!verify(&params, &r1cs, &inputs, &p), "root tamper");
+
+        let mut p = proof.clone();
+        p.opening.combined_row[0] += Fr::ONE;
+        assert!(!verify(&params, &r1cs, &inputs, &p), "opening tamper");
+
+        let mut p = proof.clone();
+        p.sc1.rounds.pop();
+        assert!(!verify(&params, &r1cs, &inputs, &p), "truncated sc1");
+    }
+
+    #[test]
+    fn proof_is_not_transferable_across_instances() {
+        let (r1cs_a, inputs_a, witness_a) = synthetic_r1cs::<Fr>(16, 1);
+        let (r1cs_b, inputs_b, _) = synthetic_r1cs::<Fr>(16, 2);
+        let params = test_params();
+        let proof = prove(&params, &r1cs_a, &inputs_a, &witness_a);
+        assert!(!verify(&params, &r1cs_b, &inputs_b, &proof));
+    }
+
+    #[test]
+    fn proof_serde_roundtrip() {
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(16, 3);
+        let params = test_params();
+        let proof = prove(&params, &r1cs, &inputs, &witness);
+        // Serialize through a self-describing format stand-in: the derived
+        // Serialize/Deserialize are exercised end-to-end via postcard-like
+        // bincode alternatives in integration tests; here check size_bytes
+        // sanity and clone-equality.
+        assert!(proof.size_bytes() > 1000);
+        let copy = proof.clone();
+        assert_eq!(copy, proof);
+        assert!(verify(&params, &r1cs, &inputs, &copy));
+    }
+
+    #[test]
+    fn wrong_input_arity_rejected() {
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(8, 4);
+        let params = test_params();
+        let proof = prove(&params, &r1cs, &inputs, &witness);
+        assert!(!verify(&params, &r1cs, &[], &proof));
+    }
+}

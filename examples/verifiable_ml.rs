@@ -1,0 +1,63 @@
+//! The paper's §5 application: verifiable Machine-Learning-as-a-Service.
+//! The provider commits to a (synthetic) VGG-16-shaped model, answers a
+//! stream of CIFAR-10-shaped requests, and proves every prediction; the
+//! customer verifies.
+//!
+//! ```text
+//! cargo run --release --example verifiable_ml
+//! ```
+
+use batchzk::gpu_sim::{DeviceProfile, Gpu};
+use batchzk::vml::{MlService, network};
+use batchzk::zkp::PcsParams;
+
+fn main() {
+    // Width divisor 32 keeps the demo to a few seconds; lower it toward 1
+    // for the full VGG-16 shape.
+    let net = network::vgg16(32);
+    println!(
+        "model: VGG-16 shape / width divisor 32 — {} MACs, {} parameters",
+        net.total_macs(),
+        net.total_params()
+    );
+    let svc = MlService::new(
+        net,
+        PcsParams {
+            num_col_tests: 32,
+            ..PcsParams::default()
+        },
+    );
+    println!(
+        "circuit: {} constraints; model commitment {:02x?}...",
+        svc.r1cs().num_constraints(),
+        &svc.model_commitment()[..4]
+    );
+
+    // Customers send images; the provider predicts and proves in batch.
+    let images: Vec<_> = (0..4)
+        .map(|i| network::synthetic_image(i, &svc.network().input_shape))
+        .collect();
+    let mut gpu = Gpu::new(DeviceProfile::gh200());
+    let run = svc.serve_batch(&mut gpu, &images, 10_240);
+
+    for (i, pred) in run.predictions.iter().enumerate() {
+        assert!(svc.verify_prediction(pred), "customer rejects request {i}");
+        let best = pred
+            .logits
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        println!(
+            "request {i}: class {best}, proof {} KiB, verified",
+            pred.proof.size_bytes() / 1024
+        );
+    }
+    println!(
+        "throughput: {:.3} proofs/s on simulated {}, latency {:.3} s",
+        run.stats.throughput_per_ms * 1e3,
+        gpu.profile().name,
+        run.stats.mean_latency_ms / 1e3
+    );
+}

@@ -1,0 +1,42 @@
+//! # batchzk
+//!
+//! A from-scratch Rust reproduction of *BatchZK: A Fully Pipelined
+//! GPU-Accelerated System for Batch Generation of Zero-Knowledge Proofs*
+//! (ASPLOS 2025).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`field`] — BN254 fields, batch inversion, NTT;
+//! * [`curve`] — BN254 G1 + Pippenger MSM (old-protocol baseline substrate);
+//! * [`hash`] — SHA-256, Fiat–Shamir transcript, seeded PRG;
+//! * [`merkle`] — CPU reference Merkle tree;
+//! * [`sumcheck`] — Algorithm 1 and Fiat–Shamir sum-checks;
+//! * [`encoder`] — Spielman/Brakedown linear-time expander code;
+//! * [`gpu_sim`] — the cycle-level CUDA execution-model simulator;
+//! * [`pipeline`] — the pipelined modules and the naive baselines;
+//! * [`zkp`] — Brakedown PCS, Spartan-style SNARK, pipelined batch prover;
+//! * [`vml`] — the verifiable machine-learning application.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use batchzk::zkp::{PcsParams, prove, verify};
+//! use batchzk::zkp::r1cs::synthetic_r1cs;
+//! use batchzk::field::Fr;
+//!
+//! let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(32, 1);
+//! let params = PcsParams { num_col_tests: 16, ..PcsParams::default() };
+//! let proof = prove(&params, &r1cs, &inputs, &witness);
+//! assert!(verify(&params, &r1cs, &inputs, &proof));
+//! ```
+
+pub use batchzk_curve as curve;
+pub use batchzk_encoder as encoder;
+pub use batchzk_field as field;
+pub use batchzk_gpu_sim as gpu_sim;
+pub use batchzk_hash as hash;
+pub use batchzk_merkle as merkle;
+pub use batchzk_pipeline as pipeline;
+pub use batchzk_sumcheck as sumcheck;
+pub use batchzk_vml as vml;
+pub use batchzk_zkp as zkp;
