@@ -12,10 +12,10 @@
 
 use std::time::Instant;
 
-use batchzk_curve::{G1Affine, msm, msm_group_op_count};
+use batchzk_curve::{msm, msm_group_op_count, G1Affine};
 use batchzk_field::{Field, Fr, NttDomain};
 use batchzk_gpu_sim::{DeviceProfile, Gpu, KernelStep, Work};
-use rand::{SeedableRng, rngs::StdRng};
+use batchzk_hash::Prg;
 
 /// G1-equivalent MSMs in one Groth16 proof.
 pub const MSM_COUNT: u64 = 5;
@@ -44,7 +44,7 @@ pub struct CpuGrothTimes {
 /// per-proof counts are applied as multipliers.
 pub fn groth16_cpu(log_s: u32) -> CpuGrothTimes {
     let s = 1usize << log_s;
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Prg::seed_from_u64(7);
 
     // MSM of S terms over real BN254 points.
     let points: Vec<G1Affine> = (0..s)
@@ -95,10 +95,14 @@ pub fn groth16_gpu(profile: &DeviceProfile, log_s: u32) -> GpuGrothTimes {
     let group_cost = gpu.cost().group_add;
     // Phase 1: bucket accumulation — embarrassingly parallel.
     gpu.execute_step(
-        &[KernelStep::new("bellperson-msm", threads, Work::Uniform {
-            units: msm_units,
-            cycles_per_unit: group_cost,
-        })],
+        &[KernelStep::new(
+            "bellperson-msm",
+            threads,
+            Work::Uniform {
+                units: msm_units,
+                cycles_per_unit: group_cost,
+            },
+        )],
         &[],
         true,
     );
@@ -108,7 +112,7 @@ pub fn groth16_gpu(profile: &DeviceProfile, log_s: u32) -> GpuGrothTimes {
     // phase is precisely the contribution of later work (cuZK, GZKP), so
     // charging the serial chain is the historically faithful model.
     let c = batchzk_curve::window_size(s);
-    let windows = (254 + c - 1) / c;
+    let windows = 254_usize.div_ceil(c);
     let reduce_chain = (2u64 << c) * group_cost;
     gpu.execute_step(
         &[KernelStep::new(
@@ -127,10 +131,14 @@ pub fn groth16_gpu(profile: &DeviceProfile, log_s: u32) -> GpuGrothTimes {
     };
     let ntt_cost = gpu.cost().ntt_butterfly();
     gpu.execute_step(
-        &[KernelStep::new("bellperson-ntt", threads, Work::Uniform {
-            units: butterflies,
-            cycles_per_unit: ntt_cost,
-        })],
+        &[KernelStep::new(
+            "bellperson-ntt",
+            threads,
+            Work::Uniform {
+                units: butterflies,
+                cycles_per_unit: ntt_cost,
+            },
+        )],
         &[],
         true,
     );

@@ -2,7 +2,13 @@
 //!
 //! Usage: `tables <experiment|all> [--quick|--medium|--paper]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
-//! `ablation`.
+//! `ablation`, `trace`.
+//!
+//! `trace` is not part of `all`: it prints the per-stage timeline and
+//! stage-imbalance table of the pipelined Merkle module, then the raw
+//! Chrome-trace JSON as the final block of output — redirect or copy it
+//! into a `.json` file and load it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
 
 use batchzk_bench::experiments;
 use batchzk_bench::scale::Scale;
@@ -64,5 +70,12 @@ fn main() {
     }
     if want("ablation") {
         println!("{}", experiments::ablation(&scale));
+    }
+    // `trace` is explicit-only: its JSON payload would drown `all` output.
+    if which.contains(&"trace") {
+        let (report, json) = experiments::trace(&scale);
+        println!("{report}");
+        println!("Chrome trace JSON (load in chrome://tracing or Perfetto):\n");
+        println!("{json}");
     }
 }

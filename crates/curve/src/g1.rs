@@ -4,7 +4,7 @@
 //! generator `(1, 2)`. Formulas follow the standard a=0 Jacobian
 //! addition/doubling from the Explicit-Formulas Database.
 
-use batchzk_field::{Field, Fq, Fr, batch_invert};
+use batchzk_field::{batch_invert, Field, Fq, Fr};
 
 /// A point in affine coordinates (or the point at infinity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,8 +100,7 @@ impl PartialEq for G1Projective {
         }
         let z1z1 = self.z.square();
         let z2z2 = other.z.square();
-        self.x * z2z2 == other.x * z1z1
-            && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+        self.x * z2z2 == other.x * z1z1 && self.y * z2z2 * other.z == other.y * z1z1 * self.z
     }
 }
 
@@ -366,9 +365,7 @@ mod tests {
     #[test]
     fn batch_to_affine_matches_individual() {
         let g = G1Projective::generator();
-        let pts: Vec<G1Projective> = (0..10u64)
-            .map(|k| g.mul_scalar(&Fr::from(k)))
-            .collect();
+        let pts: Vec<G1Projective> = (0..10u64).map(|k| g.mul_scalar(&Fr::from(k))).collect();
         let batch = G1Projective::batch_to_affine(&pts);
         for (p, a) in pts.iter().zip(&batch) {
             assert_eq!(p.to_affine(), *a);

@@ -16,7 +16,11 @@ use crate::g1::{G1Affine, G1Projective};
 ///
 /// Panics if the slices have different lengths.
 pub fn msm_naive(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
-    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "points/scalars length mismatch"
+    );
     points
         .iter()
         .zip(scalars)
@@ -44,13 +48,17 @@ pub fn window_size(n: usize) -> usize {
 ///
 /// Panics if the slices have different lengths.
 pub fn msm(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
-    assert_eq!(points.len(), scalars.len(), "points/scalars length mismatch");
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "points/scalars length mismatch"
+    );
     if points.is_empty() {
         return G1Projective::identity();
     }
     let c = window_size(points.len());
     let limbs: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical_limbs()).collect();
-    let num_windows = (254 + c - 1) / c;
+    let num_windows = 254_usize.div_ceil(c);
 
     // Process windows from the most significant down, accumulating with
     // `c` doublings between windows.
@@ -100,7 +108,7 @@ fn window_value(limbs: &[u64; 4], bit_offset: usize, width: usize) -> usize {
 /// `num_windows · (n + 2^(c+1))` group additions plus 254 doublings.
 pub fn msm_group_op_count(n: usize) -> u64 {
     let c = window_size(n);
-    let windows = (254 + c - 1) / c;
+    let windows = 254_usize.div_ceil(c);
     (windows as u64) * (n as u64 + (1u64 << (c + 1))) + 254
 }
 
@@ -108,10 +116,10 @@ pub fn msm_group_op_count(n: usize) -> u64 {
 mod tests {
     use super::*;
     use batchzk_field::Field;
-    use rand::{SeedableRng, rngs::StdRng};
+    use batchzk_field::SplitMix64;
 
     fn fixture(n: usize, seed: u64) -> (Vec<G1Affine>, Vec<Fr>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let points: Vec<G1Affine> = (0..n)
             .map(|i| G1Affine::from_counter(1 + i as u64 * 7))
             .collect();
@@ -123,7 +131,11 @@ mod tests {
     fn pippenger_matches_naive() {
         for n in [1usize, 2, 3, 7, 32, 100] {
             let (points, scalars) = fixture(n, n as u64);
-            assert_eq!(msm(&points, &scalars), msm_naive(&points, &scalars), "n={n}");
+            assert_eq!(
+                msm(&points, &scalars),
+                msm_naive(&points, &scalars),
+                "n={n}"
+            );
         }
     }
 
@@ -143,9 +155,9 @@ mod tests {
     fn one_scalars_give_point_sum() {
         let (points, _) = fixture(8, 2);
         let scalars = vec![Fr::ONE; 8];
-        let expect = points.iter().fold(G1Projective::identity(), |acc, p| {
-            acc.add_affine(p)
-        });
+        let expect = points
+            .iter()
+            .fold(G1Projective::identity(), |acc, p| acc.add_affine(p));
         assert_eq!(msm(&points, &scalars), expect);
     }
 

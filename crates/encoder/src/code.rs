@@ -16,7 +16,7 @@
 //! smallest scale up — exactly the two interconnected pipelines of Figure 6.
 
 use batchzk_field::Field;
-use rand::{SeedableRng, rngs::StdRng};
+use batchzk_hash::Prg;
 
 use crate::sparse::SparseMatrix;
 
@@ -137,10 +137,10 @@ impl<F: Field> Encoder<F> {
             // Tail length chosen so the level output is ≈ ρ·n, clamped so it
             // always exists.
             let v_len = params.rho_len(n).saturating_sub(n + z_len).max(1);
-            let mut rng_a = StdRng::seed_from_u64(
+            let mut rng_a = Prg::seed_from_u64(
                 seed ^ (0x5eed_a000 + level_idx).wrapping_mul(0x9e3779b97f4a7c15),
             );
-            let mut rng_b = StdRng::seed_from_u64(
+            let mut rng_b = Prg::seed_from_u64(
                 seed ^ (0x5eed_b000 + level_idx).wrapping_mul(0x9e3779b97f4a7c15),
             );
             let a = SparseMatrix::random_jittered(
@@ -224,11 +224,7 @@ impl<F: Field> Encoder<F> {
     ///
     /// Panics if `message.len() != self.message_len()`.
     pub fn encode(&self, message: &[F]) -> Vec<F> {
-        assert_eq!(
-            message.len(),
-            self.message_len,
-            "message length mismatch"
-        );
+        assert_eq!(message.len(), self.message_len, "message length mismatch");
         let ys = self.forward_pass(message);
         self.backward_pass(message, &ys)
     }
@@ -281,10 +277,10 @@ impl<F: Field> Encoder<F> {
 mod tests {
     use super::*;
     use batchzk_field::Fr;
-    use rand::{SeedableRng, rngs::StdRng};
+    use batchzk_hash::Prg;
 
     fn rand_msg(n: usize, seed: u64) -> Vec<Fr> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prg::seed_from_u64(seed);
         (0..n).map(|_| Fr::random(&mut rng)).collect()
     }
 
@@ -311,7 +307,7 @@ mod tests {
         let enc = Encoder::<Fr>::new(128, EncoderParams::default(), 3);
         let x = rand_msg(128, 4);
         let y = rand_msg(128, 5);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Prg::seed_from_u64(6);
         let c = Fr::random(&mut rng);
         let combo: Vec<Fr> = x.iter().zip(&y).map(|(a, b)| *a + c * *b).collect();
         let ex = enc.encode(&x);

@@ -25,47 +25,52 @@ pub use code::{Encoder, EncoderParams, Level};
 pub use sparse::{SparseMatrix, WARP_SIZE};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use batchzk_field::{Field, Fr};
-    use proptest::prelude::*;
+    use batchzk_field::{Field, Fr, RngCore, SplitMix64};
 
-    fn arb_fr() -> impl Strategy<Value = Fr> {
-        any::<[u8; 64]>().prop_map(|b| Fr::from_uniform_bytes(&b))
+    fn vec_fr(rng: &mut SplitMix64, n: usize) -> Vec<Fr> {
+        (0..n).map(|_| Fr::random(rng)).collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        #[test]
-        fn encoding_linearity(
-            x in proptest::collection::vec(arb_fr(), 96),
-            y in proptest::collection::vec(arb_fr(), 96),
-            a in arb_fr(),
-            b in arb_fr(),
-        ) {
-            let enc = Encoder::<Fr>::new(96, EncoderParams::default(), 3);
+    #[test]
+    fn encoding_linearity() {
+        let mut rng = SplitMix64::seed_from_u64(0xE0);
+        let enc = Encoder::<Fr>::new(96, EncoderParams::default(), 3);
+        for _ in 0..16 {
+            let x = vec_fr(&mut rng, 96);
+            let y = vec_fr(&mut rng, 96);
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
             let combo: Vec<Fr> = x.iter().zip(&y).map(|(p, q)| a * *p + b * *q).collect();
             let ex = enc.encode(&x);
             let ey = enc.encode(&y);
             let ec = enc.encode(&combo);
             for i in 0..enc.codeword_len() {
-                prop_assert_eq!(ec[i], a * ex[i] + b * ey[i]);
+                assert_eq!(ec[i], a * ex[i] + b * ey[i]);
             }
         }
+    }
 
-        #[test]
-        fn zero_encodes_to_zero(n in 33usize..200) {
+    #[test]
+    fn zero_encodes_to_zero() {
+        let mut rng = SplitMix64::seed_from_u64(0xE1);
+        for _ in 0..16 {
+            let n = rng.gen_range(33..200);
             let enc = Encoder::<Fr>::new(n, EncoderParams::default(), 5);
             let code = enc.encode(&vec![Fr::ZERO; n]);
-            prop_assert!(code.iter().all(|c| c.is_zero()));
+            assert!(code.iter().all(|c| c.is_zero()));
         }
+    }
 
-        #[test]
-        fn systematic_prefix(x in proptest::collection::vec(arb_fr(), 80)) {
-            let enc = Encoder::<Fr>::new(80, EncoderParams::default(), 5);
+    #[test]
+    fn systematic_prefix() {
+        let mut rng = SplitMix64::seed_from_u64(0xE2);
+        let enc = Encoder::<Fr>::new(80, EncoderParams::default(), 5);
+        for _ in 0..16 {
+            let x = vec_fr(&mut rng, 80);
             let code = enc.encode(&x);
-            prop_assert_eq!(&code[..80], &x[..]);
+            assert_eq!(&code[..80], &x[..]);
         }
     }
 }

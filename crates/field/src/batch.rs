@@ -33,7 +33,7 @@ pub fn batch_invert<F: Field>(values: &mut [F]) {
         None => return, // acc == 0 only possible when every entry is zero
     };
     // Backward pass.
-    for (v, p) in values.iter_mut().zip(prefix.into_iter()).rev() {
+    for (v, p) in values.iter_mut().zip(prefix).rev() {
         if v.is_zero() {
             continue;
         }
@@ -47,11 +47,11 @@ pub fn batch_invert<F: Field>(values: &mut [F]) {
 mod tests {
     use super::*;
     use crate::Fr;
-    use rand::{SeedableRng, rngs::StdRng};
+    use crate::SplitMix64;
 
     #[test]
     fn matches_pointwise_inversion() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         let originals: Vec<Fr> = (0..64).map(|_| Fr::random(&mut rng)).collect();
         let mut batch = originals.clone();
         batch_invert(&mut batch);

@@ -5,6 +5,7 @@
 
 use crate::declare_field;
 
+#[rustfmt::skip]
 declare_field!(
     /// BN254 base field element (256-bit, Montgomery form).
     ///
@@ -33,7 +34,7 @@ impl Fq {
     ///
     /// Needed by the curve crate to hash/validate points.
     pub fn sqrt(&self) -> Option<Self> {
-        use crate::{Field, limb};
+        use crate::{limb, Field};
         // (q + 1) / 4
         let (p1, carry) = limb::add_wide(&Self::MODULUS, &[1, 0, 0, 0]);
         debug_assert_eq!(carry, 0);
@@ -51,7 +52,7 @@ impl Fq {
 mod tests {
     use super::*;
     use crate::Field;
-    use rand::{SeedableRng, rngs::StdRng};
+    use crate::SplitMix64;
 
     #[test]
     fn constants_consistent() {
@@ -61,7 +62,7 @@ mod tests {
 
     #[test]
     fn fq_field_axioms_smoke() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         for _ in 0..50 {
             let a = Fq::random(&mut rng);
             let b = Fq::random(&mut rng);
@@ -75,7 +76,7 @@ mod tests {
 
     #[test]
     fn sqrt_of_squares() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = SplitMix64::seed_from_u64(8);
         for _ in 0..30 {
             let a = Fq::random(&mut rng);
             let sq = a.square();
@@ -89,17 +90,15 @@ mod tests {
         // The generator 3 is a non-residue iff q ≡ 3 (mod 4) and 3 is not a
         // QR; verify empirically by squaring-test: count roots found over a
         // deterministic sample — a non-residue must return None.
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         let mut seen_none = false;
         for _ in 0..20 {
             let a = Fq::random(&mut rng);
             if a.sqrt().is_none() {
                 seen_none = true;
                 // Euler criterion cross-check: a^((q-1)/2) == -1.
-                let exp = crate::limb::shr(
-                    &crate::limb::sub_wide(&Fq::MODULUS, &[1, 0, 0, 0]).0,
-                    1,
-                );
+                let exp =
+                    crate::limb::shr(&crate::limb::sub_wide(&Fq::MODULUS, &[1, 0, 0, 0]).0, 1);
                 assert_eq!(a.pow(&exp), -Fq::ONE);
             }
         }

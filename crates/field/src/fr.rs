@@ -9,6 +9,7 @@
 
 use crate::declare_field;
 
+#[rustfmt::skip]
 declare_field!(
     /// BN254 scalar field element (256-bit, Montgomery form).
     ///
@@ -34,8 +35,8 @@ declare_field!(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Field, limb};
-    use rand::{SeedableRng, rngs::StdRng};
+    use crate::SplitMix64;
+    use crate::{limb, Field};
 
     /// Schoolbook 256x256 -> 512-bit multiply followed by binary long
     /// division: an independent oracle for Montgomery multiplication.
@@ -79,7 +80,7 @@ mod tests {
 
     #[test]
     fn mont_mul_matches_schoolbook_oracle() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         for _ in 0..200 {
             let a = Fr::random(&mut rng);
             let b = Fr::random(&mut rng);
@@ -94,7 +95,7 @@ mod tests {
 
     #[test]
     fn add_sub_neg_identities() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         for _ in 0..100 {
             let a = Fr::random(&mut rng);
             let b = Fr::random(&mut rng);
@@ -108,7 +109,7 @@ mod tests {
 
     #[test]
     fn inverse_is_inverse() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::seed_from_u64(2);
         for _ in 0..50 {
             let a = Fr::random(&mut rng);
             if a.is_zero() {
@@ -147,7 +148,7 @@ mod tests {
 
     #[test]
     fn byte_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         for _ in 0..50 {
             let a = Fr::random(&mut rng);
             assert_eq!(Fr::from_bytes(&a.to_bytes()), Some(a));
@@ -188,11 +189,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_rejects_bad_bytes() {
-        // Use a tiny hand-rolled serde check via serde's value test pattern:
-        // serialize to bytes through a Vec-backed serializer is out of scope
-        // here; the zkp crate integration tests cover full proof round-trips.
-        // Here we just confirm the byte codec used by serde is canonical.
+    fn byte_codec_is_canonical() {
+        // The wire codec used by proof serialization round-trips exactly;
+        // the zkp crate integration tests cover full proof round-trips.
         let x = Fr::from(123456789u64);
         let bytes = x.to_bytes();
         assert_eq!(Fr::from_bytes(&bytes), Some(x));
@@ -200,7 +199,7 @@ mod tests {
 
     #[test]
     fn distributivity_smoke() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SplitMix64::seed_from_u64(4);
         for _ in 0..50 {
             let a = Fr::random(&mut rng);
             let b = Fr::random(&mut rng);

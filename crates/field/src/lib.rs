@@ -27,6 +27,7 @@
 
 pub mod limb;
 mod mont;
+pub mod rng;
 mod traits;
 
 mod batch;
@@ -38,85 +39,107 @@ pub use batch::batch_invert;
 pub use fq::Fq;
 pub use fr::Fr;
 pub use ntt::NttDomain;
-pub use traits::{Field, field_from_i64};
+pub use rng::{RngCore, SplitMix64};
+pub use traits::{field_from_i64, Field};
 
 #[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+mod randomized_tests {
+    //! Deterministic randomized checks of the field axioms: each test draws
+    //! a few hundred seeded samples, which covers the same algebraic
+    //! identities the original property-based suite did without an external
+    //! test-framework dependency.
 
-    fn arb_fr() -> impl Strategy<Value = Fr> {
-        any::<[u8; 64]>().prop_map(|b| Fr::from_uniform_bytes(&b))
+    use super::*;
+
+    const CASES: usize = 256;
+
+    fn samples(seed: u64, n: usize) -> Vec<Fr> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        (0..n).map(|_| Fr::random(&mut rng)).collect()
     }
 
-    proptest! {
-        #[test]
-        fn add_commutes(a in arb_fr(), b in arb_fr()) {
-            prop_assert_eq!(a + b, b + a);
+    #[test]
+    fn add_commutes_and_associates() {
+        let v = samples(0xA0, 3 * CASES);
+        for t in v.chunks_exact(3) {
+            let (a, b, c) = (t[0], t[1], t[2]);
+            assert_eq!(a + b, b + a);
+            assert_eq!((a + b) + c, a + (b + c));
         }
+    }
 
-        #[test]
-        fn add_associates(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
-            prop_assert_eq!((a + b) + c, a + (b + c));
+    #[test]
+    fn mul_commutes_associates_distributes() {
+        let v = samples(0xA1, 3 * CASES);
+        for t in v.chunks_exact(3) {
+            let (a, b, c) = (t[0], t[1], t[2]);
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
         }
+    }
 
-        #[test]
-        fn mul_commutes(a in arb_fr(), b in arb_fr()) {
-            prop_assert_eq!(a * b, b * a);
+    #[test]
+    fn sub_is_add_neg() {
+        let v = samples(0xA2, 2 * CASES);
+        for t in v.chunks_exact(2) {
+            assert_eq!(t[0] - t[1], t[0] + (-t[1]));
         }
+    }
 
-        #[test]
-        fn mul_associates(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
-            prop_assert_eq!((a * b) * c, a * (b * c));
+    #[test]
+    fn inverse_cancels() {
+        for a in samples(0xA3, CASES) {
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fr::ONE);
+            }
         }
+    }
 
-        #[test]
-        fn mul_distributes(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
-            prop_assert_eq!(a * (b + c), a * b + a * c);
+    #[test]
+    fn square_and_double_identities() {
+        for a in samples(0xA4, CASES) {
+            assert_eq!(a.square(), a * a);
+            assert_eq!(a.double(), a + a);
         }
+    }
 
-        #[test]
-        fn sub_is_add_neg(a in arb_fr(), b in arb_fr()) {
-            prop_assert_eq!(a - b, a + (-b));
+    #[test]
+    fn bytes_roundtrip() {
+        for a in samples(0xA5, CASES) {
+            assert_eq!(Fr::from_bytes(&a.to_bytes()), Some(a));
         }
+    }
 
-        #[test]
-        fn inverse_cancels(a in arb_fr()) {
-            prop_assume!(!a.is_zero());
-            prop_assert_eq!(a * a.inverse().unwrap(), Fr::ONE);
-        }
-
-        #[test]
-        fn square_is_self_mul(a in arb_fr()) {
-            prop_assert_eq!(a.square(), a * a);
-        }
-
-        #[test]
-        fn double_is_add_self(a in arb_fr()) {
-            prop_assert_eq!(a.double(), a + a);
-        }
-
-        #[test]
-        fn bytes_roundtrip(a in arb_fr()) {
-            prop_assert_eq!(Fr::from_bytes(&a.to_bytes()), Some(a));
-        }
-
-        #[test]
-        fn batch_invert_matches_pointwise(v in proptest::collection::vec(arb_fr(), 0..32)) {
+    #[test]
+    fn batch_invert_matches_pointwise() {
+        let mut rng = SplitMix64::seed_from_u64(0xA6);
+        for len in 0..32usize {
+            let mut v: Vec<Fr> = (0..len).map(|_| Fr::random(&mut rng)).collect();
+            // Sprinkle in zeros, which batch inversion must pass through.
+            if len > 2 {
+                v[len / 2] = Fr::ZERO;
+            }
             let mut batched = v.clone();
             batch_invert(&mut batched);
             for (orig, inv) in v.iter().zip(&batched) {
                 if orig.is_zero() {
-                    prop_assert_eq!(*inv, Fr::ZERO);
+                    assert_eq!(*inv, Fr::ZERO);
                 } else {
-                    prop_assert_eq!(*inv, orig.inverse().unwrap());
+                    assert_eq!(*inv, orig.inverse().unwrap());
                 }
             }
         }
+    }
 
-        #[test]
-        fn pow_adds_exponents(a in arb_fr(), x in 0u64..1000, y in 0u64..1000) {
-            prop_assert_eq!(a.pow(&[x]) * a.pow(&[y]), a.pow(&[x + y]));
+    #[test]
+    fn pow_adds_exponents() {
+        let mut rng = SplitMix64::seed_from_u64(0xA7);
+        for _ in 0..64 {
+            let a = Fr::random(&mut rng);
+            let x = rng.gen_range(0..1000) as u64;
+            let y = rng.gen_range(0..1000) as u64;
+            assert_eq!(a.pow(&[x]) * a.pow(&[y]), a.pow(&[x + y]));
         }
     }
 }

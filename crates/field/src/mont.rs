@@ -215,7 +215,7 @@ macro_rules! declare_field {
                 Some(self.pow(&p_minus_2))
             }
 
-            fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+            fn random<R: $crate::RngCore + ?Sized>(rng: &mut R) -> Self {
                 let mut bytes = [0u8; 64];
                 rng.fill_bytes(&mut bytes);
                 Self::from_uniform_bytes(&bytes)
@@ -276,49 +276,5 @@ macro_rules! declare_field {
             }
         }
 
-        impl serde::Serialize for $name {
-            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-                s.serialize_bytes(&<Self as $crate::Field>::to_bytes(self))
-            }
-        }
-
-        impl<'de> serde::Deserialize<'de> for $name {
-            fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-                struct V;
-                impl<'de> serde::de::Visitor<'de> for V {
-                    type Value = $name;
-                    fn expecting(
-                        &self,
-                        f: &mut core::fmt::Formatter<'_>,
-                    ) -> core::fmt::Result {
-                        write!(f, "32 canonical little-endian field bytes")
-                    }
-                    fn visit_bytes<E: serde::de::Error>(
-                        self,
-                        v: &[u8],
-                    ) -> Result<Self::Value, E> {
-                        let arr: [u8; 32] = v
-                            .try_into()
-                            .map_err(|_| E::custom("expected 32 bytes"))?;
-                        <$name as $crate::Field>::from_bytes(&arr)
-                            .ok_or_else(|| E::custom("non-canonical field element"))
-                    }
-                    fn visit_seq<A: serde::de::SeqAccess<'de>>(
-                        self,
-                        mut seq: A,
-                    ) -> Result<Self::Value, A::Error> {
-                        let mut arr = [0u8; 32];
-                        for (i, b) in arr.iter_mut().enumerate() {
-                            *b = seq.next_element()?.ok_or_else(|| {
-                                serde::de::Error::invalid_length(i, &self)
-                            })?;
-                        }
-                        <$name as $crate::Field>::from_bytes(&arr)
-                            .ok_or_else(|| serde::de::Error::custom("non-canonical"))
-                    }
-                }
-                d.deserialize_bytes(V)
-            }
-        }
     };
 }

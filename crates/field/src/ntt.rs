@@ -5,7 +5,7 @@
 //! whose provers are dominated by NTTs and MSMs, so we implement a real NTT
 //! here and charge it to those baseline columns.
 
-use crate::{Field, batch_invert};
+use crate::{batch_invert, Field};
 
 /// A multiplicative evaluation domain of power-of-two size with precomputed
 /// twiddle factors.
@@ -148,11 +148,11 @@ pub fn naive_dft<F: Field>(coeffs: &[F]) -> Vec<F> {
 mod tests {
     use super::*;
     use crate::Fr;
-    use rand::{SeedableRng, rngs::StdRng};
+    use crate::SplitMix64;
 
     #[test]
     fn matches_naive_dft() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = SplitMix64::seed_from_u64(21);
         for log in 0..=6u32 {
             let domain = NttDomain::<Fr>::new(log);
             let coeffs: Vec<Fr> = (0..domain.size()).map(|_| Fr::random(&mut rng)).collect();
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn forward_inverse_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = SplitMix64::seed_from_u64(22);
         for log in [0u32, 1, 4, 10] {
             let domain = NttDomain::<Fr>::new(log);
             let coeffs: Vec<Fr> = (0..domain.size()).map(|_| Fr::random(&mut rng)).collect();
@@ -185,10 +185,7 @@ mod tests {
         domain.forward(&mut b);
         let mut c: Vec<Fr> = a.iter().zip(&b).map(|(x, y)| *x * *y).collect();
         domain.inverse(&mut c);
-        assert_eq!(
-            c,
-            vec![Fr::ONE, Fr::from(3u64), Fr::from(2u64), Fr::ZERO]
-        );
+        assert_eq!(c, vec![Fr::ONE, Fr::from(3u64), Fr::from(2u64), Fr::ZERO]);
     }
 
     #[test]

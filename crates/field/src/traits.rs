@@ -5,7 +5,7 @@ use core::hash::Hash;
 use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// A prime field with enough structure for sum-check, Merkle commitments,
 /// linear-time encoding, and the NTT/MSM baselines.

@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 use crate::cost::CostModel;
 use crate::memory::DeviceMemory;
 use crate::profile::DeviceProfile;
+use crate::trace::{KernelEvent, StepEvent, TraceLevel, TransferEvent};
 
 /// Warp width (threads per warp).
 pub const WARP_SIZE: u32 = 32;
@@ -109,8 +110,7 @@ impl KernelStep {
                 let num_warps = (self.threads as usize).div_ceil(WARP_SIZE as usize);
                 let mut warp_time = vec![0u64; num_warps];
                 for (i, chunk) in items.chunks(lanes).enumerate() {
-                    warp_time[i % num_warps] +=
-                        chunk.iter().copied().max().unwrap_or(0);
+                    warp_time[i % num_warps] += chunk.iter().copied().max().unwrap_or(0);
                 }
                 warp_time.into_iter().max().unwrap_or(0)
             }
@@ -188,8 +188,13 @@ pub struct Gpu {
     cost: CostModel,
     memory: DeviceMemory,
     clock: u64,
+    trace_level: TraceLevel,
     trace: Vec<UtilSample>,
     kernel_stats: BTreeMap<String, KernelStats>,
+    kernel_events: Vec<KernelEvent>,
+    transfer_events: Vec<TransferEvent>,
+    step_events: Vec<StepEvent>,
+    steps: u64,
     total_busy: u64,
     total_h2d_bytes: u64,
     total_d2h_bytes: u64,
@@ -209,12 +214,25 @@ impl Gpu {
             cost,
             memory,
             clock: 0,
+            trace_level: TraceLevel::default(),
             trace: Vec::new(),
             kernel_stats: BTreeMap::new(),
+            kernel_events: Vec::new(),
+            transfer_events: Vec::new(),
+            step_events: Vec::new(),
+            steps: 0,
             total_busy: 0,
             total_h2d_bytes: 0,
             total_d2h_bytes: 0,
         }
+    }
+
+    /// Creates a device with the default cost model and an explicit
+    /// [`TraceLevel`].
+    pub fn with_trace_level(profile: DeviceProfile, level: TraceLevel) -> Self {
+        let mut gpu = Self::new(profile);
+        gpu.trace_level = level;
+        gpu
     }
 
     /// The device profile.
@@ -263,10 +281,10 @@ impl Gpu {
         }
         // Oversubscription: if more threads are pinned than physical cores,
         // time dilates proportionally (two-way SMT-style interleaving).
-        if total_threads > self.profile.cuda_cores as u64 {
-            let num = total_threads;
-            let den = self.profile.cuda_cores as u64;
-            compute = compute * num / den;
+        let cores = self.profile.cuda_cores as u64;
+        let oversubscribed = total_threads > cores;
+        if oversubscribed {
+            compute = compute * total_threads / cores;
         }
 
         let h2d_bytes: u64 = transfers
@@ -289,27 +307,104 @@ impl Gpu {
         }
         .max(1);
 
-        // Traces and accounting.
-        let capacity = self.profile.cuda_cores as f64 * step as f64;
-        let compute_capacity = total_threads as f64 * compute as f64;
-        self.trace.push(UtilSample {
-            start_cycle: self.clock,
-            len: step,
-            utilization: (busy as f64 / capacity).min(1.0),
-            compute,
-            alloc_threads: total_threads,
-            compute_utilization: if compute_capacity > 0.0 {
-                (busy as f64 / compute_capacity).min(1.0)
-            } else {
-                0.0
-            },
-        });
-        for k in kernels {
-            let stats = self.kernel_stats.entry(k.name.clone()).or_default();
-            stats.busy_cycles += k.work.useful_cycles();
-            stats.occupied_cycles += k.threads as u64 * step;
-            stats.steps += 1;
+        // Traces and accounting, gated by the trace level. `Off` keeps only
+        // the O(1) scalar totals below; `Stats` adds the utilization trace
+        // and cumulative per-kernel statistics; `Full` adds per-step events.
+        if self.trace_level != TraceLevel::Off {
+            let capacity = self.profile.cuda_cores as f64 * step as f64;
+            let compute_capacity = total_threads as f64 * compute as f64;
+            self.trace.push(UtilSample {
+                start_cycle: self.clock,
+                len: step,
+                utilization: (busy as f64 / capacity).min(1.0),
+                compute,
+                alloc_threads: total_threads,
+                compute_utilization: if compute_capacity > 0.0 {
+                    (busy as f64 / compute_capacity).min(1.0)
+                } else {
+                    0.0
+                },
+            });
+            for k in kernels {
+                let stats = self.kernel_stats.entry(k.name.clone()).or_default();
+                stats.busy_cycles += k.work.useful_cycles();
+                stats.occupied_cycles += k.threads as u64 * step;
+                stats.steps += 1;
+            }
         }
+        if self.trace_level == TraceLevel::Full {
+            for k in kernels {
+                if k.work.is_empty() {
+                    continue;
+                }
+                let raw = k.duration_cycles();
+                let mut dur = raw + self.cost.kernel_launch;
+                if oversubscribed {
+                    dur = dur * total_threads / cores;
+                }
+                let useful = k.work.useful_cycles();
+                let lane_capacity = k.threads as u64 * raw;
+                self.kernel_events.push(KernelEvent {
+                    step: self.steps,
+                    start_cycle: self.clock,
+                    duration_cycles: dur.min(compute),
+                    name: k.name.clone(),
+                    threads: k.threads,
+                    busy_cycles: useful,
+                    warp_occupancy: if lane_capacity > 0 {
+                        (useful as f64 / lane_capacity as f64).min(1.0)
+                    } else {
+                        0.0
+                    },
+                });
+            }
+            // Each direction has one copy engine; transfers queue on it in
+            // submission order. With multi-stream the engines start with the
+            // compute; serialized, h2d follows compute and d2h follows h2d.
+            let h2d_start = if multi_stream {
+                self.clock
+            } else {
+                self.clock + compute
+            };
+            let d2h_start = if multi_stream {
+                self.clock
+            } else {
+                self.clock + compute + h2d
+            };
+            let (mut h2d_off, mut d2h_off) = (0u64, 0u64);
+            for t in transfers {
+                let dur = self.profile.transfer_cycles(t.bytes);
+                let (start, overlapped) = match t.dir {
+                    Dir::HostToDevice => {
+                        let s = h2d_start + h2d_off;
+                        h2d_off += dur;
+                        (s, multi_stream && h2d <= compute)
+                    }
+                    Dir::DeviceToHost => {
+                        let s = d2h_start + d2h_off;
+                        d2h_off += dur;
+                        (s, multi_stream && d2h <= compute)
+                    }
+                };
+                self.transfer_events.push(TransferEvent {
+                    step: self.steps,
+                    start_cycle: start,
+                    duration_cycles: dur,
+                    bytes: t.bytes,
+                    dir: t.dir,
+                    overlapped,
+                });
+            }
+            self.step_events.push(StepEvent {
+                step: self.steps,
+                start_cycle: self.clock,
+                step_cycles: step,
+                compute_cycles: compute,
+                h2d_cycles: h2d,
+                d2h_cycles: d2h,
+            });
+        }
+        self.steps += 1;
         self.clock += step;
         self.total_busy += busy;
         self.total_h2d_bytes += h2d_bytes;
@@ -371,6 +466,40 @@ impl Gpu {
         &self.kernel_stats
     }
 
+    /// The current trace recording level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.trace_level
+    }
+
+    /// Sets the trace recording level for subsequent steps. Already-recorded
+    /// events are kept.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace_level = level;
+    }
+
+    /// Per-kernel events recorded at [`TraceLevel::Full`].
+    pub fn kernel_events(&self) -> &[KernelEvent] {
+        &self.kernel_events
+    }
+
+    /// Per-transfer events recorded at [`TraceLevel::Full`].
+    pub fn transfer_events(&self) -> &[TransferEvent] {
+        &self.transfer_events
+    }
+
+    /// Per-step timing events recorded at [`TraceLevel::Full`].
+    pub fn step_events(&self) -> &[StepEvent] {
+        &self.step_events
+    }
+
+    /// Serializes the events recorded at [`TraceLevel::Full`] to Chrome-trace
+    /// JSON (open in `chrome://tracing` or <https://ui.perfetto.dev>; one
+    /// device cycle is rendered as one microsecond). Byte-deterministic for a
+    /// given run.
+    pub fn chrome_trace_json(&self) -> String {
+        crate::trace::chrome_trace_json(&self.kernel_events, &self.transfer_events)
+    }
+
     /// Total bytes moved host→device.
     pub fn total_h2d_bytes(&self) -> u64 {
         self.total_h2d_bytes
@@ -381,11 +510,16 @@ impl Gpu {
         self.total_d2h_bytes
     }
 
-    /// Resets clock, traces and statistics but keeps memory state.
+    /// Resets clock, traces, events and statistics but keeps memory state
+    /// and the trace level.
     pub fn reset_clock(&mut self) {
         self.clock = 0;
         self.trace.clear();
         self.kernel_stats.clear();
+        self.kernel_events.clear();
+        self.transfer_events.clear();
+        self.step_events.clear();
+        self.steps = 0;
         self.total_busy = 0;
         self.total_h2d_bytes = 0;
         self.total_d2h_bytes = 0;
@@ -402,17 +536,25 @@ mod tests {
 
     #[test]
     fn uniform_work_duration() {
-        let k = KernelStep::new("k", 64, Work::Uniform {
-            units: 640,
-            cycles_per_unit: 10,
-        });
+        let k = KernelStep::new(
+            "k",
+            64,
+            Work::Uniform {
+                units: 640,
+                cycles_per_unit: 10,
+            },
+        );
         // 640 units over 64 threads = 10 waves of 10 cycles.
         assert_eq!(k.duration_cycles(), 100);
         // Non-divisible: 641 units -> 11 waves.
-        let k2 = KernelStep::new("k", 64, Work::Uniform {
-            units: 641,
-            cycles_per_unit: 10,
-        });
+        let k2 = KernelStep::new(
+            "k",
+            64,
+            Work::Uniform {
+                units: 641,
+                cycles_per_unit: 10,
+            },
+        );
         assert_eq!(k2.duration_cycles(), 110);
     }
 
@@ -435,14 +577,22 @@ mod tests {
         let launch = g.cost().kernel_launch;
         let out = g.execute_step(
             &[
-                KernelStep::new("fast", 32, Work::Uniform {
-                    units: 32,
-                    cycles_per_unit: 10,
-                }),
-                KernelStep::new("slow", 32, Work::Uniform {
-                    units: 32,
-                    cycles_per_unit: 500,
-                }),
+                KernelStep::new(
+                    "fast",
+                    32,
+                    Work::Uniform {
+                        units: 32,
+                        cycles_per_unit: 10,
+                    },
+                ),
+                KernelStep::new(
+                    "slow",
+                    32,
+                    Work::Uniform {
+                        units: 32,
+                        cycles_per_unit: 500,
+                    },
+                ),
             ],
             &[],
             true,
@@ -455,10 +605,14 @@ mod tests {
     fn oversubscription_dilates_time() {
         let mut g = gpu(); // 5120 cores
         let out = g.execute_step(
-            &[KernelStep::new("k", 10240, Work::Uniform {
-                units: 10240,
-                cycles_per_unit: 100,
-            })],
+            &[KernelStep::new(
+                "k",
+                10240,
+                Work::Uniform {
+                    units: 10240,
+                    cycles_per_unit: 100,
+                },
+            )],
             &[],
             true,
         );
@@ -469,10 +623,14 @@ mod tests {
     #[test]
     fn multi_stream_overlaps_transfers() {
         let mut g = gpu();
-        let kernels = [KernelStep::new("k", 1024, Work::Uniform {
-            units: 1024 * 1024,
-            cycles_per_unit: 100,
-        })];
+        let kernels = [KernelStep::new(
+            "k",
+            1024,
+            Work::Uniform {
+                units: 1024 * 1024,
+                cycles_per_unit: 100,
+            },
+        )];
         let transfers = [
             Transfer {
                 bytes: 1 << 20,
@@ -503,10 +661,14 @@ mod tests {
     fn utilization_trace_records_steps() {
         let mut g = gpu();
         g.execute_step(
-            &[KernelStep::new("k", 5120, Work::Uniform {
-                units: 5120,
-                cycles_per_unit: 1_000_000,
-            })],
+            &[KernelStep::new(
+                "k",
+                5120,
+                Work::Uniform {
+                    units: 5120,
+                    cycles_per_unit: 1_000_000,
+                },
+            )],
             &[],
             true,
         );
@@ -515,10 +677,14 @@ mod tests {
         assert!(sample.utilization > 0.95, "full device ~1.0: {sample:?}");
         // An eighth of the device busy -> ~0.125 utilization.
         g.execute_step(
-            &[KernelStep::new("k", 640, Work::Uniform {
-                units: 640,
-                cycles_per_unit: 1_000_000,
-            })],
+            &[KernelStep::new(
+                "k",
+                640,
+                Work::Uniform {
+                    units: 640,
+                    cycles_per_unit: 1_000_000,
+                },
+            )],
             &[],
             true,
         );
@@ -535,10 +701,14 @@ mod tests {
         let mut g = gpu();
         for _ in 0..3 {
             g.execute_step(
-                &[KernelStep::new("layer0", 64, Work::Uniform {
-                    units: 64,
-                    cycles_per_unit: 10,
-                })],
+                &[KernelStep::new(
+                    "layer0",
+                    64,
+                    Work::Uniform {
+                        units: 64,
+                        cycles_per_unit: 10,
+                    },
+                )],
                 &[],
                 true,
             );
@@ -569,10 +739,14 @@ mod tests {
     fn reset_clock_clears_traces() {
         let mut g = gpu();
         g.execute_step(
-            &[KernelStep::new("k", 1, Work::Uniform {
-                units: 1,
-                cycles_per_unit: 5,
-            })],
+            &[KernelStep::new(
+                "k",
+                1,
+                Work::Uniform {
+                    units: 1,
+                    cycles_per_unit: 5,
+                },
+            )],
             &[],
             true,
         );
@@ -584,14 +758,170 @@ mod tests {
     }
 
     #[test]
+    fn trace_level_off_records_no_samples_but_keeps_totals() {
+        let mut g = Gpu::with_trace_level(DeviceProfile::v100(), TraceLevel::Off);
+        let out = g.execute_step(
+            &[KernelStep::new(
+                "k",
+                64,
+                Work::Uniform {
+                    units: 64,
+                    cycles_per_unit: 10,
+                },
+            )],
+            &[Transfer {
+                bytes: 4096,
+                dir: Dir::HostToDevice,
+            }],
+            true,
+        );
+        assert!(out.step_cycles > 0);
+        assert!(g.utilization_trace().is_empty());
+        assert!(g.kernel_stats().is_empty());
+        assert!(g.kernel_events().is_empty());
+        assert!(g.transfer_events().is_empty());
+        assert!(g.step_events().is_empty());
+        assert!(g.elapsed_cycles() > 0);
+        assert_eq!(g.total_h2d_bytes(), 4096);
+        // Timing is identical to a recording device.
+        let mut g2 = Gpu::with_trace_level(DeviceProfile::v100(), TraceLevel::Full);
+        let out2 = g2.execute_step(
+            &[KernelStep::new(
+                "k",
+                64,
+                Work::Uniform {
+                    units: 64,
+                    cycles_per_unit: 10,
+                },
+            )],
+            &[Transfer {
+                bytes: 4096,
+                dir: Dir::HostToDevice,
+            }],
+            true,
+        );
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn trace_level_full_records_events() {
+        let mut g = Gpu::with_trace_level(DeviceProfile::v100(), TraceLevel::Full);
+        g.execute_step(
+            &[
+                KernelStep::new(
+                    "a",
+                    32,
+                    Work::Uniform {
+                        units: 32,
+                        cycles_per_unit: 10,
+                    },
+                ),
+                KernelStep::new(
+                    "b",
+                    64,
+                    Work::Uniform {
+                        units: 64,
+                        cycles_per_unit: 500_000,
+                    },
+                ),
+            ],
+            &[
+                Transfer {
+                    bytes: 1 << 16,
+                    dir: Dir::HostToDevice,
+                },
+                Transfer {
+                    bytes: 1 << 10,
+                    dir: Dir::DeviceToHost,
+                },
+            ],
+            true,
+        );
+        g.execute_step(
+            &[KernelStep::new(
+                "a",
+                32,
+                Work::Uniform {
+                    units: 32,
+                    cycles_per_unit: 10,
+                },
+            )],
+            &[],
+            true,
+        );
+        assert_eq!(g.step_events().len(), 2);
+        assert_eq!(g.kernel_events().len(), 3);
+        assert_eq!(g.transfer_events().len(), 2);
+        let steps = g.step_events();
+        assert_eq!(steps[0].start_cycle, 0);
+        assert_eq!(steps[1].start_cycle, steps[0].step_cycles);
+        // Kernel durations never exceed their step's compute span.
+        for (e, s) in [
+            (&g.kernel_events()[0], steps[0]),
+            (&g.kernel_events()[1], steps[0]),
+            (&g.kernel_events()[2], steps[1]),
+        ] {
+            assert!(e.duration_cycles <= s.compute_cycles);
+            assert!(e.warp_occupancy > 0.0 && e.warp_occupancy <= 1.0);
+        }
+        // Fully-coalesced uniform work has occupancy 1.
+        assert_eq!(g.kernel_events()[0].warp_occupancy, 1.0);
+        // Both transfers fit under the slow kernel: overlapped.
+        assert!(g.transfer_events().iter().all(|t| t.overlapped));
+        let json = g.chrome_trace_json();
+        assert_eq!(json, g.chrome_trace_json(), "export must be deterministic");
+        assert!(json.contains("\"traceEvents\""));
+        g.reset_clock();
+        assert!(g.kernel_events().is_empty());
+        assert!(g.step_events().is_empty());
+        assert!(g.transfer_events().is_empty());
+        assert_eq!(g.trace_level(), TraceLevel::Full, "level survives reset");
+    }
+
+    #[test]
+    fn serialized_transfers_queue_after_compute() {
+        let mut g = Gpu::with_trace_level(DeviceProfile::v100(), TraceLevel::Full);
+        let out = g.execute_step(
+            &[KernelStep::new(
+                "k",
+                32,
+                Work::Uniform {
+                    units: 32,
+                    cycles_per_unit: 100,
+                },
+            )],
+            &[
+                Transfer {
+                    bytes: 1 << 20,
+                    dir: Dir::HostToDevice,
+                },
+                Transfer {
+                    bytes: 1 << 20,
+                    dir: Dir::DeviceToHost,
+                },
+            ],
+            false,
+        );
+        let h2d = &g.transfer_events()[0];
+        let d2h = &g.transfer_events()[1];
+        assert_eq!(h2d.start_cycle, out.compute_cycles);
+        assert_eq!(d2h.start_cycle, out.compute_cycles + out.h2d_cycles);
+        assert!(!h2d.overlapped && !d2h.overlapped);
+    }
+
+    #[test]
     fn faster_device_finishes_sooner() {
         let mk = |profile: DeviceProfile| {
             let mut g = Gpu::new(profile);
             g.execute_step(
-                &[KernelStep::new("k", 4096, Work::Uniform {
-                    units: 1 << 22,
-                    cycles_per_unit: 130,
-                })],
+                &[KernelStep::new(
+                    "k",
+                    4096,
+                    Work::Uniform {
+                        units: 1 << 22,
+                        cycles_per_unit: 130,
+                    },
+                )],
                 &[],
                 true,
             );

@@ -184,16 +184,13 @@ mod tests {
     #[test]
     fn interconnect_bandwidth_ordering() {
         assert!(
-            Interconnect::Pcie3x16.bytes_per_second()
-                < Interconnect::Pcie4x16.bytes_per_second()
+            Interconnect::Pcie3x16.bytes_per_second() < Interconnect::Pcie4x16.bytes_per_second()
         );
         assert!(
-            Interconnect::Pcie4x16.bytes_per_second()
-                < Interconnect::Pcie5x16.bytes_per_second()
+            Interconnect::Pcie4x16.bytes_per_second() < Interconnect::Pcie5x16.bytes_per_second()
         );
         assert!(
-            Interconnect::Pcie5x16.bytes_per_second()
-                < Interconnect::NvlinkC2c.bytes_per_second()
+            Interconnect::Pcie5x16.bytes_per_second() < Interconnect::NvlinkC2c.bytes_per_second()
         );
     }
 }

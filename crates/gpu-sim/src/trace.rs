@@ -1,0 +1,251 @@
+//! Per-step event recording and Chrome-trace export.
+//!
+//! The simulator's aggregate counters ([`crate::KernelStats`],
+//! [`crate::UtilSample`]) answer "how fast was the run"; the event recorder
+//! in this module answers "*where did the cycles go*" — per kernel, per copy
+//! engine, per step — the way the paper's Figure 4 timeline does. Recording
+//! granularity is controlled by [`TraceLevel`]:
+//!
+//! * [`TraceLevel::Off`] — only O(1) scalar totals (clock, busy cycles,
+//!   transfer bytes) are maintained; no per-step allocation at all, so
+//!   benchmark loops pay nothing.
+//! * [`TraceLevel::Stats`] — the default: utilization samples and per-kernel
+//!   cumulative statistics, the pre-existing behaviour.
+//! * [`TraceLevel::Full`] — additionally records one [`KernelEvent`] per
+//!   resident kernel per step, one [`TransferEvent`] per submitted transfer,
+//!   and one [`StepEvent`] per step, enabling [`chrome_trace_json`] export.
+//!
+//! The Chrome trace format is the JSON event array consumed by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: duration (`"ph": "X"`)
+//! events with microsecond timestamps. We emit **one device cycle as one
+//! microsecond** — the viewer's time axis then reads directly in simulated
+//! cycles. Track layout: process 0 carries one thread per kernel name (in
+//! order of first appearance) plus two extra threads for the `copy-h2d` and
+//! `copy-d2h` engines. The export is byte-deterministic for a given run:
+//! events are emitted in recording order and every number is an integer.
+
+use crate::gpu::Dir;
+
+/// How much the device records while executing steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// No per-step recording; scalar totals only. Zero overhead.
+    Off,
+    /// Utilization samples + cumulative per-kernel statistics (default).
+    #[default]
+    Stats,
+    /// Everything in `Stats` plus per-step kernel/transfer/step events.
+    Full,
+}
+
+/// One kernel's execution during one step (recorded at [`TraceLevel::Full`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEvent {
+    /// Index of the step this execution belongs to (0-based).
+    pub step: u64,
+    /// Clock value when the step (and hence this kernel) started.
+    pub start_cycle: u64,
+    /// Cycles this kernel ran: its own duration plus launch overhead,
+    /// dilated by oversubscription, never exceeding the step's compute span.
+    pub duration_cycles: u64,
+    /// Kernel name (stage identity).
+    pub name: String,
+    /// Threads dedicated to the kernel this step.
+    pub threads: u32,
+    /// Useful cycles summed over the kernel's threads.
+    pub busy_cycles: u64,
+    /// Fraction of the kernel's allocated lane-cycles doing useful work
+    /// during its own duration (SIMD divergence + partial waves), 0..=1.
+    pub warp_occupancy: f64,
+}
+
+/// One host↔device transfer during one step (recorded at
+/// [`TraceLevel::Full`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferEvent {
+    /// Index of the step this transfer belongs to (0-based).
+    pub step: u64,
+    /// Clock value when the copy engine started on this transfer.
+    pub start_cycle: u64,
+    /// Cycles the copy engine spent on this transfer.
+    pub duration_cycles: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Transfer direction (selects the copy engine).
+    pub dir: Dir,
+    /// Whether the transfer was hidden behind compute: multi-stream was on
+    /// and the whole engine's traffic fit inside the step's compute span.
+    pub overlapped: bool,
+}
+
+/// Aggregate timing of one step (recorded at [`TraceLevel::Full`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEvent {
+    /// Step index (0-based).
+    pub step: u64,
+    /// Clock value when the step started.
+    pub start_cycle: u64,
+    /// Wall cycles of the whole step after the overlap policy.
+    pub step_cycles: u64,
+    /// Cycles the compute kernels occupied.
+    pub compute_cycles: u64,
+    /// Cycles the host→device copy engine occupied.
+    pub h2d_cycles: u64,
+    /// Cycles the device→host copy engine occupied.
+    pub d2h_cycles: u64,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes recorded events to Chrome-trace JSON (see module docs for the
+/// track layout). Deterministic: same events → byte-identical output.
+pub(crate) fn chrome_trace_json(
+    kernel_events: &[KernelEvent],
+    transfer_events: &[TransferEvent],
+) -> String {
+    // Track ids: kernels by first appearance, then the two copy engines.
+    let mut names: Vec<&str> = Vec::new();
+    for e in kernel_events {
+        if !names.iter().any(|n| *n == e.name) {
+            names.push(&e.name);
+        }
+    }
+    let h2d_tid = names.len() as u64 + 1;
+    let d2h_tid = names.len() as u64 + 2;
+
+    let mut events: Vec<String> = Vec::new();
+    // Metadata: name each track.
+    events.push(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"batchzk device\"}}"
+            .to_string(),
+    );
+    for (i, name) in names.iter().enumerate() {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            i as u64 + 1,
+            json_escape(name)
+        ));
+    }
+    events.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{h2d_tid},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"copy-h2d\"}}}}"
+    ));
+    events.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{d2h_tid},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"copy-d2h\"}}}}"
+    ));
+
+    for e in kernel_events {
+        let tid = names.iter().position(|n| *n == e.name).expect("known") as u64 + 1;
+        // warp occupancy in parts-per-million keeps the output integral and
+        // therefore byte-deterministic across platforms.
+        let occ_ppm = (e.warp_occupancy * 1e6).round() as u64;
+        events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+             \"name\":\"{name}\",\"args\":{{\"step\":{step},\"threads\":{threads},\
+             \"busy_cycles\":{busy},\"warp_occupancy_ppm\":{occ_ppm}}}}}",
+            ts = e.start_cycle,
+            dur = e.duration_cycles.max(1),
+            name = json_escape(&e.name),
+            step = e.step,
+            threads = e.threads,
+            busy = e.busy_cycles,
+        ));
+    }
+    for e in transfer_events {
+        let (tid, name) = match e.dir {
+            Dir::HostToDevice => (h2d_tid, "h2d"),
+            Dir::DeviceToHost => (d2h_tid, "d2h"),
+        };
+        events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+             \"name\":\"{name}\",\"args\":{{\"step\":{step},\"bytes\":{bytes},\
+             \"overlapped\":{overlapped}}}}}",
+            ts = e.start_cycle,
+            dur = e.duration_cycles.max(1),
+            step = e.step,
+            bytes = e.bytes,
+            overlapped = e.overlapped,
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn export_is_valid_and_ordered() {
+        let kernels = vec![
+            KernelEvent {
+                step: 0,
+                start_cycle: 0,
+                duration_cycles: 10,
+                name: "stage-a".into(),
+                threads: 32,
+                busy_cycles: 320,
+                warp_occupancy: 1.0,
+            },
+            KernelEvent {
+                step: 1,
+                start_cycle: 10,
+                duration_cycles: 5,
+                name: "stage-b".into(),
+                threads: 16,
+                busy_cycles: 40,
+                warp_occupancy: 0.5,
+            },
+        ];
+        let transfers = vec![TransferEvent {
+            step: 0,
+            start_cycle: 0,
+            duration_cycles: 3,
+            bytes: 4096,
+            dir: Dir::HostToDevice,
+            overlapped: true,
+        }];
+        let json = chrome_trace_json(&kernels, &transfers);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("stage-a"));
+        assert!(json.contains("copy-h2d"));
+        assert!(json.contains("\"warp_occupancy_ppm\":500000"));
+        // Deterministic.
+        assert_eq!(json, chrome_trace_json(&kernels, &transfers));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+}

@@ -9,31 +9,38 @@ mod sha256;
 mod transcript;
 
 pub use prg::Prg;
-pub use sha256::{Digest, H0, Sha256, compress, hash_block, hash_pair, sha256};
+pub use sha256::{compress, hash_block, hash_pair, sha256, Digest, Sha256, H0};
 pub use transcript::Transcript;
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use batchzk_field::{RngCore, SplitMix64};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
-                                      split in 0usize..512) {
-            let split = split.min(data.len());
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut rng = SplitMix64::seed_from_u64(0xB0);
+        for _ in 0..32 {
+            let len = rng.gen_range(0..512);
+            let mut data = vec![0u8; len];
+            rng.fill_bytes(&mut data);
+            let split = rng.gen_range(0..=len);
             let mut h = Sha256::new();
             h.update(&data[..split]);
             h.update(&data[split..]);
-            prop_assert_eq!(h.finalize(), sha256(&data));
+            assert_eq!(h.finalize(), sha256(&data));
         }
+    }
 
-        #[test]
-        fn prg_stream_chunking_is_consistent(seed in any::<[u8; 32]>(),
-                                             chunks in proptest::collection::vec(1usize..40, 1..8)) {
-            use rand::RngCore;
+    #[test]
+    fn prg_stream_chunking_is_consistent() {
+        let mut rng = SplitMix64::seed_from_u64(0xB1);
+        for _ in 0..32 {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            let chunks: Vec<usize> = (0..rng.gen_range(1..8))
+                .map(|_| rng.gen_range(1..40))
+                .collect();
             let total: usize = chunks.iter().sum();
             let mut whole = vec![0u8; total];
             Prg::from_seed(seed).fill_bytes(&mut whole);
@@ -44,20 +51,26 @@ mod proptests {
                 prg.fill_bytes(&mut buf);
                 parts.extend_from_slice(&buf);
             }
-            prop_assert_eq!(parts, whole);
+            assert_eq!(parts, whole);
         }
+    }
 
-        #[test]
-        fn transcript_diverges_on_any_absorb_difference(
-            a in proptest::collection::vec(any::<u8>(), 0..32),
-            b in proptest::collection::vec(any::<u8>(), 0..32),
-        ) {
-            prop_assume!(a != b);
+    #[test]
+    fn transcript_diverges_on_any_absorb_difference() {
+        let mut rng = SplitMix64::seed_from_u64(0xB2);
+        for _ in 0..32 {
+            let mut a = vec![0u8; rng.gen_range(0..32)];
+            let mut b = vec![0u8; rng.gen_range(0..32)];
+            rng.fill_bytes(&mut a);
+            rng.fill_bytes(&mut b);
+            if a == b {
+                continue;
+            }
             let mut ta = Transcript::new(b"prop");
             let mut tb = Transcript::new(b"prop");
             ta.absorb_bytes(b"m", &a);
             tb.absorb_bytes(b"m", &b);
-            prop_assert_ne!(ta.challenge_bytes(b"c"), tb.challenge_bytes(b"c"));
+            assert_ne!(ta.challenge_bytes(b"c"), tb.challenge_bytes(b"c"));
         }
     }
 }

@@ -3,10 +3,10 @@
 //! Figure 7 of the paper derives sum-check randomness from "pseudorandom
 //! generators using either the final Merkle root or the output from other
 //! sum-check modules as a seed". [`Prg`] is that component. It also
-//! implements [`rand::RngCore`] so it can drive any seeded sampling in the
-//! workspace deterministically.
+//! implements [`batchzk_field::RngCore`] so it can drive any seeded sampling
+//! in the workspace deterministically.
 
-use rand::RngCore;
+use batchzk_field::RngCore;
 
 use crate::sha256::{Digest, Sha256};
 
@@ -16,7 +16,7 @@ use crate::sha256::{Digest, Sha256};
 ///
 /// ```
 /// use batchzk_hash::Prg;
-/// use rand::RngCore;
+/// use batchzk_field::RngCore;
 ///
 /// let mut a = Prg::from_seed([7u8; 32]);
 /// let mut b = Prg::from_seed([7u8; 32]);
@@ -49,6 +49,12 @@ impl Prg {
         Self::from_seed(h.finalize())
     }
 
+    /// Creates a generator from a 64-bit seed — the drop-in replacement for
+    /// `StdRng::seed_from_u64` at deterministic test/bench call sites.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::from_bytes(&seed.to_le_bytes())
+    }
+
     fn refill(&mut self) {
         let mut h = Sha256::new();
         h.update(&self.seed);
@@ -79,23 +85,17 @@ impl RngCore for Prg {
                 self.refill();
             }
             let take = (32 - self.used).min(dest.len() - filled);
-            dest[filled..filled + take]
-                .copy_from_slice(&self.buffer[self.used..self.used + take]);
+            dest[filled..filled + take].copy_from_slice(&self.buffer[self.used..self.used + take]);
             self.used += take;
             filled += take;
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use batchzk_field::{Field, Fr};
+    use batchzk_field::{Field, Fr, RngCore};
 
     #[test]
     fn deterministic() {

@@ -168,10 +168,7 @@ mod tests {
         let mut t2 = Transcript::new(b"d");
         t1.absorb_bytes(b"ab", b"c");
         t2.absorb_bytes(b"a", b"bc");
-        assert_ne!(
-            t1.challenge_bytes(b"x"),
-            t2.challenge_bytes(b"x")
-        );
+        assert_ne!(t1.challenge_bytes(b"x"), t2.challenge_bytes(b"x"));
     }
 
     #[test]

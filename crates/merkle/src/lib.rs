@@ -21,7 +21,7 @@
 //! ```
 
 use batchzk_field::Field;
-use batchzk_hash::{Digest, hash_block, hash_pair};
+use batchzk_hash::{hash_block, hash_pair, Digest};
 
 /// A fully materialized Merkle tree (all layers kept, leaf layer first).
 #[derive(Debug, Clone)]
@@ -164,7 +164,7 @@ impl MerkleTree {
 }
 
 /// An authentication path proving membership of one leaf digest.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MerklePath {
     leaf: Digest,
     index: usize,
@@ -384,15 +384,16 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use batchzk_field::{RngCore, SplitMix64};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        #[test]
-        fn every_path_verifies(n in 1usize..64, seed in any::<u64>()) {
+    #[test]
+    fn every_path_verifies() {
+        let mut rng = SplitMix64::seed_from_u64(0xC0);
+        for _ in 0..16 {
+            let n = rng.gen_range(1..64);
+            let seed = rng.next_u64();
             let blocks: Vec<[u8; 64]> = (0..n)
                 .map(|i| {
                     let mut b = [0u8; 64];
@@ -402,34 +403,39 @@ mod proptests {
                 .collect();
             let tree = MerkleTree::from_blocks(&blocks);
             for i in 0..n {
-                prop_assert!(tree.open(i).verify(&tree.root()));
+                assert!(tree.open(i).verify(&tree.root()));
             }
         }
+    }
 
-        #[test]
-        fn single_bit_flip_changes_root(
-            n in 2usize..32,
-            idx in 0usize..32,
-            byte in 0usize..64,
-            bit in 0u8..8,
-        ) {
-            let idx = idx % n;
+    #[test]
+    fn single_bit_flip_changes_root() {
+        let mut rng = SplitMix64::seed_from_u64(0xC1);
+        for _ in 0..16 {
+            let n = rng.gen_range(2..32);
+            let idx = rng.gen_range(0..n);
+            let byte = rng.gen_range(0..64);
+            let bit = rng.gen_range(0..8) as u8;
             let mut blocks: Vec<[u8; 64]> = (0..n).map(|i| [i as u8; 64]).collect();
             let before = MerkleTree::from_blocks(&blocks).root();
             blocks[idx][byte] ^= 1 << bit;
             let after = MerkleTree::from_blocks(&blocks).root();
-            prop_assert_ne!(before, after);
+            assert_ne!(before, after);
         }
+    }
 
-        #[test]
-        fn path_roundtrip(n in 1usize..40, idx in 0usize..40) {
-            let idx = idx % n;
+    #[test]
+    fn path_roundtrip() {
+        let mut rng = SplitMix64::seed_from_u64(0xC2);
+        for _ in 0..16 {
+            let n = rng.gen_range(1..40);
+            let idx = rng.gen_range(0..n);
             let blocks: Vec<[u8; 64]> = (0..n).map(|i| [i as u8; 64]).collect();
             let tree = MerkleTree::from_blocks(&blocks);
             let path = tree.open(idx);
             let decoded = MerklePath::from_bytes(&path.to_bytes()).expect("decodes");
-            prop_assert_eq!(&decoded, &path);
-            prop_assert!(decoded.verify(&tree.root()));
+            assert_eq!(&decoded, &path);
+            assert!(decoded.verify(&tree.root()));
         }
     }
 }

@@ -14,7 +14,7 @@ use batchzk_encoder::{Encoder, SparseMatrix};
 use batchzk_field::Field;
 use batchzk_gpu_sim::{CostModel, Gpu, Work};
 
-use crate::engine::{PipeStage, Pipeline, PipelineRun, StageWork, allocate_threads};
+use crate::engine::{allocate_threads, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork};
 
 /// An encoding task flowing through both pipelines.
 #[derive(Debug)]
@@ -165,6 +165,11 @@ pub type EncodeRun<F> = PipelineRun<EncodeTask<F>>;
 /// `warp_sorted` selects the bucket-sorted row schedule (§3.3); disabling it
 /// is the ablation baseline that pays warp divergence.
 ///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfDeviceMemory`] if the working set does not
+/// fit in simulated device memory.
+///
 /// # Panics
 ///
 /// Panics if `messages` is empty or lengths differ from the encoder's.
@@ -175,7 +180,7 @@ pub fn run_pipelined<F: Field>(
     module_threads: u32,
     multi_stream: bool,
     warp_sorted: bool,
-) -> EncodeRun<F> {
+) -> Result<EncodeRun<F>, PipelineError> {
     assert!(!messages.is_empty(), "need at least one message");
     assert!(
         messages.iter().all(|m| m.len() == encoder.message_len()),
@@ -251,10 +256,10 @@ mod tests {
     use batchzk_encoder::EncoderParams;
     use batchzk_field::Fr;
     use batchzk_gpu_sim::DeviceProfile;
-    use rand::{SeedableRng, rngs::StdRng};
+    use batchzk_hash::Prg;
 
     fn messages(count: usize, n: usize, seed: u64) -> Vec<Vec<Fr>> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prg::seed_from_u64(seed);
         (0..count)
             .map(|_| (0..n).map(|_| Fr::random(&mut rng)).collect())
             .collect()
@@ -265,7 +270,8 @@ mod tests {
         let enc = Arc::new(Encoder::<Fr>::new(200, EncoderParams::default(), 5));
         let msgs = messages(4, 200, 1);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = run_pipelined(&mut gpu, Arc::clone(&enc), msgs.clone(), 512, true, true);
+        let run =
+            run_pipelined(&mut gpu, Arc::clone(&enc), msgs.clone(), 512, true, true).expect("fits");
         for (task, msg) in run.outputs.iter().zip(&msgs) {
             assert_eq!(task.codeword(), &enc.encode(msg)[..]);
         }
@@ -277,10 +283,12 @@ mod tests {
         let msgs = messages(8, 400, 2);
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let sorted = run_pipelined(&mut gpu, Arc::clone(&enc), msgs.clone(), 512, true, true)
+            .expect("fits")
             .stats
             .total_cycles;
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let unsorted = run_pipelined(&mut gpu, enc, msgs, 512, true, false)
+            .expect("fits")
             .stats
             .total_cycles;
         assert!(sorted <= unsorted, "sorted {sorted} vs unsorted {unsorted}");
@@ -291,7 +299,7 @@ mod tests {
         let enc = Arc::new(Encoder::<Fr>::new(16, EncoderParams::default(), 7));
         let msgs = messages(3, 16, 3);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = run_pipelined(&mut gpu, enc, msgs.clone(), 64, true, true);
+        let run = run_pipelined(&mut gpu, enc, msgs.clone(), 64, true, true).expect("fits");
         for (task, msg) in run.outputs.iter().zip(&msgs) {
             assert_eq!(task.codeword(), &msg[..]);
         }
@@ -309,10 +317,20 @@ mod tests {
     fn throughput_grows_with_batch() {
         let enc = Arc::new(Encoder::<Fr>::new(128, EncoderParams::default(), 9));
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let one = run_pipelined(&mut gpu, Arc::clone(&enc), messages(1, 128, 5), 512, true, true)
-            .stats;
+        let one = run_pipelined(
+            &mut gpu,
+            Arc::clone(&enc),
+            messages(1, 128, 5),
+            512,
+            true,
+            true,
+        )
+        .expect("fits")
+        .stats;
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let many = run_pipelined(&mut gpu, enc, messages(24, 128, 6), 512, true, true).stats;
+        let many = run_pipelined(&mut gpu, enc, messages(24, 128, 6), 512, true, true)
+            .expect("fits")
+            .stats;
         assert!(many.throughput_per_ms > 1.5 * one.throughput_per_ms);
     }
 

@@ -11,7 +11,11 @@
 //! [`Pipeline::run`] drives the simulated GPU *and* performs the real
 //! computation: each [`PipeStage::process`] mutates the task (hashing,
 //! folding, multiplying — real arithmetic) and returns the cost description
-//! the simulator charges.
+//! the simulator charges. Alongside the run's aggregate [`RunStats`] it
+//! produces one [`StageStats`] per stage — the per-stage occupancy and
+//! stall decomposition behind the paper's Figure 4 timelines.
+
+use std::fmt;
 
 use batchzk_gpu_sim::{Dir, Gpu, KernelStep, MemHandle, Transfer, Work};
 
@@ -40,6 +44,84 @@ pub trait PipeStage<T> {
     fn process(&self, task: &mut T) -> StageWork;
 }
 
+/// Error returned by [`Pipeline::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A stage's device-memory footprint could not be allocated. All live
+    /// pipeline allocations are released before this is returned, so the
+    /// GPU's allocator is left clean (completed outputs are discarded).
+    OutOfDeviceMemory {
+        /// Name of the stage whose allocation failed.
+        stage: String,
+        /// Bytes the failing allocation requested.
+        requested_bytes: u64,
+        /// Bytes in use on the device at the time of the request.
+        in_use_bytes: u64,
+        /// Device capacity in bytes.
+        capacity_bytes: u64,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::OutOfDeviceMemory {
+                stage,
+                requested_bytes,
+                in_use_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "pipeline stage `{stage}` exceeded simulated device memory: \
+                 requested {requested_bytes} bytes with \
+                 {in_use_bytes}/{capacity_bytes} in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Per-stage occupancy and stall accounting for one pipeline run.
+///
+/// Every device cycle of the run is attributed to exactly one bucket per
+/// stage, so the buckets satisfy two conservation laws:
+///
+/// * `busy + imbalance_stall + memory_stall == occupied_cycles`
+/// * `occupied_cycles + fill_cycles + idle_cycles + drain_cycles ==`
+///   the run's `total_cycles`
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Kernel/stage name.
+    pub name: String,
+    /// Threads dedicated to the stage.
+    pub threads: u32,
+    /// Tasks the stage processed (= steps it held a task).
+    pub tasks: u64,
+    /// Cycles the stage held a task (steady state + its share of skew).
+    pub occupied_cycles: u64,
+    /// Cycles the stage's own kernel was actually executing.
+    pub busy_cycles: u64,
+    /// Occupied cycles spent waiting for a *slower sibling stage* to finish
+    /// its kernel — the paper's stage-imbalance cost (§4).
+    pub imbalance_stall_cycles: u64,
+    /// Occupied cycles spent waiting for host↔device transfers that the
+    /// compute could not hide (PCIe backpressure).
+    pub memory_stall_cycles: u64,
+    /// Cycles before the first task reached this stage (pipeline fill).
+    pub fill_cycles: u64,
+    /// Mid-run cycles with no resident task (bubbles between tasks).
+    pub idle_cycles: u64,
+    /// Cycles after the last task left this stage (pipeline drain).
+    pub drain_cycles: u64,
+    /// Host→device bytes loaded by this stage over the run.
+    pub h2d_bytes: u64,
+    /// Device→host bytes stored by this stage over the run.
+    pub d2h_bytes: u64,
+    /// Fraction of run cycles the stage held a task (0..=1).
+    pub occupancy: f64,
+}
+
 /// Aggregate results of a pipeline run.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -61,6 +143,8 @@ pub struct RunStats {
     pub h2d_bytes: u64,
     /// Total device→host traffic in bytes.
     pub d2h_bytes: u64,
+    /// Per-stage occupancy/stall breakdown, in stage order.
+    pub stage_stats: Vec<StageStats>,
 }
 
 /// Outcome of [`Pipeline::run`]: the completed tasks in completion order
@@ -80,6 +164,32 @@ struct Slot<T> {
     mem_bytes: u64,
 }
 
+/// Per-stage running accumulator for [`StageStats`].
+#[derive(Default)]
+struct StageAcc {
+    tasks: u64,
+    occupied: u64,
+    busy: u64,
+    imbalance: u64,
+    memory: u64,
+    fill: u64,
+    idle: u64,
+    /// Unoccupied cycles since the stage last held a task; resolved into
+    /// `idle` when the stage becomes occupied again, or into drain at the
+    /// end of the run.
+    gap: u64,
+    seen: bool,
+    h2d: u64,
+    d2h: u64,
+}
+
+fn work_is_empty(work: &Work) -> bool {
+    match work {
+        Work::Uniform { units, .. } => *units == 0,
+        Work::Items(items) => items.is_empty(),
+    }
+}
+
 /// A configured pipeline bound to a simulated GPU.
 pub struct Pipeline<'g, T> {
     gpu: &'g mut Gpu,
@@ -93,11 +203,7 @@ impl<'g, T> Pipeline<'g, T> {
     /// # Panics
     ///
     /// Panics if `stages` is empty.
-    pub fn new(
-        gpu: &'g mut Gpu,
-        stages: Vec<Box<dyn PipeStage<T>>>,
-        multi_stream: bool,
-    ) -> Self {
+    pub fn new(gpu: &'g mut Gpu, stages: Vec<Box<dyn PipeStage<T>>>, multi_stream: bool) -> Self {
         assert!(!stages.is_empty(), "a pipeline needs at least one stage");
         Self {
             gpu,
@@ -114,7 +220,13 @@ impl<'g, T> Pipeline<'g, T> {
     /// Streams `tasks` through the pipeline: one task enters per cycle, all
     /// occupied stages execute concurrently, and one task exits per cycle
     /// once the pipeline is full.
-    pub fn run(self, tasks: Vec<T>) -> PipelineRun<T> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::OutOfDeviceMemory`] if a stage's footprint
+    /// does not fit in device memory; all pipeline allocations are released
+    /// before returning.
+    pub fn run(self, tasks: Vec<T>) -> Result<PipelineRun<T>, PipelineError> {
         let Pipeline {
             gpu,
             stages,
@@ -131,6 +243,7 @@ impl<'g, T> Pipeline<'g, T> {
         let mut slots: Vec<Option<Slot<T>>> = (0..num_stages).map(|_| None).collect();
         let mut outputs: Vec<T> = Vec::with_capacity(total_tasks);
         let mut latencies: Vec<u64> = Vec::with_capacity(total_tasks);
+        let mut accs: Vec<StageAcc> = (0..num_stages).map(|_| StageAcc::default()).collect();
         let mut in_flight = 0usize;
         let mut remaining = total_tasks;
 
@@ -151,16 +264,20 @@ impl<'g, T> Pipeline<'g, T> {
 
             // Execute all occupied stages concurrently.
             let mut kernels: Vec<KernelStep> = Vec::new();
+            let mut kernel_stage: Vec<usize> = Vec::new();
             let mut transfers: Vec<Transfer> = Vec::new();
             let mut mem_updates: Vec<(usize, u64)> = Vec::new();
             for (i, slot) in slots.iter_mut().enumerate() {
                 let Some(slot) = slot.as_mut() else { continue };
                 let sw = stages[i].process(&mut slot.task);
+                accs[i].h2d += sw.h2d_bytes;
+                accs[i].d2h += sw.d2h_bytes;
                 kernels.push(KernelStep::new(
                     stages[i].name(),
                     stages[i].threads(),
                     sw.work,
                 ));
+                kernel_stage.push(i);
                 if sw.h2d_bytes > 0 {
                     transfers.push(Transfer {
                         bytes: sw.h2d_bytes,
@@ -182,11 +299,25 @@ impl<'g, T> Pipeline<'g, T> {
                 let slot = slots[i].as_mut().expect("slot occupied");
                 if new_bytes != slot.mem_bytes {
                     let new_handle = if new_bytes > 0 {
-                        Some(
-                            gpu.memory()
-                                .alloc(new_bytes, &stages[i].name())
-                                .expect("pipeline exceeded simulated device memory"),
-                        )
+                        match gpu.memory().alloc(new_bytes, &stages[i].name()) {
+                            Ok(handle) => Some(handle),
+                            Err(oom) => {
+                                // Release every live pipeline allocation so
+                                // the device allocator is clean for the
+                                // caller, then surface the failing stage.
+                                for s in slots.iter_mut().flatten() {
+                                    if let Some(handle) = s.mem.take() {
+                                        gpu.memory().free(handle);
+                                    }
+                                }
+                                return Err(PipelineError::OutOfDeviceMemory {
+                                    stage: stages[i].name(),
+                                    requested_bytes: oom.requested,
+                                    in_use_bytes: oom.in_use,
+                                    capacity_bytes: oom.capacity,
+                                });
+                            }
+                        }
                     } else {
                         None
                     };
@@ -198,7 +329,57 @@ impl<'g, T> Pipeline<'g, T> {
                 }
             }
 
-            gpu.execute_step(&kernels, &transfers, multi_stream);
+            let out = gpu.execute_step(&kernels, &transfers, multi_stream);
+
+            // Attribute this step's cycles to each stage's buckets. A
+            // stage's own kernel span is recomputed exactly as the simulator
+            // scales it (launch overhead + oversubscription dilation, capped
+            // at the step's compute span); the remainder of the step is
+            // either sibling imbalance (compute - own) or transfer
+            // backpressure (step - compute).
+            let launch = gpu.cost().kernel_launch;
+            let cores = gpu.profile().cuda_cores as u64;
+            let total_threads: u64 = kernels
+                .iter()
+                .filter(|k| !work_is_empty(&k.work))
+                .map(|k| k.threads as u64)
+                .sum();
+            let occupied_this_step: Vec<bool> = {
+                let mut v = vec![false; num_stages];
+                for &i in &kernel_stage {
+                    v[i] = true;
+                }
+                v
+            };
+            let step_len = out.step_cycles;
+            let compute = out.compute_cycles;
+            for i in 0..num_stages {
+                let acc = &mut accs[i];
+                if occupied_this_step[i] {
+                    acc.seen = true;
+                    acc.idle += acc.gap;
+                    acc.gap = 0;
+                    acc.tasks += 1;
+                    acc.occupied += step_len;
+                    let k = &kernels[kernel_stage.iter().position(|&s| s == i).expect("occupied")];
+                    let own = if work_is_empty(&k.work) {
+                        0
+                    } else {
+                        let mut d = k.duration_cycles() + launch;
+                        if total_threads > cores {
+                            d = d * total_threads / cores;
+                        }
+                        d.min(compute)
+                    };
+                    acc.busy += own;
+                    acc.imbalance += compute - own;
+                    acc.memory += step_len - compute;
+                } else if acc.seen {
+                    acc.gap += step_len;
+                } else {
+                    acc.fill += step_len;
+                }
+            }
 
             // Advance: the last stage's task exits, everyone shifts by one.
             if let Some(slot) = slots[num_stages - 1].take() {
@@ -222,8 +403,34 @@ impl<'g, T> Pipeline<'g, T> {
             0.0
         } else {
             let sum: u64 = latencies.iter().sum();
-            gpu.profile().cycles_to_seconds(sum / latencies.len() as u64) * 1e3
+            gpu.profile()
+                .cycles_to_seconds(sum / latencies.len() as u64)
+                * 1e3
         };
+        let stage_stats = stages
+            .iter()
+            .zip(accs)
+            .map(|(stage, acc)| StageStats {
+                name: stage.name(),
+                threads: stage.threads(),
+                tasks: acc.tasks,
+                occupied_cycles: acc.occupied,
+                busy_cycles: acc.busy,
+                imbalance_stall_cycles: acc.imbalance,
+                memory_stall_cycles: acc.memory,
+                fill_cycles: acc.fill,
+                idle_cycles: acc.idle,
+                // Whatever gap was still open when the run ended is drain.
+                drain_cycles: acc.gap,
+                h2d_bytes: acc.h2d,
+                d2h_bytes: acc.d2h,
+                occupancy: if total_cycles > 0 {
+                    acc.occupied as f64 / total_cycles as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
         let stats = RunStats {
             total_cycles,
             total_ms,
@@ -238,8 +445,9 @@ impl<'g, T> Pipeline<'g, T> {
             mean_utilization: gpu.mean_utilization(),
             h2d_bytes: gpu.total_h2d_bytes() - start_h2d,
             d2h_bytes: gpu.total_d2h_bytes() - start_d2h,
+            stage_stats,
         };
-        PipelineRun { outputs, stats }
+        Ok(PipelineRun { outputs, stats })
     }
 }
 
@@ -328,7 +536,9 @@ mod tests {
     #[test]
     fn tasks_pass_through_all_stages_in_order() {
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = three_stage(&mut gpu).run(vec![0, 1000, 2000]);
+        let run = three_stage(&mut gpu)
+            .run(vec![0, 1000, 2000])
+            .expect("fits");
         assert_eq!(run.outputs, vec![111, 1111, 2111]);
         assert_eq!(run.stats.tasks, 3);
     }
@@ -337,12 +547,11 @@ mod tests {
     fn pipeline_overlaps_tasks() {
         // m tasks through s stages takes m + s - 1 cycles, not m * s.
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = three_stage(&mut gpu).run((0..10).collect());
+        let run = three_stage(&mut gpu).run((0..10).collect()).expect("fits");
         // Each cycle costs the same; total cycles / per-cycle cost = 12.
         let per_cycle = run.stats.total_cycles / 12;
         assert!(
-            run.stats.total_cycles >= per_cycle * 12
-                && run.stats.total_cycles < per_cycle * 13,
+            run.stats.total_cycles >= per_cycle * 12 && run.stats.total_cycles < per_cycle * 13,
             "expected ~12 uniform cycles, got {}",
             run.stats.total_cycles
         );
@@ -351,15 +560,17 @@ mod tests {
     #[test]
     fn empty_task_list() {
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = three_stage(&mut gpu).run(vec![]);
+        let run = three_stage(&mut gpu).run(vec![]).expect("fits");
         assert!(run.outputs.is_empty());
         assert_eq!(run.stats.total_cycles, 0);
+        assert_eq!(run.stats.stage_stats.len(), 3);
+        assert!(run.stats.stage_stats.iter().all(|s| s.occupancy == 0.0));
     }
 
     #[test]
     fn single_task_latency_equals_total() {
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = three_stage(&mut gpu).run(vec![7]);
+        let run = three_stage(&mut gpu).run(vec![7]).expect("fits");
         assert_eq!(run.outputs, vec![118]);
         assert!((run.stats.mean_latency_ms - run.stats.total_ms).abs() < 1e-9);
     }
@@ -367,12 +578,122 @@ mod tests {
     #[test]
     fn memory_is_freed_on_exit() {
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = three_stage(&mut gpu).run((0..5).collect());
+        let run = three_stage(&mut gpu).run((0..5).collect()).expect("fits");
         assert!(run.stats.peak_mem_bytes >= 64);
         assert_eq!(gpu.memory_ref().in_use(), 0, "all task memory released");
         // Peak is bounded by stages * per-task footprint (3 * 64) plus the
         // transient alloc-before-free overlap of one stage (64).
         assert!(run.stats.peak_mem_bytes <= 4 * 64);
+    }
+
+    #[test]
+    fn out_of_memory_reports_stage_and_releases_allocations() {
+        let mut gpu = Gpu::new(DeviceProfile {
+            device_mem_bytes: 100,
+            ..DeviceProfile::v100()
+        });
+        let err = three_stage(&mut gpu).run(vec![0, 1, 2]).unwrap_err();
+        let PipelineError::OutOfDeviceMemory {
+            stage,
+            requested_bytes,
+            in_use_bytes,
+            capacity_bytes,
+        } = err.clone();
+        // The second admitted task's stage-0 allocation collides with the
+        // first task's footprint still resident downstream.
+        assert_eq!(stage, "add-1");
+        assert_eq!(requested_bytes, 64);
+        assert_eq!(in_use_bytes, 64);
+        assert_eq!(capacity_bytes, 100);
+        assert!(err.to_string().contains("add-1"));
+        assert_eq!(gpu.memory_ref().in_use(), 0, "error path released memory");
+    }
+
+    #[test]
+    fn stage_stats_satisfy_conservation_laws() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let stages: Vec<Box<dyn PipeStage<u64>>> = vec![
+            Box::new(AddStage {
+                amount: 1,
+                threads: 64,
+                cycles: 50,
+            }),
+            Box::new(AddStage {
+                amount: 10,
+                threads: 32,
+                cycles: 400,
+            }),
+            Box::new(AddStage {
+                amount: 100,
+                threads: 32,
+                cycles: 100,
+            }),
+        ];
+        let run = Pipeline::new(&mut gpu, stages, true)
+            .run((0..7).collect())
+            .expect("fits");
+        let total = run.stats.total_cycles;
+        assert_eq!(run.stats.stage_stats.len(), 3);
+        for s in &run.stats.stage_stats {
+            assert_eq!(s.tasks, 7);
+            assert!(s.occupancy > 0.0 && s.occupancy <= 1.0, "{s:?}");
+            assert_eq!(
+                s.busy_cycles + s.imbalance_stall_cycles + s.memory_stall_cycles,
+                s.occupied_cycles,
+                "occupied split: {s:?}"
+            );
+            assert_eq!(
+                s.occupied_cycles + s.fill_cycles + s.idle_cycles + s.drain_cycles,
+                total,
+                "run split: {s:?}"
+            );
+        }
+        let [a, b, c] = &run.stats.stage_stats[..] else {
+            panic!("three stages")
+        };
+        // Stage 0 fills first and drains longest; stage 2 the reverse.
+        assert_eq!(a.fill_cycles, 0);
+        assert!(c.fill_cycles > 0);
+        assert!(a.drain_cycles > 0);
+        assert_eq!(c.drain_cycles, 0);
+        // The slow middle stage dominates: it stalls least on imbalance.
+        assert!(b.imbalance_stall_cycles < a.imbalance_stall_cycles);
+        assert!(b.imbalance_stall_cycles < c.imbalance_stall_cycles);
+        assert!(b.busy_cycles > a.busy_cycles);
+    }
+
+    #[test]
+    fn stage_transfer_bytes_sum_to_run_totals() {
+        struct LoadStage;
+        impl PipeStage<u64> for LoadStage {
+            fn name(&self) -> String {
+                "load".into()
+            }
+            fn threads(&self) -> u32 {
+                32
+            }
+            fn process(&self, _task: &mut u64) -> StageWork {
+                StageWork {
+                    work: Work::Uniform {
+                        units: 32,
+                        cycles_per_unit: 10,
+                    },
+                    h2d_bytes: 1024,
+                    d2h_bytes: 128,
+                    mem_after: 0,
+                }
+            }
+        }
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let stages: Vec<Box<dyn PipeStage<u64>>> = vec![Box::new(LoadStage), Box::new(LoadStage)];
+        let run = Pipeline::new(&mut gpu, stages, true)
+            .run((0..6).collect())
+            .expect("fits");
+        let h2d: u64 = run.stats.stage_stats.iter().map(|s| s.h2d_bytes).sum();
+        let d2h: u64 = run.stats.stage_stats.iter().map(|s| s.d2h_bytes).sum();
+        assert_eq!(h2d, run.stats.h2d_bytes);
+        assert_eq!(d2h, run.stats.d2h_bytes);
+        assert_eq!(h2d, 2 * 6 * 1024);
     }
 
     #[test]
@@ -405,7 +726,9 @@ mod tests {
                 }) as Box<dyn PipeStage<u64>>
             })
             .collect();
-        let run = Pipeline::new(&mut gpu, stages, true).run((0..64).collect());
+        let run = Pipeline::new(&mut gpu, stages, true)
+            .run((0..64).collect())
+            .expect("fits");
         assert!(
             run.stats.mean_utilization > 0.8,
             "steady-state utilization {}",

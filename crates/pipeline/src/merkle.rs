@@ -10,9 +10,9 @@
 //! batch size.
 
 use batchzk_gpu_sim::{Gpu, Work};
-use batchzk_hash::{Digest, hash_block, hash_pair};
+use batchzk_hash::{hash_block, hash_pair, Digest};
 
-use crate::engine::{PipeStage, Pipeline, PipelineRun, StageWork, allocate_threads};
+use crate::engine::{allocate_threads, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork};
 
 /// A Merkle generation task flowing through the pipeline.
 #[derive(Debug)]
@@ -125,6 +125,11 @@ pub type MerkleRun = PipelineRun<MerkleTask>;
 /// `module_threads` is the total thread budget for the module (the paper's
 /// `M`); stages receive `M/2, M/4, ...` matching their layer sizes.
 ///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfDeviceMemory`] if the working set does not
+/// fit in simulated device memory.
+///
 /// # Panics
 ///
 /// Panics if `trees` is empty, sizes differ, or the size is not a power of
@@ -134,16 +139,19 @@ pub fn run_pipelined(
     trees: Vec<Vec<[u8; 64]>>,
     module_threads: u32,
     multi_stream: bool,
-) -> MerkleRun {
+) -> Result<MerkleRun, PipelineError> {
     assert!(!trees.is_empty(), "need at least one tree");
     let n = trees[0].len();
-    assert!(n.is_power_of_two() && n >= 2, "tree size must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "tree size must be a power of two >= 2"
+    );
     assert!(
         trees.iter().all(|t| t.len() == n),
         "all trees in a batch must have equal size"
     );
     let levels = n.trailing_zeros(); // pair-hash layers
-    // Work weights: leaf stage does N hashes, layer l does N/2^l.
+                                     // Work weights: leaf stage does N hashes, layer l does N/2^l.
     let mut weights: Vec<u64> = vec![n as u64];
     for l in 1..=levels {
         weights.push((n >> l) as u64);
@@ -192,7 +200,7 @@ mod tests {
     fn roots_match_cpu_reference() {
         let batch = trees(5, 16);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = run_pipelined(&mut gpu, batch.clone(), 768, true);
+        let run = run_pipelined(&mut gpu, batch.clone(), 768, true).expect("fits");
         assert_eq!(run.outputs.len(), 5);
         for (task, blocks) in run.outputs.iter().zip(&batch) {
             assert_eq!(task.root(), MerkleTree::from_blocks(blocks).root());
@@ -207,10 +215,12 @@ mod tests {
         let n = 64usize;
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let small = run_pipelined(&mut gpu, trees(16, n), 256, true)
+            .expect("fits")
             .stats
             .peak_mem_bytes;
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let large = run_pipelined(&mut gpu, trees(48, n), 256, true)
+            .expect("fits")
             .stats
             .peak_mem_bytes;
         // Peak must not grow with batch size (steady state reached by 4).
@@ -225,10 +235,12 @@ mod tests {
         let n = 64usize;
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let short = run_pipelined(&mut gpu, trees(2, n), 512, true)
+            .expect("fits")
             .stats
             .mean_utilization;
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let long = run_pipelined(&mut gpu, trees(64, n), 512, true)
+            .expect("fits")
             .stats
             .mean_utilization;
         assert!(
@@ -241,9 +253,13 @@ mod tests {
     fn throughput_improves_with_batch_size() {
         let n = 32usize;
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let one = run_pipelined(&mut gpu, trees(1, n), 512, true).stats;
+        let one = run_pipelined(&mut gpu, trees(1, n), 512, true)
+            .expect("fits")
+            .stats;
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let many = run_pipelined(&mut gpu, trees(40, n), 512, true).stats;
+        let many = run_pipelined(&mut gpu, trees(40, n), 512, true)
+            .expect("fits")
+            .stats;
         assert!(many.throughput_per_ms > 2.0 * one.throughput_per_ms);
     }
 

@@ -10,7 +10,7 @@
 use batchzk_field::Field;
 use batchzk_gpu_sim::{Gpu, Work};
 
-use crate::engine::{PipeStage, Pipeline, PipelineRun, StageWork, allocate_threads};
+use crate::engine::{allocate_threads, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork};
 
 /// A sum-check proof-generation task.
 #[derive(Debug)]
@@ -131,6 +131,11 @@ pub type SumcheckRun<F> = PipelineRun<SumcheckTask<F>>;
 
 /// Runs the pipelined module over a batch of equally-sized tables.
 ///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfDeviceMemory`] if the shared double
+/// buffers or the per-task working set do not fit in device memory.
+///
 /// # Panics
 ///
 /// Panics if `tasks` is empty or table sizes differ.
@@ -139,7 +144,7 @@ pub fn run_pipelined<F: Field>(
     tasks: Vec<SumcheckTask<F>>,
     module_threads: u32,
     multi_stream: bool,
-) -> SumcheckRun<F> {
+) -> Result<SumcheckRun<F>, PipelineError> {
     assert!(!tasks.is_empty(), "need at least one task");
     let n = tasks[0].rs.len();
     assert!(n >= 1, "need at least one variable");
@@ -156,14 +161,30 @@ pub fn run_pipelined<F: Field>(
     //   lower: 2^n + 2^{n-2} + ...   upper: 2^{n-1} + 2^{n-3} + ...
     let lower_elems: u64 = (0..n).step_by(2).map(|i| table_len >> i).sum();
     let upper_elems: u64 = (1..n).step_by(2).map(|i| table_len >> i).sum();
-    let buf_lo = gpu
+    let oom_err =
+        |stage: &str, oom: batchzk_gpu_sim::OutOfDeviceMemory| PipelineError::OutOfDeviceMemory {
+            stage: stage.into(),
+            requested_bytes: oom.requested,
+            in_use_bytes: oom.in_use,
+            capacity_bytes: oom.capacity,
+        };
+    let buf_lo = match gpu
         .memory()
         .alloc(lower_elems * elem_bytes, "sumcheck-buffer-lower")
-        .expect("sum-check buffers must fit in device memory");
-    let buf_hi = gpu
+    {
+        Ok(handle) => handle,
+        Err(oom) => return Err(oom_err("sumcheck-buffer-lower", oom)),
+    };
+    let buf_hi = match gpu
         .memory()
         .alloc(upper_elems.max(1) * elem_bytes, "sumcheck-buffer-upper")
-        .expect("sum-check buffers must fit in device memory");
+    {
+        Ok(handle) => handle,
+        Err(oom) => {
+            gpu.memory().free(buf_lo);
+            return Err(oom_err("sumcheck-buffer-upper", oom));
+        }
+    };
 
     // Stage weights: round i touches 2^{n-1-i} pairs.
     let weights: Vec<u64> = (0..n).map(|i| table_len >> (i + 1)).collect();
@@ -176,7 +197,11 @@ pub fn run_pipelined<F: Field>(
                 threads: threads[round],
                 round,
                 pair_cost,
-                load_bytes: if round == 0 { table_len * elem_bytes } else { 0 },
+                load_bytes: if round == 0 {
+                    table_len * elem_bytes
+                } else {
+                    0
+                },
                 store_bytes: if round == n - 1 {
                     2 * n as u64 * elem_bytes
                 } else {
@@ -186,6 +211,8 @@ pub fn run_pipelined<F: Field>(
         })
         .collect();
 
+    // Free the shared buffers on both the success and the error path: the
+    // engine has already released its own allocations if it failed.
     let run = Pipeline::new(gpu, stages, multi_stream).run(tasks);
     gpu.memory().free(buf_lo);
     gpu.memory().free(buf_hi);
@@ -197,11 +224,11 @@ mod tests {
     use super::*;
     use batchzk_field::Fr;
     use batchzk_gpu_sim::DeviceProfile;
+    use batchzk_hash::Prg;
     use batchzk_sumcheck::algorithm1;
-    use rand::{SeedableRng, rngs::StdRng};
 
     fn fixture(count: usize, n: usize, seed: u64) -> Vec<SumcheckTask<Fr>> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prg::seed_from_u64(seed);
         (0..count)
             .map(|_| {
                 let table: Vec<Fr> = (0..1usize << n).map(|_| Fr::random(&mut rng)).collect();
@@ -219,7 +246,7 @@ mod tests {
             .map(|t| algorithm1::prove(t.table.clone(), &t.rs))
             .collect();
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = run_pipelined(&mut gpu, tasks, 512, true);
+        let run = run_pipelined(&mut gpu, tasks, 512, true).expect("fits");
         for (task, expect) in run.outputs.iter().zip(&reference) {
             assert_eq!(task.proof(), &expect[..]);
         }
@@ -229,7 +256,7 @@ mod tests {
     fn proofs_verify() {
         let tasks = fixture(4, 7, 2);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = run_pipelined(&mut gpu, tasks, 512, true);
+        let run = run_pipelined(&mut gpu, tasks, 512, true).expect("fits");
         for task in &run.outputs {
             let proof: Vec<(Fr, Fr)> = task.proof().to_vec();
             assert!(algorithm1::verify(task.claim(), &proof, task.randomness()).is_some());
@@ -240,10 +267,12 @@ mod tests {
     fn buffer_memory_is_batch_size_independent() {
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let small = run_pipelined(&mut gpu, fixture(2, 8, 3), 256, true)
+            .expect("fits")
             .stats
             .peak_mem_bytes;
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let large = run_pipelined(&mut gpu, fixture(40, 8, 4), 256, true)
+            .expect("fits")
             .stats
             .peak_mem_bytes;
         assert_eq!(small, large);
@@ -261,9 +290,13 @@ mod tests {
     #[test]
     fn throughput_grows_with_batch() {
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let one = run_pipelined(&mut gpu, fixture(1, 8, 6), 512, true).stats;
+        let one = run_pipelined(&mut gpu, fixture(1, 8, 6), 512, true)
+            .expect("fits")
+            .stats;
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let many = run_pipelined(&mut gpu, fixture(32, 8, 7), 512, true).stats;
+        let many = run_pipelined(&mut gpu, fixture(32, 8, 7), 512, true)
+            .expect("fits")
+            .stats;
         assert!(many.throughput_per_ms > 2.0 * one.throughput_per_ms);
     }
 

@@ -124,15 +124,15 @@ pub fn verify_with_oracle<F: Field>(h: F, proof: &PairProof<F>, rs: &[F], table:
 mod tests {
     use super::*;
     use batchzk_field::{Field, Fr};
-    use rand::{SeedableRng, rngs::StdRng};
+    use batchzk_hash::Prg;
 
     fn rand_table(n: usize, seed: u64) -> Vec<Fr> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prg::seed_from_u64(seed);
         (0..1usize << n).map(|_| Fr::random(&mut rng)).collect()
     }
 
     fn rand_point(n: usize, seed: u64) -> Vec<Fr> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prg::seed_from_u64(seed);
         (0..n).map(|_| Fr::random(&mut rng)).collect()
     }
 

@@ -29,82 +29,103 @@ mod poly;
 mod prove;
 mod rounds;
 
-pub use poly::{MultilinearPoly, eq_eval, eq_table};
-pub use prove::{ProverOutput, prove_cubic_eq, prove_linear, prove_quadratic};
-pub use rounds::{SumcheckProof, interpolate_at, prover_round_challenge, verify_rounds};
+pub use poly::{eq_eval, eq_table, MultilinearPoly};
+pub use prove::{prove_cubic_eq, prove_linear, prove_quadratic, ProverOutput};
+pub use rounds::{interpolate_at, prover_round_challenge, verify_rounds, SumcheckProof};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use batchzk_field::{Field, Fr};
+    use batchzk_field::{Field, Fr, SplitMix64};
     use batchzk_hash::Transcript;
-    use proptest::prelude::*;
 
-    fn arb_fr() -> impl Strategy<Value = Fr> {
-        any::<[u8; 64]>().prop_map(|b| Fr::from_uniform_bytes(&b))
+    fn table(rng: &mut SplitMix64, n: usize) -> Vec<Fr> {
+        (0..1usize << n).map(|_| Fr::random(rng)).collect()
     }
 
-    fn arb_table(n: usize) -> impl Strategy<Value = Vec<Fr>> {
-        proptest::collection::vec(arb_fr(), 1 << n)
+    fn point(rng: &mut SplitMix64, n: usize) -> Vec<Fr> {
+        (0..n).map(|_| Fr::random(rng)).collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        #[test]
-        fn algorithm1_complete(table in arb_table(6), rs in proptest::collection::vec(arb_fr(), 6)) {
+    #[test]
+    fn algorithm1_complete() {
+        let mut rng = SplitMix64::seed_from_u64(0xD0);
+        for _ in 0..24 {
+            let table = table(&mut rng, 6);
+            let rs = point(&mut rng, 6);
             let h: Fr = table.iter().copied().sum();
             let proof = algorithm1::prove(table.clone(), &rs);
-            prop_assert!(algorithm1::verify_with_oracle(h, &proof, &rs, &table));
+            assert!(algorithm1::verify_with_oracle(h, &proof, &rs, &table));
         }
+    }
 
-        #[test]
-        fn algorithm1_sound_against_sum_tamper(
-            table in arb_table(5),
-            rs in proptest::collection::vec(arb_fr(), 5),
-            delta in arb_fr(),
-        ) {
-            prop_assume!(!delta.is_zero());
+    #[test]
+    fn algorithm1_sound_against_sum_tamper() {
+        let mut rng = SplitMix64::seed_from_u64(0xD1);
+        for _ in 0..24 {
+            let table = table(&mut rng, 5);
+            let rs = point(&mut rng, 5);
+            let delta = Fr::random(&mut rng);
+            if delta.is_zero() {
+                continue;
+            }
             let h: Fr = table.iter().copied().sum();
             let proof = algorithm1::prove(table, &rs);
-            prop_assert!(algorithm1::verify(h + delta, &proof, &rs).is_none());
+            assert!(algorithm1::verify(h + delta, &proof, &rs).is_none());
         }
+    }
 
-        #[test]
-        fn fs_linear_complete(table in arb_table(5)) {
-            let p = MultilinearPoly::new(table);
+    #[test]
+    fn fs_linear_complete() {
+        let mut rng = SplitMix64::seed_from_u64(0xD2);
+        for _ in 0..24 {
+            let p = MultilinearPoly::new(table(&mut rng, 5));
             let mut pt = Transcript::new(b"prop");
             let out = prove_linear(&p, &mut pt);
             let mut vt = Transcript::new(b"prop");
             let (fc, _) = verify_rounds(p.hypercube_sum(), &out.proof, 1, &mut vt).unwrap();
-            prop_assert_eq!(p.evaluate(&out.point()), fc);
+            assert_eq!(p.evaluate(&out.point()), fc);
         }
+    }
 
-        #[test]
-        fn quadratic_complete(fa in arb_table(4), ga in arb_table(4)) {
-            let f = MultilinearPoly::new(fa);
-            let g = MultilinearPoly::new(ga);
+    #[test]
+    fn quadratic_complete() {
+        let mut rng = SplitMix64::seed_from_u64(0xD3);
+        for _ in 0..24 {
+            let f = MultilinearPoly::new(table(&mut rng, 4));
+            let g = MultilinearPoly::new(table(&mut rng, 4));
             let h: Fr = f.evals().iter().zip(g.evals()).map(|(a, b)| *a * *b).sum();
             let mut pt = Transcript::new(b"prop2");
             let out = prove_quadratic(&f, &g, &mut pt);
             let mut vt = Transcript::new(b"prop2");
             let (fc, _) = verify_rounds(h, &out.proof, 2, &mut vt).unwrap();
-            prop_assert_eq!(fc, out.final_evals[0] * out.final_evals[1]);
+            assert_eq!(fc, out.final_evals[0] * out.final_evals[1]);
         }
+    }
 
-        #[test]
-        fn eq_eval_symmetric(x in proptest::collection::vec(arb_fr(), 5),
-                             y in proptest::collection::vec(arb_fr(), 5)) {
-            prop_assert_eq!(eq_eval(&x, &y), eq_eval(&y, &x));
+    #[test]
+    fn eq_eval_symmetric() {
+        let mut rng = SplitMix64::seed_from_u64(0xD4);
+        for _ in 0..24 {
+            let x = point(&mut rng, 5);
+            let y = point(&mut rng, 5);
+            assert_eq!(eq_eval(&x, &y), eq_eval(&y, &x));
         }
+    }
 
-        #[test]
-        fn evaluate_linear_combination(ta in arb_table(4), tb in arb_table(4), pt in proptest::collection::vec(arb_fr(), 4), c in arb_fr()) {
+    #[test]
+    fn evaluate_linear_combination() {
+        let mut rng = SplitMix64::seed_from_u64(0xD5);
+        for _ in 0..24 {
+            let ta = table(&mut rng, 4);
+            let tb = table(&mut rng, 4);
+            let pt = point(&mut rng, 4);
+            let c = Fr::random(&mut rng);
             let a = MultilinearPoly::new(ta.clone());
             let b = MultilinearPoly::new(tb.clone());
-            let combo = MultilinearPoly::new(
-                ta.iter().zip(&tb).map(|(x, y)| *x + c * *y).collect());
-            prop_assert_eq!(combo.evaluate(&pt), a.evaluate(&pt) + c * b.evaluate(&pt));
+            let combo =
+                MultilinearPoly::new(ta.iter().zip(&tb).map(|(x, y)| *x + c * *y).collect());
+            assert_eq!(combo.evaluate(&pt), a.evaluate(&pt) + c * b.evaluate(&pt));
         }
     }
 }

@@ -152,10 +152,10 @@ pub fn eq_eval<F: Field>(x: &[F], y: &[F]) -> F {
 mod tests {
     use super::*;
     use batchzk_field::Fr;
-    use rand::{SeedableRng, rngs::StdRng};
+    use batchzk_hash::Prg;
 
     fn rand_poly(n: usize, seed: u64) -> MultilinearPoly<Fr> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prg::seed_from_u64(seed);
         MultilinearPoly::new((0..1usize << n).map(|_| Fr::random(&mut rng)).collect())
     }
 
@@ -174,7 +174,7 @@ mod tests {
         // evaluations: p(2r) - 2p(r) + p(0)·... simpler: p at r and check
         // p(r) == (1-r)p(0) + r·p(1) along each axis.
         let p = rand_poly(3, 2);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prg::seed_from_u64(3);
         for axis in 0..3 {
             let mut base: Vec<Fr> = (0..3).map(|_| Fr::random(&mut rng)).collect();
             let r = Fr::random(&mut rng);
@@ -191,7 +191,7 @@ mod tests {
     fn fix_top_variable_matches_evaluate() {
         let mut p = rand_poly(5, 4);
         let full = p.clone();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Prg::seed_from_u64(5);
         let rs: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
         // Fix x5, x4, ..., x1 with rs[0..5]; final value equals
         // full.evaluate(x1..x5 = rs[4], rs[3], ..., rs[0]).
@@ -217,18 +217,18 @@ mod tests {
 
     #[test]
     fn eq_table_matches_eq_eval() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Prg::seed_from_u64(6);
         let tau: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
         let table = eq_table(&tau);
-        for b in 0..16usize {
+        for (b, entry) in table.iter().enumerate().take(16) {
             let point: Vec<Fr> = (0..4).map(|i| Fr::from(((b >> i) & 1) as u64)).collect();
-            assert_eq!(table[b], eq_eval(&tau, &point), "b={b}");
+            assert_eq!(*entry, eq_eval(&tau, &point), "b={b}");
         }
     }
 
     #[test]
     fn eq_table_sums_to_one() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Prg::seed_from_u64(7);
         let tau: Vec<Fr> = (0..6).map(|_| Fr::random(&mut rng)).collect();
         let total: Fr = eq_table(&tau).iter().copied().sum();
         assert_eq!(total, Fr::ONE);
@@ -236,7 +236,7 @@ mod tests {
 
     #[test]
     fn mle_of_eq_table_recovers_eq() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Prg::seed_from_u64(8);
         let tau: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
         let x: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
         let p = MultilinearPoly::new(eq_table(&tau));

@@ -6,7 +6,7 @@ use batchzk_field::Field;
 use batchzk_hash::Transcript;
 
 use crate::poly::MultilinearPoly;
-use crate::rounds::{SumcheckProof, prover_round_challenge};
+use crate::rounds::{prover_round_challenge, SumcheckProof};
 
 /// Output of a prover run: the proof, the challenge vector in round order,
 /// and the final evaluations of each input polynomial at the bound point.
@@ -168,15 +168,15 @@ mod tests {
     use crate::poly::eq_table;
     use crate::rounds::verify_rounds;
     use batchzk_field::Fr;
-    use rand::{SeedableRng, rngs::StdRng};
+    use batchzk_hash::Prg;
 
-    fn rand_poly(n: usize, rng: &mut StdRng) -> MultilinearPoly<Fr> {
+    fn rand_poly(n: usize, rng: &mut Prg) -> MultilinearPoly<Fr> {
         MultilinearPoly::new((0..1usize << n).map(|_| Fr::random(rng)).collect())
     }
 
     #[test]
     fn linear_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prg::seed_from_u64(1);
         for n in 1..=8 {
             let p = rand_poly(n, &mut rng);
             let h = p.hypercube_sum();
@@ -192,16 +192,11 @@ mod tests {
 
     #[test]
     fn quadratic_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Prg::seed_from_u64(2);
         for n in 1..=7 {
             let f = rand_poly(n, &mut rng);
             let g = rand_poly(n, &mut rng);
-            let h: Fr = f
-                .evals()
-                .iter()
-                .zip(g.evals())
-                .map(|(a, b)| *a * *b)
-                .sum();
+            let h: Fr = f.evals().iter().zip(g.evals()).map(|(a, b)| *a * *b).sum();
             let mut pt = Transcript::new(b"quad");
             let out = prove_quadratic(&f, &g, &mut pt);
             let mut vt = Transcript::new(b"quad");
@@ -215,7 +210,7 @@ mod tests {
 
     #[test]
     fn cubic_eq_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prg::seed_from_u64(3);
         let n = 5;
         let tau: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
         let eq = MultilinearPoly::new(eq_table(&tau));
@@ -239,14 +234,18 @@ mod tests {
     #[test]
     fn cubic_eq_zero_claim_when_satisfied() {
         // If d == a∘c pointwise, the claim is zero regardless of eq.
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Prg::seed_from_u64(4);
         let n = 4;
         let tau: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
         let eq = MultilinearPoly::new(eq_table(&tau));
         let a = rand_poly(n, &mut rng);
         let c = rand_poly(n, &mut rng);
         let d = MultilinearPoly::new(
-            a.evals().iter().zip(c.evals()).map(|(x, y)| *x * *y).collect(),
+            a.evals()
+                .iter()
+                .zip(c.evals())
+                .map(|(x, y)| *x * *y)
+                .collect(),
         );
         let mut pt = Transcript::new(b"sat");
         let out = prove_cubic_eq(&eq, &a, &c, &d, &mut pt);
@@ -256,7 +255,7 @@ mod tests {
 
     #[test]
     fn wrong_claim_rejected() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Prg::seed_from_u64(5);
         let f = rand_poly(4, &mut rng);
         let g = rand_poly(4, &mut rng);
         let h: Fr = f.evals().iter().zip(g.evals()).map(|(a, b)| *a * *b).sum();
@@ -270,7 +269,7 @@ mod tests {
     fn transcript_domain_binds_proof() {
         // Verifying under a different domain must fail the final oracle
         // check (challenges diverge).
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Prg::seed_from_u64(6);
         let p = rand_poly(5, &mut rng);
         let h = p.hypercube_sum();
         let mut pt = Transcript::new(b"domain-a");

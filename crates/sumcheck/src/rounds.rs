@@ -1,13 +1,12 @@
 //! Shared round machinery for Fiat–Shamir sum-checks of arbitrary small
 //! degree: round-polynomial interpolation and the verifier's round loop.
 
-use batchzk_field::{Field, batch_invert};
+use batchzk_field::{batch_invert, Field};
 use batchzk_hash::Transcript;
-use serde::{Deserialize, Serialize};
 
 /// A Fiat–Shamir sum-check proof: per round, the evaluations of the round
 /// polynomial `g_i` at `X = 0, 1, ..., d` where `d` is the degree bound.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SumcheckProof<F> {
     /// `rounds[i]` holds `d + 1` evaluations of round polynomial `g_i`.
     pub rounds: Vec<Vec<F>>,
@@ -58,7 +57,11 @@ pub fn interpolate_at<F: Field>(ys: &[F], r: F) -> F {
             for t in 1..=(d - j) {
                 v *= F::from(t as u64);
             }
-            if (d - j) % 2 == 1 { -v } else { v }
+            if (d - j) % 2 == 1 {
+                -v
+            } else {
+                v
+            }
         })
         .collect();
     batch_invert(&mut denoms);
@@ -108,15 +111,14 @@ pub fn prover_round_challenge<F: Field>(round: &[F], transcript: &mut Transcript
 mod tests {
     use super::*;
     use batchzk_field::Fr;
-    use rand::{SeedableRng, rngs::StdRng};
+    use batchzk_hash::Prg;
 
     #[test]
     fn interpolation_recovers_polynomial() {
         // f(x) = 3x^3 + 2x^2 + x + 7
-        let f =
-            |x: Fr| Fr::from(3u64) * x * x * x + Fr::from(2u64) * x * x + x + Fr::from(7u64);
+        let f = |x: Fr| Fr::from(3u64) * x * x * x + Fr::from(2u64) * x * x + x + Fr::from(7u64);
         let ys: Vec<Fr> = (0..4u64).map(|k| f(Fr::from(k))).collect();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prg::seed_from_u64(1);
         for _ in 0..20 {
             let r = Fr::random(&mut rng);
             assert_eq!(interpolate_at(&ys, r), f(r));
@@ -129,7 +131,10 @@ mod tests {
 
     #[test]
     fn interpolation_degree_zero_and_one() {
-        assert_eq!(interpolate_at(&[Fr::from(5u64)], Fr::from(99u64)), Fr::from(5u64));
+        assert_eq!(
+            interpolate_at(&[Fr::from(5u64)], Fr::from(99u64)),
+            Fr::from(5u64)
+        );
         // Line through (0,1), (1,3): f(x) = 1 + 2x
         let ys = [Fr::ONE, Fr::from(3u64)];
         assert_eq!(interpolate_at(&ys, Fr::from(10u64)), Fr::from(21u64));
@@ -137,7 +142,7 @@ mod tests {
 
     #[test]
     fn interpolation_linear_in_values() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Prg::seed_from_u64(2);
         let ya: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
         let yb: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
         let sum: Vec<Fr> = ya.iter().zip(&yb).map(|(a, b)| *a + *b).collect();

@@ -19,9 +19,9 @@
 //! The image pixels and output logits are public inputs; weights, biases,
 //! activations and hints are the witness.
 
-use batchzk_field::{Field, field_from_i64};
+use batchzk_field::{field_from_i64, Field};
 
-use crate::network::{Layer, Network, REQUANT_SHIFT, Trace, output_shape};
+use crate::network::{output_shape, Layer, Network, Trace, REQUANT_SHIFT};
 use batchzk_zkp::r1cs::{Lc, R1cs, R1csBuilder, Var};
 
 /// A circuit wire: a variable together with its integer value.
@@ -32,21 +32,13 @@ struct Wire {
 }
 
 /// Compilation options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CompileOptions {
     /// When set, ReLU hint values (`pos`, `neg`) carry full bit-decomposed
     /// range proofs of this width, closing the non-negativity gap of the
     /// cheap gadget at ~`2·bits` extra constraints per activation. `None`
     /// (the default) matches the paper's throughput-measurement setting.
     pub range_check_bits: Option<u32>,
-}
-
-impl Default for CompileOptions {
-    fn default() -> Self {
-        Self {
-            range_check_bits: None,
-        }
-    }
 }
 
 /// The compiled statement for one inference.
@@ -173,10 +165,7 @@ impl<F: Field> Compiler<F> {
             vec![(neg.var, F::ONE)],
             vec![(Var::One, F::ZERO)],
         );
-        self.enforce_lc_equals(
-            vec![(pos.var, F::ONE), (neg.var, -F::ONE)],
-            x,
-        );
+        self.enforce_lc_equals(vec![(pos.var, F::ONE), (neg.var, -F::ONE)], x);
         if let Some(bits) = self.options.range_check_bits {
             self.range_check(pos, bits);
             self.range_check(neg, bits);
@@ -235,8 +224,7 @@ pub fn compile_inference_with_options<F: Field>(
                 bias,
             } => {
                 let (h, w) = (shape[1], shape[2]);
-                let weight_wires: Vec<Wire> =
-                    weights.iter().map(|&v| c.secret(v)).collect();
+                let weight_wires: Vec<Wire> = weights.iter().map(|&v| c.secret(v)).collect();
                 let bias_wires: Vec<Wire> = bias.iter().map(|&v| c.secret(v)).collect();
                 let mut out = Vec::with_capacity(out_ch * h * w);
                 for oc in 0..*out_ch {
@@ -249,17 +237,12 @@ pub fn compile_inference_with_options<F: Field>(
                                     for kx in 0..3usize {
                                         let iy = y as i64 + ky as i64 - 1;
                                         let ix = x as i64 + kx as i64 - 1;
-                                        if iy < 0
-                                            || ix < 0
-                                            || iy >= h as i64
-                                            || ix >= w as i64
-                                        {
+                                        if iy < 0 || ix < 0 || iy >= h as i64 || ix >= w as i64 {
                                             continue;
                                         }
-                                        let a = current
-                                            [(ic * h + iy as usize) * w + ix as usize];
-                                        let wv = weight_wires
-                                            [((oc * in_ch + ic) * 3 + ky) * 3 + kx];
+                                        let a = current[(ic * h + iy as usize) * w + ix as usize];
+                                        let wv =
+                                            weight_wires[((oc * in_ch + ic) * 3 + ky) * 3 + kx];
                                         let p = c.mul(wv, a);
                                         lc.push((p.var, F::ONE));
                                         acc += p.value;
@@ -289,8 +272,7 @@ pub fn compile_inference_with_options<F: Field>(
                             ];
                             let sum_val: i64 = quad.iter().map(|w| w.value).sum();
                             let sum = c.secret(sum_val);
-                            let lc: Lc<F> =
-                                quad.iter().map(|w| (w.var, F::ONE)).collect();
+                            let lc: Lc<F> = quad.iter().map(|w| (w.var, F::ONE)).collect();
                             c.enforce_lc_equals(lc, sum);
                             out.push(sum);
                         }
@@ -304,8 +286,7 @@ pub fn compile_inference_with_options<F: Field>(
                 weights,
                 bias,
             } => {
-                let weight_wires: Vec<Wire> =
-                    weights.iter().map(|&v| c.secret(v)).collect();
+                let weight_wires: Vec<Wire> = weights.iter().map(|&v| c.secret(v)).collect();
                 let bias_wires: Vec<Wire> = bias.iter().map(|&v| c.secret(v)).collect();
                 let mut out = Vec::with_capacity(*out_dim);
                 for o in 0..*out_dim {
@@ -363,7 +344,9 @@ mod tests {
         let input = synthetic_image(1, &net.input_shape);
         let trace = net.forward(&input);
         let compiled = compile_inference::<Fr>(&net, &input, &trace);
-        let z = compiled.r1cs.assemble_z(&compiled.inputs, &compiled.witness);
+        let z = compiled
+            .r1cs
+            .assemble_z(&compiled.inputs, &compiled.witness);
         assert!(compiled.r1cs.is_satisfied(&z));
     }
 
@@ -447,7 +430,9 @@ mod strict_tests {
         let input = synthetic_image(31, &net.input_shape);
         let trace = net.forward(&input);
         let compiled = compile_inference_with_options::<Fr>(&net, &input, &trace, strict());
-        let z = compiled.r1cs.assemble_z(&compiled.inputs, &compiled.witness);
+        let z = compiled
+            .r1cs
+            .assemble_z(&compiled.inputs, &compiled.witness);
         assert!(compiled.r1cs.is_satisfied(&z));
     }
 

@@ -19,7 +19,7 @@
 //! );
 //! let image = network::synthetic_image(1, &svc.network().input_shape);
 //! let mut gpu = Gpu::new(DeviceProfile::gh200());
-//! let run = svc.serve_batch(&mut gpu, &[image], 2048);
+//! let run = svc.serve_batch(&mut gpu, &[image], 2048).expect("fits");
 //! assert!(svc.verify_prediction(&run.predictions[0]));
 //! ```
 
@@ -28,7 +28,9 @@ pub mod network;
 pub mod service;
 pub mod tensor;
 
-pub use compile::{CompileOptions, CompiledInference, compile_inference, compile_inference_with_options};
-pub use network::{Layer, Network, Trace, tiny_cnn, vgg16};
+pub use compile::{
+    compile_inference, compile_inference_with_options, CompileOptions, CompiledInference,
+};
+pub use network::{tiny_cnn, vgg16, Layer, Network, Trace};
 pub use service::{MlService, ServiceRun, VerifiedPrediction};
 pub use tensor::Tensor;

@@ -4,7 +4,7 @@
 //! quantized forward pass and records every intermediate activation — the
 //! execution trace the circuit compiler turns into an R1CS witness.
 
-use crate::tensor::{Tensor, synthetic_weights};
+use crate::tensor::{synthetic_weights, Tensor};
 
 /// Right-shift applied after every conv/dense layer (requantization back to
 /// the working fixed-point scale).
@@ -64,7 +64,9 @@ impl Layer {
                 let (h, w) = (input_shape[1], input_shape[2]);
                 out_ch * h * w * in_ch * 9
             }
-            Layer::Dense { out_dim, in_dim, .. } => out_dim * in_dim,
+            Layer::Dense {
+                out_dim, in_dim, ..
+            } => out_dim * in_dim,
             _ => 0,
         }
     }
@@ -138,8 +140,7 @@ impl Network {
         let mut out = Vec::with_capacity(self.total_params());
         for layer in &self.layers {
             match layer {
-                Layer::Conv3x3 { weights, bias, .. }
-                | Layer::Dense { weights, bias, .. } => {
+                Layer::Conv3x3 { weights, bias, .. } | Layer::Dense { weights, bias, .. } => {
                     out.extend_from_slice(weights);
                     out.extend_from_slice(bias);
                 }
@@ -184,14 +185,12 @@ fn apply_layer(layer: &Layer, input: &Tensor) -> Tensor {
                                     if iy < 0 || ix < 0 || iy >= h as i64 || ix >= w as i64 {
                                         continue;
                                     }
-                                    let wv = weights
-                                        [((oc * in_ch + ic) * 3 + ky) * 3 + kx];
+                                    let wv = weights[((oc * in_ch + ic) * 3 + ky) * 3 + kx];
                                     acc += wv * input.at_chw(ic, iy as usize, ix as usize);
                                 }
                             }
                         }
-                        out.data_mut()[(oc * h + y) * w + x] =
-                            floor_shift(acc, REQUANT_SHIFT);
+                        out.data_mut()[(oc * h + y) * w + x] = floor_shift(acc, REQUANT_SHIFT);
                     }
                 }
             }
@@ -364,10 +363,7 @@ mod tests {
     fn inference_is_deterministic() {
         let net = tiny_cnn();
         let input = synthetic_image(3, &net.input_shape);
-        assert_eq!(
-            net.forward(&input).output(),
-            net.forward(&input).output()
-        );
+        assert_eq!(net.forward(&input).output(), net.forward(&input).output());
     }
 
     #[test]

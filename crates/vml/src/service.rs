@@ -10,13 +10,13 @@
 
 use std::sync::Arc;
 
-use batchzk_field::{Fr, field_from_i64};
+use batchzk_field::{field_from_i64, Fr};
 use batchzk_gpu_sim::Gpu;
 use batchzk_hash::Digest;
 use batchzk_merkle::MerkleTree;
-use batchzk_pipeline::RunStats;
+use batchzk_pipeline::{PipelineError, RunStats};
 use batchzk_zkp::r1cs::R1cs;
-use batchzk_zkp::{PcsParams, Proof, prove_batch, verify};
+use batchzk_zkp::{prove_batch, verify, PcsParams, Proof};
 
 use crate::compile::compile_inference;
 use crate::network::Network;
@@ -96,6 +96,12 @@ impl MlService {
     /// Answers a stream of customer images: predicts each and generates the
     /// proofs in batch through the pipelined system on `gpu`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::OutOfDeviceMemory`] if the batch's working
+    /// set does not fit on the device; the allocator is left clean, so a
+    /// smaller batch can be retried on the same `gpu`.
+    ///
     /// # Panics
     ///
     /// Panics if `images` is empty or has wrong shapes.
@@ -104,7 +110,7 @@ impl MlService {
         gpu: &mut Gpu,
         images: &[Tensor],
         total_threads: u32,
-    ) -> ServiceRun {
+    ) -> Result<ServiceRun, PipelineError> {
         assert!(!images.is_empty(), "need at least one request");
         let mut logits_list = Vec::with_capacity(images.len());
         let mut instances = Vec::with_capacity(images.len());
@@ -121,7 +127,7 @@ impl MlService {
             instances,
             total_threads,
             true,
-        );
+        )?;
         let predictions = run
             .proofs
             .into_iter()
@@ -132,10 +138,10 @@ impl MlService {
                 proof,
             })
             .collect();
-        ServiceRun {
+        Ok(ServiceRun {
             predictions,
             stats: run.stats,
-        }
+        })
     }
 
     /// Customer-side verification of one answered request.
@@ -184,7 +190,7 @@ mod tests {
             .map(|i| synthetic_image(10 + i, &svc.network().input_shape))
             .collect();
         let mut gpu = Gpu::new(DeviceProfile::gh200());
-        let run = svc.serve_batch(&mut gpu, &images, 4096);
+        let run = svc.serve_batch(&mut gpu, &images, 4096).expect("fits");
         assert_eq!(run.predictions.len(), 3);
         for (pred, image) in run.predictions.iter().zip(&images) {
             assert!(svc.verify_prediction(pred));
@@ -198,7 +204,7 @@ mod tests {
         let svc = service();
         let images = vec![synthetic_image(20, &svc.network().input_shape)];
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let mut run = svc.serve_batch(&mut gpu, &images, 2048);
+        let mut run = svc.serve_batch(&mut gpu, &images, 2048).expect("fits");
         let pred = &mut run.predictions[0];
         pred.logits[0] += 1;
         assert!(!svc.verify_prediction(pred));
@@ -209,7 +215,7 @@ mod tests {
         let svc = service();
         let images = vec![synthetic_image(21, &svc.network().input_shape)];
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let mut run = svc.serve_batch(&mut gpu, &images, 2048);
+        let mut run = svc.serve_batch(&mut gpu, &images, 2048).expect("fits");
         let pred = &mut run.predictions[0];
         pred.proof.va += <batchzk_field::Fr as batchzk_field::Field>::ONE;
         assert!(!svc.verify_prediction(pred));

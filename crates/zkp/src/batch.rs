@@ -23,7 +23,7 @@ use std::sync::Arc;
 use batchzk_field::Field;
 use batchzk_gpu_sim::{Gpu, Work};
 use batchzk_hash::Transcript;
-use batchzk_pipeline::{PipeStage, Pipeline, RunStats, StageWork, allocate_threads};
+use batchzk_pipeline::{allocate_threads, PipeStage, Pipeline, PipelineError, RunStats, StageWork};
 
 use crate::pcs::{self, EncodedRows, PcsCommitment, PcsParams, PcsProverData};
 use crate::r1cs::R1cs;
@@ -91,8 +91,7 @@ impl<F: Field> PipeStage<BatchTask<F>> for EncodeStage<F> {
         let w_half = &task.z[self.r1cs.half_len()..];
         let encoded = pcs::commit_encode(&self.params, w_half);
         let nnz = encoded.encode_nnz() as u64;
-        let encoded_bytes =
-            (encoded.n_rows() * encoded.codeword_len() * 32) as u64;
+        let encoded_bytes = (encoded.n_rows() * encoded.codeword_len() * 32) as u64;
         task.encoded = Some(encoded);
         StageWork {
             work: Work::Uniform {
@@ -216,8 +215,7 @@ impl<F: Field> PipeStage<BatchTask<F>> for OpenStage {
             opening,
         };
         let proof_bytes = proof.size_bytes() as u64;
-        let units = (2 * data.n_rows() as u64)
-            * (proof.opening.combined_row.len() as u64);
+        let units = (2 * data.n_rows() as u64) * (proof.opening.combined_row.len() as u64);
         task.proof = Some(proof);
         StageWork {
             work: Work::Uniform {
@@ -232,10 +230,13 @@ impl<F: Field> PipeStage<BatchTask<F>> for OpenStage {
     }
 }
 
+/// Finished proofs, each paired with the public inputs it attests to.
+pub type ProvedInstances<F> = Vec<(Vec<F>, Proof<F>)>;
+
 /// Result of a batch proving run.
 pub struct BatchRun<F: Field> {
     /// Finished proofs paired with their public inputs, in input order.
-    pub proofs: Vec<(Vec<F>, Proof<F>)>,
+    pub proofs: ProvedInstances<F>,
     /// Timing statistics.
     pub stats: RunStats,
 }
@@ -243,17 +244,12 @@ pub struct BatchRun<F: Field> {
 /// Computes the module work weights for thread allocation — the analogue of
 /// the paper's measured 35 : 12 : 113 amortized-time ratio, derived here
 /// from the cost model so the allocation tracks the simulated device.
-pub fn module_weights<F: Field>(
-    gpu: &Gpu,
-    r1cs: &R1cs<F>,
-    params: &PcsParams,
-) -> [u64; 4] {
+pub fn module_weights<F: Field>(gpu: &Gpu, r1cs: &R1cs<F>, params: &PcsParams) -> [u64; 4] {
     let cost = gpu.cost();
     let half = r1cs.half_len();
     let k = half.trailing_zeros() as usize;
     let (n_rows, n_cols) = pcs::matrix_shape(k);
-    let encoder =
-        batchzk_encoder::Encoder::<F>::new(n_cols, params.encoder, params.seed);
+    let encoder = batchzk_encoder::Encoder::<F>::new(n_cols, params.encoder, params.seed);
     let codeword_len = encoder.codeword_len() as u64;
     let w_encode = (encoder.total_nnz() as u64 * n_rows as u64) * cost.spmv_term();
     let w_merkle =
@@ -273,6 +269,11 @@ pub fn module_weights<F: Field>(
 /// Proves a batch of `(inputs, witness)` instances of one circuit through
 /// the fully pipelined system.
 ///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfDeviceMemory`] if the per-proof working
+/// set does not fit in simulated device memory.
+///
 /// # Panics
 ///
 /// Panics if `instances` is empty or any assignment is unsatisfying.
@@ -283,7 +284,7 @@ pub fn prove_batch<F: Field>(
     instances: Vec<(Vec<F>, Vec<F>)>,
     total_threads: u32,
     multi_stream: bool,
-) -> BatchRun<F> {
+) -> Result<BatchRun<F>, PipelineError> {
     assert!(!instances.is_empty(), "need at least one instance");
     let weights = module_weights(gpu, &r1cs, &params);
     let threads = allocate_threads(total_threads, &weights);
@@ -300,8 +301,7 @@ pub fn prove_batch<F: Field>(
         }),
         Box::new(MerkleStage {
             threads: threads[1],
-            column_cost: (n_rows as u64).div_ceil(2) * cost.sha256_compress
-                + cost.merkle_node(),
+            column_cost: (n_rows as u64).div_ceil(2) * cost.sha256_compress + cost.merkle_node(),
         }),
         Box::new(SumcheckStage {
             r1cs: Arc::clone(&r1cs),
@@ -319,16 +319,16 @@ pub fn prove_batch<F: Field>(
         .into_iter()
         .map(|(inputs, witness)| BatchTask::new(inputs, witness))
         .collect();
-    let run = Pipeline::new(gpu, stages, multi_stream).run(tasks);
+    let run = Pipeline::new(gpu, stages, multi_stream).run(tasks)?;
     let proofs = run
         .outputs
         .into_iter()
         .map(|t| (t.inputs.clone(), t.proof.expect("completed")))
         .collect();
-    BatchRun {
+    Ok(BatchRun {
         proofs,
         stats: run.stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -347,6 +347,7 @@ mod tests {
     }
 
     /// Builds `count` satisfying instances of one synthetic circuit.
+    #[allow(clippy::type_complexity)]
     fn instances(s: usize, count: usize) -> (Arc<R1cs<Fr>>, Vec<(Vec<Fr>, Vec<Fr>)>) {
         // Re-deriving witnesses for a shared circuit: rerun the generator
         // with the same seed (same topology) and vary only the initial
@@ -365,7 +366,8 @@ mod tests {
         let (r1cs, batch) = instances(24, 6);
         let params = test_params();
         let mut gpu = Gpu::new(DeviceProfile::gh200());
-        let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch, 4096, true);
+        let run =
+            prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch, 4096, true).expect("fits");
         assert_eq!(run.proofs.len(), 6);
         for (inputs, proof) in &run.proofs {
             assert!(verify(&params, &r1cs, inputs, proof));
@@ -378,10 +380,10 @@ mod tests {
         // prover (same transcript, same randomness).
         let (r1cs, batch) = instances(16, 2);
         let params = test_params();
-        let reference =
-            spartan::prove(&params, &r1cs, &batch[0].0, &batch[0].1);
+        let reference = spartan::prove(&params, &r1cs, &batch[0].0, &batch[0].1);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch, 2048, true);
+        let run =
+            prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch, 2048, true).expect("fits");
         assert_eq!(run.proofs[0].1, reference);
         assert_eq!(run.proofs[1].1, reference);
     }
@@ -391,10 +393,14 @@ mod tests {
         let params = test_params();
         let (r1cs, one) = instances(16, 1);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let single = prove_batch(&mut gpu, Arc::clone(&r1cs), params, one, 2048, true).stats;
+        let single = prove_batch(&mut gpu, Arc::clone(&r1cs), params, one, 2048, true)
+            .expect("fits")
+            .stats;
         let (_, many) = instances(16, 12);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let batched = prove_batch(&mut gpu, r1cs, params, many, 2048, true).stats;
+        let batched = prove_batch(&mut gpu, r1cs, params, many, 2048, true)
+            .expect("fits")
+            .stats;
         assert!(batched.throughput_per_ms > 1.5 * single.throughput_per_ms);
     }
 
@@ -403,10 +409,20 @@ mod tests {
         let params = test_params();
         let (r1cs, batch) = instances(24, 8);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let overlapped =
-            prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch.clone(), 2048, true).stats;
+        let overlapped = prove_batch(
+            &mut gpu,
+            Arc::clone(&r1cs),
+            params,
+            batch.clone(),
+            2048,
+            true,
+        )
+        .expect("fits")
+        .stats;
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let serial = prove_batch(&mut gpu, r1cs, params, batch, 2048, false).stats;
+        let serial = prove_batch(&mut gpu, r1cs, params, batch, 2048, false)
+            .expect("fits")
+            .stats;
         assert!(overlapped.total_cycles <= serial.total_cycles);
     }
 
@@ -415,7 +431,7 @@ mod tests {
         let params = test_params();
         let (r1cs, batch) = instances(16, 4);
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let _ = prove_batch(&mut gpu, r1cs, params, batch, 1024, true);
+        let _ = prove_batch(&mut gpu, r1cs, params, batch, 1024, true).expect("fits");
         assert_eq!(gpu.memory_ref().in_use(), 0);
     }
 
@@ -432,10 +448,20 @@ mod tests {
         let params = test_params();
         let (r1cs, batch) = instances(16, 6);
         let mut v100 = Gpu::new(DeviceProfile::v100());
-        let slow =
-            prove_batch(&mut v100, Arc::clone(&r1cs), params, batch.clone(), 4096, true).stats;
+        let slow = prove_batch(
+            &mut v100,
+            Arc::clone(&r1cs),
+            params,
+            batch.clone(),
+            4096,
+            true,
+        )
+        .expect("fits")
+        .stats;
         let mut h100 = Gpu::new(DeviceProfile::h100());
-        let fast = prove_batch(&mut h100, r1cs, params, batch, 4096, true).stats;
+        let fast = prove_batch(&mut h100, r1cs, params, batch, 4096, true)
+            .expect("fits")
+            .stats;
         assert!(fast.throughput_per_ms > slow.throughput_per_ms);
     }
 }
@@ -455,12 +481,7 @@ pub struct StreamingProver<F: Field> {
 
 impl<F: Field> StreamingProver<F> {
     /// Creates a resident prover on the given device.
-    pub fn new(
-        gpu: Gpu,
-        r1cs: Arc<R1cs<F>>,
-        params: PcsParams,
-        total_threads: u32,
-    ) -> Self {
+    pub fn new(gpu: Gpu, r1cs: Arc<R1cs<F>>, params: PcsParams, total_threads: u32) -> Self {
         Self {
             gpu,
             r1cs,
@@ -473,13 +494,19 @@ impl<F: Field> StreamingProver<F> {
     /// Proves one arriving chunk of instances, returning the finished
     /// proofs. Device time accumulates across calls.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::OutOfDeviceMemory`] if the chunk's working
+    /// set does not fit in device memory; the device is left clean, so the
+    /// caller may retry with a smaller chunk.
+    ///
     /// # Panics
     ///
     /// Panics if `instances` is empty or any assignment is unsatisfying.
     pub fn prove_chunk(
         &mut self,
         instances: Vec<(Vec<F>, Vec<F>)>,
-    ) -> Vec<(Vec<F>, Proof<F>)> {
+    ) -> Result<ProvedInstances<F>, PipelineError> {
         let run = prove_batch(
             &mut self.gpu,
             Arc::clone(&self.r1cs),
@@ -487,9 +514,9 @@ impl<F: Field> StreamingProver<F> {
             instances,
             self.total_threads,
             true,
-        );
+        )?;
         self.proofs_emitted += run.proofs.len();
-        run.proofs
+        Ok(run.proofs)
     }
 
     /// Total proofs emitted since construction.
@@ -541,8 +568,9 @@ mod streaming_tests {
             2048,
         );
         for chunk in 0..3 {
-            let proofs =
-                prover.prove_chunk(vec![(inputs.clone(), witness.clone()); 2 + chunk]);
+            let proofs = prover
+                .prove_chunk(vec![(inputs.clone(), witness.clone()); 2 + chunk])
+                .expect("fits");
             for (io, proof) in &proofs {
                 assert!(verify(&params, &r1cs, io, proof));
             }

@@ -23,16 +23,15 @@ pub mod pcs;
 pub mod r1cs;
 pub mod spartan;
 
-pub use batch::{BatchRun, StreamingProver, prove_batch};
+pub use batch::{prove_batch, BatchRun, StreamingProver};
 pub use pcs::{PcsCommitment, PcsOpening, PcsParams};
 pub use r1cs::{R1cs, R1csBuilder, Var};
-pub use spartan::{Proof, prove, prove_with_artifacts, verify};
+pub use spartan::{prove, prove_with_artifacts, verify, Proof};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use batchzk_field::{Field, Fr};
-    use proptest::prelude::*;
+    use batchzk_field::{Field, Fr, RngCore, SplitMix64};
     use r1cs::{R1csBuilder, Var};
 
     fn params() -> PcsParams {
@@ -42,34 +41,42 @@ mod proptests {
         }
     }
 
-    /// Random multiplication-chain circuits with random witnesses.
-    fn arb_instance() -> impl Strategy<Value = (R1cs<Fr>, Vec<Fr>, Vec<Fr>)> {
-        (2usize..24, any::<u64>()).prop_map(|(s, seed)| r1cs::synthetic_r1cs(s, seed))
+    /// A random multiplication-chain circuit with a random witness.
+    fn instance(rng: &mut SplitMix64) -> (R1cs<Fr>, Vec<Fr>, Vec<Fr>) {
+        let s = rng.gen_range(2..24);
+        let seed = rng.next_u64();
+        r1cs::synthetic_r1cs(s, seed)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        #[test]
-        fn prove_verify_roundtrip((r1cs, inputs, witness) in arb_instance()) {
+    #[test]
+    fn prove_verify_roundtrip() {
+        let mut rng = SplitMix64::seed_from_u64(0x21);
+        for _ in 0..6 {
+            let (r1cs, inputs, witness) = instance(&mut rng);
             let proof = prove(&params(), &r1cs, &inputs, &witness);
-            prop_assert!(verify(&params(), &r1cs, &inputs, &proof));
+            assert!(verify(&params(), &r1cs, &inputs, &proof));
         }
+    }
 
-        #[test]
-        fn wrong_public_input_rejected(
-            (r1cs, inputs, witness) in arb_instance(),
-            delta in 1u64..1000,
-        ) {
+    #[test]
+    fn wrong_public_input_rejected() {
+        let mut rng = SplitMix64::seed_from_u64(0x22);
+        for _ in 0..4 {
+            let (r1cs, inputs, witness) = instance(&mut rng);
+            let delta = rng.gen_range(1..1000) as u64;
             let proof = prove(&params(), &r1cs, &inputs, &witness);
             let mut bad = inputs.clone();
             bad[0] += Fr::from(delta);
-            prop_assert!(!verify(&params(), &r1cs, &bad, &proof));
+            assert!(!verify(&params(), &r1cs, &bad, &proof));
         }
+    }
 
-        #[test]
-        fn square_circuit_family(w in 2u64..100_000) {
+    #[test]
+    fn square_circuit_family() {
+        let mut rng = SplitMix64::seed_from_u64(0x23);
+        for _ in 0..4 {
             // w^2 = x for arbitrary w.
+            let w = rng.gen_range(2..100_000) as u64;
             let mut b = R1csBuilder::<Fr>::new();
             let x = b.new_input();
             let wit = b.new_witness();
@@ -81,10 +88,10 @@ mod proptests {
             let r1cs = b.build();
             let input = Fr::from(w) * Fr::from(w);
             let proof = prove(&params(), &r1cs, &[input], &[Fr::from(w)]);
-            prop_assert!(verify(&params(), &r1cs, &[input], &proof));
+            assert!(verify(&params(), &r1cs, &[input], &proof));
             // And -w is the other valid witness; w+1 is not.
-            prop_assert!(r1cs.is_satisfied(&r1cs.assemble_z(&[input], &[-Fr::from(w)])));
-            prop_assert!(!r1cs.is_satisfied(&r1cs.assemble_z(&[input], &[Fr::from(w + 1)])));
+            assert!(r1cs.is_satisfied(&r1cs.assemble_z(&[input], &[-Fr::from(w)])));
+            assert!(!r1cs.is_satisfied(&r1cs.assemble_z(&[input], &[Fr::from(w + 1)])));
         }
     }
 }

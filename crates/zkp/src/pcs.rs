@@ -19,8 +19,6 @@ use batchzk_field::Field;
 use batchzk_hash::{Digest, Sha256, Transcript};
 use batchzk_merkle::{MerklePath, MerkleTree};
 use batchzk_sumcheck::eq_table;
-use serde::{Deserialize, Serialize};
-
 /// Public parameters of the commitment scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PcsParams {
@@ -38,7 +36,7 @@ impl Default for PcsParams {
     fn default() -> Self {
         Self {
             encoder: EncoderParams::default(),
-            seed: 0xBA7C_42,
+            seed: 0xBA7C42,
             num_col_tests: 64,
         }
     }
@@ -46,7 +44,7 @@ impl Default for PcsParams {
 
 /// A commitment: the Merkle root over codeword columns plus the public
 /// matrix shape.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PcsCommitment {
     /// Merkle root over the column hashes.
     pub root: Digest,
@@ -87,7 +85,7 @@ impl<F: Field> PcsProverData<F> {
 }
 
 /// One opened column with its authentication path.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnOpening<F> {
     /// Column index in the codeword.
     pub index: usize,
@@ -98,7 +96,7 @@ pub struct ColumnOpening<F> {
 }
 
 /// An evaluation-opening proof.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PcsOpening<F> {
     /// `γᵀ · M` for the transcript-derived random vector γ (proximity test).
     pub proximity_row: Vec<F>,
@@ -231,10 +229,7 @@ pub fn commit_merkle<F: Field>(encoded: EncodedRows<F>) -> (PcsCommitment, PcsPr
 /// # Panics
 ///
 /// Panics if `evals` is empty or not a power of two.
-pub fn commit<F: Field>(
-    params: &PcsParams,
-    evals: &[F],
-) -> (PcsCommitment, PcsProverData<F>) {
+pub fn commit<F: Field>(params: &PcsParams, evals: &[F]) -> (PcsCommitment, PcsProverData<F>) {
     commit_merkle(commit_encode(params, evals))
 }
 
@@ -293,11 +288,7 @@ pub fn open<F: Field>(
         })
         .collect();
 
-    let value = combined_row
-        .iter()
-        .zip(&eq_col)
-        .map(|(a, b)| *a * *b)
-        .sum();
+    let value = combined_row.iter().zip(&eq_col).map(|(a, b)| *a * *b).sum();
     (
         value,
         PcsOpening {
@@ -392,8 +383,8 @@ pub fn verify<F: Field>(
 mod tests {
     use super::*;
     use batchzk_field::Fr;
+    use batchzk_hash::Prg;
     use batchzk_sumcheck::MultilinearPoly;
-    use rand::{SeedableRng, rngs::StdRng};
 
     fn params() -> PcsParams {
         PcsParams {
@@ -403,7 +394,7 @@ mod tests {
     }
 
     fn roundtrip(k: usize, seed: u64) -> bool {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prg::seed_from_u64(seed);
         let evals: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
         let point: Vec<Fr> = (0..k).map(|_| Fr::random(&mut rng)).collect();
         let poly = MultilinearPoly::new(evals.clone());
@@ -430,7 +421,7 @@ mod tests {
 
     #[test]
     fn wrong_value_rejected() {
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Prg::seed_from_u64(99);
         let k = 8;
         let evals: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
         let point: Vec<Fr> = (0..k).map(|_| Fr::random(&mut rng)).collect();
@@ -441,12 +432,19 @@ mod tests {
         let (value, opening) = open(&p, &data, &point, &mut pt);
         let mut vt = Transcript::new(b"t");
         vt.absorb_digest(b"root", &commitment.root);
-        assert!(!verify(&p, &commitment, &point, value + Fr::ONE, &opening, &mut vt));
+        assert!(!verify(
+            &p,
+            &commitment,
+            &point,
+            value + Fr::ONE,
+            &opening,
+            &mut vt
+        ));
     }
 
     #[test]
     fn tampered_combined_row_rejected() {
-        let mut rng = StdRng::seed_from_u64(100);
+        let mut rng = Prg::seed_from_u64(100);
         let k = 8;
         let evals: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
         let point: Vec<Fr> = (0..k).map(|_| Fr::random(&mut rng)).collect();
@@ -469,12 +467,19 @@ mod tests {
         };
         let mut vt = Transcript::new(b"t");
         vt.absorb_digest(b"root", &commitment.root);
-        assert!(!verify(&p, &commitment, &point, forged_value, &opening, &mut vt));
+        assert!(!verify(
+            &p,
+            &commitment,
+            &point,
+            forged_value,
+            &opening,
+            &mut vt
+        ));
     }
 
     #[test]
     fn tampered_column_rejected() {
-        let mut rng = StdRng::seed_from_u64(101);
+        let mut rng = Prg::seed_from_u64(101);
         let k = 8;
         let evals: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
         let point: Vec<Fr> = (0..k).map(|_| Fr::random(&mut rng)).collect();
@@ -491,7 +496,7 @@ mod tests {
 
     #[test]
     fn wrong_transcript_state_rejected() {
-        let mut rng = StdRng::seed_from_u64(102);
+        let mut rng = Prg::seed_from_u64(102);
         let k = 6;
         let evals: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
         let point: Vec<Fr> = (0..k).map(|_| Fr::random(&mut rng)).collect();
@@ -507,7 +512,7 @@ mod tests {
 
     #[test]
     fn commitment_binds_polynomial() {
-        let mut rng = StdRng::seed_from_u64(103);
+        let mut rng = Prg::seed_from_u64(103);
         let k = 6;
         let a: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
         let mut b = a.clone();
@@ -528,7 +533,7 @@ mod tests {
 
     #[test]
     fn opening_size_is_sublinear() {
-        let mut rng = StdRng::seed_from_u64(104);
+        let mut rng = Prg::seed_from_u64(104);
         let k = 12;
         let evals: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
         let point: Vec<Fr> = (0..k).map(|_| Fr::random(&mut rng)).collect();

@@ -138,8 +138,11 @@ impl<F: Field> R1cs<F> {
         num_witness: usize,
         half_len: usize,
     ) -> Self {
-        assert!(half_len.is_power_of_two(), "half length must be a power of two");
-        assert!(1 + num_inputs <= half_len, "io half overflow");
+        assert!(
+            half_len.is_power_of_two(),
+            "half length must be a power of two"
+        );
+        assert!(num_inputs < half_len, "io half overflow");
         assert!(num_witness <= half_len, "witness half overflow");
         let cols = 2 * half_len;
         assert!(
@@ -230,10 +233,7 @@ impl<F: Field> R1cs<F> {
         let az = self.a.mul_vec(z);
         let bz = self.b.mul_vec(z);
         let cz = self.c.mul_vec(z);
-        az.iter()
-            .zip(&bz)
-            .zip(&cz)
-            .all(|((a, b), c)| *a * *b == *c)
+        az.iter().zip(&bz).zip(&cz).all(|((a, b), c)| *a * *b == *c)
     }
 }
 
@@ -375,9 +375,9 @@ impl<F: Field> R1csBuilder<F> {
 /// final public output, giving matrices of ~1 non-zero per row per matrix
 /// (the sparsity regime real circuits have).
 pub fn synthetic_r1cs<F: Field>(s: usize, seed: u64) -> (R1cs<F>, Vec<F>, Vec<F>) {
-    use rand::{Rng, SeedableRng, rngs::StdRng};
+    use batchzk_field::{RngCore, SplitMix64};
     assert!(s >= 2, "need at least two constraints");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut builder = R1csBuilder::<F>::new();
     let x = builder.new_input();
 
@@ -412,8 +412,8 @@ pub fn synthetic_r1cs<F: Field>(s: usize, seed: u64) -> (R1cs<F>, Vec<F>, Vec<F>
 mod tests {
     use super::*;
     use batchzk_field::Fr;
+    use batchzk_hash::Prg;
     use batchzk_sumcheck::eq_table;
-    use rand::{SeedableRng, rngs::StdRng};
 
     fn square_instance() -> (R1cs<Fr>, Vec<Fr>, Vec<Fr>) {
         // w*w = x
@@ -462,7 +462,7 @@ mod tests {
     #[test]
     fn bind_rows_matches_direct_computation() {
         let (r1cs, _, _) = synthetic_r1cs::<Fr>(20, 2);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prg::seed_from_u64(3);
         let log_m = r1cs.padded_constraints().trailing_zeros() as usize;
         let rx: Vec<Fr> = (0..log_m).map(|_| Fr::random(&mut rng)).collect();
         let eq_rx = eq_table(&rx);
@@ -484,7 +484,7 @@ mod tests {
     fn mle_eval_consistent_with_bind_rows() {
         // M̃(rx, ry) must equal ⟨bind_rows(eq_rx), eq_ry⟩.
         let (r1cs, _, _) = synthetic_r1cs::<Fr>(10, 4);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Prg::seed_from_u64(5);
         let log_m = r1cs.padded_constraints().trailing_zeros() as usize;
         let log_n = r1cs.z_len().trailing_zeros() as usize;
         let rx: Vec<Fr> = (0..log_m).map(|_| Fr::random(&mut rng)).collect();

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use batchzk::field::Fr;
 use batchzk::gpu_sim::{DeviceProfile, Gpu};
 use batchzk::zkp::r1cs::synthetic_r1cs;
-use batchzk::zkp::{PcsParams, prove_batch, verify};
+use batchzk::zkp::{prove_batch, verify, PcsParams};
 
 fn main() {
     let params = PcsParams {
@@ -36,14 +36,15 @@ fn main() {
             vec![tx.clone()],
             10_240,
             true,
-        );
+        )
+        .expect("fits");
         single_total_ms += run.stats.total_ms;
     }
     let single_amortized = single_total_ms / 4.0;
 
     // Fully pipelined batch.
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, stream, 10_240, true);
+    let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, stream, 10_240, true).expect("fits");
     for (io, proof) in &run.proofs {
         assert!(verify(&params, &r1cs, io, proof));
     }

@@ -1,6 +1,9 @@
 //! Drives the three pipelined modules (§3) individually and contrasts them
 //! with the naive kernel-per-task execution — the Figure 4 story on a
-//! simulated RTX 3090 Ti.
+//! simulated RTX 3090 Ti. The Merkle run additionally demonstrates the
+//! observability layer: it executes under `TraceLevel::Full` and prints the
+//! per-stage occupancy/stall accounting (and where to get the Chrome
+//! trace).
 //!
 //! ```text
 //! cargo run --release --example module_pipelines
@@ -10,9 +13,9 @@ use std::sync::Arc;
 
 use batchzk::encoder::{Encoder, EncoderParams};
 use batchzk::field::{Field, Fr};
-use batchzk::gpu_sim::{DeviceProfile, Gpu};
+use batchzk::gpu_sim::{DeviceProfile, Gpu, TraceLevel};
+use batchzk::hash::Prg;
 use batchzk::pipeline::{encoder as penc, merkle as pmerkle, naive, sumcheck as psum};
-use rand::{SeedableRng, rngs::StdRng};
 
 fn main() {
     let threads = 10_240;
@@ -35,8 +38,9 @@ fn main() {
     let mut gpu = Gpu::new(profile.clone());
     let nv = naive::merkle_naive(&mut gpu, trees.clone(), threads, 4).stats;
     let nv_util = gpu.mean_compute_utilization();
-    let mut gpu = Gpu::new(profile.clone());
-    let pp = pmerkle::run_pipelined(&mut gpu, trees, threads, true).stats;
+    let mut gpu = Gpu::with_trace_level(profile.clone(), TraceLevel::Full);
+    let run = pmerkle::run_pipelined(&mut gpu, trees, threads, true).expect("fits");
+    let pp = &run.stats;
     let pp_util = gpu.mean_compute_utilization();
     println!(
         "merkle   : naive {:.3} trees/ms (util {:.0}%) -> pipelined {:.3} trees/ms (util {:.0}%)",
@@ -45,10 +49,22 @@ fn main() {
         pp.throughput_per_ms,
         pp_util * 100.0
     );
+    println!("  per-stage accounting of the pipelined run (TraceLevel::Full):");
+    for s in &pp.stage_stats {
+        println!(
+            "    {:16} occupancy {:.2}  busy {:>8} cyc  stall {:>6} (imbalance) + {:>6} (memory)",
+            s.name, s.occupancy, s.busy_cycles, s.imbalance_stall_cycles, s.memory_stall_cycles
+        );
+    }
+    println!(
+        "  {} kernel events / {} transfer events recorded; `tables trace` emits the Chrome-trace JSON",
+        gpu.kernel_events().len(),
+        gpu.transfer_events().len()
+    );
 
     // Sum-check.
-    let mut rng = StdRng::seed_from_u64(1);
-    let tasks = |rng: &mut StdRng| -> Vec<psum::SumcheckTask<Fr>> {
+    let mut rng = Prg::seed_from_u64(1);
+    let tasks = |rng: &mut Prg| -> Vec<psum::SumcheckTask<Fr>> {
         (0..batch)
             .map(|_| {
                 let table: Vec<Fr> = (0..1usize << log).map(|_| Fr::random(rng)).collect();
@@ -61,7 +77,9 @@ fn main() {
     let nv = naive::sumcheck_naive(&mut gpu, tasks(&mut rng), threads, 4).stats;
     let nv_util = gpu.mean_compute_utilization();
     let mut gpu = Gpu::new(profile.clone());
-    let pp = psum::run_pipelined(&mut gpu, tasks(&mut rng), threads, true).stats;
+    let pp = psum::run_pipelined(&mut gpu, tasks(&mut rng), threads, true)
+        .expect("fits")
+        .stats;
     let pp_util = gpu.mean_compute_utilization();
     println!(
         "sumcheck : naive {:.3} proofs/ms (util {:.0}%) -> pipelined {:.3} proofs/ms (util {:.0}%)",
@@ -73,7 +91,7 @@ fn main() {
 
     // Encoder.
     let enc = Arc::new(Encoder::<Fr>::new(1 << log, EncoderParams::default(), 7));
-    let msgs = |rng: &mut StdRng| -> Vec<Vec<Fr>> {
+    let msgs = |rng: &mut Prg| -> Vec<Vec<Fr>> {
         (0..batch)
             .map(|_| (0..1usize << log).map(|_| Fr::random(rng)).collect())
             .collect()
@@ -82,7 +100,9 @@ fn main() {
     let nv = naive::encode_naive(&mut gpu, Arc::clone(&enc), msgs(&mut rng), threads, 4).stats;
     let nv_util = gpu.mean_compute_utilization();
     let mut gpu = Gpu::new(profile);
-    let pp = penc::run_pipelined(&mut gpu, enc, msgs(&mut rng), threads, true, true).stats;
+    let pp = penc::run_pipelined(&mut gpu, enc, msgs(&mut rng), threads, true, true)
+        .expect("fits")
+        .stats;
     let pp_util = gpu.mean_compute_utilization();
     println!(
         "encoder  : naive {:.3} codes/ms (util {:.0}%) -> pipelined {:.3} codes/ms (util {:.0}%)",

@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use batchzk::field::Fr;
 use batchzk::gpu_sim::{DeviceProfile, Gpu};
-use batchzk::zkp::r1cs::{R1csBuilder, Var, synthetic_r1cs};
-use batchzk::zkp::{PcsParams, prove, prove_batch, verify};
+use batchzk::zkp::r1cs::{synthetic_r1cs, R1csBuilder, Var};
+use batchzk::zkp::{prove, prove_batch, verify, PcsParams};
 use batchzk_field::Field;
 
 fn main() {
@@ -31,7 +31,10 @@ fn main() {
     let square = builder.build();
     let proof = prove(&params, &square, &[Fr::from(1369u64)], &[Fr::from(37u64)]);
     assert!(verify(&params, &square, &[Fr::from(1369u64)], &proof));
-    println!("square circuit: proof of w^2 = 1369 verifies ({} bytes)", proof.size_bytes());
+    println!(
+        "square circuit: proof of w^2 = 1369 verifies ({} bytes)",
+        proof.size_bytes()
+    );
 
     // 2. A synthetic 2^12-constraint circuit, proved in batch through the
     //    pipelined system.
@@ -39,7 +42,7 @@ fn main() {
     let r1cs = Arc::new(r1cs);
     let batch: Vec<_> = (0..8).map(|_| (inputs.clone(), witness.clone())).collect();
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch, 10_240, true);
+    let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, batch, 10_240, true).expect("fits");
     for (io, proof) in &run.proofs {
         assert!(verify(&params, &r1cs, io, proof));
     }

@@ -8,7 +8,7 @@
 //! ```
 
 use batchzk::gpu_sim::{DeviceProfile, Gpu};
-use batchzk::vml::{MlService, network};
+use batchzk::vml::{network, MlService};
 use batchzk::zkp::PcsParams;
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
         .map(|i| network::synthetic_image(i, &svc.network().input_shape))
         .collect();
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let run = svc.serve_batch(&mut gpu, &images, 10_240);
+    let run = svc.serve_batch(&mut gpu, &images, 10_240).expect("fits");
 
     for (i, pred) in run.predictions.iter().enumerate() {
         assert!(svc.verify_prediction(pred), "customer rejects request {i}");

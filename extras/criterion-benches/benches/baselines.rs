@@ -4,12 +4,12 @@
 use batchzk_curve::{G1Affine, msm, msm_naive};
 use batchzk_field::{Field, Fr, NttDomain};
 use criterion::{Criterion, black_box, criterion_group, criterion_main};
-use rand::{SeedableRng, rngs::StdRng};
+use batchzk_hash::Prg;
 
 fn bench_ntt(c: &mut Criterion) {
     let mut group = c.benchmark_group("ntt");
     group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Prg::seed_from_u64(1);
     for log in [10u32, 12, 14] {
         let domain = NttDomain::<Fr>::new(log);
         let values: Vec<Fr> = (0..domain.size()).map(|_| Fr::random(&mut rng)).collect();
@@ -27,7 +27,7 @@ fn bench_ntt(c: &mut Criterion) {
 fn bench_msm(c: &mut Criterion) {
     let mut group = c.benchmark_group("msm");
     group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = Prg::seed_from_u64(2);
     let points: Vec<G1Affine> = (0..1usize << 12)
         .map(|i| G1Affine::from_counter(1 + i as u64))
         .collect();

@@ -9,10 +9,10 @@ use batchzk_hash::hash_block;
 use batchzk_merkle::MerkleTree;
 use batchzk_sumcheck::algorithm1;
 use criterion::{Criterion, black_box, criterion_group, criterion_main};
-use rand::{SeedableRng, rngs::StdRng};
+use batchzk_hash::Prg;
 
 fn bench_field_ops(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Prg::seed_from_u64(1);
     let a = Fr::random(&mut rng);
     let b = Fr::random(&mut rng);
     c.bench_function("field/mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
@@ -52,7 +52,7 @@ fn bench_sumcheck_cpu(c: &mut Criterion) {
     // Table 4 CPU column (Arkworks-like reference, paper Algorithm 1).
     let mut group = c.benchmark_group("sumcheck_cpu");
     group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = Prg::seed_from_u64(2);
     for log in [10u32, 12, 14] {
         let table: Vec<Fr> = (0..1usize << log).map(|_| Fr::random(&mut rng)).collect();
         let rs: Vec<Fr> = (0..log).map(|_| Fr::random(&mut rng)).collect();
@@ -68,7 +68,7 @@ fn bench_encoder_cpu(c: &mut Criterion) {
     let mut group = c.benchmark_group("encoder_cpu");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(8));
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Prg::seed_from_u64(3);
     for log in [10u32, 12, 14] {
         let enc = Encoder::<Fr>::new(1 << log, EncoderParams::default(), 7);
         let msg: Vec<Fr> = (0..1usize << log).map(|_| Fr::random(&mut rng)).collect();

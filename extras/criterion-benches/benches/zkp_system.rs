@@ -4,12 +4,12 @@
 
 use std::sync::Arc;
 
-use batchzk_field::Fr;
+use batchzk_field::{Fr, RngCore};
 use batchzk_gpu_sim::{DeviceProfile, Gpu};
 use batchzk_zkp::r1cs::synthetic_r1cs;
 use batchzk_zkp::{PcsParams, pcs, prove, prove_batch, verify};
 use criterion::{Criterion, black_box, criterion_group, criterion_main};
-use rand::{Rng, SeedableRng, rngs::StdRng};
+use batchzk_hash::Prg;
 
 fn params() -> PcsParams {
     PcsParams {
@@ -21,10 +21,10 @@ fn params() -> PcsParams {
 fn bench_pcs(c: &mut Criterion) {
     let mut group = c.benchmark_group("pcs");
     group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Prg::seed_from_u64(1);
     for log in [10u32, 12] {
         let evals: Vec<Fr> = (0..1usize << log)
-            .map(|_| Fr::from(rng.gen::<u64>()))
+            .map(|_| Fr::from(rng.next_u64()))
             .collect();
         group.bench_function(format!("commit/2^{log}"), |bench| {
             bench.iter(|| pcs::commit(&params(), black_box(&evals)))
@@ -66,6 +66,7 @@ fn bench_batch_prover(c: &mut Criterion) {
                 10_240,
                 true,
             )
+            .expect("fits")
         })
     });
     group.finish();

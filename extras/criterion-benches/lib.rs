@@ -1,0 +1,1 @@
+//! Placeholder lib target; the interesting code is in `benches/`.

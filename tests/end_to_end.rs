@@ -7,7 +7,7 @@ use std::sync::Arc;
 use batchzk::field::{Field, Fr};
 use batchzk::gpu_sim::{DeviceProfile, Gpu};
 use batchzk::zkp::r1cs::synthetic_r1cs;
-use batchzk::zkp::{PcsParams, Proof, prove, prove_batch, verify};
+use batchzk::zkp::{prove, prove_batch, verify, PcsParams, Proof};
 
 fn params() -> PcsParams {
     PcsParams {
@@ -55,7 +55,8 @@ fn batch_and_single_prover_agree_everywhere() {
         vec![(inputs.clone(), witness.clone()); 5],
         4096,
         true,
-    );
+    )
+    .expect("fits");
     for (_, proof) in &run.proofs {
         assert_eq!(*proof, single);
     }

@@ -7,10 +7,10 @@ use std::sync::Arc;
 use batchzk::encoder::{Encoder, EncoderParams};
 use batchzk::field::{Field, Fr};
 use batchzk::gpu_sim::{DeviceProfile, Gpu};
+use batchzk::hash::Prg;
 use batchzk::merkle::MerkleTree;
 use batchzk::pipeline::{encoder as penc, merkle as pmerkle, naive, sumcheck as psum};
 use batchzk::sumcheck::algorithm1;
-use rand::{SeedableRng, rngs::StdRng};
 
 fn tree_batch(count: usize, n: usize) -> Vec<Vec<[u8; 64]>> {
     (0..count)
@@ -31,13 +31,13 @@ fn all_three_pipelines_match_cpu_references() {
     // Merkle.
     let trees = tree_batch(12, 64);
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let run = pmerkle::run_pipelined(&mut gpu, trees.clone(), 1024, true);
+    let run = pmerkle::run_pipelined(&mut gpu, trees.clone(), 1024, true).expect("fits");
     for (task, blocks) in run.outputs.iter().zip(&trees) {
         assert_eq!(task.root(), MerkleTree::from_blocks(blocks).root());
     }
 
     // Sum-check.
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Prg::seed_from_u64(1);
     let tasks: Vec<psum::SumcheckTask<Fr>> = (0..10)
         .map(|_| {
             let table: Vec<Fr> = (0..64).map(|_| Fr::random(&mut rng)).collect();
@@ -50,7 +50,7 @@ fn all_three_pipelines_match_cpu_references() {
         .map(|t| algorithm1::prove(t.table_snapshot(), t.randomness()))
         .collect();
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let run = psum::run_pipelined(&mut gpu, tasks, 1024, true);
+    let run = psum::run_pipelined(&mut gpu, tasks, 1024, true).expect("fits");
     for (task, expect) in run.outputs.iter().zip(&reference) {
         assert_eq!(task.proof(), &expect[..]);
         assert!(algorithm1::verify(task.claim(), &expect.to_vec(), task.randomness()).is_some());
@@ -62,7 +62,8 @@ fn all_three_pipelines_match_cpu_references() {
         .map(|_| (0..160).map(|_| Fr::random(&mut rng)).collect())
         .collect();
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let run = penc::run_pipelined(&mut gpu, Arc::clone(&enc), msgs.clone(), 1024, true, true);
+    let run = penc::run_pipelined(&mut gpu, Arc::clone(&enc), msgs.clone(), 1024, true, true)
+        .expect("fits");
     for (task, msg) in run.outputs.iter().zip(&msgs) {
         assert_eq!(task.codeword(), &enc.encode(msg)[..]);
     }
@@ -79,7 +80,9 @@ fn headline_claims_hold_at_steady_state() {
     let mut gpu = Gpu::new(DeviceProfile::gh200());
     let naive_stats = naive::merkle_naive(&mut gpu, trees.clone(), 1024, 4).stats;
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let piped_stats = pmerkle::run_pipelined(&mut gpu, trees, 1024, true).stats;
+    let piped_stats = pmerkle::run_pipelined(&mut gpu, trees, 1024, true)
+        .expect("fits")
+        .stats;
 
     assert!(piped_stats.throughput_per_ms > naive_stats.throughput_per_ms);
     assert!(piped_stats.mean_latency_ms > naive_stats.mean_latency_ms);
@@ -100,7 +103,9 @@ fn throughput_scales_across_device_generations() {
             let trees = tree_batch(24, 2048);
             let threads = profile.cuda_cores;
             let mut gpu = Gpu::new(profile.clone());
-            let stats = pmerkle::run_pipelined(&mut gpu, trees, threads, true).stats;
+            let stats = pmerkle::run_pipelined(&mut gpu, trees, threads, true)
+                .expect("fits")
+                .stats;
             (profile.name.to_string(), stats.throughput_per_ms)
         })
         .collect();
@@ -122,9 +127,13 @@ fn throughput_scales_across_device_generations() {
 fn multi_stream_never_hurts() {
     let trees = tree_batch(24, 128);
     let mut gpu = Gpu::new(DeviceProfile::v100());
-    let with = pmerkle::run_pipelined(&mut gpu, trees.clone(), 2048, true).stats;
+    let with = pmerkle::run_pipelined(&mut gpu, trees.clone(), 2048, true)
+        .expect("fits")
+        .stats;
     let mut gpu = Gpu::new(DeviceProfile::v100());
-    let without = pmerkle::run_pipelined(&mut gpu, trees, 2048, false).stats;
+    let without = pmerkle::run_pipelined(&mut gpu, trees, 2048, false)
+        .expect("fits")
+        .stats;
     assert!(with.total_cycles <= without.total_cycles);
 }
 
@@ -132,10 +141,10 @@ fn multi_stream_never_hurts() {
 fn simulator_memory_is_conserved_across_module_runs() {
     let mut gpu = Gpu::new(DeviceProfile::gh200());
     let trees = tree_batch(8, 64);
-    let _ = pmerkle::run_pipelined(&mut gpu, trees, 1024, true);
+    pmerkle::run_pipelined(&mut gpu, trees, 1024, true).expect("fits");
     assert_eq!(gpu.memory_ref().in_use(), 0);
 
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Prg::seed_from_u64(5);
     let tasks: Vec<psum::SumcheckTask<Fr>> = (0..6)
         .map(|_| {
             let table: Vec<Fr> = (0..32).map(|_| Fr::random(&mut rng)).collect();
@@ -143,6 +152,6 @@ fn simulator_memory_is_conserved_across_module_runs() {
             psum::SumcheckTask::new(table, rs)
         })
         .collect();
-    let _ = psum::run_pipelined(&mut gpu, tasks, 512, true);
+    psum::run_pipelined(&mut gpu, tasks, 512, true).expect("fits");
     assert_eq!(gpu.memory_ref().in_use(), 0);
 }

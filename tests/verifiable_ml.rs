@@ -3,8 +3,8 @@
 
 use batchzk::field::Fr;
 use batchzk::gpu_sim::{DeviceProfile, Gpu};
-use batchzk::vml::{MlService, compile_inference, network};
-use batchzk::zkp::{PcsParams, verify};
+use batchzk::vml::{compile_inference, network, MlService};
+use batchzk::zkp::{verify, PcsParams};
 
 fn params() -> PcsParams {
     PcsParams {
@@ -20,7 +20,7 @@ fn mlaas_loop_tiny_cnn() {
         .map(|i| network::synthetic_image(i, &svc.network().input_shape))
         .collect();
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let run = svc.serve_batch(&mut gpu, &images, 4096);
+    let run = svc.serve_batch(&mut gpu, &images, 4096).expect("fits");
     assert_eq!(run.predictions.len(), 4);
     for (pred, image) in run.predictions.iter().zip(&images) {
         assert!(svc.verify_prediction(pred));
@@ -36,7 +36,9 @@ fn mlaas_loop_scaled_vgg_block() {
     let svc = MlService::new(network::vgg16(64), params());
     let image = network::synthetic_image(9, &svc.network().input_shape);
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let run = svc.serve_batch(&mut gpu, std::slice::from_ref(&image), 8192);
+    let run = svc
+        .serve_batch(&mut gpu, std::slice::from_ref(&image), 8192)
+        .expect("fits");
     assert!(svc.verify_prediction(&run.predictions[0]));
     assert_eq!(run.predictions[0].logits.len(), 10);
 }
@@ -60,8 +62,12 @@ fn lying_provider_is_caught_on_wrong_logits() {
     assert!(!compiled.r1cs.is_satisfied(&z));
     // And an honestly-generated proof does not verify against forged
     // public inputs.
-    let proof =
-        batchzk::zkp::prove(&params(), &compiled.r1cs, &compiled.inputs, &compiled.witness);
+    let proof = batchzk::zkp::prove(
+        &params(),
+        &compiled.r1cs,
+        &compiled.inputs,
+        &compiled.witness,
+    );
     assert!(!verify(&params(), svc.r1cs(), &forged_inputs, &proof));
     assert!(verify(&params(), svc.r1cs(), &compiled.inputs, &proof));
 
@@ -83,8 +89,14 @@ fn batching_more_requests_raises_throughput() {
             .collect::<Vec<_>>()
     };
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let one = svc.serve_batch(&mut gpu, &mk_images(1), 4096).stats;
+    let one = svc
+        .serve_batch(&mut gpu, &mk_images(1), 4096)
+        .expect("fits")
+        .stats;
     let mut gpu = Gpu::new(DeviceProfile::gh200());
-    let many = svc.serve_batch(&mut gpu, &mk_images(10), 4096).stats;
+    let many = svc
+        .serve_batch(&mut gpu, &mk_images(10), 4096)
+        .expect("fits")
+        .stats;
     assert!(many.throughput_per_ms > 1.5 * one.throughput_per_ms);
 }
