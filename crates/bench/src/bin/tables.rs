@@ -1,20 +1,92 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `tables <experiment|all> [--quick|--medium|--paper]`
+//! Usage: `tables <experiment|all|help> [--quick|--medium|--paper]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
-//! `ablation`, `trace`.
+//! `ablation`, `trace`, `bench-json`.
 //!
 //! `trace` is not part of `all`: it prints the per-stage timeline and
 //! stage-imbalance table of the pipelined Merkle module, then the raw
 //! Chrome-trace JSON as the final block of output — redirect or copy it
 //! into a `.json` file and load it in `chrome://tracing` or
 //! <https://ui.perfetto.dev>.
+//!
+//! `bench-json` is also explicit-only: it runs the standard module and
+//! system pipelines on the A100 profile and writes the machine-readable
+//! `BENCH.json` artifact (throughput, lifecycle latency quantiles,
+//! per-stage occupancy, limiting-stage analysis) to the current directory
+//! for cross-commit regression tracking. The file is byte-deterministic at
+//! a given scale.
+//!
+//! Unrecognized experiments or flags print usage and exit non-zero.
 
 use batchzk_bench::experiments;
 use batchzk_bench::scale::Scale;
+use std::process::ExitCode;
 
-fn main() {
+/// `(name, in-all, description)` for every experiment the binary can run.
+const EXPERIMENTS: &[(&str, bool, &str)] = &[
+    ("table3", true, "Merkle-tree module throughput (trees/ms)"),
+    ("table4", true, "sum-check module throughput (proofs/ms)"),
+    ("table5", true, "linear-time encoder throughput (codes/ms)"),
+    ("table6", true, "module latency: the pipelining trade-off"),
+    ("table7", true, "amortized per-proof time vs baselines"),
+    ("table8", true, "ZKP systems across GPU profiles"),
+    ("table9", true, "batch size vs throughput and latency"),
+    ("table10", true, "device memory footprint"),
+    ("table11", true, "verifiable-ML service throughput"),
+    ("fig4", true, "pipelined vs naive utilization timeline"),
+    ("fig9", true, "utilization collapse of naive modules"),
+    ("ablation", true, "multi-stream / warp-sort ablations"),
+    (
+        "trace",
+        false,
+        "per-stage timeline + Chrome-trace JSON (explicit-only)",
+    ),
+    (
+        "bench-json",
+        false,
+        "write machine-readable BENCH.json (explicit-only)",
+    ),
+];
+
+const FLAGS: &[&str] = &["--quick", "--medium", "--paper"];
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: tables <experiment...|all|help> [--quick|--medium|--paper]\n\nexperiments:\n",
+    );
+    out.push_str("  all          every experiment marked (all) below\n");
+    out.push_str("  help         this listing\n");
+    for (name, in_all, desc) in EXPERIMENTS {
+        let marker = if *in_all { " (all)" } else { "" };
+        out.push_str(&format!("  {name:<12} {desc}{marker}\n"));
+    }
+    out.push_str("\nscale flags: --quick (default), --medium, --paper\n");
+    out
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Reject unknown flags and experiments up front (exit non-zero).
+    for arg in &args {
+        let known = if arg.starts_with("--") {
+            FLAGS.contains(&arg.as_str())
+        } else {
+            arg == "all" || arg == "help" || EXPERIMENTS.iter().any(|(n, _, _)| n == arg)
+        };
+        if !known {
+            eprintln!("tables: unrecognized argument `{arg}`\n");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.iter().any(|a| a == "help") {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
     let scale = if args.iter().any(|a| a == "--paper") {
         Scale::paper()
     } else if args.iter().any(|a| a == "--medium") {
@@ -78,4 +150,16 @@ fn main() {
         println!("Chrome trace JSON (load in chrome://tracing or Perfetto):\n");
         println!("{json}");
     }
+    // `bench-json` is explicit-only: it writes an artifact, not a table.
+    if which.contains(&"bench-json") {
+        let json = experiments::bench_json(&scale);
+        match std::fs::write("BENCH.json", &json) {
+            Ok(()) => println!("wrote BENCH.json ({} bytes)", json.len()),
+            Err(e) => {
+                eprintln!("tables: failed to write BENCH.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -532,7 +532,7 @@ pub fn table11(scale: &Scale) -> String {
     use batchzk_vml::{network, MlService};
     let net = network::vgg16(scale.vgg_divisor);
     let macs = net.total_macs();
-    let svc = MlService::new(net, pcs_params());
+    let mut svc = MlService::new(net, pcs_params());
     let images: Vec<_> = (0..scale.vgg_batch)
         .map(|i| network::synthetic_image(i as u64, &svc.network().input_shape))
         .collect();
@@ -840,6 +840,210 @@ pub fn trace(scale: &Scale) -> (String, String) {
     (report, gpu.chrome_trace_json())
 }
 
+/// Exact nearest-rank quantile over sorted integer samples (0 if empty).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Renders one module's benchmark section for [`bench_json`], folding the
+/// run into `registry` as a side effect.
+fn bench_section(
+    registry: &mut batchzk_metrics::Registry,
+    module: &str,
+    log: u32,
+    gpu: &Gpu,
+    stats: &batchzk_pipeline::RunStats,
+    total_threads: u32,
+) -> String {
+    use batchzk_metrics::registry::{escape_json, format_f64};
+    use batchzk_pipeline::observe;
+    use std::fmt::Write as _;
+
+    observe::record_run(registry, module, stats);
+    let analysis = batchzk_metrics::analyze(
+        gpu.step_events(),
+        gpu.kernel_events(),
+        &observe::stage_observations(&stats.stage_stats),
+        total_threads,
+    );
+    // Exact nearest-rank quantiles over the integer per-proof latencies —
+    // not the histogram's bucketed estimate — since the raw spans are in
+    // hand here.
+    let mut latencies: Vec<u64> = stats.lifecycles.iter().map(|s| s.total_cycles()).collect();
+    latencies.sort_unstable();
+    let secs = gpu.profile().cycles_to_seconds(stats.total_cycles);
+    let tasks_per_sec = if secs > 0.0 {
+        stats.tasks as f64 / secs
+    } else {
+        0.0
+    };
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"log_n\":{log},\"tasks\":{},\"total_cycles\":{},\
+         \"tasks_per_sec\":{},\"throughput_per_ms\":{},\
+         \"limiting_stage\":\"{}\",\"latency_cycles\":{{\
+         \"p50\":{},\"p95\":{},\"p99\":{},\"min\":{},\"max\":{}}},\"stages\":[",
+        stats.tasks,
+        stats.total_cycles,
+        format_f64(tasks_per_sec),
+        format_f64(stats.throughput_per_ms),
+        escape_json(&analysis.limiting_stage),
+        exact_quantile(&latencies, 0.50),
+        exact_quantile(&latencies, 0.95),
+        exact_quantile(&latencies, 0.99),
+        latencies.first().copied().unwrap_or(0),
+        latencies.last().copied().unwrap_or(0),
+    );
+    for (i, s) in stats.stage_stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"threads\":{},\"occupancy\":{},\
+             \"busy_cycles\":{},\"occupied_cycles\":{}}}",
+            escape_json(&s.name),
+            s.threads,
+            format_f64(s.occupancy),
+            s.busy_cycles,
+            s.occupied_cycles,
+        );
+    }
+    out.push_str("],\"analysis\":");
+    out.push_str(&analysis.to_json());
+    out.push('}');
+    out
+}
+
+/// The machine-readable benchmark artifact behind `tables bench-json`.
+///
+/// Runs the three module pipelines (Merkle, sum-check, encoder at the
+/// scale's largest module size) and the full proving system (smallest
+/// system size) on the **A100** profile at `TraceLevel::Full`, and renders
+/// one canonical JSON document: tasks/sec, exact p50/p95/p99 lifecycle
+/// latency in cycles, per-stage occupancy, the trace analyzer's verdict
+/// (limiting stage + thread-reallocation advice), and the accumulated
+/// metrics registry in its canonical exposition. Everything derives from
+/// simulated integer cycles — no wall clock — so two runs at the same
+/// scale produce byte-identical output, making `BENCH.json` diffable
+/// across commits for regression tracking.
+pub fn bench_json(scale: &Scale) -> String {
+    use batchzk_gpu_sim::TraceLevel;
+    use batchzk_metrics::registry::escape_json;
+    use batchzk_metrics::Registry;
+
+    let profile = DeviceProfile::a100();
+    let mut registry = Registry::new();
+    let mut out = format!(
+        "{{\"schema\":\"batchzk-bench-v1\",\"device\":\"a100\",\"scale\":\"{}\",\
+         \"thread_budget\":{MODULE_THREADS},\"modules\":{{",
+        escape_json(scale.tag)
+    );
+
+    // Merkle module.
+    let log = scale.module_logs[0];
+    let mut gpu = Gpu::with_trace_level(profile.clone(), TraceLevel::Full);
+    let run = pmerkle::run_pipelined(
+        &mut gpu,
+        tree_batch(log, scale.module_batch),
+        MODULE_THREADS,
+        true,
+    )
+    .expect("fits");
+    out.push_str("\"merkle\":");
+    out.push_str(&bench_section(
+        &mut registry,
+        "merkle",
+        log,
+        &gpu,
+        &run.stats,
+        MODULE_THREADS,
+    ));
+
+    // Sum-check module.
+    let mut gpu = Gpu::with_trace_level(profile.clone(), TraceLevel::Full);
+    let run = psum::run_pipelined(
+        &mut gpu,
+        sumcheck_batch(log, scale.module_batch, 500 + log as u64),
+        MODULE_THREADS,
+        true,
+    )
+    .expect("fits");
+    out.push_str(",\"sumcheck\":");
+    out.push_str(&bench_section(
+        &mut registry,
+        "sumcheck",
+        log,
+        &gpu,
+        &run.stats,
+        MODULE_THREADS,
+    ));
+
+    // Encoder module.
+    let encoder = Arc::new(Encoder::<Fr>::new(
+        1usize << log,
+        EncoderParams::default(),
+        7,
+    ));
+    let mut gpu = Gpu::with_trace_level(profile.clone(), TraceLevel::Full);
+    let run = penc::run_pipelined(
+        &mut gpu,
+        encoder,
+        message_batch(log, scale.module_batch, 600 + log as u64),
+        MODULE_THREADS,
+        true,
+        true,
+    )
+    .expect("fits");
+    out.push_str(",\"encoder\":");
+    out.push_str(&bench_section(
+        &mut registry,
+        "encoder",
+        log,
+        &gpu,
+        &run.stats,
+        MODULE_THREADS,
+    ));
+
+    // Full proving system (smallest system size keeps the artifact cheap
+    // enough for CI smoke runs).
+    let sys_log = *scale.system_logs.last().expect("system sizes configured");
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << sys_log, 42);
+    let instances: Vec<_> = (0..scale.system_batch)
+        .map(|_| (inputs.clone(), witness.clone()))
+        .collect();
+    let mut gpu = Gpu::with_trace_level(profile, TraceLevel::Full);
+    let run = prove_batch(
+        &mut gpu,
+        Arc::new(r1cs),
+        pcs_params(),
+        instances,
+        MODULE_THREADS,
+        true,
+    )
+    .expect("fits");
+    out.push_str(",\"system\":");
+    out.push_str(&bench_section(
+        &mut registry,
+        "system",
+        sys_log,
+        &gpu,
+        &run.stats,
+        MODULE_THREADS,
+    ));
+
+    out.push_str("},\"metrics\":");
+    out.push_str(&registry.to_json());
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -899,6 +1103,50 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // Determinism: the same scale renders the same trace.
         assert_eq!(trace(&tiny_scale()).1, json);
+    }
+
+    #[test]
+    fn bench_json_is_complete_and_deterministic() {
+        let s = tiny_scale();
+        let json = bench_json(&s);
+        // All four sections present, each with the acceptance-criteria
+        // fields: throughput, lifecycle quantiles, occupancy, limiting
+        // stage.
+        for module in [
+            "\"merkle\":",
+            "\"sumcheck\":",
+            "\"encoder\":",
+            "\"system\":",
+        ] {
+            assert!(json.contains(module), "missing section {module}");
+        }
+        for field in [
+            "\"tasks_per_sec\":",
+            "\"p50\":",
+            "\"p95\":",
+            "\"p99\":",
+            "\"occupancy\":",
+            "\"limiting_stage\":",
+            "\"suggested_threads\":",
+            "\"metrics\":",
+        ] {
+            assert!(json.contains(field), "missing field {field}");
+        }
+        // Well-formedness (balanced braces/brackets) and determinism.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(bench_json(&s), json, "bench-json must be byte-stable");
+    }
+
+    #[test]
+    fn exact_quantile_nearest_rank() {
+        let sorted = [10u64, 20, 30, 40];
+        assert_eq!(exact_quantile(&sorted, 0.5), 20);
+        assert_eq!(exact_quantile(&sorted, 0.95), 40);
+        assert_eq!(exact_quantile(&sorted, 0.0), 10);
+        assert_eq!(exact_quantile(&sorted, 1.0), 40);
+        assert_eq!(exact_quantile(&[], 0.5), 0);
+        assert_eq!(exact_quantile(&[7], 0.99), 7);
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Trace-driven bottleneck analysis.
+//!
+//! [`analyze`] consumes the per-step events recorded by the simulator at
+//! `TraceLevel::Full` plus per-stage aggregates from a pipelined run, and
+//! answers the question the paper's thread-allocation tuning answers by
+//! hand: *which resource bounds throughput, and how should threads be
+//! reallocated?*
+//!
+//! The algorithm works step by step over the run's critical path. Every
+//! wall cycle of a step belongs to exactly one binding resource: if the
+//! step's wall span exceeds its compute span, the step was bound by a copy
+//! engine (whichever of H2D/D2H occupied more cycles); otherwise it was
+//! bound by the longest-running kernel of that step. Summing attributed
+//! cycles per resource yields each resource's share of the critical path;
+//! the resource with the largest share is the limiting stage. When no
+//! `Full` events are available the analyzer falls back to naming the stage
+//! with the most busy cycles — correct for a balanced systolic pipeline,
+//! where the busiest stage is the one that sets the step pace.
+//!
+//! Thread advice: a stage's useful work is estimated as
+//! `busy_cycles × threads` (thread-cycles of useful execution under its
+//! current allocation). The work-proportional ideal gives each stage
+//! `total_threads × work_i / Σ work`, the allocation under which — in the
+//! uniform-kernel cost model — all stages would finish a step
+//! simultaneously and no stage would stall the systolic advance.
+
+use crate::registry::{escape_json, format_f64};
+use batchzk_gpu_sim::{KernelEvent, StepEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-stage aggregate observations from a pipelined run, decoupled from
+/// any particular pipeline implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageObservation {
+    /// Stage (kernel) name.
+    pub name: String,
+    /// Threads currently allocated to the stage.
+    pub threads: u32,
+    /// Tasks the stage processed.
+    pub tasks: u64,
+    /// Cycles of useful kernel work summed over the stage's threads.
+    pub busy_cycles: u64,
+    /// Wall cycles the stage held a task.
+    pub occupied_cycles: u64,
+}
+
+/// One resource's share of the run's critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundShare {
+    /// Resource name: a stage/kernel name, `copy-h2d`, or `copy-d2h`.
+    pub resource: String,
+    /// Wall cycles attributed to the resource as the binding one.
+    pub cycles: u64,
+    /// Steps on which this resource was binding.
+    pub steps: u64,
+}
+
+/// Per-stage verdict: current allocation vs the work-proportional ideal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageAdvice {
+    /// Stage name.
+    pub name: String,
+    /// Current thread allocation.
+    pub threads: u32,
+    /// Suggested allocation under the work-proportional ideal (≥ 1).
+    pub suggested_threads: u32,
+    /// This stage's fraction of total useful thread-cycles, 0..=1.
+    pub work_share: f64,
+    /// `threads / suggested_threads` — above 1 means over-provisioned,
+    /// below 1 under-provisioned, 1 means at the ideal.
+    pub allocation_ratio: f64,
+}
+
+/// The analyzer's verdict for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunAnalysis {
+    /// Wall cycles of the analyzed run (sum over steps, or the max stage
+    /// occupancy in the fallback path).
+    pub total_cycles: u64,
+    /// The throughput-limiting resource: the one binding the most wall
+    /// cycles.
+    pub limiting_stage: String,
+    /// Fraction of the critical path bound by `limiting_stage`, 0..=1.
+    pub limiting_share: f64,
+    /// All resources' critical-path shares, descending by cycles (ties
+    /// broken by name, ascending).
+    pub bound: Vec<BoundShare>,
+    /// Per-stage thread-allocation advice, in observation order.
+    pub advice: Vec<StageAdvice>,
+}
+
+impl RunAnalysis {
+    /// Renders a compact human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "limiting stage: {} ({:.1}% of {} critical-path cycles)",
+            self.limiting_stage,
+            self.limiting_share * 100.0,
+            self.total_cycles
+        );
+        for b in &self.bound {
+            let _ = writeln!(
+                out,
+                "  bound by {:<20} {:>12} cycles over {} steps",
+                b.resource, b.cycles, b.steps
+            );
+        }
+        if !self.advice.is_empty() {
+            let _ = writeln!(
+                out,
+                "thread allocation vs work-proportional ideal \
+                 (ratio > 1 over-provisioned):"
+            );
+            for a in &self.advice {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} threads {:>6} -> suggest {:>6}  \
+                     work share {:>5.1}%  ratio {:.2}",
+                    a.name,
+                    a.threads,
+                    a.suggested_threads,
+                    a.work_share * 100.0,
+                    a.allocation_ratio
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the analysis as canonical JSON (sorted, deterministic).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"limiting_stage\":\"{}\",\"limiting_share\":{},\"total_cycles\":{},\"bound\":[",
+            escape_json(&self.limiting_stage),
+            format_f64(self.limiting_share),
+            self.total_cycles
+        );
+        for (i, b) in self.bound.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"resource\":\"{}\",\"cycles\":{},\"steps\":{}}}",
+                escape_json(&b.resource),
+                b.cycles,
+                b.steps
+            );
+        }
+        out.push_str("],\"advice\":[");
+        for (i, a) in self.advice.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":\"{}\",\"threads\":{},\"suggested_threads\":{},\
+                 \"work_share\":{},\"allocation_ratio\":{}}}",
+                escape_json(&a.name),
+                a.threads,
+                a.suggested_threads,
+                format_f64(a.work_share),
+                format_f64(a.allocation_ratio)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Computes per-stage thread advice from aggregate observations.
+fn thread_advice(stages: &[StageObservation], total_threads: u32) -> Vec<StageAdvice> {
+    let works: Vec<u128> = stages
+        .iter()
+        .map(|s| s.busy_cycles as u128 * s.threads as u128)
+        .collect();
+    let total_work: u128 = works.iter().sum();
+    stages
+        .iter()
+        .zip(&works)
+        .map(|(s, &work)| {
+            let work_share = if total_work == 0 {
+                0.0
+            } else {
+                work as f64 / total_work as f64
+            };
+            let suggested = match (total_threads as u128 * work + total_work / 2)
+                .checked_div(total_work)
+            {
+                Some(t) => (t as u32).max(1),
+                None => s.threads.max(1),
+            };
+            StageAdvice {
+                name: s.name.clone(),
+                threads: s.threads,
+                suggested_threads: suggested,
+                work_share,
+                allocation_ratio: s.threads as f64 / suggested as f64,
+            }
+        })
+        .collect()
+}
+
+/// Analyzes one run's critical path (see module docs for the algorithm).
+///
+/// `step_events`/`kernel_events` come from the device after a
+/// `TraceLevel::Full` run and may be empty (e.g. the run was traced at
+/// `Stats`) — the analyzer then falls back to busy-cycle attribution over
+/// `stages`. `total_threads` is the budget the thread advice distributes.
+pub fn analyze(
+    step_events: &[StepEvent],
+    kernel_events: &[KernelEvent],
+    stages: &[StageObservation],
+    total_threads: u32,
+) -> RunAnalysis {
+    let mut attributed: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut total_cycles = 0u64;
+
+    if step_events.is_empty() {
+        // Fallback: the busiest stage paces a balanced systolic pipeline.
+        for s in stages {
+            attributed.insert(s.name.clone(), (s.busy_cycles, s.tasks));
+        }
+        total_cycles = stages.iter().map(|s| s.occupied_cycles).max().unwrap_or(0);
+    } else {
+        // Kernel events grouped by step, in recording order.
+        let mut kernels_by_step: BTreeMap<u64, Vec<&KernelEvent>> = BTreeMap::new();
+        for e in kernel_events {
+            kernels_by_step.entry(e.step).or_default().push(e);
+        }
+        for se in step_events {
+            total_cycles += se.step_cycles;
+            let binding: String = if se.step_cycles > se.compute_cycles {
+                if se.h2d_cycles >= se.d2h_cycles {
+                    "copy-h2d".to_string()
+                } else {
+                    "copy-d2h".to_string()
+                }
+            } else {
+                kernels_by_step
+                    .get(&se.step)
+                    .and_then(|ks| {
+                        // Longest kernel binds; first wins ties
+                        // (recording order is deterministic).
+                        ks.iter()
+                            .max_by(|a, b| a.duration_cycles.cmp(&b.duration_cycles))
+                            .map(|k| k.name.clone())
+                    })
+                    .unwrap_or_else(|| "idle".to_string())
+            };
+            let entry = attributed.entry(binding).or_insert((0, 0));
+            entry.0 += se.step_cycles;
+            entry.1 += 1;
+        }
+    }
+
+    let mut bound: Vec<BoundShare> = attributed
+        .into_iter()
+        .map(|(resource, (cycles, steps))| BoundShare {
+            resource,
+            cycles,
+            steps,
+        })
+        .collect();
+    // Descending by cycles; the BTreeMap source already ordered names
+    // ascending, and the sort is stable, so ties break by name.
+    bound.sort_by_key(|b| std::cmp::Reverse(b.cycles));
+
+    let (limiting_stage, limiting_cycles) = bound
+        .first()
+        .map(|b| (b.resource.clone(), b.cycles))
+        .unwrap_or_else(|| ("idle".to_string(), 0));
+    let limiting_share = if total_cycles == 0 {
+        0.0
+    } else {
+        limiting_cycles as f64 / total_cycles as f64
+    };
+
+    RunAnalysis {
+        total_cycles,
+        limiting_stage,
+        limiting_share,
+        bound,
+        advice: thread_advice(stages, total_threads),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(step: u64, name: &str, duration: u64) -> KernelEvent {
+        KernelEvent {
+            step,
+            start_cycle: 0,
+            duration_cycles: duration,
+            name: name.to_string(),
+            threads: 32,
+            busy_cycles: duration * 32,
+            warp_occupancy: 1.0,
+        }
+    }
+
+    fn step(step: u64, wall: u64, compute: u64, h2d: u64, d2h: u64) -> StepEvent {
+        StepEvent {
+            step,
+            start_cycle: 0,
+            step_cycles: wall,
+            compute_cycles: compute,
+            h2d_cycles: h2d,
+            d2h_cycles: d2h,
+        }
+    }
+
+    #[test]
+    fn compute_bound_step_blames_longest_kernel() {
+        let steps = vec![step(0, 100, 100, 10, 0), step(1, 100, 100, 0, 0)];
+        let kernels = vec![
+            kernel(0, "fast", 40),
+            kernel(0, "slow", 100),
+            kernel(1, "fast", 30),
+            kernel(1, "slow", 100),
+        ];
+        let a = analyze(&steps, &kernels, &[], 1024);
+        assert_eq!(a.limiting_stage, "slow");
+        assert_eq!(a.total_cycles, 200);
+        assert_eq!(a.limiting_share, 1.0);
+        assert_eq!(a.bound[0].steps, 2);
+    }
+
+    #[test]
+    fn transfer_bound_step_blames_copy_engine() {
+        // Wall span exceeds compute: the copy engine paced the step.
+        let steps = vec![step(0, 200, 120, 200, 30), step(1, 150, 150, 10, 0)];
+        let kernels = vec![kernel(0, "k", 120), kernel(1, "k", 150)];
+        let a = analyze(&steps, &kernels, &[], 1024);
+        assert_eq!(a.limiting_stage, "copy-h2d");
+        assert_eq!(a.total_cycles, 350);
+        let by_name: Vec<(&str, u64)> = a
+            .bound
+            .iter()
+            .map(|b| (b.resource.as_str(), b.cycles))
+            .collect();
+        assert_eq!(by_name, vec![("copy-h2d", 200), ("k", 150)]);
+    }
+
+    #[test]
+    fn fallback_uses_busiest_stage() {
+        let stages = vec![
+            StageObservation {
+                name: "a".into(),
+                threads: 100,
+                tasks: 10,
+                busy_cycles: 500,
+                occupied_cycles: 1000,
+            },
+            StageObservation {
+                name: "b".into(),
+                threads: 100,
+                tasks: 10,
+                busy_cycles: 900,
+                occupied_cycles: 1000,
+            },
+        ];
+        let a = analyze(&[], &[], &stages, 200);
+        assert_eq!(a.limiting_stage, "b");
+        assert_eq!(a.total_cycles, 1000);
+    }
+
+    #[test]
+    fn advice_is_work_proportional_and_conserves_threads_roughly() {
+        let stages = vec![
+            StageObservation {
+                name: "light".into(),
+                threads: 512,
+                tasks: 8,
+                busy_cycles: 100,
+                occupied_cycles: 800,
+            },
+            StageObservation {
+                name: "heavy".into(),
+                threads: 512,
+                tasks: 8,
+                busy_cycles: 300,
+                occupied_cycles: 800,
+            },
+        ];
+        let a = analyze(&[], &[], &stages, 1024);
+        assert_eq!(a.advice.len(), 2);
+        let light = &a.advice[0];
+        let heavy = &a.advice[1];
+        // Equal threads, 3x the busy cycles → 3x the suggested threads.
+        assert_eq!(light.suggested_threads, 256);
+        assert_eq!(heavy.suggested_threads, 768);
+        assert!(light.allocation_ratio > 1.0, "light is over-provisioned");
+        assert!(heavy.allocation_ratio < 1.0, "heavy is under-provisioned");
+        assert!((light.work_share + heavy.work_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_advice_keeps_current_threads() {
+        let stages = vec![StageObservation {
+            name: "idle".into(),
+            threads: 64,
+            tasks: 0,
+            busy_cycles: 0,
+            occupied_cycles: 0,
+        }];
+        let a = analyze(&[], &[], &stages, 128);
+        assert_eq!(a.advice[0].suggested_threads, 64);
+        assert_eq!(a.advice[0].work_share, 0.0);
+    }
+
+    #[test]
+    fn renderings_are_deterministic() {
+        let steps = vec![step(0, 100, 100, 0, 0)];
+        let kernels = vec![kernel(0, "k", 100)];
+        let stages = vec![StageObservation {
+            name: "k".into(),
+            threads: 32,
+            tasks: 1,
+            busy_cycles: 100,
+            occupied_cycles: 100,
+        }];
+        let a = analyze(&steps, &kernels, &stages, 32);
+        let b = analyze(&steps, &kernels, &stages, 32);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.render_text(), b.render_text());
+        assert!(a.to_json().contains("\"limiting_stage\":\"k\""));
+        assert!(a.render_text().contains("limiting stage: k"));
+        // Cheap well-formedness check.
+        let json = a.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_inputs_yield_idle_verdict() {
+        let a = analyze(&[], &[], &[], 0);
+        assert_eq!(a.limiting_stage, "idle");
+        assert_eq!(a.total_cycles, 0);
+        assert_eq!(a.limiting_share, 0.0);
+        assert!(a.advice.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # batchzk-metrics
+//!
+//! Service-level observability for the BatchZK reproduction: a
+//! deterministic, dependency-free metrics [`Registry`] (counters, gauges,
+//! log₂-bucketed histograms with p50/p95/p99), per-proof lifecycle
+//! [`Span`]s in simulated device cycles, and a trace-driven bottleneck
+//! [`analysis`] that names the throughput-limiting stage of a pipelined
+//! run and suggests a work-proportional thread reallocation.
+//!
+//! The PR 1 trace layer (`batchzk-gpu-sim`'s `TraceLevel` recorder)
+//! answers *where cycles go inside one run*; this crate answers what the
+//! proving **service** is doing — proofs/second, per-proof latency
+//! quantiles, OOM pressure — and why a device profile tops out. Everything
+//! is deterministic: both exposition formats ([`Registry::to_prometheus`],
+//! [`Registry::to_json`]) render byte-identical output for identical
+//! recordings, which is what lets `BENCH.json` act as a cross-PR
+//! regression artifact.
+//!
+//! # Examples
+//!
+//! ```
+//! use batchzk_metrics::{Registry, Span};
+//!
+//! let mut reg = Registry::new();
+//! let mut span = Span::new(0, 0);
+//! span.enter_stage("merkle-leaf", 0);
+//! span.exit_stage(120);
+//! span.complete(120);
+//! reg.counter_add("batchzk_tasks_total", &[("module", "merkle")], 1);
+//! reg.observe(
+//!     "batchzk_lifecycle_cycles",
+//!     &[("module", "merkle")],
+//!     span.total_cycles(),
+//! );
+//! assert!(reg.to_prometheus().contains("batchzk_tasks_total"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod analysis;
+pub mod registry;
+pub mod span;
+
+pub use analysis::{analyze, BoundShare, RunAnalysis, StageAdvice, StageObservation};
+pub use registry::{Histogram, MetricId, Registry, HISTOGRAM_BUCKETS};
+pub use span::{Span, StageSpan};

@@ -18,6 +18,7 @@
 use std::fmt;
 
 use batchzk_gpu_sim::{Dir, Gpu, KernelStep, MemHandle, Transfer, Work};
+use batchzk_metrics::Span;
 
 /// Cost description returned by a stage for one task-cycle.
 #[derive(Debug, Clone)]
@@ -145,6 +146,11 @@ pub struct RunStats {
     pub d2h_bytes: u64,
     /// Per-stage occupancy/stall breakdown, in stage order.
     pub stage_stats: Vec<StageStats>,
+    /// Per-task lifecycle spans, in completion order (empty for non-pipelined
+    /// baselines). Each span's stage intervals tile the task's residency, so
+    /// summing a stage's cycles across spans reproduces that stage's
+    /// `occupied_cycles`.
+    pub lifecycles: Vec<Span>,
 }
 
 /// Outcome of [`Pipeline::run`]: the completed tasks in completion order
@@ -162,6 +168,7 @@ struct Slot<T> {
     entry_cycle: u64,
     mem: Option<MemHandle>,
     mem_bytes: u64,
+    span: Span,
 }
 
 /// Per-stage running accumulator for [`StageStats`].
@@ -243,20 +250,27 @@ impl<'g, T> Pipeline<'g, T> {
         let mut slots: Vec<Option<Slot<T>>> = (0..num_stages).map(|_| None).collect();
         let mut outputs: Vec<T> = Vec::with_capacity(total_tasks);
         let mut latencies: Vec<u64> = Vec::with_capacity(total_tasks);
+        let mut lifecycles: Vec<Span> = Vec::with_capacity(total_tasks);
         let mut accs: Vec<StageAcc> = (0..num_stages).map(|_| StageAcc::default()).collect();
         let mut in_flight = 0usize;
         let mut remaining = total_tasks;
+        let mut admitted = 0usize;
 
         while remaining > 0 || in_flight > 0 {
             // Admit a new task into stage 0 if it is free.
             if slots[0].is_none() {
                 if let Some(task) = pending.next() {
+                    let entry_cycle = gpu.elapsed_cycles();
+                    let mut span = Span::new(admitted, entry_cycle);
+                    span.enter_stage(&stages[0].name(), entry_cycle);
                     slots[0] = Some(Slot {
                         task,
-                        entry_cycle: gpu.elapsed_cycles(),
+                        entry_cycle,
                         mem: None,
                         mem_bytes: 0,
+                        span,
                     });
+                    admitted += 1;
                     in_flight += 1;
                     remaining -= 1;
                 }
@@ -272,6 +286,7 @@ impl<'g, T> Pipeline<'g, T> {
                 let sw = stages[i].process(&mut slot.task);
                 accs[i].h2d += sw.h2d_bytes;
                 accs[i].d2h += sw.d2h_bytes;
+                slot.span.add_bytes(sw.h2d_bytes, sw.d2h_bytes);
                 kernels.push(KernelStep::new(
                     stages[i].name(),
                     stages[i].threads(),
@@ -382,17 +397,25 @@ impl<'g, T> Pipeline<'g, T> {
             }
 
             // Advance: the last stage's task exits, everyone shifts by one.
-            if let Some(slot) = slots[num_stages - 1].take() {
+            let now = gpu.elapsed_cycles();
+            if let Some(mut slot) = slots[num_stages - 1].take() {
                 if let Some(handle) = slot.mem {
                     gpu.memory().free(handle);
                 }
-                latencies.push(gpu.elapsed_cycles() - slot.entry_cycle);
+                slot.span.exit_stage(now);
+                slot.span.complete(now);
+                latencies.push(now - slot.entry_cycle);
+                lifecycles.push(slot.span);
                 outputs.push(slot.task);
                 in_flight -= 1;
             }
             for i in (1..num_stages).rev() {
                 if slots[i].is_none() {
-                    slots[i] = slots[i - 1].take();
+                    if let Some(mut slot) = slots[i - 1].take() {
+                        slot.span.exit_stage(now);
+                        slot.span.enter_stage(&stages[i].name(), now);
+                        slots[i] = Some(slot);
+                    }
                 }
             }
         }
@@ -446,6 +469,7 @@ impl<'g, T> Pipeline<'g, T> {
             h2d_bytes: gpu.total_h2d_bytes() - start_h2d,
             d2h_bytes: gpu.total_d2h_bytes() - start_d2h,
             stage_stats,
+            lifecycles,
         };
         Ok(PipelineRun { outputs, stats })
     }
@@ -711,6 +735,31 @@ mod tests {
     fn allocate_threads_minimum_one() {
         let alloc = allocate_threads(4, &[1000, 1, 1, 1]);
         assert!(alloc.iter().all(|&t| t >= 1));
+    }
+
+    #[test]
+    fn lifecycle_spans_tile_stage_occupancy() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = three_stage(&mut gpu).run((0..9).collect()).expect("fits");
+        assert_eq!(run.stats.lifecycles.len(), 9);
+        for (i, span) in run.stats.lifecycles.iter().enumerate() {
+            assert_eq!(span.index, i, "completion order == admission order");
+            assert!(span.is_complete());
+            assert_eq!(span.stages.len(), 3, "one stage span per stage");
+            let tiled: u64 = span.stages.iter().map(|s| s.cycles()).sum();
+            assert_eq!(tiled, span.total_cycles(), "stage spans tile residency");
+        }
+        // Summing a stage's cycles across all spans reproduces the stage's
+        // occupied-cycle accounting exactly.
+        for s in &run.stats.stage_stats {
+            let from_spans: u64 = run
+                .stats
+                .lifecycles
+                .iter()
+                .map(|sp| sp.stage_cycles(&s.name))
+                .sum();
+            assert_eq!(from_spans, s.occupied_cycles, "stage {}", s.name);
+        }
     }
 
     #[test]

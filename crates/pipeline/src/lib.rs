@@ -17,7 +17,9 @@
 //! * [`encoder`] — two interconnected pipelines (forward `A`-phase, backward
 //!   `B`-phase) with bucket-sorted warp scheduling (§3.3, Figure 6);
 //! * [`naive`] — the kernel-per-task baselines standing in for Simon,
-//!   Icicle, and "Ours-np".
+//!   Icicle, and "Ours-np";
+//! * [`observe`] — folds finished runs (and OOM failures) into a
+//!   `batchzk-metrics` registry under a stable metric schema.
 
 #![deny(missing_docs)]
 
@@ -25,12 +27,14 @@ pub mod encoder;
 pub mod engine;
 pub mod merkle;
 pub mod naive;
+pub mod observe;
 pub mod sumcheck;
 
 pub use engine::{
     allocate_threads, PipeStage, Pipeline, PipelineError, PipelineRun, RunStats, StageStats,
     StageWork,
 };
+pub use observe::{record_error, record_run, stage_observations};
 
 #[cfg(test)]
 mod randomized_tests {

@@ -264,6 +264,48 @@ mod tests {
     }
 
     #[test]
+    fn lifecycle_spans_conserve_stage_accounting() {
+        // Per-proof lifecycle spans and the per-stage aggregate accounting
+        // are two views of the same cycles: summing a stage's span cycles
+        // across all proofs must reproduce that stage's `occupied_cycles`
+        // exactly — which in turn decomposes into busy + stall cycles by the
+        // engine's own conservation law.
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = run_pipelined(&mut gpu, trees(12, 64), 1024, true).expect("fits");
+        assert_eq!(run.stats.lifecycles.len(), 12);
+        for s in &run.stats.stage_stats {
+            let from_spans: u64 = run
+                .stats
+                .lifecycles
+                .iter()
+                .map(|span| span.stage_cycles(&s.name))
+                .sum();
+            assert_eq!(from_spans, s.occupied_cycles, "stage {}", s.name);
+            assert_eq!(
+                s.busy_cycles + s.imbalance_stall_cycles + s.memory_stall_cycles,
+                s.occupied_cycles,
+                "stage {}",
+                s.name
+            );
+        }
+        // Every proof visits every stage exactly once, in order, and its
+        // stage intervals tile the admission→emission window.
+        for span in &run.stats.lifecycles {
+            assert_eq!(span.stages.len(), run.stats.stage_stats.len());
+            for (ss, stat) in span.stages.iter().zip(&run.stats.stage_stats) {
+                assert_eq!(ss.stage, stat.name);
+            }
+            let tiled: u64 = span.stages.iter().map(|s| s.cycles()).sum();
+            assert_eq!(tiled, span.total_cycles());
+        }
+        // Transfer bytes are conserved between the two views as well.
+        let span_h2d: u64 = run.stats.lifecycles.iter().map(|s| s.h2d_bytes()).sum();
+        assert_eq!(span_h2d, run.stats.h2d_bytes);
+        let span_d2h: u64 = run.stats.lifecycles.iter().map(|s| s.d2h_bytes()).sum();
+        assert_eq!(span_d2h, run.stats.d2h_bytes);
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
         let mut gpu = Gpu::new(DeviceProfile::v100());

@@ -52,8 +52,10 @@ fn finish_stats(gpu: &Gpu, start_cycles: u64, tasks: usize, latencies: &[u64]) -
         mean_utilization: gpu.mean_utilization(),
         h2d_bytes: gpu.total_h2d_bytes(),
         d2h_bytes: gpu.total_d2h_bytes(),
-        // The naive runners have no stage structure to attribute cycles to.
+        // The naive runners have no stage structure to attribute cycles to,
+        // and therefore no per-task lifecycle spans either.
         stage_stats: Vec::new(),
+        lifecycles: Vec::new(),
     }
 }
 

@@ -13,7 +13,7 @@
 //! use batchzk_zkp::PcsParams;
 //! use batchzk_gpu_sim::{DeviceProfile, Gpu};
 //!
-//! let svc = MlService::new(
+//! let mut svc = MlService::new(
 //!     network::tiny_cnn(),
 //!     PcsParams { num_col_tests: 8, ..PcsParams::default() },
 //! );

@@ -14,7 +14,8 @@ use batchzk_field::{field_from_i64, Fr};
 use batchzk_gpu_sim::Gpu;
 use batchzk_hash::Digest;
 use batchzk_merkle::MerkleTree;
-use batchzk_pipeline::{PipelineError, RunStats};
+use batchzk_metrics::Registry;
+use batchzk_pipeline::{observe, PipelineError, RunStats};
 use batchzk_zkp::r1cs::R1cs;
 use batchzk_zkp::{prove_batch, verify, PcsParams, Proof};
 
@@ -28,7 +29,11 @@ pub struct MlService {
     r1cs: Arc<R1cs<Fr>>,
     params: PcsParams,
     commitment: Digest,
+    metrics: Registry,
 }
+
+/// Module label the ML service records its metrics under.
+const VML_MODULE: &str = "vml";
 
 /// One answered customer request: the prediction plus its proof.
 #[derive(Debug)]
@@ -70,7 +75,17 @@ impl MlService {
             r1cs: Arc::new(compiled.r1cs),
             params,
             commitment,
+            metrics: Registry::new(),
         }
+    }
+
+    /// Service metrics accumulated across all [`serve_batch`] rounds
+    /// (requests answered, lifecycle latency histograms, OOM pressure)
+    /// under the module label `vml`.
+    ///
+    /// [`serve_batch`]: MlService::serve_batch
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// The published model commitment (sent to customers in preprocessing).
@@ -106,7 +121,7 @@ impl MlService {
     ///
     /// Panics if `images` is empty or has wrong shapes.
     pub fn serve_batch(
-        &self,
+        &mut self,
         gpu: &mut Gpu,
         images: &[Tensor],
         total_threads: u32,
@@ -127,7 +142,9 @@ impl MlService {
             instances,
             total_threads,
             true,
-        )?;
+        )
+        .inspect_err(|e| observe::record_error(&mut self.metrics, VML_MODULE, e))?;
+        observe::record_run(&mut self.metrics, VML_MODULE, &run.stats);
         let predictions = run
             .proofs
             .into_iter()
@@ -185,7 +202,7 @@ mod tests {
 
     #[test]
     fn end_to_end_predictions_verify() {
-        let svc = service();
+        let mut svc = service();
         let images: Vec<Tensor> = (0..3)
             .map(|i| synthetic_image(10 + i, &svc.network().input_shape))
             .collect();
@@ -197,11 +214,22 @@ mod tests {
             assert_eq!(pred.logits, svc.predict(image));
         }
         assert!(run.stats.throughput_per_ms > 0.0);
+        // The service's own metrics saw the round.
+        let m = [("module", "vml")];
+        assert_eq!(svc.metrics().counter("batchzk_runs_total", &m), 1);
+        assert_eq!(svc.metrics().counter("batchzk_tasks_total", &m), 3);
+        assert_eq!(
+            svc.metrics()
+                .histogram("batchzk_lifecycle_cycles", &m)
+                .expect("lifecycle histogram recorded")
+                .count(),
+            3
+        );
     }
 
     #[test]
     fn tampered_prediction_rejected() {
-        let svc = service();
+        let mut svc = service();
         let images = vec![synthetic_image(20, &svc.network().input_shape)];
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let mut run = svc.serve_batch(&mut gpu, &images, 2048).expect("fits");
@@ -212,7 +240,7 @@ mod tests {
 
     #[test]
     fn tampered_proof_rejected() {
-        let svc = service();
+        let mut svc = service();
         let images = vec![synthetic_image(21, &svc.network().input_shape)];
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let mut run = svc.serve_batch(&mut gpu, &images, 2048).expect("fits");

@@ -23,7 +23,10 @@ use std::sync::Arc;
 use batchzk_field::Field;
 use batchzk_gpu_sim::{Gpu, Work};
 use batchzk_hash::Transcript;
-use batchzk_pipeline::{allocate_threads, PipeStage, Pipeline, PipelineError, RunStats, StageWork};
+use batchzk_metrics::Registry;
+use batchzk_pipeline::{
+    allocate_threads, observe, PipeStage, Pipeline, PipelineError, RunStats, StageWork,
+};
 
 use crate::pcs::{self, EncodedRows, PcsCommitment, PcsParams, PcsProverData};
 use crate::r1cs::R1cs;
@@ -477,7 +480,11 @@ pub struct StreamingProver<F: Field> {
     params: PcsParams,
     total_threads: u32,
     proofs_emitted: usize,
+    metrics: Registry,
 }
+
+/// Module label the streaming prover records its metrics under.
+const SYSTEM_MODULE: &str = "system";
 
 impl<F: Field> StreamingProver<F> {
     /// Creates a resident prover on the given device.
@@ -488,6 +495,7 @@ impl<F: Field> StreamingProver<F> {
             params,
             total_threads,
             proofs_emitted: 0,
+            metrics: Registry::new(),
         }
     }
 
@@ -514,9 +522,18 @@ impl<F: Field> StreamingProver<F> {
             instances,
             self.total_threads,
             true,
-        )?;
+        )
+        .inspect_err(|e| observe::record_error(&mut self.metrics, SYSTEM_MODULE, e))?;
+        observe::record_run(&mut self.metrics, SYSTEM_MODULE, &run.stats);
         self.proofs_emitted += run.proofs.len();
         Ok(run.proofs)
+    }
+
+    /// Service metrics accumulated across all chunks (runs, proof counts,
+    /// lifecycle latency histograms, OOM pressure) under the module label
+    /// `system`.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Total proofs emitted since construction.
@@ -577,6 +594,28 @@ mod streaming_tests {
         }
         assert_eq!(prover.proofs_emitted(), 2 + 3 + 4);
         assert!(prover.lifetime_throughput_per_sec() > 0.0);
+        // Service metrics accumulated across the three chunks.
+        let m = [("module", "system")];
+        assert_eq!(prover.metrics().counter("batchzk_runs_total", &m), 3);
+        assert_eq!(prover.metrics().counter("batchzk_tasks_total", &m), 9);
+        let h = prover
+            .metrics()
+            .histogram("batchzk_lifecycle_cycles", &m)
+            .expect("lifecycle histogram recorded");
+        assert_eq!(h.count(), 9, "one lifecycle sample per proof");
+        assert!(h.quantile(0.99) >= h.quantile(0.5));
+        for stage in ["system-encoder", "system-merkle", "system-sumcheck"] {
+            assert!(
+                prover
+                    .metrics()
+                    .gauge(
+                        "batchzk_stage_occupancy",
+                        &[("module", "system"), ("stage", stage)]
+                    )
+                    .is_some(),
+                "occupancy gauge for {stage}"
+            );
+        }
         // Device memory fully released between chunks.
         assert_eq!(prover.gpu().memory_ref().in_use(), 0);
         let gpu = prover.into_gpu();

@@ -15,7 +15,8 @@ use batchzk::encoder::{Encoder, EncoderParams};
 use batchzk::field::{Field, Fr};
 use batchzk::gpu_sim::{DeviceProfile, Gpu, TraceLevel};
 use batchzk::hash::Prg;
-use batchzk::pipeline::{encoder as penc, merkle as pmerkle, naive, sumcheck as psum};
+use batchzk::metrics::{analyze, Registry};
+use batchzk::pipeline::{encoder as penc, merkle as pmerkle, naive, observe, sumcheck as psum};
 
 fn main() {
     let threads = 10_240;
@@ -61,6 +62,31 @@ fn main() {
         gpu.kernel_events().len(),
         gpu.transfer_events().len()
     );
+
+    // Service-level metrics + bottleneck analysis of that same run.
+    let mut registry = Registry::new();
+    observe::record_run(&mut registry, "merkle", pp);
+    println!(
+        "  lifecycle p50/p99 = {}/{} cycles over {} spans (from the metrics registry)",
+        registry
+            .histogram("batchzk_lifecycle_cycles", &[("module", "merkle")])
+            .map(|h| h.quantile(0.50))
+            .unwrap_or(0),
+        registry
+            .histogram("batchzk_lifecycle_cycles", &[("module", "merkle")])
+            .map(|h| h.quantile(0.99))
+            .unwrap_or(0),
+        pp.lifecycles.len(),
+    );
+    let analysis = analyze(
+        gpu.step_events(),
+        gpu.kernel_events(),
+        &observe::stage_observations(&pp.stage_stats),
+        threads,
+    );
+    for line in analysis.render_text().lines() {
+        println!("  {line}");
+    }
 
     // Sum-check.
     let mut rng = Prg::seed_from_u64(1);

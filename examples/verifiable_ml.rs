@@ -20,7 +20,7 @@ fn main() {
         net.total_macs(),
         net.total_params()
     );
-    let svc = MlService::new(
+    let mut svc = MlService::new(
         net,
         PcsParams {
             num_col_tests: 32,

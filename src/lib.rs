@@ -13,6 +13,8 @@
 //! * [`sumcheck`] — Algorithm 1 and Fiat–Shamir sum-checks;
 //! * [`encoder`] — Spielman/Brakedown linear-time expander code;
 //! * [`gpu_sim`] — the cycle-level CUDA execution-model simulator;
+//! * [`metrics`] — service-level metrics registry, lifecycle spans, and
+//!   the trace-driven bottleneck analyzer;
 //! * [`pipeline`] — the pipelined modules and the naive baselines;
 //! * [`zkp`] — Brakedown PCS, Spartan-style SNARK, pipelined batch prover;
 //! * [`vml`] — the verifiable machine-learning application.
@@ -36,6 +38,7 @@ pub use batchzk_field as field;
 pub use batchzk_gpu_sim as gpu_sim;
 pub use batchzk_hash as hash;
 pub use batchzk_merkle as merkle;
+pub use batchzk_metrics as metrics;
 pub use batchzk_pipeline as pipeline;
 pub use batchzk_sumcheck as sumcheck;
 pub use batchzk_vml as vml;

@@ -15,7 +15,7 @@ fn params() -> PcsParams {
 
 #[test]
 fn mlaas_loop_tiny_cnn() {
-    let svc = MlService::new(network::tiny_cnn(), params());
+    let mut svc = MlService::new(network::tiny_cnn(), params());
     let images: Vec<_> = (0..4)
         .map(|i| network::synthetic_image(i, &svc.network().input_shape))
         .collect();
@@ -33,7 +33,7 @@ fn mlaas_loop_tiny_cnn() {
 fn mlaas_loop_scaled_vgg_block() {
     // A VGG-16-shaped network at the smallest width: the full application
     // path on the real architecture (13 conv + 5 pool + 3 dense).
-    let svc = MlService::new(network::vgg16(64), params());
+    let mut svc = MlService::new(network::vgg16(64), params());
     let image = network::synthetic_image(9, &svc.network().input_shape);
     let mut gpu = Gpu::new(DeviceProfile::gh200());
     let run = svc
@@ -82,10 +82,11 @@ fn lying_provider_is_caught_on_wrong_logits() {
 
 #[test]
 fn batching_more_requests_raises_throughput() {
-    let svc = MlService::new(network::tiny_cnn(), params());
+    let mut svc = MlService::new(network::tiny_cnn(), params());
+    let shape = svc.network().input_shape.clone();
     let mk_images = |n: usize| -> Vec<_> {
         (0..n)
-            .map(|i| network::synthetic_image(20 + i as u64, &svc.network().input_shape))
+            .map(|i| network::synthetic_image(20 + i as u64, &shape))
             .collect::<Vec<_>>()
     };
     let mut gpu = Gpu::new(DeviceProfile::gh200());
