@@ -1,8 +1,16 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `tables <experiment|all|help> [--quick|--medium|--paper]`
+//! Usage: `tables <experiment|all|help> [--quick|--medium|--paper]
+//! [--devices N] [--profile <name>]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
-//! `ablation`, `trace`, `bench-json`.
+//! `ablation`, `scaling`, `trace`, `bench-json`.
+//!
+//! `scaling` proves the scale's scaling batch across device pools and
+//! prints throughput vs device count with the pool analyzer's per-device
+//! occupancy and scaling-efficiency verdicts. `--devices N` sets the
+//! largest pool (swept as 1, 2, 4, ... N; default 8) and
+//! `--profile <name>` picks the simulated GPU (`v100`, `a100`,
+//! `rtx3090ti`, `h100`, `gh200`; default `a100`).
 //!
 //! `trace` is not part of `all`: it prints the per-stage timeline and
 //! stage-imbalance table of the pipelined Merkle module, then the raw
@@ -38,6 +46,11 @@ const EXPERIMENTS: &[(&str, bool, &str)] = &[
     ("fig9", true, "utilization collapse of naive modules"),
     ("ablation", true, "multi-stream / warp-sort ablations"),
     (
+        "scaling",
+        true,
+        "multi-device throughput vs device count (--devices, --profile)",
+    ),
+    (
         "trace",
         false,
         "per-stage timeline + Chrome-trace JSON (explicit-only)",
@@ -53,7 +66,8 @@ const FLAGS: &[&str] = &["--quick", "--medium", "--paper"];
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage: tables <experiment...|all|help> [--quick|--medium|--paper]\n\nexperiments:\n",
+        "usage: tables <experiment...|all|help> [--quick|--medium|--paper]\n\
+         \x20             [--devices N] [--profile <name>]\n\nexperiments:\n",
     );
     out.push_str("  all          every experiment marked (all) below\n");
     out.push_str("  help         this listing\n");
@@ -62,11 +76,57 @@ fn usage() -> String {
         out.push_str(&format!("  {name:<12} {desc}{marker}\n"));
     }
     out.push_str("\nscale flags: --quick (default), --medium, --paper\n");
+    out.push_str(
+        "scaling flags: --devices N (largest pool, swept 1,2,4..N; default 8)\n\
+         \x20              --profile <v100|a100|rtx3090ti|h100|gh200> (default a100)\n",
+    );
     out
 }
 
+/// The device counts swept by `scaling`: powers of two up to `n`, plus
+/// `n` itself when it is not one.
+fn device_ladder(n: usize) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut d = 1;
+    while d < n {
+        counts.push(d);
+        d *= 2;
+    }
+    counts.push(n);
+    counts
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+
+    // Peel off the value-taking flags first, then validate the rest.
+    let mut max_devices = 8usize;
+    let mut profile = experiments::profile_by_name("a100").expect("a100 profile exists");
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--devices" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => max_devices = n,
+                _ => {
+                    eprintln!("tables: --devices needs a positive integer\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile" => match it.next().as_deref().and_then(experiments::profile_by_name) {
+                Some(p) => profile = p,
+                None => {
+                    eprintln!(
+                        "tables: --profile needs one of v100, a100, rtx3090ti, h100, gh200\n"
+                    );
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => args.push(arg),
+        }
+    }
 
     // Reject unknown flags and experiments up front (exit non-zero).
     for arg in &args {
@@ -142,6 +202,12 @@ fn main() -> ExitCode {
     }
     if want("ablation") {
         println!("{}", experiments::ablation(&scale));
+    }
+    if want("scaling") {
+        println!(
+            "{}",
+            experiments::scaling(&scale, &device_ladder(max_devices), &profile)
+        );
     }
     // `trace` is explicit-only: its JSON payload would drown `all` output.
     if which.contains(&"trace") {

@@ -7,14 +7,15 @@ use std::time::Instant;
 
 use batchzk_encoder::{Encoder, EncoderParams};
 use batchzk_field::{Field, Fr};
-use batchzk_gpu_sim::{DeviceProfile, Gpu};
+use batchzk_gpu_sim::{DevicePool, DeviceProfile, Gpu};
 use batchzk_hash::Prg;
+use batchzk_metrics::{analyze_pool, DeviceObservation, PoolAnalysis};
 use batchzk_pipeline::{
-    allocate_threads, encoder as penc, merkle as pmerkle, naive, sumcheck as psum,
+    allocate_threads, encoder as penc, merkle as pmerkle, naive, sumcheck as psum, ShardPolicy,
 };
 use batchzk_zkp::batch::module_weights;
-use batchzk_zkp::r1cs::synthetic_r1cs;
-use batchzk_zkp::{pcs, prove_batch, spartan, PcsParams};
+use batchzk_zkp::r1cs::{synthetic_r1cs, R1cs};
+use batchzk_zkp::{pcs, prove_batch, prove_batch_pool, spartan, PcsParams};
 
 use crate::baseline::{groth16_cpu, groth16_gpu, BELLPERSON_BYTES_PER_CONSTRAINT};
 use crate::scale::Scale;
@@ -747,6 +748,108 @@ pub fn ablation(scale: &Scale) -> String {
     )
 }
 
+/// Looks up a simulated device profile by its CLI name.
+pub fn profile_by_name(name: &str) -> Option<DeviceProfile> {
+    match name {
+        "v100" => Some(DeviceProfile::v100()),
+        "a100" => Some(DeviceProfile::a100()),
+        "rtx3090ti" => Some(DeviceProfile::rtx3090ti()),
+        "h100" => Some(DeviceProfile::h100()),
+        "gh200" => Some(DeviceProfile::gh200()),
+        _ => None,
+    }
+}
+
+/// One point of the multi-device scaling sweep.
+struct ScalingPoint {
+    makespan_ms: f64,
+    throughput_per_ms: f64,
+    analysis: PoolAnalysis,
+}
+
+/// Proves the scaling batch across `devices` identical GPUs under
+/// round-robin sharding and runs the pool analyzer against
+/// `baseline_ms` (the single-device makespan; `None` makes this run its
+/// own baseline, i.e. speedup 1.0).
+fn scaling_point(
+    profile: &DeviceProfile,
+    devices: usize,
+    r1cs: &Arc<R1cs<Fr>>,
+    inputs: &[Fr],
+    witness: &[Fr],
+    batch: usize,
+    baseline_ms: Option<f64>,
+) -> ScalingPoint {
+    let instances: Vec<_> = (0..batch)
+        .map(|_| (inputs.to_vec(), witness.to_vec()))
+        .collect();
+    let mut pool = DevicePool::homogeneous(profile.clone(), devices);
+    let run = prove_batch_pool(
+        &mut pool,
+        Arc::clone(r1cs),
+        pcs_params(),
+        instances,
+        MODULE_THREADS,
+        true,
+        ShardPolicy::RoundRobin,
+    )
+    .expect("fits");
+    let obs: Vec<DeviceObservation> = run
+        .device_stats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| DeviceObservation {
+            name: format!("{} #{i}", profile.name),
+            tasks: s.tasks as u64,
+            elapsed_ms: run.device_ms[i],
+            mean_utilization: s.mean_utilization,
+        })
+        .collect();
+    let analysis = analyze_pool(&obs, Some(baseline_ms.unwrap_or(run.makespan_ms)));
+    ScalingPoint {
+        makespan_ms: run.makespan_ms,
+        throughput_per_ms: run.throughput_per_ms(),
+        analysis,
+    }
+}
+
+/// Multi-device scaling: throughput vs device count over a pool of
+/// identical GPUs. The first entry of `device_counts` is the speedup
+/// baseline — pass counts starting at 1 for "vs single device" numbers.
+pub fn scaling(scale: &Scale, device_counts: &[usize], profile: &DeviceProfile) -> String {
+    let log = scale.scaling_log;
+    let batch = scale.scaling_batch;
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << log, 42);
+    let r1cs = Arc::new(r1cs);
+    let mut out = format!(
+        "## Scaling — {batch} proofs of S = 2^{log} across a pool of {} devices (round-robin)\n\n\
+         | Devices | Makespan (ms) | Throughput (proofs/ms) | Speedup | Scaling efficiency | Imbalance |\n\
+         |---|---|---|---|---|---|\n",
+        profile.name
+    );
+    let mut reports = String::new();
+    let mut baseline_ms = None;
+    for &d in device_counts {
+        let p = scaling_point(profile, d, &r1cs, &inputs, &witness, batch, baseline_ms);
+        if baseline_ms.is_none() {
+            baseline_ms = Some(p.makespan_ms);
+        }
+        out.push_str(&format!(
+            "| {d} | {:.3} | {:.3} | {:.2}x | {:.1}% | {:.3} |\n",
+            p.makespan_ms,
+            p.throughput_per_ms,
+            p.analysis.speedup,
+            p.analysis.scaling_efficiency * 100.0,
+            p.analysis.imbalance,
+        ));
+        reports.push_str(&p.analysis.render_text());
+    }
+    out.push_str("\nPer-device analyzer verdicts:\n\n```\n");
+    out.push_str(&reports);
+    out.push_str("```\n");
+    out
+}
+
 /// Renders one ASCII occupancy row per kernel track: each character is a
 /// time bucket, each digit the decile of cycles that track was busy.
 fn render_kernel_timelines(
@@ -1018,7 +1121,7 @@ pub fn bench_json(scale: &Scale) -> String {
     let instances: Vec<_> = (0..scale.system_batch)
         .map(|_| (inputs.clone(), witness.clone()))
         .collect();
-    let mut gpu = Gpu::with_trace_level(profile, TraceLevel::Full);
+    let mut gpu = Gpu::with_trace_level(profile.clone(), TraceLevel::Full);
     let run = prove_batch(
         &mut gpu,
         Arc::new(r1cs),
@@ -1038,7 +1141,49 @@ pub fn bench_json(scale: &Scale) -> String {
         MODULE_THREADS,
     ));
 
-    out.push_str("},\"metrics\":");
+    out.push('}'); // close "modules"
+
+    // Multi-device scaling sweep: the same batch round-robined over pools
+    // of 1/2/4/8 identical devices; cycle-derived, so byte-stable too.
+    {
+        use batchzk_metrics::registry::format_f64;
+        use std::fmt::Write as _;
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << scale.scaling_log, 42);
+        let r1cs = Arc::new(r1cs);
+        let _ = write!(
+            out,
+            ",\"scaling\":{{\"log_n\":{},\"batch\":{},\"policy\":\"round-robin\",\"runs\":[",
+            scale.scaling_log, scale.scaling_batch
+        );
+        let mut baseline_ms = None;
+        for (i, d) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let p = scaling_point(
+                &profile,
+                d,
+                &r1cs,
+                &inputs,
+                &witness,
+                scale.scaling_batch,
+                baseline_ms,
+            );
+            if baseline_ms.is_none() {
+                baseline_ms = Some(p.makespan_ms);
+            }
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"devices\":{d},\"makespan_ms\":{},\"throughput_per_ms\":{},\"analysis\":{}}}",
+                format_f64(p.makespan_ms),
+                format_f64(p.throughput_per_ms),
+                p.analysis.to_json(),
+            );
+        }
+        out.push_str("]}");
+    }
+
+    out.push_str(",\"metrics\":");
     out.push_str(&registry.to_json());
     out.push_str("}\n");
     out
@@ -1057,6 +1202,8 @@ mod tests {
             system_batch: 3,
             vgg_divisor: 64,
             vgg_batch: 2,
+            scaling_log: 8,
+            scaling_batch: 48,
             tag: "test",
         }
     }
@@ -1128,6 +1275,10 @@ mod tests {
             "\"occupancy\":",
             "\"limiting_stage\":",
             "\"suggested_threads\":",
+            "\"scaling\":",
+            "\"devices\":1",
+            "\"devices\":8",
+            "\"scaling_efficiency\":",
             "\"metrics\":",
         ] {
             assert!(json.contains(field), "missing field {field}");
@@ -1136,6 +1287,52 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(bench_json(&s), json, "bench-json must be byte-stable");
+    }
+
+    #[test]
+    fn scaling_table_renders_with_analyzer_verdicts() {
+        let s = tiny_scale();
+        let t = scaling(&s, &[1, 2], &DeviceProfile::a100());
+        assert!(t.contains("| 1 |") && t.contains("| 2 |"), "{t}");
+        assert!(t.contains("scaling efficiency"), "{t}");
+        assert!(t.contains("time share"), "{t}");
+    }
+
+    #[test]
+    fn scaling_meets_acceptance_thresholds() {
+        // The PR's acceptance bar: >= 1.8x throughput at 2 devices and
+        // >= 3x at 4 devices vs a single device of the same profile.
+        let s = tiny_scale();
+        let profile = DeviceProfile::a100();
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << s.scaling_log, 42);
+        let r1cs = Arc::new(r1cs);
+        let one = scaling_point(&profile, 1, &r1cs, &inputs, &witness, s.scaling_batch, None);
+        assert!((one.analysis.speedup - 1.0).abs() < 1e-9);
+        for (d, floor) in [(2usize, 1.8f64), (4, 3.0)] {
+            let p = scaling_point(
+                &profile,
+                d,
+                &r1cs,
+                &inputs,
+                &witness,
+                s.scaling_batch,
+                Some(one.makespan_ms),
+            );
+            assert!(
+                p.analysis.speedup >= floor,
+                "{d} devices: speedup {:.3} < {floor}",
+                p.analysis.speedup
+            );
+            assert!(p.throughput_per_ms > one.throughput_per_ms);
+        }
+    }
+
+    #[test]
+    fn profile_lookup_covers_cli_names() {
+        for name in ["v100", "a100", "rtx3090ti", "h100", "gh200"] {
+            assert!(profile_by_name(name).is_some(), "{name}");
+        }
+        assert!(profile_by_name("tpu").is_none());
     }
 
     #[test]

@@ -21,6 +21,15 @@ pub struct Scale {
     pub vgg_divisor: usize,
     /// Batch of images for Table 11.
     pub vgg_batch: usize,
+    /// log2 circuit size for the multi-device scaling sweep. Smaller than
+    /// the system sizes: the sweep repeats the whole batch at every device
+    /// count, and the scaling shape is size-independent.
+    pub scaling_log: u32,
+    /// Batch size for the scaling sweep. Must be large against the
+    /// pipeline depth (4 stages): a batch of `m` takes `m + depth - 1`
+    /// pipeline slots on one device but `m/d + depth - 1` on each of `d`,
+    /// so small batches understate the pool's steady-state speedup.
+    pub scaling_batch: usize,
     /// Human-readable tag recorded in outputs.
     pub tag: &'static str,
 }
@@ -37,6 +46,8 @@ impl Scale {
             system_batch: 6,
             vgg_divisor: 32,
             vgg_batch: 4,
+            scaling_log: 10,
+            scaling_batch: 48,
             tag: "quick (sizes /16 of paper)",
         }
     }
@@ -50,6 +61,8 @@ impl Scale {
             system_batch: 6,
             vgg_divisor: 1,
             vgg_batch: 4,
+            scaling_log: 18,
+            scaling_batch: 48,
             tag: "paper scale",
         }
     }
@@ -63,6 +76,8 @@ impl Scale {
             system_batch: 6,
             vgg_divisor: 16,
             vgg_batch: 4,
+            scaling_log: 12,
+            scaling_batch: 48,
             tag: "medium (sizes /16..64 of paper)",
         }
     }
@@ -78,6 +93,9 @@ mod tests {
             assert!(s.module_logs.windows(2).all(|w| w[0] > w[1]));
             assert!(s.system_logs.windows(2).all(|w| w[0] > w[1]));
             assert!(s.module_batch >= 2 && s.system_batch >= 2);
+            // The scaling sweep needs a batch large against the 4-stage
+            // pipeline depth to expose steady-state speedup.
+            assert!(s.scaling_batch >= 8 * 4);
         }
     }
 }

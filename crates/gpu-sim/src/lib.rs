@@ -35,6 +35,7 @@
 mod cost;
 mod gpu;
 mod memory;
+mod pool;
 mod profile;
 mod trace;
 
@@ -43,6 +44,7 @@ pub use gpu::{
     Dir, Gpu, KernelStats, KernelStep, StepOutcome, Transfer, UtilSample, Work, WARP_SIZE,
 };
 pub use memory::{DeviceMemory, MemHandle, OutOfDeviceMemory};
+pub use pool::{DevicePool, DeviceSnapshot, PoolSnapshot};
 pub use profile::{DeviceProfile, Interconnect};
 pub use trace::{KernelEvent, StepEvent, TraceLevel, TransferEvent};
 

@@ -1,0 +1,309 @@
+//! A pool of simulated devices advancing on a shared virtual clock.
+//!
+//! The paper evaluates BatchZK on five device profiles one at a time; the
+//! production deployment it motivates (§1, "serves millions of users")
+//! needs *several* devices serving one proof stream. [`DevicePool`] is the
+//! substrate for that: N independent [`Gpu`]s — homogeneous or a mix of
+//! [`DeviceProfile`]s — each with its own memory arena, copy engines, and
+//! trace sink, sharing nothing but a virtual time base.
+//!
+//! Time discipline: every device carries its own clock (host code drives
+//! them one at a time, but the clocks represent concurrent wall time).
+//! The pool's notion of *now* is the farthest clock ([`DevicePool::
+//! virtual_now`]); a scheduler that always extends the least-advanced
+//! device ([`DevicePool::earliest_device`]) emulates an event-driven
+//! multi-device executor, and [`DevicePool::sync`] is the barrier that
+//! idles every device up to the shared now. The pool's makespan — the
+//! quantity multi-device throughput is measured against — is the maximum
+//! per-device elapsed time, exactly as it would be on real hardware where
+//! the batch is done when the last card finishes.
+
+use crate::gpu::Gpu;
+use crate::profile::DeviceProfile;
+use crate::trace::TraceLevel;
+
+/// Point-in-time view of one pool member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSnapshot {
+    /// Index of the device in the pool.
+    pub index: usize,
+    /// Profile name ("A100", ...).
+    pub name: &'static str,
+    /// Device cycles elapsed on this device's clock.
+    pub elapsed_cycles: u64,
+    /// Elapsed wall time in milliseconds at this device's clock rate.
+    pub elapsed_ms: f64,
+    /// Time-weighted mean core utilization so far (0..=1).
+    pub mean_utilization: f64,
+    /// Bytes of device memory currently allocated.
+    pub mem_in_use_bytes: u64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity_bytes: u64,
+}
+
+/// Point-in-time view of the whole pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSnapshot {
+    /// One snapshot per device, in pool order.
+    pub devices: Vec<DeviceSnapshot>,
+    /// The pool's makespan: the maximum per-device elapsed milliseconds.
+    pub makespan_ms: f64,
+    /// Max over mean of per-device elapsed milliseconds (1.0 = perfectly
+    /// balanced; grows as one device straggles). 0 when nothing ran.
+    pub imbalance: f64,
+}
+
+/// A pool of N simulated devices sharing a virtual time base.
+#[derive(Debug)]
+pub struct DevicePool {
+    devices: Vec<Gpu>,
+}
+
+impl DevicePool {
+    /// Builds a pool from already-constructed devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty — a pool needs at least one device.
+    pub fn new(devices: Vec<Gpu>) -> Self {
+        assert!(!devices.is_empty(), "a device pool needs at least one GPU");
+        Self { devices }
+    }
+
+    /// N identical devices of one profile.
+    pub fn homogeneous(profile: DeviceProfile, n: usize) -> Self {
+        Self::homogeneous_with_trace_level(profile, n, TraceLevel::default())
+    }
+
+    /// N identical devices recording at an explicit [`TraceLevel`].
+    pub fn homogeneous_with_trace_level(
+        profile: DeviceProfile,
+        n: usize,
+        level: TraceLevel,
+    ) -> Self {
+        Self::new(
+            (0..n)
+                .map(|_| Gpu::with_trace_level(profile.clone(), level))
+                .collect(),
+        )
+    }
+
+    /// A mixed pool, one device per profile (heterogeneous deployments).
+    pub fn from_profiles(profiles: Vec<DeviceProfile>) -> Self {
+        Self::new(profiles.into_iter().map(Gpu::new).collect())
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if the pool has no devices (never: construction forbids it,
+    /// kept for the conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Shared borrow of device `i`.
+    pub fn device(&self, i: usize) -> &Gpu {
+        &self.devices[i]
+    }
+
+    /// Exclusive borrow of device `i`.
+    pub fn device_mut(&mut self, i: usize) -> &mut Gpu {
+        &mut self.devices[i]
+    }
+
+    /// All devices, in pool order.
+    pub fn devices(&self) -> &[Gpu] {
+        &self.devices
+    }
+
+    /// Exclusive borrow of all devices — the split-borrow entry point a
+    /// multi-device executor uses to drive several devices in one scope.
+    pub fn devices_mut(&mut self) -> &mut [Gpu] {
+        &mut self.devices
+    }
+
+    /// The shared virtual clock: the farthest per-device clock, in cycles
+    /// of each device's own time base converted to seconds (heterogeneous
+    /// pools tick at different rates, so *now* is in wall seconds).
+    pub fn virtual_now_seconds(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(Gpu::elapsed_seconds)
+            .fold(0.0, f64::max)
+    }
+
+    /// The pool-wide makespan in milliseconds (max per-device elapsed).
+    pub fn makespan_ms(&self) -> f64 {
+        self.virtual_now_seconds() * 1e3
+    }
+
+    /// Index of the least-advanced device in wall time (ties break to the
+    /// lowest index). A scheduler that always feeds this device emulates
+    /// event-driven dispatch across the pool.
+    pub fn earliest_device(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_t = f64::INFINITY;
+        for (i, g) in self.devices.iter().enumerate() {
+            let t = g.elapsed_seconds();
+            if t < best_t {
+                best = i;
+                best_t = t;
+            }
+        }
+        best
+    }
+
+    /// Relative compute capacity of device `i` (cores × clock), the weight
+    /// heterogeneous shard policies balance against.
+    pub fn compute_weight(&self, i: usize) -> f64 {
+        let p = self.devices[i].profile();
+        p.cuda_cores as f64 * p.clock_ghz
+    }
+
+    /// Barrier: idles every device forward to the shared virtual now, and
+    /// returns that now in seconds. After a `sync` all clocks agree in
+    /// wall time (cycle counts still differ across heterogeneous clocks).
+    pub fn sync(&mut self) -> f64 {
+        let now = self.virtual_now_seconds();
+        for g in &mut self.devices {
+            let cycles = (now * g.profile().clock_ghz * 1e9).ceil() as u64;
+            g.idle_until(cycles);
+        }
+        now
+    }
+
+    /// A deterministic snapshot of per-device progress and balance.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let devices: Vec<DeviceSnapshot> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(index, g)| DeviceSnapshot {
+                index,
+                name: g.profile().name,
+                elapsed_cycles: g.elapsed_cycles(),
+                elapsed_ms: g.elapsed_ms(),
+                mean_utilization: g.mean_utilization(),
+                mem_in_use_bytes: g.memory_ref().in_use(),
+                mem_capacity_bytes: g.memory_ref().capacity(),
+            })
+            .collect();
+        let makespan_ms = devices.iter().map(|d| d.elapsed_ms).fold(0.0, f64::max);
+        let mean_ms =
+            devices.iter().map(|d| d.elapsed_ms).sum::<f64>() / devices.len().max(1) as f64;
+        let imbalance = if mean_ms > 0.0 {
+            makespan_ms / mean_ms
+        } else {
+            0.0
+        };
+        PoolSnapshot {
+            devices,
+            makespan_ms,
+            imbalance,
+        }
+    }
+
+    /// Dissolves the pool back into its devices.
+    pub fn into_devices(self) -> Vec<Gpu> {
+        self.devices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{KernelStep, Work};
+
+    fn burn(gpu: &mut Gpu, units: u64) {
+        gpu.execute_step(
+            &[KernelStep::new(
+                "k",
+                1024,
+                Work::Uniform {
+                    units,
+                    cycles_per_unit: 100,
+                },
+            )],
+            &[],
+            true,
+        );
+    }
+
+    #[test]
+    fn homogeneous_pool_has_independent_devices() {
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 4);
+        assert_eq!(pool.len(), 4);
+        burn(pool.device_mut(1), 1 << 16);
+        assert_eq!(pool.device(0).elapsed_cycles(), 0);
+        assert!(pool.device(1).elapsed_cycles() > 0);
+        // Memory arenas are private per device.
+        pool.device_mut(2).memory().alloc(64, "x").unwrap();
+        assert_eq!(pool.device(0).memory_ref().in_use(), 0);
+        assert_eq!(pool.device(2).memory_ref().in_use(), 64);
+    }
+
+    #[test]
+    fn earliest_device_tracks_clocks() {
+        let mut pool = DevicePool::homogeneous(DeviceProfile::v100(), 3);
+        assert_eq!(pool.earliest_device(), 0, "tie breaks to lowest index");
+        burn(pool.device_mut(0), 1 << 12);
+        assert_eq!(pool.earliest_device(), 1);
+        burn(pool.device_mut(1), 1 << 16);
+        burn(pool.device_mut(2), 1 << 14);
+        assert_eq!(pool.earliest_device(), 0);
+    }
+
+    #[test]
+    fn sync_aligns_wall_time() {
+        let mut pool =
+            DevicePool::from_profiles(vec![DeviceProfile::v100(), DeviceProfile::h100()]);
+        burn(pool.device_mut(0), 1 << 16);
+        let now = pool.sync();
+        assert!(now > 0.0);
+        for g in pool.devices() {
+            assert!((g.elapsed_seconds() - now).abs() * 1e9 < 2.0, "aligned");
+        }
+        // Sync never rewinds a clock.
+        let before = pool.device(0).elapsed_cycles();
+        pool.sync();
+        assert!(pool.device(0).elapsed_cycles() >= before);
+    }
+
+    #[test]
+    fn snapshot_reports_imbalance() {
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        let idle = pool.snapshot();
+        assert_eq!(idle.imbalance, 0.0);
+        assert_eq!(idle.makespan_ms, 0.0);
+        burn(pool.device_mut(0), 1 << 16);
+        let snap = pool.snapshot();
+        assert_eq!(snap.devices.len(), 2);
+        assert!(snap.makespan_ms > 0.0);
+        // All work on one of two devices: max/mean = 2.
+        assert!((snap.imbalance - 2.0).abs() < 1e-9, "{}", snap.imbalance);
+        burn(pool.device_mut(1), 1 << 16);
+        assert!(pool.snapshot().imbalance < 1.5);
+    }
+
+    #[test]
+    fn compute_weight_orders_heterogeneous_pool() {
+        let pool = DevicePool::from_profiles(vec![DeviceProfile::v100(), DeviceProfile::h100()]);
+        assert!(pool.compute_weight(1) > pool.compute_weight(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn empty_pool_rejected() {
+        let _ = DevicePool::new(vec![]);
+    }
+
+    #[test]
+    fn into_devices_roundtrip() {
+        let pool = DevicePool::homogeneous(DeviceProfile::gh200(), 3);
+        let devices = pool.into_devices();
+        assert_eq!(devices.len(), 3);
+    }
+}

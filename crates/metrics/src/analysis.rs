@@ -173,6 +173,171 @@ impl RunAnalysis {
     }
 }
 
+/// Per-device aggregate observations from a multi-device (pool) run,
+/// decoupled from any particular pool implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceObservation {
+    /// Device name, e.g. `"A100 #0"`.
+    pub name: String,
+    /// Tasks the device completed.
+    pub tasks: u64,
+    /// Wall milliseconds the device spent on this run.
+    pub elapsed_ms: f64,
+    /// Time-weighted mean core utilization, 0..=1.
+    pub mean_utilization: f64,
+}
+
+/// One device's verdict inside a [`PoolAnalysis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceVerdict {
+    /// Device name.
+    pub name: String,
+    /// Tasks the device completed.
+    pub tasks: u64,
+    /// Wall milliseconds the device spent.
+    pub elapsed_ms: f64,
+    /// Time-weighted mean core utilization, 0..=1.
+    pub mean_utilization: f64,
+    /// `elapsed_ms / makespan_ms` — 1.0 for the straggler that sets the
+    /// makespan, lower for devices that idled at the barrier.
+    pub time_share: f64,
+}
+
+/// The analyzer's verdict for a multi-device run: who straggled, how
+/// balanced the shard was, and how well the pool scaled against a
+/// single-device baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolAnalysis {
+    /// Per-device verdicts, in pool order.
+    pub devices: Vec<DeviceVerdict>,
+    /// The pool's makespan in milliseconds (max per-device elapsed).
+    pub makespan_ms: f64,
+    /// Max-over-mean of elapsed time across devices that ran work
+    /// (1.0 = perfectly balanced; 0 when nothing ran).
+    pub imbalance: f64,
+    /// `single_device_ms / makespan_ms`, 0 when no baseline was given.
+    pub speedup: f64,
+    /// `speedup / devices` — the fraction of perfect linear scaling
+    /// achieved (1.0 = ideal), 0 when no baseline was given.
+    pub scaling_efficiency: f64,
+}
+
+impl PoolAnalysis {
+    /// Renders a compact human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pool: {} devices, makespan {:.3} ms, imbalance {:.3}",
+            self.devices.len(),
+            self.makespan_ms,
+            self.imbalance
+        );
+        if self.speedup > 0.0 {
+            let _ = writeln!(
+                out,
+                "  speedup {:.2}x vs single device, scaling efficiency {:.1}%",
+                self.speedup,
+                self.scaling_efficiency * 100.0
+            );
+        }
+        for d in &self.devices {
+            let _ = writeln!(
+                out,
+                "  {:<12} tasks {:>6}  elapsed {:>10.3} ms  \
+                 util {:>5.1}%  time share {:>5.1}%",
+                d.name,
+                d.tasks,
+                d.elapsed_ms,
+                d.mean_utilization * 100.0,
+                d.time_share * 100.0
+            );
+        }
+        out
+    }
+
+    /// Renders the analysis as canonical JSON (sorted, deterministic).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"makespan_ms\":{},\"imbalance\":{},\"speedup\":{},\
+             \"scaling_efficiency\":{},\"devices\":[",
+            format_f64(self.makespan_ms),
+            format_f64(self.imbalance),
+            format_f64(self.speedup),
+            format_f64(self.scaling_efficiency)
+        );
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"tasks\":{},\"elapsed_ms\":{},\
+                 \"mean_utilization\":{},\"time_share\":{}}}",
+                escape_json(&d.name),
+                d.tasks,
+                format_f64(d.elapsed_ms),
+                format_f64(d.mean_utilization),
+                format_f64(d.time_share)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Analyzes a multi-device run: per-device imbalance and, when a
+/// single-device baseline is supplied, speedup and scaling efficiency.
+///
+/// `single_device_ms` is the wall time the same workload took on one
+/// device of the same profile (pass `None` when no baseline exists — the
+/// scaling fields then report 0).
+pub fn analyze_pool(devices: &[DeviceObservation], single_device_ms: Option<f64>) -> PoolAnalysis {
+    let makespan_ms = devices.iter().map(|d| d.elapsed_ms).fold(0.0, f64::max);
+    let verdicts: Vec<DeviceVerdict> = devices
+        .iter()
+        .map(|d| DeviceVerdict {
+            name: d.name.clone(),
+            tasks: d.tasks,
+            elapsed_ms: d.elapsed_ms,
+            mean_utilization: d.mean_utilization,
+            time_share: if makespan_ms > 0.0 {
+                d.elapsed_ms / makespan_ms
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    let active: Vec<f64> = devices
+        .iter()
+        .filter(|d| d.elapsed_ms > 0.0)
+        .map(|d| d.elapsed_ms)
+        .collect();
+    let imbalance = if active.is_empty() {
+        0.0
+    } else {
+        makespan_ms / (active.iter().sum::<f64>() / active.len() as f64)
+    };
+    let speedup = match single_device_ms {
+        Some(base) if makespan_ms > 0.0 => base / makespan_ms,
+        _ => 0.0,
+    };
+    let scaling_efficiency = if devices.is_empty() {
+        0.0
+    } else {
+        speedup / devices.len() as f64
+    };
+    PoolAnalysis {
+        devices: verdicts,
+        makespan_ms,
+        imbalance,
+        speedup,
+        scaling_efficiency,
+    }
+}
+
 /// Computes per-stage thread advice from aggregate observations.
 fn thread_advice(stages: &[StageObservation], total_threads: u32) -> Vec<StageAdvice> {
     let works: Vec<u128> = stages
@@ -189,12 +354,11 @@ fn thread_advice(stages: &[StageObservation], total_threads: u32) -> Vec<StageAd
             } else {
                 work as f64 / total_work as f64
             };
-            let suggested = match (total_threads as u128 * work + total_work / 2)
-                .checked_div(total_work)
-            {
-                Some(t) => (t as u32).max(1),
-                None => s.threads.max(1),
-            };
+            let suggested =
+                match (total_threads as u128 * work + total_work / 2).checked_div(total_work) {
+                    Some(t) => (t as u32).max(1),
+                    None => s.threads.max(1),
+                };
             StageAdvice {
                 name: s.name.clone(),
                 threads: s.threads,
@@ -437,6 +601,67 @@ mod tests {
         let json = a.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    fn device(name: &str, tasks: u64, ms: f64, util: f64) -> DeviceObservation {
+        DeviceObservation {
+            name: name.into(),
+            tasks,
+            elapsed_ms: ms,
+            mean_utilization: util,
+        }
+    }
+
+    #[test]
+    fn pool_analysis_reports_imbalance_and_scaling() {
+        let devices = vec![
+            device("A100 #0", 6, 10.0, 0.9),
+            device("A100 #1", 6, 8.0, 0.85),
+        ];
+        let a = analyze_pool(&devices, Some(18.0));
+        assert_eq!(a.makespan_ms, 10.0);
+        assert!((a.imbalance - 10.0 / 9.0).abs() < 1e-12);
+        assert!((a.speedup - 1.8).abs() < 1e-12);
+        assert!((a.scaling_efficiency - 0.9).abs() < 1e-12);
+        assert_eq!(a.devices[0].time_share, 1.0, "straggler sets the makespan");
+        assert!((a.devices[1].time_share - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_analysis_without_baseline_zeroes_scaling() {
+        let a = analyze_pool(&[device("V100 #0", 3, 5.0, 0.7)], None);
+        assert_eq!(a.speedup, 0.0);
+        assert_eq!(a.scaling_efficiency, 0.0);
+        assert_eq!(a.imbalance, 1.0, "one active device is balanced");
+    }
+
+    #[test]
+    fn pool_analysis_renderings_are_deterministic() {
+        let devices = vec![
+            device("A100 #0", 4, 7.5, 0.8),
+            device("A100 #1", 0, 0.0, 0.0),
+        ];
+        let a = analyze_pool(&devices, Some(14.0));
+        let b = analyze_pool(&devices, Some(14.0));
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.render_text(), b.render_text());
+        assert!(a.to_json().contains("\"scaling_efficiency\":"));
+        assert!(a.render_text().contains("scaling efficiency"));
+        // Idle device excluded from imbalance, included in the listing.
+        assert_eq!(a.imbalance, 1.0);
+        assert_eq!(a.devices.len(), 2);
+        let json = a.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_pool_analysis_is_zeroed() {
+        let a = analyze_pool(&[], None);
+        assert_eq!(a.makespan_ms, 0.0);
+        assert_eq!(a.imbalance, 0.0);
+        assert_eq!(a.scaling_efficiency, 0.0);
+        assert!(a.devices.is_empty());
     }
 
     #[test]

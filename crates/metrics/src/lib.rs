@@ -41,6 +41,9 @@ pub mod analysis;
 pub mod registry;
 pub mod span;
 
-pub use analysis::{analyze, BoundShare, RunAnalysis, StageAdvice, StageObservation};
+pub use analysis::{
+    analyze, analyze_pool, BoundShare, DeviceObservation, DeviceVerdict, PoolAnalysis, RunAnalysis,
+    StageAdvice, StageObservation,
+};
 pub use registry::{Histogram, MetricId, Registry, HISTOGRAM_BUCKETS};
 pub use span::{Span, StageSpan};

@@ -15,6 +15,7 @@
 //! produces one [`StageStats`] per stage — the per-stage occupancy and
 //! stall decomposition behind the paper's Figure 4 timelines.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use batchzk_gpu_sim::{Dir, Gpu, KernelStep, MemHandle, Transfer, Work};
@@ -197,7 +198,424 @@ fn work_is_empty(work: &Work) -> bool {
     }
 }
 
-/// A configured pipeline bound to a simulated GPU.
+/// A persistent pipeline executor bound to a simulated GPU.
+///
+/// Where [`Pipeline::run`] consumes a whole batch and blocks to
+/// completion, the executor keeps the pipeline resident and exposes the
+/// three verbs a scheduling layer composes:
+///
+/// * [`submit`](Self::submit) — enqueue one task into the bounded pending
+///   queue (non-blocking; hands the task back if the queue is full);
+/// * [`step`](Self::step) — advance the pipeline by exactly one cycle:
+///   admit at most one pending task into stage 0, execute every occupied
+///   stage concurrently, retire the last stage's task;
+/// * [`drain`](Self::drain) — step until the pipeline and queue are empty
+///   and harvest a [`PipelineRun`] for the epoch since construction (or
+///   the previous drain); the executor stays usable afterwards.
+///
+/// Two admission knobs back the scheduling policies in [`crate::sched`]:
+/// the *queue capacity* bounds host-side backlog, and *max in-flight*
+/// bounds how many tasks may be resident in stages at once — the
+/// memory-aware admission lever (each in-flight task holds up to one
+/// stage footprint of device memory, so capping in-flight caps the peak).
+///
+/// Per-slot lifecycle [`Span`]s, stage occupancy/stall accounting, and
+/// the OOM error contract are identical to the old consuming `run`.
+pub struct PipelineExecutor<'g, T> {
+    gpu: &'g mut Gpu,
+    stages: Vec<Box<dyn PipeStage<T>>>,
+    multi_stream: bool,
+    queue_capacity: usize,
+    max_in_flight: usize,
+    pending: VecDeque<T>,
+    slots: Vec<Option<Slot<T>>>,
+    outputs: Vec<T>,
+    latencies: Vec<u64>,
+    lifecycles: Vec<Span>,
+    accs: Vec<StageAcc>,
+    in_flight: usize,
+    admitted: usize,
+    epoch_start_cycles: u64,
+    epoch_start_h2d: u64,
+    epoch_start_d2h: u64,
+}
+
+impl<'g, T> PipelineExecutor<'g, T> {
+    /// Creates a resident executor. The pending queue defaults to twice
+    /// the stage count and max in-flight to the stage count (no extra
+    /// admission limit); both are adjustable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(gpu: &'g mut Gpu, stages: Vec<Box<dyn PipeStage<T>>>, multi_stream: bool) -> Self {
+        assert!(!stages.is_empty(), "a pipeline needs at least one stage");
+        let num_stages = stages.len();
+        gpu.memory().reset_peak();
+        let epoch_start_cycles = gpu.elapsed_cycles();
+        let epoch_start_h2d = gpu.total_h2d_bytes();
+        let epoch_start_d2h = gpu.total_d2h_bytes();
+        Self {
+            gpu,
+            stages,
+            multi_stream,
+            queue_capacity: 2 * num_stages,
+            max_in_flight: num_stages,
+            pending: VecDeque::new(),
+            slots: (0..num_stages).map(|_| None).collect(),
+            outputs: Vec::new(),
+            latencies: Vec::new(),
+            lifecycles: Vec::new(),
+            accs: (0..num_stages).map(|_| StageAcc::default()).collect(),
+            in_flight: 0,
+            admitted: 0,
+            epoch_start_cycles,
+            epoch_start_h2d,
+            epoch_start_d2h,
+        }
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Sets the pending-queue bound (min 1).
+    pub fn set_queue_capacity(&mut self, capacity: usize) {
+        self.queue_capacity = capacity.max(1);
+    }
+
+    /// The pending-queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Caps how many tasks may be resident in stages at once (clamped to
+    /// `1..=num_stages`) — the memory-aware admission lever.
+    pub fn set_max_in_flight(&mut self, max: usize) {
+        self.max_in_flight = max.clamp(1, self.stages.len());
+    }
+
+    /// The in-flight admission cap.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// Tasks waiting in the pending queue.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Tasks currently resident in pipeline stages.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Pending plus in-flight — the executor's outstanding work, the
+    /// quantity the least-outstanding-work shard policy balances.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len() + self.in_flight
+    }
+
+    /// Completed tasks held for the next [`drain`](Self::drain).
+    pub fn completed_len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when no work is pending, resident, or awaiting harvest.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight == 0 && self.pending.is_empty()
+    }
+
+    /// Enqueues one task. Returns the task back as `Err` when the bounded
+    /// queue is full — the caller decides whether to step the pipeline,
+    /// back off, or shed load.
+    pub fn submit(&mut self, task: T) -> Result<(), T> {
+        if self.pending.len() >= self.queue_capacity {
+            return Err(task);
+        }
+        self.pending.push_back(task);
+        Ok(())
+    }
+
+    /// Advances the pipeline by one cycle. Returns `Ok(false)` — without
+    /// advancing the device clock — when there is nothing to do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::OutOfDeviceMemory`] if a stage's footprint
+    /// does not fit in device memory. All pipeline allocations are
+    /// released and the slots cleared (partially processed tasks are
+    /// unrecoverable); queued tasks stay pending.
+    pub fn step(&mut self) -> Result<bool, PipelineError> {
+        if self.in_flight == 0 && self.pending.is_empty() {
+            return Ok(false);
+        }
+        let num_stages = self.stages.len();
+
+        // Admit a new task into stage 0 if it is free and the in-flight
+        // cap allows.
+        if self.slots[0].is_none() && self.in_flight < self.max_in_flight {
+            if let Some(task) = self.pending.pop_front() {
+                let entry_cycle = self.gpu.elapsed_cycles();
+                let mut span = Span::new(self.admitted, entry_cycle);
+                span.enter_stage(&self.stages[0].name(), entry_cycle);
+                self.slots[0] = Some(Slot {
+                    task,
+                    entry_cycle,
+                    mem: None,
+                    mem_bytes: 0,
+                    span,
+                });
+                self.admitted += 1;
+                self.in_flight += 1;
+            }
+        }
+
+        // Execute all occupied stages concurrently.
+        let mut kernels: Vec<KernelStep> = Vec::new();
+        let mut kernel_stage: Vec<usize> = Vec::new();
+        let mut transfers: Vec<Transfer> = Vec::new();
+        let mut mem_updates: Vec<(usize, u64)> = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(slot) = slot.as_mut() else { continue };
+            let sw = self.stages[i].process(&mut slot.task);
+            self.accs[i].h2d += sw.h2d_bytes;
+            self.accs[i].d2h += sw.d2h_bytes;
+            slot.span.add_bytes(sw.h2d_bytes, sw.d2h_bytes);
+            kernels.push(KernelStep::new(
+                self.stages[i].name(),
+                self.stages[i].threads(),
+                sw.work,
+            ));
+            kernel_stage.push(i);
+            if sw.h2d_bytes > 0 {
+                transfers.push(Transfer {
+                    bytes: sw.h2d_bytes,
+                    dir: Dir::HostToDevice,
+                });
+            }
+            if sw.d2h_bytes > 0 {
+                transfers.push(Transfer {
+                    bytes: sw.d2h_bytes,
+                    dir: Dir::DeviceToHost,
+                });
+            }
+            mem_updates.push((i, sw.mem_after));
+        }
+
+        // Apply memory footprints (alloc new before freeing old, so the
+        // transient overlap of a copy shows up in the peak).
+        for (i, new_bytes) in mem_updates {
+            let slot = self.slots[i].as_mut().expect("slot occupied");
+            if new_bytes != slot.mem_bytes {
+                let new_handle = if new_bytes > 0 {
+                    match self.gpu.memory().alloc(new_bytes, &self.stages[i].name()) {
+                        Ok(handle) => Some(handle),
+                        Err(oom) => {
+                            // Release every live pipeline allocation so
+                            // the device allocator is clean for the
+                            // caller, then surface the failing stage.
+                            for s in self.slots.iter_mut().flatten() {
+                                if let Some(handle) = s.mem.take() {
+                                    self.gpu.memory().free(handle);
+                                }
+                            }
+                            for s in self.slots.iter_mut() {
+                                *s = None;
+                            }
+                            self.in_flight = 0;
+                            return Err(PipelineError::OutOfDeviceMemory {
+                                stage: self.stages[i].name(),
+                                requested_bytes: oom.requested,
+                                in_use_bytes: oom.in_use,
+                                capacity_bytes: oom.capacity,
+                            });
+                        }
+                    }
+                } else {
+                    None
+                };
+                if let Some(old) = slot.mem.take() {
+                    self.gpu.memory().free(old);
+                }
+                slot.mem = new_handle;
+                slot.mem_bytes = new_bytes;
+            }
+        }
+
+        let out = self
+            .gpu
+            .execute_step(&kernels, &transfers, self.multi_stream);
+
+        // Attribute this step's cycles to each stage's buckets. A
+        // stage's own kernel span is recomputed exactly as the simulator
+        // scales it (launch overhead + oversubscription dilation, capped
+        // at the step's compute span); the remainder of the step is
+        // either sibling imbalance (compute - own) or transfer
+        // backpressure (step - compute).
+        let launch = self.gpu.cost().kernel_launch;
+        let cores = self.gpu.profile().cuda_cores as u64;
+        let total_threads: u64 = kernels
+            .iter()
+            .filter(|k| !work_is_empty(&k.work))
+            .map(|k| k.threads as u64)
+            .sum();
+        let occupied_this_step: Vec<bool> = {
+            let mut v = vec![false; num_stages];
+            for &i in &kernel_stage {
+                v[i] = true;
+            }
+            v
+        };
+        let step_len = out.step_cycles;
+        let compute = out.compute_cycles;
+        for i in 0..num_stages {
+            let acc = &mut self.accs[i];
+            if occupied_this_step[i] {
+                acc.seen = true;
+                acc.idle += acc.gap;
+                acc.gap = 0;
+                acc.tasks += 1;
+                acc.occupied += step_len;
+                let k = &kernels[kernel_stage.iter().position(|&s| s == i).expect("occupied")];
+                let own = if work_is_empty(&k.work) {
+                    0
+                } else {
+                    let mut d = k.duration_cycles() + launch;
+                    if total_threads > cores {
+                        d = d * total_threads / cores;
+                    }
+                    d.min(compute)
+                };
+                acc.busy += own;
+                acc.imbalance += compute - own;
+                acc.memory += step_len - compute;
+            } else if acc.seen {
+                acc.gap += step_len;
+            } else {
+                acc.fill += step_len;
+            }
+        }
+
+        // Advance: the last stage's task exits, everyone shifts by one.
+        let now = self.gpu.elapsed_cycles();
+        if let Some(mut slot) = self.slots[num_stages - 1].take() {
+            if let Some(handle) = slot.mem {
+                self.gpu.memory().free(handle);
+            }
+            slot.span.exit_stage(now);
+            slot.span.complete(now);
+            self.latencies.push(now - slot.entry_cycle);
+            self.lifecycles.push(slot.span);
+            self.outputs.push(slot.task);
+            self.in_flight -= 1;
+        }
+        for i in (1..num_stages).rev() {
+            if self.slots[i].is_none() {
+                if let Some(mut slot) = self.slots[i - 1].take() {
+                    slot.span.exit_stage(now);
+                    slot.span.enter_stage(&self.stages[i].name(), now);
+                    self.slots[i] = Some(slot);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Steps until the pipeline and pending queue are empty, then harvests
+    /// the epoch's completed tasks and statistics. The executor remains
+    /// usable: a subsequent `submit`/`drain` starts a fresh epoch on the
+    /// same (still-advancing) device clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::OutOfDeviceMemory`] if a stage's footprint
+    /// does not fit in device memory; all pipeline allocations are
+    /// released before returning (completed outputs are discarded).
+    pub fn drain(&mut self) -> Result<PipelineRun<T>, PipelineError> {
+        while self.step()? {}
+        Ok(self.harvest())
+    }
+
+    /// Harvests the epoch since construction or the previous harvest:
+    /// completed tasks in completion order plus their statistics. Resets
+    /// the accumulators; tasks still pending or in flight are carried into
+    /// the next epoch (drain first for a clean cut).
+    pub fn harvest(&mut self) -> PipelineRun<T> {
+        let total_tasks = self.outputs.len();
+        let total_cycles = self.gpu.elapsed_cycles() - self.epoch_start_cycles;
+        let total_ms = self.gpu.profile().cycles_to_seconds(total_cycles) * 1e3;
+        let latencies = std::mem::take(&mut self.latencies);
+        let mean_latency_ms = if latencies.is_empty() {
+            0.0
+        } else {
+            let sum: u64 = latencies.iter().sum();
+            self.gpu
+                .profile()
+                .cycles_to_seconds(sum / latencies.len() as u64)
+                * 1e3
+        };
+        let accs = std::mem::replace(
+            &mut self.accs,
+            (0..self.stages.len())
+                .map(|_| StageAcc::default())
+                .collect(),
+        );
+        let stage_stats = self
+            .stages
+            .iter()
+            .zip(accs)
+            .map(|(stage, acc)| StageStats {
+                name: stage.name(),
+                threads: stage.threads(),
+                tasks: acc.tasks,
+                occupied_cycles: acc.occupied,
+                busy_cycles: acc.busy,
+                imbalance_stall_cycles: acc.imbalance,
+                memory_stall_cycles: acc.memory,
+                fill_cycles: acc.fill,
+                idle_cycles: acc.idle,
+                // Whatever gap was still open when the epoch ended is drain.
+                drain_cycles: acc.gap,
+                h2d_bytes: acc.h2d,
+                d2h_bytes: acc.d2h,
+                occupancy: if total_cycles > 0 {
+                    acc.occupied as f64 / total_cycles as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        let stats = RunStats {
+            total_cycles,
+            total_ms,
+            tasks: total_tasks,
+            throughput_per_ms: if total_ms > 0.0 {
+                total_tasks as f64 / total_ms
+            } else {
+                0.0
+            },
+            mean_latency_ms,
+            peak_mem_bytes: self.gpu.memory_ref().peak(),
+            mean_utilization: self.gpu.mean_utilization(),
+            h2d_bytes: self.gpu.total_h2d_bytes() - self.epoch_start_h2d,
+            d2h_bytes: self.gpu.total_d2h_bytes() - self.epoch_start_d2h,
+            stage_stats,
+            lifecycles: std::mem::take(&mut self.lifecycles),
+        };
+        let outputs = std::mem::take(&mut self.outputs);
+        self.admitted = 0;
+        self.epoch_start_cycles = self.gpu.elapsed_cycles();
+        self.epoch_start_h2d = self.gpu.total_h2d_bytes();
+        self.epoch_start_d2h = self.gpu.total_d2h_bytes();
+        self.gpu.memory().reset_peak();
+        PipelineRun { outputs, stats }
+    }
+}
+
+/// A configured pipeline bound to a simulated GPU — the batch-at-a-time
+/// compatibility facade over [`PipelineExecutor`].
 pub struct Pipeline<'g, T> {
     gpu: &'g mut Gpu,
     stages: Vec<Box<dyn PipeStage<T>>>,
@@ -226,7 +644,8 @@ impl<'g, T> Pipeline<'g, T> {
 
     /// Streams `tasks` through the pipeline: one task enters per cycle, all
     /// occupied stages execute concurrently, and one task exits per cycle
-    /// once the pipeline is full.
+    /// once the pipeline is full. Thin wrapper over [`PipelineExecutor`]:
+    /// submit everything, drain once.
     ///
     /// # Errors
     ///
@@ -239,239 +658,14 @@ impl<'g, T> Pipeline<'g, T> {
             stages,
             multi_stream,
         } = self;
-        let num_stages = stages.len();
-        let total_tasks = tasks.len();
-        gpu.memory().reset_peak();
-        let start_cycles = gpu.elapsed_cycles();
-        let start_h2d = gpu.total_h2d_bytes();
-        let start_d2h = gpu.total_d2h_bytes();
-
-        let mut pending = tasks.into_iter();
-        let mut slots: Vec<Option<Slot<T>>> = (0..num_stages).map(|_| None).collect();
-        let mut outputs: Vec<T> = Vec::with_capacity(total_tasks);
-        let mut latencies: Vec<u64> = Vec::with_capacity(total_tasks);
-        let mut lifecycles: Vec<Span> = Vec::with_capacity(total_tasks);
-        let mut accs: Vec<StageAcc> = (0..num_stages).map(|_| StageAcc::default()).collect();
-        let mut in_flight = 0usize;
-        let mut remaining = total_tasks;
-        let mut admitted = 0usize;
-
-        while remaining > 0 || in_flight > 0 {
-            // Admit a new task into stage 0 if it is free.
-            if slots[0].is_none() {
-                if let Some(task) = pending.next() {
-                    let entry_cycle = gpu.elapsed_cycles();
-                    let mut span = Span::new(admitted, entry_cycle);
-                    span.enter_stage(&stages[0].name(), entry_cycle);
-                    slots[0] = Some(Slot {
-                        task,
-                        entry_cycle,
-                        mem: None,
-                        mem_bytes: 0,
-                        span,
-                    });
-                    admitted += 1;
-                    in_flight += 1;
-                    remaining -= 1;
-                }
-            }
-
-            // Execute all occupied stages concurrently.
-            let mut kernels: Vec<KernelStep> = Vec::new();
-            let mut kernel_stage: Vec<usize> = Vec::new();
-            let mut transfers: Vec<Transfer> = Vec::new();
-            let mut mem_updates: Vec<(usize, u64)> = Vec::new();
-            for (i, slot) in slots.iter_mut().enumerate() {
-                let Some(slot) = slot.as_mut() else { continue };
-                let sw = stages[i].process(&mut slot.task);
-                accs[i].h2d += sw.h2d_bytes;
-                accs[i].d2h += sw.d2h_bytes;
-                slot.span.add_bytes(sw.h2d_bytes, sw.d2h_bytes);
-                kernels.push(KernelStep::new(
-                    stages[i].name(),
-                    stages[i].threads(),
-                    sw.work,
-                ));
-                kernel_stage.push(i);
-                if sw.h2d_bytes > 0 {
-                    transfers.push(Transfer {
-                        bytes: sw.h2d_bytes,
-                        dir: Dir::HostToDevice,
-                    });
-                }
-                if sw.d2h_bytes > 0 {
-                    transfers.push(Transfer {
-                        bytes: sw.d2h_bytes,
-                        dir: Dir::DeviceToHost,
-                    });
-                }
-                mem_updates.push((i, sw.mem_after));
-            }
-
-            // Apply memory footprints (alloc new before freeing old, so the
-            // transient overlap of a copy shows up in the peak).
-            for (i, new_bytes) in mem_updates {
-                let slot = slots[i].as_mut().expect("slot occupied");
-                if new_bytes != slot.mem_bytes {
-                    let new_handle = if new_bytes > 0 {
-                        match gpu.memory().alloc(new_bytes, &stages[i].name()) {
-                            Ok(handle) => Some(handle),
-                            Err(oom) => {
-                                // Release every live pipeline allocation so
-                                // the device allocator is clean for the
-                                // caller, then surface the failing stage.
-                                for s in slots.iter_mut().flatten() {
-                                    if let Some(handle) = s.mem.take() {
-                                        gpu.memory().free(handle);
-                                    }
-                                }
-                                return Err(PipelineError::OutOfDeviceMemory {
-                                    stage: stages[i].name(),
-                                    requested_bytes: oom.requested,
-                                    in_use_bytes: oom.in_use,
-                                    capacity_bytes: oom.capacity,
-                                });
-                            }
-                        }
-                    } else {
-                        None
-                    };
-                    if let Some(old) = slot.mem.take() {
-                        gpu.memory().free(old);
-                    }
-                    slot.mem = new_handle;
-                    slot.mem_bytes = new_bytes;
-                }
-            }
-
-            let out = gpu.execute_step(&kernels, &transfers, multi_stream);
-
-            // Attribute this step's cycles to each stage's buckets. A
-            // stage's own kernel span is recomputed exactly as the simulator
-            // scales it (launch overhead + oversubscription dilation, capped
-            // at the step's compute span); the remainder of the step is
-            // either sibling imbalance (compute - own) or transfer
-            // backpressure (step - compute).
-            let launch = gpu.cost().kernel_launch;
-            let cores = gpu.profile().cuda_cores as u64;
-            let total_threads: u64 = kernels
-                .iter()
-                .filter(|k| !work_is_empty(&k.work))
-                .map(|k| k.threads as u64)
-                .sum();
-            let occupied_this_step: Vec<bool> = {
-                let mut v = vec![false; num_stages];
-                for &i in &kernel_stage {
-                    v[i] = true;
-                }
-                v
-            };
-            let step_len = out.step_cycles;
-            let compute = out.compute_cycles;
-            for i in 0..num_stages {
-                let acc = &mut accs[i];
-                if occupied_this_step[i] {
-                    acc.seen = true;
-                    acc.idle += acc.gap;
-                    acc.gap = 0;
-                    acc.tasks += 1;
-                    acc.occupied += step_len;
-                    let k = &kernels[kernel_stage.iter().position(|&s| s == i).expect("occupied")];
-                    let own = if work_is_empty(&k.work) {
-                        0
-                    } else {
-                        let mut d = k.duration_cycles() + launch;
-                        if total_threads > cores {
-                            d = d * total_threads / cores;
-                        }
-                        d.min(compute)
-                    };
-                    acc.busy += own;
-                    acc.imbalance += compute - own;
-                    acc.memory += step_len - compute;
-                } else if acc.seen {
-                    acc.gap += step_len;
-                } else {
-                    acc.fill += step_len;
-                }
-            }
-
-            // Advance: the last stage's task exits, everyone shifts by one.
-            let now = gpu.elapsed_cycles();
-            if let Some(mut slot) = slots[num_stages - 1].take() {
-                if let Some(handle) = slot.mem {
-                    gpu.memory().free(handle);
-                }
-                slot.span.exit_stage(now);
-                slot.span.complete(now);
-                latencies.push(now - slot.entry_cycle);
-                lifecycles.push(slot.span);
-                outputs.push(slot.task);
-                in_flight -= 1;
-            }
-            for i in (1..num_stages).rev() {
-                if slots[i].is_none() {
-                    if let Some(mut slot) = slots[i - 1].take() {
-                        slot.span.exit_stage(now);
-                        slot.span.enter_stage(&stages[i].name(), now);
-                        slots[i] = Some(slot);
-                    }
-                }
+        let mut executor = PipelineExecutor::new(gpu, stages, multi_stream);
+        executor.set_queue_capacity(tasks.len().max(1));
+        for task in tasks {
+            if executor.submit(task).is_err() {
+                unreachable!("queue sized to the whole batch");
             }
         }
-
-        let total_cycles = gpu.elapsed_cycles() - start_cycles;
-        let total_ms = gpu.profile().cycles_to_seconds(total_cycles) * 1e3;
-        let mean_latency_ms = if latencies.is_empty() {
-            0.0
-        } else {
-            let sum: u64 = latencies.iter().sum();
-            gpu.profile()
-                .cycles_to_seconds(sum / latencies.len() as u64)
-                * 1e3
-        };
-        let stage_stats = stages
-            .iter()
-            .zip(accs)
-            .map(|(stage, acc)| StageStats {
-                name: stage.name(),
-                threads: stage.threads(),
-                tasks: acc.tasks,
-                occupied_cycles: acc.occupied,
-                busy_cycles: acc.busy,
-                imbalance_stall_cycles: acc.imbalance,
-                memory_stall_cycles: acc.memory,
-                fill_cycles: acc.fill,
-                idle_cycles: acc.idle,
-                // Whatever gap was still open when the run ended is drain.
-                drain_cycles: acc.gap,
-                h2d_bytes: acc.h2d,
-                d2h_bytes: acc.d2h,
-                occupancy: if total_cycles > 0 {
-                    acc.occupied as f64 / total_cycles as f64
-                } else {
-                    0.0
-                },
-            })
-            .collect();
-        let stats = RunStats {
-            total_cycles,
-            total_ms,
-            tasks: total_tasks,
-            throughput_per_ms: if total_ms > 0.0 {
-                total_tasks as f64 / total_ms
-            } else {
-                0.0
-            },
-            mean_latency_ms,
-            peak_mem_bytes: gpu.memory_ref().peak(),
-            mean_utilization: gpu.mean_utilization(),
-            h2d_bytes: gpu.total_h2d_bytes() - start_h2d,
-            d2h_bytes: gpu.total_d2h_bytes() - start_d2h,
-            stage_stats,
-            lifecycles,
-        };
-        Ok(PipelineRun { outputs, stats })
+        executor.drain()
     }
 }
 
@@ -783,5 +977,139 @@ mod tests {
             "steady-state utilization {}",
             run.stats.mean_utilization
         );
+    }
+
+    fn three_stages() -> Vec<Box<dyn PipeStage<u64>>> {
+        vec![
+            Box::new(AddStage {
+                amount: 1,
+                threads: 32,
+                cycles: 100,
+            }),
+            Box::new(AddStage {
+                amount: 10,
+                threads: 32,
+                cycles: 100,
+            }),
+            Box::new(AddStage {
+                amount: 100,
+                threads: 32,
+                cycles: 100,
+            }),
+        ]
+    }
+
+    #[test]
+    fn executor_matches_consuming_run_cycle_for_cycle() {
+        let tasks: Vec<u64> = (0..10).collect();
+        let mut g1 = Gpu::new(DeviceProfile::v100());
+        let via_run = three_stage(&mut g1).run(tasks.clone()).expect("fits");
+        let mut g2 = Gpu::new(DeviceProfile::v100());
+        let mut exec = PipelineExecutor::new(&mut g2, three_stages(), true);
+        exec.set_queue_capacity(tasks.len());
+        for t in tasks {
+            exec.submit(t).expect("queue sized to batch");
+        }
+        let via_exec = exec.drain().expect("fits");
+        assert_eq!(via_run.outputs, via_exec.outputs);
+        assert_eq!(via_run.stats.total_cycles, via_exec.stats.total_cycles);
+        assert_eq!(via_run.stats.stage_stats, via_exec.stats.stage_stats);
+        assert_eq!(g1.elapsed_cycles(), g2.elapsed_cycles());
+    }
+
+    #[test]
+    fn executor_bounded_queue_hands_task_back() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut exec = PipelineExecutor::new(&mut gpu, three_stages(), true);
+        exec.set_queue_capacity(2);
+        assert_eq!(exec.submit(1), Ok(()));
+        assert_eq!(exec.submit(2), Ok(()));
+        assert_eq!(exec.submit(3), Err(3), "full queue returns the task");
+        // One step admits a task, freeing a queue slot.
+        assert!(exec.step().expect("fits"));
+        assert_eq!(exec.submit(3), Ok(()));
+        let run = exec.drain().expect("fits");
+        assert_eq!(run.outputs, vec![112, 113, 114]);
+    }
+
+    #[test]
+    fn executor_max_in_flight_caps_residency_and_memory() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut exec = PipelineExecutor::new(&mut gpu, three_stages(), true);
+        exec.set_queue_capacity(16);
+        exec.set_max_in_flight(1);
+        for t in 0..8u64 {
+            exec.submit(t).expect("capacity 16");
+        }
+        let run = exec.drain().expect("fits");
+        assert_eq!(run.outputs, (0..8).map(|t| t + 111).collect::<Vec<_>>());
+        // With one task resident at a time the peak is one footprint plus
+        // the transient alloc-before-free overlap, not stages * footprint.
+        assert!(
+            run.stats.peak_mem_bytes <= 2 * 64,
+            "peak {}",
+            run.stats.peak_mem_bytes
+        );
+    }
+
+    #[test]
+    fn executor_step_is_noop_when_idle() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut exec = PipelineExecutor::new(&mut gpu, three_stages(), true);
+        assert!(exec.is_idle());
+        assert!(!exec.step().expect("nothing to do"));
+        assert_eq!(exec.gpu.elapsed_cycles(), 0, "idle step keeps the clock");
+    }
+
+    #[test]
+    fn executor_epochs_are_independent() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut exec = PipelineExecutor::new(&mut gpu, three_stages(), true);
+        exec.set_queue_capacity(8);
+        for t in 0..4u64 {
+            exec.submit(t).expect("fits");
+        }
+        let first = exec.drain().expect("fits");
+        assert_eq!(first.stats.tasks, 4);
+        for t in 0..2u64 {
+            exec.submit(t).expect("fits");
+        }
+        let second = exec.drain().expect("fits");
+        assert_eq!(second.stats.tasks, 2, "epoch stats reset on drain");
+        assert_eq!(second.outputs, vec![111, 112]);
+        assert_eq!(second.stats.lifecycles.len(), 2);
+        assert_eq!(second.stats.lifecycles[0].index, 0, "spans renumbered");
+        for s in &second.stats.stage_stats {
+            assert_eq!(s.tasks, 2);
+            assert_eq!(
+                s.occupied_cycles + s.fill_cycles + s.idle_cycles + s.drain_cycles,
+                second.stats.total_cycles,
+                "conservation holds within the second epoch: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_oom_keeps_pending_tasks() {
+        let mut gpu = Gpu::new(DeviceProfile {
+            device_mem_bytes: 100,
+            ..DeviceProfile::v100()
+        });
+        let mut exec = PipelineExecutor::new(&mut gpu, three_stages(), true);
+        exec.set_queue_capacity(8);
+        for t in 0..4u64 {
+            exec.submit(t).expect("fits");
+        }
+        let err = exec.drain().expect_err("100 bytes cannot hold two tasks");
+        assert!(matches!(err, PipelineError::OutOfDeviceMemory { .. }));
+        assert_eq!(exec.in_flight(), 0, "slots cleared on OOM");
+        assert!(exec.pending_len() > 0, "queued tasks survive the OOM");
+        assert_eq!(exec.gpu.memory_ref().in_use(), 0);
+        // Capping in-flight to one task lets the remaining work complete.
+        // Two tasks were in flight when the second's stage-0 allocation
+        // collided with the first's resident footprint; those are lost.
+        exec.set_max_in_flight(1);
+        let run = exec.drain().expect("one footprint fits");
+        assert_eq!(run.outputs.len(), 2);
     }
 }

@@ -18,6 +18,9 @@
 //!   `B`-phase) with bucket-sorted warp scheduling (§3.3, Figure 6);
 //! * [`naive`] — the kernel-per-task baselines standing in for Simon,
 //!   Icicle, and "Ours-np";
+//! * [`sched`] — shard policies (round-robin, least-outstanding-work,
+//!   memory-aware admission) that spread one task stream over a
+//!   multi-device pool, one persistent executor per device;
 //! * [`observe`] — folds finished runs (and OOM failures) into a
 //!   `batchzk-metrics` registry under a stable metric schema.
 
@@ -28,13 +31,15 @@ pub mod engine;
 pub mod merkle;
 pub mod naive;
 pub mod observe;
+pub mod sched;
 pub mod sumcheck;
 
 pub use engine::{
-    allocate_threads, PipeStage, Pipeline, PipelineError, PipelineRun, RunStats, StageStats,
-    StageWork,
+    allocate_threads, PipeStage, Pipeline, PipelineError, PipelineExecutor, PipelineRun, RunStats,
+    StageStats, StageWork,
 };
-pub use observe::{record_error, record_run, stage_observations};
+pub use observe::{record_error, record_pool_run, record_run, stage_observations};
+pub use sched::{plan_shards, run_sharded, ShardPlan, ShardPolicy, ShardedRun};
 
 #[cfg(test)]
 mod randomized_tests {

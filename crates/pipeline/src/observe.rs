@@ -19,6 +19,21 @@
 //! | `batchzk_stage_occupancy` | gauge | `module`, `stage` |
 //! | `batchzk_throughput_tasks_per_ms` | gauge | `module` |
 //! | `batchzk_mean_utilization` | gauge | `module` |
+//!
+//! Multi-device runs ([`record_pool_run`]) add a `device` label dimension —
+//! the same families, qualified per pool member — plus pool-level gauges:
+//!
+//! | metric | kind | labels |
+//! |---|---|---|
+//! | `batchzk_tasks_total` | counter | `module`, `device` |
+//! | `batchzk_h2d_bytes_total` / `batchzk_d2h_bytes_total` | counter | `module`, `device` |
+//! | `batchzk_lifecycle_cycles` | histogram | `module`, `device` |
+//! | `batchzk_stage_occupancy` | gauge | `module`, `device`, `stage` |
+//! | `batchzk_throughput_tasks_per_ms` | gauge | `module`, `device` |
+//! | `batchzk_mean_utilization` | gauge | `module`, `device` |
+//! | `batchzk_pool_devices` | gauge | `module` |
+//! | `batchzk_pool_makespan_ms` | gauge | `module` |
+//! | `batchzk_pool_imbalance` | gauge | `module` |
 
 use crate::engine::{PipelineError, RunStats, StageStats};
 use batchzk_metrics::{Registry, StageObservation};
@@ -56,6 +71,115 @@ pub fn record_run(registry: &mut Registry, module: &str, stats: &RunStats) {
             stage.occupancy,
         );
     }
+}
+
+/// Folds one pool-wide run (per-device [`RunStats`] plus per-device
+/// elapsed milliseconds, as produced by
+/// [`run_sharded`](crate::sched::run_sharded)) into `registry` under
+/// `module`.
+///
+/// Module-level series aggregate across devices exactly as a
+/// single-device [`record_run`] would (a one-device pool records the
+/// same values), device-level series carry an additional `device` label
+/// (`"0"`, `"1"`, …), and three pool gauges summarize balance:
+/// `batchzk_pool_devices`, `batchzk_pool_makespan_ms`, and
+/// `batchzk_pool_imbalance` (max-over-mean of active device time).
+pub fn record_pool_run(
+    registry: &mut Registry,
+    module: &str,
+    device_stats: &[RunStats],
+    device_ms: &[f64],
+) {
+    let m = [("module", module)];
+    let tasks: u64 = device_stats.iter().map(|s| s.tasks as u64).sum();
+    let h2d: u64 = device_stats.iter().map(|s| s.h2d_bytes).sum();
+    let d2h: u64 = device_stats.iter().map(|s| s.d2h_bytes).sum();
+    let makespan_ms = device_ms.iter().copied().fold(0.0, f64::max);
+    registry.counter_add("batchzk_runs_total", &m, 1);
+    registry.counter_add("batchzk_tasks_total", &m, tasks);
+    registry.counter_add("batchzk_h2d_bytes_total", &m, h2d);
+    registry.counter_add("batchzk_d2h_bytes_total", &m, d2h);
+    registry.gauge_set(
+        "batchzk_throughput_tasks_per_ms",
+        &m,
+        if makespan_ms > 0.0 {
+            tasks as f64 / makespan_ms
+        } else {
+            0.0
+        },
+    );
+    let active: Vec<&RunStats> = device_stats.iter().filter(|s| s.tasks > 0).collect();
+    let mean_util = if active.is_empty() {
+        0.0
+    } else {
+        active.iter().map(|s| s.mean_utilization).sum::<f64>() / active.len() as f64
+    };
+    registry.gauge_set("batchzk_mean_utilization", &m, mean_util);
+    for stats in device_stats {
+        for span in &stats.lifecycles {
+            registry.observe("batchzk_lifecycle_cycles", &m, span.total_cycles());
+            for stage in &span.stages {
+                registry.observe(
+                    "batchzk_stage_cycles",
+                    &[("module", module), ("stage", &stage.stage)],
+                    stage.cycles(),
+                );
+            }
+        }
+    }
+    // Module-level stage occupancy: mean across devices that ran work.
+    if let Some(first) = active.first() {
+        for (i, stage) in first.stage_stats.iter().enumerate() {
+            let occ = active
+                .iter()
+                .filter_map(|s| s.stage_stats.get(i).map(|st| st.occupancy))
+                .sum::<f64>()
+                / active.len() as f64;
+            registry.gauge_set(
+                "batchzk_stage_occupancy",
+                &[("module", module), ("stage", &stage.name)],
+                occ,
+            );
+        }
+    }
+    // Per-device series under the added `device` label dimension.
+    for (d, stats) in device_stats.iter().enumerate() {
+        let dev = d.to_string();
+        let dm = [("module", module), ("device", dev.as_str())];
+        registry.counter_add("batchzk_tasks_total", &dm, stats.tasks as u64);
+        registry.counter_add("batchzk_h2d_bytes_total", &dm, stats.h2d_bytes);
+        registry.counter_add("batchzk_d2h_bytes_total", &dm, stats.d2h_bytes);
+        registry.gauge_set(
+            "batchzk_throughput_tasks_per_ms",
+            &dm,
+            stats.throughput_per_ms,
+        );
+        registry.gauge_set("batchzk_mean_utilization", &dm, stats.mean_utilization);
+        for span in &stats.lifecycles {
+            registry.observe("batchzk_lifecycle_cycles", &dm, span.total_cycles());
+        }
+        for stage in &stats.stage_stats {
+            registry.gauge_set(
+                "batchzk_stage_occupancy",
+                &[
+                    ("module", module),
+                    ("device", dev.as_str()),
+                    ("stage", &stage.name),
+                ],
+                stage.occupancy,
+            );
+        }
+    }
+    // Pool-level balance gauges.
+    registry.gauge_set("batchzk_pool_devices", &m, device_stats.len() as f64);
+    registry.gauge_set("batchzk_pool_makespan_ms", &m, makespan_ms);
+    let active_ms: Vec<f64> = device_ms.iter().copied().filter(|&ms| ms > 0.0).collect();
+    let imbalance = if active_ms.is_empty() {
+        0.0
+    } else {
+        makespan_ms / (active_ms.iter().sum::<f64>() / active_ms.len() as f64)
+    };
+    registry.gauge_set("batchzk_pool_imbalance", &m, imbalance);
 }
 
 /// Folds a failed run into `registry` under `module` — currently one OOM
@@ -175,6 +299,62 @@ mod tests {
         // The counter shows up in both exposition formats.
         assert!(reg.to_prometheus().contains("batchzk_oom_total"));
         assert!(reg.to_json().contains("batchzk_oom_total"));
+    }
+
+    #[test]
+    fn pool_run_records_module_device_and_pool_series() {
+        // Two devices run disjoint shards of the same module pipeline.
+        let mut g0 = Gpu::new(DeviceProfile::v100());
+        let r0 = merkle::run_pipelined(&mut g0, trees(4, 16), 512, true).expect("fits");
+        let mut g1 = Gpu::new(DeviceProfile::v100());
+        let r1 = merkle::run_pipelined(&mut g1, trees(2, 16), 512, true).expect("fits");
+        let stats = [r0.stats, r1.stats];
+        let ms = [g0.elapsed_ms(), g1.elapsed_ms()];
+        let mut reg = Registry::new();
+        record_pool_run(&mut reg, "merkle", &stats, &ms);
+        let m = [("module", "merkle")];
+        // Module-level aggregates.
+        assert_eq!(reg.counter("batchzk_runs_total", &m), 1);
+        assert_eq!(reg.counter("batchzk_tasks_total", &m), 6);
+        assert_eq!(
+            reg.histogram("batchzk_lifecycle_cycles", &m)
+                .expect("lifecycle histogram")
+                .count(),
+            6
+        );
+        // Per-device dimension.
+        assert_eq!(
+            reg.counter(
+                "batchzk_tasks_total",
+                &[("module", "merkle"), ("device", "0")]
+            ),
+            4
+        );
+        assert_eq!(
+            reg.counter(
+                "batchzk_tasks_total",
+                &[("module", "merkle"), ("device", "1")]
+            ),
+            2
+        );
+        for s in &stats[0].stage_stats {
+            assert!(reg
+                .gauge(
+                    "batchzk_stage_occupancy",
+                    &[
+                        ("module", "merkle"),
+                        ("device", "0"),
+                        ("stage", s.name.as_str())
+                    ]
+                )
+                .is_some());
+        }
+        // Pool gauges.
+        assert_eq!(reg.gauge("batchzk_pool_devices", &m), Some(2.0));
+        let makespan = reg.gauge("batchzk_pool_makespan_ms", &m).expect("set");
+        assert!((makespan - ms[0].max(ms[1])).abs() < 1e-12);
+        let imbalance = reg.gauge("batchzk_pool_imbalance", &m).expect("set");
+        assert!(imbalance >= 1.0, "{imbalance}");
     }
 
     #[test]

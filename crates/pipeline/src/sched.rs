@@ -1,0 +1,553 @@
+//! Multi-device scheduling: shard policies over a [`DevicePool`].
+//!
+//! The paper pins one pipeline to one device; a production deployment
+//! (§1, "serves millions of users") spreads one proof stream over many.
+//! This module is the thin scheduling layer between the two: it decides
+//! *which device gets which task* ([`plan_shards`]) and then drives one
+//! [`PipelineExecutor`] per device to completion ([`run_sharded`]),
+//! reassembling outputs in input order so sharding is invisible to the
+//! caller — a sharded run emits byte-identical results to a
+//! single-device run.
+//!
+//! Three policies are provided:
+//!
+//! * [`ShardPolicy::RoundRobin`] — task *i* to device *i mod N*; the
+//!   baseline, optimal for homogeneous pools and uniform tasks;
+//! * [`ShardPolicy::LeastOutstanding`] — greedy: each task goes to the
+//!   device with the least outstanding work normalized by its compute
+//!   weight (cores × clock), which load-balances heterogeneous pools;
+//! * [`ShardPolicy::MemoryAware`] — least-outstanding placement among
+//!   devices the task *fits* on, plus a per-device in-flight admission
+//!   cap sized from the device's memory capacity. A batch whose full
+//!   pipeline residency would OOM one device is thereby *split in time*
+//!   (fewer tasks resident at once) and across devices instead of
+//!   erroring; only a single task that exceeds every device's capacity
+//!   still fails, with the usual
+//!   [`OutOfDeviceMemory`](crate::PipelineError::OutOfDeviceMemory)
+//!   diagnostics.
+//!
+//! All policies are deterministic: identical inputs produce identical
+//! plans, and since tasks are independent (each proof's transcript
+//! depends only on its own inputs), identical outputs.
+
+use batchzk_gpu_sim::{DevicePool, Gpu};
+
+use crate::engine::{PipeStage, PipelineError, PipelineExecutor, RunStats};
+
+/// How tasks are distributed across the devices of a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Task `i` goes to device `i % N`.
+    RoundRobin,
+    /// Each task goes to the device with the least outstanding work,
+    /// normalized by compute weight (ties break to the lowest index).
+    LeastOutstanding,
+    /// Least-outstanding placement restricted to devices with capacity
+    /// for the task, plus per-device in-flight caps that keep pipeline
+    /// residency within device memory (splitting the batch in time
+    /// rather than erroring).
+    MemoryAware,
+}
+
+impl ShardPolicy {
+    /// Every policy, in a stable order (tests iterate this).
+    pub const ALL: [ShardPolicy; 3] = [
+        ShardPolicy::RoundRobin,
+        ShardPolicy::LeastOutstanding,
+        ShardPolicy::MemoryAware,
+    ];
+
+    /// Stable kebab-case name (CLI flag value, metric label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardPolicy::RoundRobin => "round-robin",
+            ShardPolicy::LeastOutstanding => "least-outstanding",
+            ShardPolicy::MemoryAware => "memory-aware",
+        }
+    }
+
+    /// Parses a policy from its [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<ShardPolicy> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl std::fmt::Display for ShardPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The output of [`plan_shards`]: who runs what, and how much of it at
+/// once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Per device, the original task indices assigned to it, in input
+    /// order.
+    pub assignments: Vec<Vec<usize>>,
+    /// Per device, the in-flight admission cap the executor should run
+    /// under (equals the pipeline depth when memory imposes no limit).
+    pub max_in_flight: Vec<usize>,
+}
+
+/// Assigns `footprints.len()` tasks to the pool's devices under `policy`.
+///
+/// `footprints[i]` is the estimated peak device-memory footprint of task
+/// `i` in bytes (0 when unknown — the memory-aware policy then degrades
+/// to least-outstanding). `pipeline_depth` is the stage count: the
+/// natural in-flight maximum.
+pub fn plan_shards(
+    pool: &DevicePool,
+    policy: ShardPolicy,
+    footprints: &[u64],
+    pipeline_depth: usize,
+) -> ShardPlan {
+    let n = pool.len();
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let depth = pipeline_depth.max(1);
+    let mut max_in_flight = vec![depth; n];
+    match policy {
+        ShardPolicy::RoundRobin => {
+            for i in 0..footprints.len() {
+                assignments[i % n].push(i);
+            }
+        }
+        ShardPolicy::LeastOutstanding => {
+            greedy_assign(pool, footprints, &mut assignments, |_, _| true);
+        }
+        ShardPolicy::MemoryAware => {
+            let capacities: Vec<u64> = (0..n)
+                .map(|d| pool.device(d).memory_ref().capacity())
+                .collect();
+            greedy_assign(pool, footprints, &mut assignments, |d, fp| {
+                // A device qualifies if one task plus the transient
+                // alloc-before-free overlap fits; if nobody qualifies the
+                // caller falls back below.
+                fp.saturating_mul(2) <= capacities[d]
+            });
+            // Any task too large for every device: place it on the
+            // biggest device anyway so the executor surfaces the precise
+            // OutOfDeviceMemory diagnostics.
+            for (i, &fp) in footprints.iter().enumerate() {
+                if fp.saturating_mul(2) > *capacities.iter().max().expect("non-empty pool")
+                    && !assignments.iter().any(|a| a.contains(&i))
+                {
+                    let biggest = capacities
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &c)| c)
+                        .map(|(d, _)| d)
+                        .expect("non-empty pool");
+                    assignments[biggest].push(i);
+                }
+            }
+            for a in &mut assignments {
+                a.sort_unstable();
+            }
+            // Cap residency so (cap + 1) footprints fit: each resident
+            // task holds up to one footprint, and a stage transition
+            // briefly holds the old and new allocation of one task at
+            // once.
+            for d in 0..n {
+                let worst = assignments[d]
+                    .iter()
+                    .map(|&i| footprints[i])
+                    .max()
+                    .unwrap_or(0);
+                if let Some(fit) = capacities[d].checked_div(worst) {
+                    max_in_flight[d] = (fit.saturating_sub(1).max(1) as usize).min(depth);
+                }
+            }
+        }
+    }
+    ShardPlan {
+        assignments,
+        max_in_flight,
+    }
+}
+
+/// Greedy least-outstanding-work assignment: each task (in input order)
+/// goes to the eligible device with the smallest assigned-work-to-compute
+/// -weight ratio; ties break to the lowest device index.
+fn greedy_assign(
+    pool: &DevicePool,
+    footprints: &[u64],
+    assignments: &mut [Vec<usize>],
+    eligible: impl Fn(usize, u64) -> bool,
+) {
+    let n = assignments.len();
+    let weights: Vec<f64> = (0..n).map(|d| pool.compute_weight(d).max(1.0)).collect();
+    // Outstanding work per device, in footprint-bytes as the work proxy
+    // (every task contributes at least one unit so zero-footprint tasks
+    // still spread out).
+    let mut outstanding = vec![0.0f64; n];
+    for (i, &fp) in footprints.iter().enumerate() {
+        let work = fp.max(1) as f64;
+        let mut best: Option<usize> = None;
+        for d in 0..n {
+            if !eligible(d, fp) {
+                continue;
+            }
+            let load = (outstanding[d] + work) / weights[d];
+            if best.is_none_or(|b| load < (outstanding[b] + work) / weights[b]) {
+                best = Some(d);
+            }
+        }
+        if let Some(d) = best {
+            outstanding[d] += work;
+            assignments[d].push(i);
+        }
+    }
+}
+
+/// The result of a sharded multi-device run.
+#[derive(Debug)]
+pub struct ShardedRun<T> {
+    /// Outputs in the *original input order* — sharding is invisible.
+    pub outputs: Vec<T>,
+    /// Per-device run statistics, in pool order (devices that received no
+    /// tasks report zeroed stats).
+    pub device_stats: Vec<RunStats>,
+    /// The plan that produced this run.
+    pub plan: ShardPlan,
+    /// The policy that produced the plan.
+    pub policy: ShardPolicy,
+    /// Wall time of the whole run: the maximum per-device elapsed time
+    /// (the batch is done when the last device finishes), in ms.
+    pub makespan_ms: f64,
+    /// Per-device elapsed milliseconds for this run (deltas, so prior
+    /// device time from earlier runs is excluded).
+    pub device_ms: Vec<f64>,
+}
+
+impl<T> ShardedRun<T> {
+    /// Total tasks completed.
+    pub fn tasks(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Throughput against the makespan, in tasks per millisecond.
+    pub fn throughput_per_ms(&self) -> f64 {
+        if self.makespan_ms > 0.0 {
+            self.outputs.len() as f64 / self.makespan_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Max-over-mean of per-device elapsed time across devices that ran
+    /// work (1.0 = perfectly balanced; 0 when nothing ran).
+    pub fn imbalance(&self) -> f64 {
+        let active: Vec<f64> = self
+            .device_ms
+            .iter()
+            .copied()
+            .filter(|&ms| ms > 0.0)
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        let mean = active.iter().sum::<f64>() / active.len() as f64;
+        if mean > 0.0 {
+            self.makespan_ms / mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Shards `tasks` over the pool under `policy` and runs every shard to
+/// completion, one [`PipelineExecutor`] per device.
+///
+/// `footprint` estimates a task's peak device-memory footprint in bytes
+/// (used by the memory-aware policy; return 0 if unknown). `stages`
+/// builds a fresh stage vector for a device — stages may depend on the
+/// device's cost model, so the factory receives the device.
+///
+/// Devices are driven sequentially by the host, but each advances its own
+/// virtual clock, so per-device times represent concurrent execution; the
+/// makespan is their maximum.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfDeviceMemory`] if a shard's working set
+/// does not fit its device even under the admission cap; every device's
+/// allocations are released before returning.
+pub fn run_sharded<T>(
+    pool: &mut DevicePool,
+    policy: ShardPolicy,
+    tasks: Vec<T>,
+    footprint: impl Fn(&T) -> u64,
+    stages: impl Fn(&Gpu) -> Vec<Box<dyn PipeStage<T>>>,
+    multi_stream: bool,
+) -> Result<ShardedRun<T>, PipelineError> {
+    let n = pool.len();
+    let footprints: Vec<u64> = tasks.iter().map(&footprint).collect();
+    let depth = stages(pool.device(0)).len();
+    let plan = plan_shards(pool, policy, &footprints, depth);
+
+    // Tear the batch into per-device shards, remembering original slots.
+    let mut shards: Vec<Vec<(usize, T)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut owner = vec![0usize; tasks.len()];
+    for (d, assigned) in plan.assignments.iter().enumerate() {
+        for &i in assigned {
+            owner[i] = d;
+        }
+    }
+    for (i, task) in tasks.into_iter().enumerate() {
+        shards[owner[i]].push((i, task));
+    }
+
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None)
+        .take(shards.iter().map(Vec::len).sum())
+        .collect();
+    let mut device_stats = Vec::with_capacity(n);
+    let mut device_ms = Vec::with_capacity(n);
+    for (d, shard) in shards.into_iter().enumerate() {
+        let device_stages = stages(pool.device(d));
+        let gpu = pool.device_mut(d);
+        let start = gpu.elapsed_ms();
+        let mut exec = PipelineExecutor::new(gpu, device_stages, multi_stream);
+        exec.set_queue_capacity(shard.len().max(1));
+        exec.set_max_in_flight(plan.max_in_flight[d]);
+        let mut indices = Vec::with_capacity(shard.len());
+        for (i, task) in shard {
+            indices.push(i);
+            if exec.submit(task).is_err() {
+                unreachable!("queue sized to the shard");
+            }
+        }
+        let run = exec.drain()?;
+        for (i, out) in indices.into_iter().zip(run.outputs) {
+            slots[i] = Some(out);
+        }
+        device_stats.push(run.stats);
+        device_ms.push(pool.device(d).elapsed_ms() - start);
+    }
+
+    let outputs: Vec<T> = slots
+        .into_iter()
+        .map(|s| s.expect("every task ran on exactly one device"))
+        .collect();
+    let makespan_ms = device_ms.iter().copied().fold(0.0, f64::max);
+    Ok(ShardedRun {
+        outputs,
+        device_stats,
+        plan,
+        policy,
+        makespan_ms,
+        device_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StageWork;
+    use batchzk_gpu_sim::{DeviceProfile, Work};
+
+    struct AddStage {
+        amount: u64,
+        mem: u64,
+    }
+
+    impl PipeStage<u64> for AddStage {
+        fn name(&self) -> String {
+            format!("add-{}", self.amount)
+        }
+        fn threads(&self) -> u32 {
+            32
+        }
+        fn process(&self, task: &mut u64) -> StageWork {
+            *task += self.amount;
+            StageWork {
+                work: Work::Uniform {
+                    units: 32,
+                    cycles_per_unit: 100,
+                },
+                h2d_bytes: 0,
+                d2h_bytes: 0,
+                mem_after: self.mem,
+            }
+        }
+    }
+
+    fn factory(mem: u64) -> impl Fn(&Gpu) -> Vec<Box<dyn PipeStage<u64>>> {
+        move |_gpu| {
+            vec![
+                Box::new(AddStage { amount: 1, mem }) as Box<dyn PipeStage<u64>>,
+                Box::new(AddStage { amount: 10, mem }),
+                Box::new(AddStage { amount: 100, mem }),
+            ]
+        }
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in ShardPolicy::ALL {
+            assert_eq!(ShardPolicy::parse(p.name()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(ShardPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let pool = DevicePool::homogeneous(DeviceProfile::a100(), 3);
+        let plan = plan_shards(&pool, ShardPolicy::RoundRobin, &[64; 7], 4);
+        assert_eq!(plan.assignments[0], vec![0, 3, 6]);
+        assert_eq!(plan.assignments[1], vec![1, 4]);
+        assert_eq!(plan.assignments[2], vec![2, 5]);
+        assert_eq!(plan.max_in_flight, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn least_outstanding_respects_compute_weight() {
+        // An H100 next to a V100: the stronger device should take more
+        // than half of a uniform batch.
+        let pool = DevicePool::from_profiles(vec![DeviceProfile::v100(), DeviceProfile::h100()]);
+        let plan = plan_shards(&pool, ShardPolicy::LeastOutstanding, &[64; 12], 4);
+        assert!(
+            plan.assignments[1].len() > plan.assignments[0].len(),
+            "h100 shard {} <= v100 shard {}",
+            plan.assignments[1].len(),
+            plan.assignments[0].len()
+        );
+        let total: usize = plan.assignments.iter().map(Vec::len).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn memory_aware_caps_in_flight() {
+        let small = DeviceProfile {
+            device_mem_bytes: 300,
+            ..DeviceProfile::a100()
+        };
+        let pool = DevicePool::homogeneous(small, 2);
+        // Footprint 100: capacity/footprint - 1 = 2 resident tasks max.
+        let plan = plan_shards(&pool, ShardPolicy::MemoryAware, &[100; 8], 4);
+        assert_eq!(plan.max_in_flight, vec![2, 2]);
+        let total: usize = plan.assignments.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn sharded_outputs_preserve_input_order() {
+        for policy in ShardPolicy::ALL {
+            let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 4);
+            let tasks: Vec<u64> = (0..13).map(|i| i * 1000).collect();
+            let run = run_sharded(&mut pool, policy, tasks.clone(), |_| 64, factory(64), true)
+                .expect("fits");
+            let expect: Vec<u64> = tasks.iter().map(|t| t + 111).collect();
+            assert_eq!(run.outputs, expect, "policy {policy}");
+            assert_eq!(run.tasks(), 13);
+            assert!(run.makespan_ms > 0.0);
+            assert!(run.imbalance() >= 1.0);
+            assert_eq!(run.device_stats.len(), 4);
+        }
+    }
+
+    #[test]
+    fn memory_aware_completes_where_unrestricted_ooms() {
+        // 300 bytes of device memory, 120-byte tasks, 3 stages: full
+        // residency needs 3 footprints (360 bytes) => OOM.
+        let tiny = DeviceProfile {
+            device_mem_bytes: 300,
+            ..DeviceProfile::a100()
+        };
+        let mut pool = DevicePool::homogeneous(tiny.clone(), 2);
+        let err = run_sharded(
+            &mut pool,
+            ShardPolicy::RoundRobin,
+            (0..6u64).collect(),
+            |_| 120,
+            factory(120),
+            true,
+        )
+        .expect_err("full residency cannot fit");
+        assert!(matches!(err, PipelineError::OutOfDeviceMemory { .. }));
+        for d in 0..2 {
+            assert_eq!(pool.device(d).memory_ref().in_use(), 0, "clean on error");
+        }
+        // The memory-aware policy splits the batch in time and completes.
+        let mut pool = DevicePool::homogeneous(tiny, 2);
+        let run = run_sharded(
+            &mut pool,
+            ShardPolicy::MemoryAware,
+            (0..6u64).collect(),
+            |_| 120,
+            factory(120),
+            true,
+        )
+        .expect("admission cap keeps residency within memory");
+        assert_eq!(run.outputs, (0..6).map(|t| t + 111).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oversized_task_still_reports_oom() {
+        let tiny = DeviceProfile {
+            device_mem_bytes: 100,
+            ..DeviceProfile::a100()
+        };
+        let mut pool = DevicePool::homogeneous(tiny, 2);
+        let err = run_sharded(
+            &mut pool,
+            ShardPolicy::MemoryAware,
+            vec![1u64],
+            |_| 400,
+            factory(400),
+            true,
+        )
+        .expect_err("a single over-capacity task cannot be split");
+        assert!(matches!(err, PipelineError::OutOfDeviceMemory { .. }));
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        let run = run_sharded(
+            &mut pool,
+            ShardPolicy::LeastOutstanding,
+            Vec::<u64>::new(),
+            |_| 64,
+            factory(64),
+            true,
+        )
+        .expect("nothing to do");
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.makespan_ms, 0.0);
+        assert_eq!(run.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn two_devices_are_faster_than_one() {
+        let tasks: Vec<u64> = (0..24).collect();
+        let mut one = DevicePool::homogeneous(DeviceProfile::a100(), 1);
+        let single = run_sharded(
+            &mut one,
+            ShardPolicy::RoundRobin,
+            tasks.clone(),
+            |_| 64,
+            factory(64),
+            true,
+        )
+        .expect("fits");
+        let mut two = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        let dual = run_sharded(
+            &mut two,
+            ShardPolicy::RoundRobin,
+            tasks,
+            |_| 64,
+            factory(64),
+            true,
+        )
+        .expect("fits");
+        assert_eq!(single.outputs, dual.outputs, "identical results");
+        assert!(
+            dual.makespan_ms < single.makespan_ms / 1.5,
+            "2 devices {} vs 1 device {}",
+            dual.makespan_ms,
+            single.makespan_ms
+        );
+    }
+}

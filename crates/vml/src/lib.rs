@@ -32,5 +32,5 @@ pub use compile::{
     compile_inference, compile_inference_with_options, CompileOptions, CompiledInference,
 };
 pub use network::{tiny_cnn, vgg16, Layer, Network, Trace};
-pub use service::{MlService, ServiceRun, VerifiedPrediction};
+pub use service::{MlService, PoolServiceRun, ServiceRun, VerifiedPrediction};
 pub use tensor::Tensor;

@@ -11,13 +11,13 @@
 use std::sync::Arc;
 
 use batchzk_field::{field_from_i64, Fr};
-use batchzk_gpu_sim::Gpu;
+use batchzk_gpu_sim::{DevicePool, Gpu};
 use batchzk_hash::Digest;
 use batchzk_merkle::MerkleTree;
 use batchzk_metrics::Registry;
-use batchzk_pipeline::{observe, PipelineError, RunStats};
+use batchzk_pipeline::{observe, PipelineError, RunStats, ShardPolicy};
 use batchzk_zkp::r1cs::R1cs;
-use batchzk_zkp::{prove_batch, verify, PcsParams, Proof};
+use batchzk_zkp::{prove_batch, prove_batch_pool, verify, PcsParams, Proof};
 
 use crate::compile::compile_inference;
 use crate::network::Network;
@@ -52,6 +52,17 @@ pub struct ServiceRun {
     pub predictions: Vec<VerifiedPrediction>,
     /// GPU pipeline statistics (throughput, latency, memory).
     pub stats: RunStats,
+}
+
+/// Outcome of a batch prediction+proving round across a device pool.
+pub struct PoolServiceRun {
+    /// The answered requests in arrival order (identical to what a
+    /// single-device round would produce).
+    pub predictions: Vec<VerifiedPrediction>,
+    /// Per-device pipeline statistics, in pool order.
+    pub device_stats: Vec<RunStats>,
+    /// Wall time of the round: the slowest device's elapsed ms.
+    pub makespan_ms: f64,
 }
 
 impl MlService {
@@ -119,22 +130,14 @@ impl MlService {
     ///
     /// # Panics
     ///
-    /// Panics if `images` is empty or has wrong shapes.
+    /// Panics if any image has the wrong shape.
     pub fn serve_batch(
         &mut self,
         gpu: &mut Gpu,
         images: &[Tensor],
         total_threads: u32,
     ) -> Result<ServiceRun, PipelineError> {
-        assert!(!images.is_empty(), "need at least one request");
-        let mut logits_list = Vec::with_capacity(images.len());
-        let mut instances = Vec::with_capacity(images.len());
-        for image in images {
-            let trace = self.network.forward(image);
-            logits_list.push(trace.output().data().to_vec());
-            let compiled = compile_inference::<Fr>(&self.network, image, &trace);
-            instances.push((compiled.inputs, compiled.witness));
-        }
+        let (logits_list, instances) = self.prepare_requests(images);
         let run = prove_batch(
             gpu,
             Arc::clone(&self.r1cs),
@@ -159,6 +162,78 @@ impl MlService {
             predictions,
             stats: run.stats,
         })
+    }
+
+    /// Answers a stream of customer images across a device pool: predicts
+    /// each and generates the proofs through one pipeline per pool device,
+    /// sharded under `policy`. Predictions come back in arrival order with
+    /// proofs byte-identical to a single-device [`serve_batch`]; metrics
+    /// gain the per-device label dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::OutOfDeviceMemory`] if a shard's working
+    /// set does not fit its device even under the memory-aware admission
+    /// cap; all devices are left clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any image has the wrong shape.
+    ///
+    /// [`serve_batch`]: MlService::serve_batch
+    pub fn serve_batch_pool(
+        &mut self,
+        pool: &mut DevicePool,
+        images: &[Tensor],
+        total_threads: u32,
+        policy: ShardPolicy,
+    ) -> Result<PoolServiceRun, PipelineError> {
+        let (logits_list, instances) = self.prepare_requests(images);
+        let run = prove_batch_pool(
+            pool,
+            Arc::clone(&self.r1cs),
+            self.params,
+            instances,
+            total_threads,
+            true,
+            policy,
+        )
+        .inspect_err(|e| observe::record_error(&mut self.metrics, VML_MODULE, e))?;
+        observe::record_pool_run(
+            &mut self.metrics,
+            VML_MODULE,
+            &run.device_stats,
+            &run.device_ms,
+        );
+        let predictions = run
+            .proofs
+            .into_iter()
+            .zip(logits_list)
+            .map(|((public_inputs, proof), logits)| VerifiedPrediction {
+                logits,
+                public_inputs,
+                proof,
+            })
+            .collect();
+        Ok(PoolServiceRun {
+            predictions,
+            device_stats: run.device_stats,
+            makespan_ms: run.makespan_ms,
+        })
+    }
+
+    /// Runs inference on every request and compiles the proof instances.
+    #[allow(clippy::type_complexity)]
+    fn prepare_requests(&self, images: &[Tensor]) -> (Vec<Vec<i64>>, Vec<(Vec<Fr>, Vec<Fr>)>) {
+        let mut logits_list = Vec::with_capacity(images.len());
+        let mut instances = Vec::with_capacity(images.len());
+        for image in images {
+            let trace = self.network.forward(image);
+            logits_list.push(trace.output().data().to_vec());
+            let compiled = compile_inference::<Fr>(&self.network, image, &trace);
+            instances.push((compiled.inputs, compiled.witness));
+        }
+        (logits_list, instances)
     }
 
     /// Customer-side verification of one answered request.
@@ -225,6 +300,41 @@ mod tests {
                 .count(),
             3
         );
+    }
+
+    #[test]
+    fn pooled_service_round_matches_single_device() {
+        let mut svc = service();
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| synthetic_image(30 + i, &svc.network().input_shape))
+            .collect();
+        let mut gpu = Gpu::new(DeviceProfile::a100());
+        let single = svc.serve_batch(&mut gpu, &images, 4096).expect("fits");
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        let pooled = svc
+            .serve_batch_pool(&mut pool, &images, 4096, ShardPolicy::LeastOutstanding)
+            .expect("fits");
+        assert_eq!(pooled.predictions.len(), 4);
+        for (p, s) in pooled.predictions.iter().zip(&single.predictions) {
+            assert!(svc.verify_prediction(p));
+            assert_eq!(p.proof, s.proof, "sharding is invisible in the proof");
+            assert_eq!(p.logits, s.logits);
+        }
+        assert!(pooled.makespan_ms > 0.0);
+        assert!(
+            pooled.makespan_ms < single.stats.total_ms,
+            "two devices beat one: {} vs {}",
+            pooled.makespan_ms,
+            single.stats.total_ms
+        );
+        // Per-device metric dimension present under the vml module.
+        let d0 = svc
+            .metrics()
+            .counter("batchzk_tasks_total", &[("module", "vml"), ("device", "0")]);
+        let d1 = svc
+            .metrics()
+            .counter("batchzk_tasks_total", &[("module", "vml"), ("device", "1")]);
+        assert_eq!(d0 + d1, 4);
     }
 
     #[test]

@@ -21,11 +21,12 @@
 use std::sync::Arc;
 
 use batchzk_field::Field;
-use batchzk_gpu_sim::{Gpu, Work};
+use batchzk_gpu_sim::{DevicePool, Gpu, Work};
 use batchzk_hash::Transcript;
 use batchzk_metrics::Registry;
 use batchzk_pipeline::{
-    allocate_threads, observe, PipeStage, Pipeline, PipelineError, RunStats, StageWork,
+    allocate_threads, observe, run_sharded, PipeStage, Pipeline, PipelineError, RunStats,
+    ShardPolicy, StageWork,
 };
 
 use crate::pcs::{self, EncodedRows, PcsCommitment, PcsParams, PcsProverData};
@@ -269,35 +270,23 @@ pub fn module_weights<F: Field>(gpu: &Gpu, r1cs: &R1cs<F>, params: &PcsParams) -
     ]
 }
 
-/// Proves a batch of `(inputs, witness)` instances of one circuit through
-/// the fully pipelined system.
-///
-/// # Errors
-///
-/// Returns [`PipelineError::OutOfDeviceMemory`] if the per-proof working
-/// set does not fit in simulated device memory.
-///
-/// # Panics
-///
-/// Panics if `instances` is empty or any assignment is unsatisfying.
-pub fn prove_batch<F: Field>(
-    gpu: &mut Gpu,
-    r1cs: Arc<R1cs<F>>,
+/// Builds the four Figure-7 stages for one device: thread allocation
+/// follows the measured-ratio rule under that device's cost model, so
+/// heterogeneous pool members each get their own stage set.
+fn build_stages<F: Field>(
+    gpu: &Gpu,
+    r1cs: &Arc<R1cs<F>>,
     params: PcsParams,
-    instances: Vec<(Vec<F>, Vec<F>)>,
     total_threads: u32,
-    multi_stream: bool,
-) -> Result<BatchRun<F>, PipelineError> {
-    assert!(!instances.is_empty(), "need at least one instance");
-    let weights = module_weights(gpu, &r1cs, &params);
+) -> Vec<Box<dyn PipeStage<BatchTask<F>>>> {
+    let weights = module_weights(gpu, r1cs, &params);
     let threads = allocate_threads(total_threads, &weights);
     let cost = *gpu.cost();
     let half = r1cs.half_len();
     let (n_rows, _) = pcs::matrix_shape(half.trailing_zeros() as usize);
-
-    let stages: Vec<Box<dyn PipeStage<BatchTask<F>>>> = vec![
+    vec![
         Box::new(EncodeStage {
-            r1cs: Arc::clone(&r1cs),
+            r1cs: Arc::clone(r1cs),
             params,
             threads: threads[0],
             spmv_cost: cost.spmv_term(),
@@ -307,7 +296,7 @@ pub fn prove_batch<F: Field>(
             column_cost: (n_rows as u64).div_ceil(2) * cost.sha256_compress + cost.merkle_node(),
         }),
         Box::new(SumcheckStage {
-            r1cs: Arc::clone(&r1cs),
+            r1cs: Arc::clone(r1cs),
             threads: threads[2],
             pair_cost: cost.sumcheck_pair() + cost.shared_access,
         }),
@@ -316,8 +305,51 @@ pub fn prove_batch<F: Field>(
             threads: threads[3],
             term_cost: cost.field_mul + cost.global_access,
         }),
-    ];
+    ]
+}
 
+/// Analytic estimate of one proof task's peak device-memory footprint in
+/// bytes — the maximum of the per-stage `mem_after` values the pipeline
+/// stages will report. The memory-aware shard policy sizes per-device
+/// admission from this, so a batch that would OOM at full pipeline
+/// residency is split in time instead of erroring.
+pub fn task_footprint_bytes<F: Field>(r1cs: &R1cs<F>, params: &PcsParams) -> u64 {
+    let half = r1cs.half_len();
+    let k = half.trailing_zeros() as usize;
+    let (n_rows, n_cols) = pcs::matrix_shape(k);
+    let encoder = batchzk_encoder::Encoder::<F>::new(n_cols, params.encoder, params.seed);
+    let codeword_len = encoder.codeword_len() as u64;
+    let encoded_bytes = n_rows as u64 * codeword_len * 32;
+    let m = r1cs.padded_constraints() as u64;
+    let n = r1cs.z_len() as u64;
+    // Stage footprints: encoder holds the codeword matrix; merkle adds the
+    // tree layers; sum-check swaps the tree for its folding tables.
+    let merkle = encoded_bytes + codeword_len * 64;
+    let sumcheck = encoded_bytes + 2 * (3 * m + n) * 32 / 3;
+    encoded_bytes.max(merkle).max(sumcheck)
+}
+
+/// Proves a batch of `(inputs, witness)` instances of one circuit through
+/// the fully pipelined system. An empty batch is a no-op returning an
+/// empty [`BatchRun`] with zeroed statistics.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfDeviceMemory`] if the per-proof working
+/// set does not fit in simulated device memory.
+///
+/// # Panics
+///
+/// Panics if any assignment is unsatisfying.
+pub fn prove_batch<F: Field>(
+    gpu: &mut Gpu,
+    r1cs: Arc<R1cs<F>>,
+    params: PcsParams,
+    instances: Vec<(Vec<F>, Vec<F>)>,
+    total_threads: u32,
+    multi_stream: bool,
+) -> Result<BatchRun<F>, PipelineError> {
+    let stages = build_stages(gpu, &r1cs, params, total_threads);
     let tasks: Vec<BatchTask<F>> = instances
         .into_iter()
         .map(|(inputs, witness)| BatchTask::new(inputs, witness))
@@ -331,6 +363,103 @@ pub fn prove_batch<F: Field>(
     Ok(BatchRun {
         proofs,
         stats: run.stats,
+    })
+}
+
+/// Result of proving one batch across a device pool.
+#[derive(Debug)]
+pub struct PoolBatchRun<F: Field> {
+    /// Finished proofs paired with their public inputs, in *input order* —
+    /// sharding is invisible, and the proof bytes are identical to a
+    /// single-device [`prove_batch`] of the same instances.
+    pub proofs: ProvedInstances<F>,
+    /// Per-device run statistics, in pool order.
+    pub device_stats: Vec<RunStats>,
+    /// Per device, the original instance indices it proved.
+    pub assignments: Vec<Vec<usize>>,
+    /// The shard policy that routed the batch.
+    pub policy: ShardPolicy,
+    /// Wall time of the batch: the slowest device's elapsed ms.
+    pub makespan_ms: f64,
+    /// Per-device elapsed milliseconds for this batch.
+    pub device_ms: Vec<f64>,
+}
+
+impl<F: Field> PoolBatchRun<F> {
+    /// Batch throughput against the makespan, in proofs per millisecond.
+    pub fn throughput_per_ms(&self) -> f64 {
+        if self.makespan_ms > 0.0 {
+            self.proofs.len() as f64 / self.makespan_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Max-over-mean of elapsed time across devices that proved work
+    /// (1.0 = perfectly balanced; 0 when nothing ran).
+    pub fn imbalance(&self) -> f64 {
+        let active: Vec<f64> = self
+            .device_ms
+            .iter()
+            .copied()
+            .filter(|&ms| ms > 0.0)
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        self.makespan_ms / (active.iter().sum::<f64>() / active.len() as f64)
+    }
+}
+
+/// Proves a batch of instances across a [`DevicePool`], sharded under
+/// `policy`. Each device runs its own four-stage pipeline with
+/// `total_threads` allocated by its cost model; proofs come back in input
+/// order and are byte-identical to a single-device [`prove_batch`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfDeviceMemory`] if a shard does not fit
+/// its device even under the memory-aware admission cap (only a single
+/// task larger than every device's memory is unrecoverable).
+///
+/// # Panics
+///
+/// Panics if any assignment is unsatisfying.
+pub fn prove_batch_pool<F: Field>(
+    pool: &mut DevicePool,
+    r1cs: Arc<R1cs<F>>,
+    params: PcsParams,
+    instances: Vec<(Vec<F>, Vec<F>)>,
+    total_threads: u32,
+    multi_stream: bool,
+    policy: ShardPolicy,
+) -> Result<PoolBatchRun<F>, PipelineError> {
+    let footprint = task_footprint_bytes(&r1cs, &params);
+    let tasks: Vec<BatchTask<F>> = instances
+        .into_iter()
+        .map(|(inputs, witness)| BatchTask::new(inputs, witness))
+        .collect();
+    let stages_r1cs = Arc::clone(&r1cs);
+    let run = run_sharded(
+        pool,
+        policy,
+        tasks,
+        |_| footprint,
+        move |gpu| build_stages(gpu, &stages_r1cs, params, total_threads),
+        multi_stream,
+    )?;
+    let proofs = run
+        .outputs
+        .into_iter()
+        .map(|t| (t.inputs.clone(), t.proof.expect("completed")))
+        .collect();
+    Ok(PoolBatchRun {
+        proofs,
+        device_stats: run.device_stats,
+        assignments: run.plan.assignments,
+        policy,
+        makespan_ms: run.makespan_ms,
+        device_ms: run.device_ms,
     })
 }
 
@@ -447,6 +576,145 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_is_a_noop() {
+        let (r1cs, _) = instances(16, 1);
+        let params = test_params();
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = prove_batch(&mut gpu, Arc::clone(&r1cs), params, vec![], 2048, true)
+            .expect("nothing to prove");
+        assert!(run.proofs.is_empty());
+        assert_eq!(run.stats.tasks, 0);
+        assert_eq!(run.stats.total_cycles, 0, "no device time charged");
+        assert_eq!(gpu.memory_ref().in_use(), 0);
+        let mut pool = DevicePool::homogeneous(DeviceProfile::v100(), 2);
+        let run = prove_batch_pool(
+            &mut pool,
+            r1cs,
+            params,
+            vec![],
+            2048,
+            true,
+            ShardPolicy::MemoryAware,
+        )
+        .expect("nothing to prove");
+        assert!(run.proofs.is_empty());
+        assert_eq!(run.makespan_ms, 0.0);
+    }
+
+    #[test]
+    fn sharded_proofs_byte_identical_to_single_device() {
+        // Satellite determinism pin: a 4-device pool under *every* shard
+        // policy emits exactly the proofs a single device emits, in input
+        // order — scheduling is invisible in the output bytes.
+        let (r1cs, batch) = instances(16, 10);
+        let params = test_params();
+        let mut gpu = Gpu::new(DeviceProfile::a100());
+        let single = prove_batch(
+            &mut gpu,
+            Arc::clone(&r1cs),
+            params,
+            batch.clone(),
+            4096,
+            true,
+        )
+        .expect("fits");
+        for policy in ShardPolicy::ALL {
+            let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 4);
+            let pooled = prove_batch_pool(
+                &mut pool,
+                Arc::clone(&r1cs),
+                params,
+                batch.clone(),
+                4096,
+                true,
+                policy,
+            )
+            .expect("fits");
+            assert_eq!(pooled.proofs.len(), single.proofs.len(), "{policy}");
+            for (i, ((pi, pp), (si, sp))) in pooled.proofs.iter().zip(&single.proofs).enumerate() {
+                assert_eq!(pi, si, "{policy}: input order preserved at {i}");
+                assert_eq!(pp, sp, "{policy}: proof {i} differs");
+            }
+            let assigned: usize = pooled.assignments.iter().map(Vec::len).sum();
+            assert_eq!(assigned, batch.len(), "{policy}: every instance placed");
+            assert!(pooled.makespan_ms > 0.0);
+            assert!(pooled.imbalance() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn memory_aware_pool_survives_oom() {
+        // Capacity of 1.5 task footprints: full four-stage residency
+        // (~1.6 footprints at this size) OOMs, but one resident task —
+        // even mid-realloc — fits. The memory-aware policy must complete
+        // by capping in-flight admission; round-robin must fail.
+        let (r1cs, batch) = instances(16, 6);
+        let params = test_params();
+        let cap = task_footprint_bytes(&r1cs, &params) * 3 / 2;
+        let small = DeviceProfile {
+            device_mem_bytes: cap,
+            ..DeviceProfile::a100()
+        };
+        let mut pool = DevicePool::homogeneous(small.clone(), 2);
+        let err = prove_batch_pool(
+            &mut pool,
+            Arc::clone(&r1cs),
+            params,
+            batch.clone(),
+            4096,
+            true,
+            ShardPolicy::RoundRobin,
+        )
+        .expect_err("full pipeline residency must exceed capacity");
+        assert!(matches!(err, PipelineError::OutOfDeviceMemory { .. }));
+        let mut pool = DevicePool::homogeneous(small, 2);
+        let run = prove_batch_pool(
+            &mut pool,
+            Arc::clone(&r1cs),
+            params,
+            batch.clone(),
+            4096,
+            true,
+            ShardPolicy::MemoryAware,
+        )
+        .expect("admission cap splits the batch in time");
+        assert_eq!(run.proofs.len(), batch.len());
+        for (inputs, proof) in &run.proofs {
+            assert!(verify(&params, &r1cs, inputs, proof));
+        }
+        for d in 0..pool.len() {
+            assert_eq!(pool.device(d).memory_ref().in_use(), 0);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pool_leans_on_the_stronger_device() {
+        let (r1cs, batch) = instances(16, 12);
+        let params = test_params();
+        let mut pool =
+            DevicePool::from_profiles(vec![DeviceProfile::v100(), DeviceProfile::h100()]);
+        let run = prove_batch_pool(
+            &mut pool,
+            Arc::clone(&r1cs),
+            params,
+            batch,
+            4096,
+            true,
+            ShardPolicy::LeastOutstanding,
+        )
+        .expect("fits");
+        assert!(
+            run.assignments[1].len() > run.assignments[0].len(),
+            "h100 {} vs v100 {}",
+            run.assignments[1].len(),
+            run.assignments[0].len()
+        );
+        for (inputs, proof) in &run.proofs {
+            assert!(verify(&params, &r1cs, inputs, proof));
+        }
+    }
+
+    #[test]
     fn faster_gpu_higher_throughput() {
         let params = test_params();
         let (r1cs, batch) = instances(16, 6);
@@ -470,12 +738,13 @@ mod tests {
 }
 
 /// Continuous batch proving (§4, "the execution of our system at full
-/// workload"): proof tasks flow in as they arrive, the pipeline stays
-/// resident on one device, and the simulation clock accumulates across
+/// workload"): proof tasks flow in as they arrive, one pipeline stays
+/// resident per pool device, and the simulation clocks accumulate across
 /// chunks — the MLaaS/zkBridge deployment shape where "customer inputs come
 /// in like a flowing stream".
 pub struct StreamingProver<F: Field> {
-    gpu: Gpu,
+    pool: DevicePool,
+    policy: ShardPolicy,
     r1cs: Arc<R1cs<F>>,
     params: PcsParams,
     total_threads: u32,
@@ -487,10 +756,32 @@ pub struct StreamingProver<F: Field> {
 const SYSTEM_MODULE: &str = "system";
 
 impl<F: Field> StreamingProver<F> {
-    /// Creates a resident prover on the given device.
+    /// Creates a resident prover on one device — a single-member pool
+    /// under the round-robin policy (which degenerates to "everything on
+    /// device 0").
     pub fn new(gpu: Gpu, r1cs: Arc<R1cs<F>>, params: PcsParams, total_threads: u32) -> Self {
+        Self::over_pool(
+            DevicePool::new(vec![gpu]),
+            ShardPolicy::RoundRobin,
+            r1cs,
+            params,
+            total_threads,
+        )
+    }
+
+    /// Creates a resident prover over a multi-device pool; each chunk is
+    /// sharded across the pool under `policy` and `total_threads` is the
+    /// per-device thread budget.
+    pub fn over_pool(
+        pool: DevicePool,
+        policy: ShardPolicy,
+        r1cs: Arc<R1cs<F>>,
+        params: PcsParams,
+        total_threads: u32,
+    ) -> Self {
         Self {
-            gpu,
+            pool,
+            policy,
             r1cs,
             params,
             total_threads,
@@ -500,38 +791,46 @@ impl<F: Field> StreamingProver<F> {
     }
 
     /// Proves one arriving chunk of instances, returning the finished
-    /// proofs. Device time accumulates across calls.
+    /// proofs in input order. Device time accumulates across calls; an
+    /// empty chunk is a no-op.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::OutOfDeviceMemory`] if the chunk's working
-    /// set does not fit in device memory; the device is left clean, so the
-    /// caller may retry with a smaller chunk.
+    /// set does not fit in device memory; the devices are left clean, so
+    /// the caller may retry with a smaller chunk (or the memory-aware
+    /// policy).
     ///
     /// # Panics
     ///
-    /// Panics if `instances` is empty or any assignment is unsatisfying.
+    /// Panics if any assignment is unsatisfying.
     pub fn prove_chunk(
         &mut self,
         instances: Vec<(Vec<F>, Vec<F>)>,
     ) -> Result<ProvedInstances<F>, PipelineError> {
-        let run = prove_batch(
-            &mut self.gpu,
+        let run = prove_batch_pool(
+            &mut self.pool,
             Arc::clone(&self.r1cs),
             self.params,
             instances,
             self.total_threads,
             true,
+            self.policy,
         )
         .inspect_err(|e| observe::record_error(&mut self.metrics, SYSTEM_MODULE, e))?;
-        observe::record_run(&mut self.metrics, SYSTEM_MODULE, &run.stats);
+        observe::record_pool_run(
+            &mut self.metrics,
+            SYSTEM_MODULE,
+            &run.device_stats,
+            &run.device_ms,
+        );
         self.proofs_emitted += run.proofs.len();
         Ok(run.proofs)
     }
 
     /// Service metrics accumulated across all chunks (runs, proof counts,
-    /// lifecycle latency histograms, OOM pressure) under the module label
-    /// `system`.
+    /// lifecycle latency histograms, OOM pressure, per-device series)
+    /// under the module label `system`.
     pub fn metrics(&self) -> &Registry {
         &self.metrics
     }
@@ -541,9 +840,10 @@ impl<F: Field> StreamingProver<F> {
         self.proofs_emitted
     }
 
-    /// Lifetime throughput in proofs per second of simulated device time.
+    /// Lifetime throughput in proofs per second of simulated wall time
+    /// (the pool's virtual now — the farthest device clock).
     pub fn lifetime_throughput_per_sec(&self) -> f64 {
-        let secs = self.gpu.elapsed_seconds();
+        let secs = self.pool.virtual_now_seconds();
         if secs == 0.0 {
             0.0
         } else {
@@ -551,14 +851,30 @@ impl<F: Field> StreamingProver<F> {
         }
     }
 
-    /// Borrow of the underlying device (stats, traces, memory accounting).
+    /// Borrow of the first device (stats, traces, memory accounting) —
+    /// the whole story for a single-device prover.
     pub fn gpu(&self) -> &Gpu {
-        &self.gpu
+        self.pool.device(0)
     }
 
-    /// Shuts the prover down, returning the device.
+    /// Borrow of the device pool.
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// Shuts the prover down, returning the first device (drops the rest —
+    /// use [`into_pool`](Self::into_pool) for multi-device provers).
     pub fn into_gpu(self) -> Gpu {
-        self.gpu
+        self.pool
+            .into_devices()
+            .into_iter()
+            .next()
+            .expect("pool is never empty")
+    }
+
+    /// Shuts the prover down, returning the pool.
+    pub fn into_pool(self) -> DevicePool {
+        self.pool
     }
 }
 
@@ -620,5 +936,53 @@ mod streaming_tests {
         assert_eq!(prover.gpu().memory_ref().in_use(), 0);
         let gpu = prover.into_gpu();
         assert!(gpu.elapsed_cycles() > 0);
+    }
+
+    #[test]
+    fn pooled_streaming_prover_shards_and_labels_devices() {
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(16, 42);
+        let r1cs = Arc::new(r1cs);
+        let params = PcsParams {
+            num_col_tests: 8,
+            ..PcsParams::default()
+        };
+        let mut prover = StreamingProver::over_pool(
+            DevicePool::homogeneous(DeviceProfile::a100(), 2),
+            ShardPolicy::LeastOutstanding,
+            Arc::clone(&r1cs),
+            params,
+            2048,
+        );
+        let proofs = prover
+            .prove_chunk(vec![(inputs.clone(), witness.clone()); 6])
+            .expect("fits");
+        assert_eq!(proofs.len(), 6);
+        for (io, proof) in &proofs {
+            assert!(verify(&params, &r1cs, io, proof));
+        }
+        // Aggregate series unchanged, per-device dimension added.
+        let m = [("module", "system")];
+        assert_eq!(prover.metrics().counter("batchzk_tasks_total", &m), 6);
+        let d0 = prover.metrics().counter(
+            "batchzk_tasks_total",
+            &[("module", "system"), ("device", "0")],
+        );
+        let d1 = prover.metrics().counter(
+            "batchzk_tasks_total",
+            &[("module", "system"), ("device", "1")],
+        );
+        assert_eq!(d0 + d1, 6, "device shards cover the chunk");
+        assert!(d0 > 0 && d1 > 0, "both devices proved work");
+        assert_eq!(
+            prover.metrics().gauge("batchzk_pool_devices", &m),
+            Some(2.0)
+        );
+        assert!(prover.lifetime_throughput_per_sec() > 0.0);
+        let pool = prover.into_pool();
+        assert_eq!(pool.len(), 2);
+        for d in 0..2 {
+            assert!(pool.device(d).elapsed_cycles() > 0);
+            assert_eq!(pool.device(d).memory_ref().in_use(), 0);
+        }
     }
 }

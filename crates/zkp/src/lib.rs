@@ -23,7 +23,9 @@ pub mod pcs;
 pub mod r1cs;
 pub mod spartan;
 
-pub use batch::{prove_batch, BatchRun, StreamingProver};
+pub use batch::{
+    prove_batch, prove_batch_pool, task_footprint_bytes, BatchRun, PoolBatchRun, StreamingProver,
+};
 pub use pcs::{PcsCommitment, PcsOpening, PcsParams};
 pub use r1cs::{R1cs, R1csBuilder, Var};
 pub use spartan::{prove, prove_with_artifacts, verify, Proof};
