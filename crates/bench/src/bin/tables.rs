@@ -1,9 +1,15 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! Usage: `tables <experiment|all|help> [--quick|--medium|--paper]
-//! [--devices N] [--profile <name>]`
+//! [--devices N] [--profile <name>] [--threads N]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
 //! `ablation`, `scaling`, `trace`, `bench-json`.
+//!
+//! `--threads N` sets the host worker-pool size every experiment runs
+//! under (device clocks and per-slot payload work fan out across it);
+//! `BATCHZK_THREADS` is the environment equivalent and the default is the
+//! host's available parallelism. Output is byte-identical at any thread
+//! count — parallelism only changes wall-clock.
 //!
 //! `scaling` proves the scale's scaling batch across device pools and
 //! prints throughput vs device count with the pool analyzer's per-device
@@ -23,7 +29,10 @@
 //! `BENCH.json` artifact (throughput, lifecycle latency quantiles,
 //! per-stage occupancy, limiting-stage analysis) to the current directory
 //! for cross-commit regression tracking. The file is byte-deterministic at
-//! a given scale.
+//! a given scale except for the `wall_clock` section, which records the
+//! *measured* host wall time of the quick multi-device run at several
+//! thread counts (strip it with `sed -E 's/,"wall_clock":\{[^}]*\}//'`
+//! before byte comparisons).
 //!
 //! Unrecognized experiments or flags print usage and exit non-zero.
 
@@ -67,7 +76,7 @@ const FLAGS: &[&str] = &["--quick", "--medium", "--paper"];
 fn usage() -> String {
     let mut out = String::from(
         "usage: tables <experiment...|all|help> [--quick|--medium|--paper]\n\
-         \x20             [--devices N] [--profile <name>]\n\nexperiments:\n",
+         \x20             [--devices N] [--profile <name>] [--threads N]\n\nexperiments:\n",
     );
     out.push_str("  all          every experiment marked (all) below\n");
     out.push_str("  help         this listing\n");
@@ -79,6 +88,10 @@ fn usage() -> String {
     out.push_str(
         "scaling flags: --devices N (largest pool, swept 1,2,4..N; default 8)\n\
          \x20              --profile <v100|a100|rtx3090ti|h100|gh200> (default a100)\n",
+    );
+    out.push_str(
+        "host flags:    --threads N (host worker pool; default BATCHZK_THREADS\n\
+         \x20              or available parallelism; results identical at any N)\n",
     );
     out
 }
@@ -120,6 +133,14 @@ fn main() -> ExitCode {
                     eprintln!(
                         "tables: --profile needs one of v100, a100, rtx3090ti, h100, gh200\n"
                     );
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => batchzk_par::set_threads(n),
+                _ => {
+                    eprintln!("tables: --threads needs a positive integer\n");
                     eprint!("{}", usage());
                     return ExitCode::FAILURE;
                 }
@@ -218,7 +239,7 @@ fn main() -> ExitCode {
     }
     // `bench-json` is explicit-only: it writes an artifact, not a table.
     if which.contains(&"bench-json") {
-        let json = experiments::bench_json(&scale);
+        let json = experiments::bench_json_with_wall_clock(&scale, &[1, 2, 4]);
         match std::fs::write("BENCH.json", &json) {
             Ok(()) => println!("wrote BENCH.json ({} bytes)", json.len()),
             Err(e) => {

@@ -109,10 +109,10 @@ pub fn table4(scale: &Scale) -> String {
     );
     for &log in &scale.module_logs {
         let task = &sumcheck_batch(log, 1, log as u64)[0];
-        let table = task.table_snapshot();
+        let mut table = task.table_snapshot();
         let rs = task.randomness().to_vec();
         let t = Instant::now();
-        let _ = batchzk_sumcheck::algorithm1::prove(table, &rs);
+        let _ = batchzk_sumcheck::algorithm1::prove(&mut table, &rs);
         let cpu_ms = t.elapsed().as_secs_f64() * 1e3;
         let cpu_tput = 1.0 / cpu_ms;
 
@@ -1189,6 +1189,78 @@ pub fn bench_json(scale: &Scale) -> String {
     out
 }
 
+/// [`bench_json`] plus a `wall_clock` section: the quick multi-device
+/// system run re-executed at each of `thread_counts` host threads, timed
+/// with real wall-clock. Everything else in the artifact is simulated and
+/// byte-deterministic; this section is the one *measured* quantity, so it
+/// is emitted as a single flat object that regression tooling can strip
+/// with `sed -E 's/,"wall_clock":\{[^}]*\}//'` before byte comparison.
+/// Speedups are relative to the first entry of `thread_counts` and are
+/// bounded by `min(threads, host_cores, devices)` — `host_cores` is
+/// recorded so readers can tell a saturated host from a scaling failure.
+pub fn bench_json_with_wall_clock(scale: &Scale, thread_counts: &[usize]) -> String {
+    use batchzk_metrics::registry::format_f64;
+    use std::fmt::Write as _;
+
+    assert!(!thread_counts.is_empty(), "need at least one thread count");
+    const DEVICES: usize = 4;
+    let profile = DeviceProfile::a100();
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << scale.scaling_log, 42);
+    let r1cs = Arc::new(r1cs);
+    let mut wall_ms = Vec::with_capacity(thread_counts.len());
+    for &t in thread_counts {
+        let start = Instant::now();
+        batchzk_par::with_threads(t, || {
+            let _ = scaling_point(
+                &profile,
+                DEVICES,
+                &r1cs,
+                &inputs,
+                &witness,
+                scale.scaling_batch,
+                None,
+            );
+        });
+        wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut section = format!(
+        "{{\"devices\":{DEVICES},\"log_n\":{},\"batch\":{},\"host_cores\":{host_cores},\
+         \"threads\":[",
+        scale.scaling_log, scale.scaling_batch
+    );
+    for (i, t) in thread_counts.iter().enumerate() {
+        if i > 0 {
+            section.push(',');
+        }
+        let _ = write!(section, "{t}");
+    }
+    section.push_str("],\"wall_ms\":[");
+    for (i, ms) in wall_ms.iter().enumerate() {
+        if i > 0 {
+            section.push(',');
+        }
+        let _ = write!(section, "{}", format_f64(*ms));
+    }
+    section.push_str("],\"speedup\":[");
+    for (i, ms) in wall_ms.iter().enumerate() {
+        if i > 0 {
+            section.push(',');
+        }
+        let _ = write!(section, "{}", format_f64(wall_ms[0] / ms.max(1e-9)));
+    }
+    section.push_str("]}");
+
+    // Splice before the artifact's closing `}\n`.
+    let mut out = bench_json(scale);
+    let tail = out.split_off(out.len() - 2);
+    debug_assert_eq!(tail, "}\n");
+    let _ = write!(out, ",\"wall_clock\":{section}");
+    out.push_str(&tail);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1287,6 +1359,47 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(bench_json(&s), json, "bench-json must be byte-stable");
+    }
+
+    #[test]
+    fn bench_json_byte_identical_across_host_thread_counts() {
+        // Host parallelism must be invisible in the artifact: the same
+        // scale renders the same bytes whether the engines fan out across
+        // 1, 2, or 4 host workers.
+        let s = tiny_scale();
+        let base = batchzk_par::with_threads(1, || bench_json(&s));
+        for t in [2usize, 4] {
+            let json = batchzk_par::with_threads(t, || bench_json(&s));
+            assert_eq!(json, base, "bench-json differs at threads={t}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_section_is_flat_and_strippable() {
+        let s = tiny_scale();
+        let json = bench_json_with_wall_clock(&s, &[1, 2]);
+        for field in [
+            "\"wall_clock\":{",
+            "\"host_cores\":",
+            "\"threads\":[1,2]",
+            "\"wall_ms\":[",
+            "\"speedup\":[1.0,",
+        ] {
+            assert!(json.contains(field), "missing field {field}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Stripping the one measured section (the documented sed regex:
+        // a flat object, no nested braces) recovers the deterministic
+        // artifact byte-for-byte.
+        let start = json.find(",\"wall_clock\":{").expect("section present");
+        let open = start + ",\"wall_clock\":".len();
+        let end = open + json[open..].find('}').expect("closes") + 1;
+        assert!(
+            !json[open + 1..end - 1].contains('{'),
+            "wall_clock must stay flat so `sed` can strip it"
+        );
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        assert_eq!(stripped, bench_json(&s));
     }
 
     #[test]

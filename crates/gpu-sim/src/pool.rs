@@ -156,11 +156,29 @@ impl DevicePool {
         best
     }
 
-    /// Relative compute capacity of device `i` (cores × clock), the weight
-    /// heterogeneous shard policies balance against.
+    /// Relative compute capacity of device `i` (cores × clock) — the
+    /// *nameplate* weight heterogeneous shard policies fall back to before
+    /// a device has any execution history.
     pub fn compute_weight(&self, i: usize) -> f64 {
         let p = self.devices[i].profile();
         p.cuda_cores as f64 * p.clock_ghz
+    }
+
+    /// Measured throughput of device `i`: useful work completed per
+    /// elapsed virtual time, expressed on the same scale as
+    /// [`compute_weight`](Self::compute_weight) (mean utilization × cores
+    /// × clock, i.e. busy core-cycles per virtual second ÷ 1e9 — exactly
+    /// what a [`DeviceSnapshot`]'s `mean_utilization` and elapsed fields
+    /// encode). `None` until the device has run anything; schedulers then
+    /// fall back to the nameplate, an optimistic prior that measurement
+    /// discounts toward what the device actually delivers.
+    pub fn measured_weight(&self, i: usize) -> Option<f64> {
+        let g = &self.devices[i];
+        if g.elapsed_cycles() == 0 {
+            return None;
+        }
+        let p = g.profile();
+        Some(g.mean_utilization() * p.cuda_cores as f64 * p.clock_ghz)
     }
 
     /// Barrier: idles every device forward to the shared virtual now, and

@@ -9,7 +9,7 @@ mod sha256;
 mod transcript;
 
 pub use prg::Prg;
-pub use sha256::{compress, hash_block, hash_pair, sha256, Digest, Sha256, H0};
+pub use sha256::{compress, hash_block, hash_pair, sha256, sha256_block64, Digest, Sha256, H0};
 pub use transcript::Transcript;
 
 #[cfg(test)]

@@ -173,16 +173,22 @@ impl Sha256 {
     /// Completes the hash and returns the 32-byte digest.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 8-byte big-endian bit length.
-        self.update(&[0x80]);
-        // After the 0x80 byte, total_len changed; remember we want padding
-        // relative to the original message, so compute zeros from buffered.
-        while self.buffered != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros to byte 56 of the block, 8-byte big-endian
+        // bit length — built in place rather than streamed byte-by-byte.
+        self.buffer[self.buffered] = 0x80;
+        if self.buffered >= 56 {
+            // No room for the length words: pad out this block, compress,
+            // and finish in a fresh all-zero block.
+            self.buffer[self.buffered + 1..].fill(0);
+            let block = self.buffer;
+            compress(&mut self.state, &block);
+            self.buffer.fill(0);
+        } else {
+            self.buffer[self.buffered + 1..56].fill(0);
         }
-        self.total_len = 0; // neutralize accounting for the length words
-        self.update(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buffered, 0);
+        self.buffer[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        compress(&mut self.state, &block);
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
@@ -196,6 +202,36 @@ pub fn sha256(data: &[u8]) -> Digest {
     let mut h = Sha256::new();
     h.update(data);
     h.finalize()
+}
+
+/// The padding block for a message of exactly 64 bytes: `0x80`, 55 zero
+/// bytes, then the 512-bit message length big-endian. Precomputed so the
+/// 64-byte fast path pays no padding arithmetic at all.
+const PAD64: [u8; 64] = {
+    let mut p = [0u8; 64];
+    p[0] = 0x80;
+    p[62] = 0x02; // 512 = 0x0200 big-endian in the trailing u64
+    p
+};
+
+/// Full (padded) SHA-256 of exactly one 64-byte input — two compression
+/// calls with a precomputed padding block, skipping the streaming hasher's
+/// buffering and padding bookkeeping entirely. Byte-identical to
+/// [`sha256`]`(&block)`; the hot path for 64-byte nodes (two concatenated
+/// digests) in transcripts and commitment openings.
+///
+/// Not to be confused with [`hash_block`], which is the *unpadded* raw
+/// compression step used inside Merkle trees.
+#[inline]
+pub fn sha256_block64(block: &[u8; 64]) -> Digest {
+    let mut state = H0;
+    compress(&mut state, block);
+    compress(&mut state, &PAD64);
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
 }
 
 /// Hashes exactly one 64-byte block with **no padding** — the raw
@@ -293,6 +329,22 @@ mod tests {
         assert_ne!(d, sha256(&block));
         // And must be deterministic.
         assert_eq!(d, hash_block(&block));
+    }
+
+    #[test]
+    fn block64_fast_path_matches_streaming() {
+        // The precomputed-padding double compression must agree with the
+        // general streaming path on every byte pattern we throw at it.
+        for seed in 0u8..=7 {
+            let mut block = [0u8; 64];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = seed.wrapping_mul(31).wrapping_add(i as u8);
+            }
+            assert_eq!(sha256_block64(&block), sha256(&block), "seed={seed}");
+        }
+        // And it is the padded hash, not the raw compression step.
+        let block = [7u8; 64];
+        assert_ne!(sha256_block64(&block), hash_block(&block));
     }
 
     #[test]

@@ -14,7 +14,9 @@ use batchzk_encoder::{Encoder, SparseMatrix};
 use batchzk_field::Field;
 use batchzk_gpu_sim::{CostModel, Gpu, Work};
 
-use crate::engine::{allocate_threads, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork};
+use crate::engine::{
+    allocate_threads, BoxedStage, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork,
+};
 
 /// An encoding task flowing through both pipelines.
 #[derive(Debug)]
@@ -226,7 +228,7 @@ pub fn run_pipelined<F: Field>(
     }
     let threads = allocate_threads(module_threads, &weights);
 
-    let mut stages: Vec<Box<dyn PipeStage<EncodeTask<F>>>> = Vec::with_capacity(2 * levels);
+    let mut stages: Vec<BoxedStage<EncodeTask<F>>> = Vec::with_capacity(2 * levels);
     for (i, level) in encoder.levels().iter().enumerate() {
         stages.push(Box::new(ForwardStage {
             encoder: Arc::clone(&encoder),

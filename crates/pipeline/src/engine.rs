@@ -46,6 +46,12 @@ pub trait PipeStage<T> {
     fn process(&self, task: &mut T) -> StageWork;
 }
 
+/// The boxed stage type every pipeline is built from. `Send + Sync` so a
+/// stage set can move to a device worker thread and be shared by the
+/// host-parallel per-slot fan-out; stages hold read-only configuration
+/// (costs, thread counts, `Arc`ed inputs), so the bounds are natural.
+pub type BoxedStage<T> = Box<dyn PipeStage<T> + Send + Sync>;
+
 /// Error returned by [`Pipeline::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
@@ -125,7 +131,7 @@ pub struct StageStats {
 }
 
 /// Aggregate results of a pipeline run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Total device cycles from first load to last drain.
     pub total_cycles: u64,
@@ -223,8 +229,9 @@ fn work_is_empty(work: &Work) -> bool {
 /// the OOM error contract are identical to the old consuming `run`.
 pub struct PipelineExecutor<'g, T> {
     gpu: &'g mut Gpu,
-    stages: Vec<Box<dyn PipeStage<T>>>,
+    stages: Vec<BoxedStage<T>>,
     multi_stream: bool,
+    host_threads: usize,
     queue_capacity: usize,
     max_in_flight: usize,
     pending: VecDeque<T>,
@@ -240,7 +247,7 @@ pub struct PipelineExecutor<'g, T> {
     epoch_start_d2h: u64,
 }
 
-impl<'g, T> PipelineExecutor<'g, T> {
+impl<'g, T: Send> PipelineExecutor<'g, T> {
     /// Creates a resident executor. The pending queue defaults to twice
     /// the stage count and max in-flight to the stage count (no extra
     /// admission limit); both are adjustable.
@@ -248,7 +255,7 @@ impl<'g, T> PipelineExecutor<'g, T> {
     /// # Panics
     ///
     /// Panics if `stages` is empty.
-    pub fn new(gpu: &'g mut Gpu, stages: Vec<Box<dyn PipeStage<T>>>, multi_stream: bool) -> Self {
+    pub fn new(gpu: &'g mut Gpu, stages: Vec<BoxedStage<T>>, multi_stream: bool) -> Self {
         assert!(!stages.is_empty(), "a pipeline needs at least one stage");
         let num_stages = stages.len();
         gpu.memory().reset_peak();
@@ -259,6 +266,7 @@ impl<'g, T> PipelineExecutor<'g, T> {
             gpu,
             stages,
             multi_stream,
+            host_threads: 1,
             queue_capacity: 2 * num_stages,
             max_in_flight: num_stages,
             pending: VecDeque::new(),
@@ -278,6 +286,20 @@ impl<'g, T> PipelineExecutor<'g, T> {
     /// Number of stages.
     pub fn num_stages(&self) -> usize {
         self.stages.len()
+    }
+
+    /// Sets how many host threads the per-slot payload computation may fan
+    /// out across (min 1; default 1 — fully inline serial processing).
+    /// Each occupied slot holds a distinct in-flight task, so the payloads
+    /// are independent; results are always collected back in slot order,
+    /// making every output and statistic byte-identical to the serial run.
+    pub fn set_host_threads(&mut self, threads: usize) {
+        self.host_threads = threads.max(1);
+    }
+
+    /// Host threads available to the per-slot fan-out.
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// Sets the pending-queue bound (min 1).
@@ -372,20 +394,36 @@ impl<'g, T> PipelineExecutor<'g, T> {
             }
         }
 
-        // Execute all occupied stages concurrently.
+        // Execute all occupied stages concurrently. Each occupied slot
+        // holds a *distinct* in-flight task, so the real per-slot payloads
+        // (leaf hashing, round folding, column encoding) are independent
+        // and fan out across the host thread pool. Results come back in
+        // slot order, so the kernel list, transfers and accounting below
+        // are byte-identical to the serial run at any thread count.
+        let stages = &self.stages;
+        let mut occupied: Vec<(usize, &mut Slot<T>)> = self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|slot| (i, slot)))
+            .collect();
+        let works: Vec<StageWork> =
+            batchzk_par::par_map_mut_with(self.host_threads, &mut occupied, |_, (i, slot)| {
+                stages[*i].process(&mut slot.task)
+            });
+
         let mut kernels: Vec<KernelStep> = Vec::new();
         let mut kernel_stage: Vec<usize> = Vec::new();
         let mut transfers: Vec<Transfer> = Vec::new();
         let mut mem_updates: Vec<(usize, u64)> = Vec::new();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            let Some(slot) = slot.as_mut() else { continue };
-            let sw = self.stages[i].process(&mut slot.task);
+        for ((i, slot), sw) in occupied.iter_mut().zip(works) {
+            let i = *i;
             self.accs[i].h2d += sw.h2d_bytes;
             self.accs[i].d2h += sw.d2h_bytes;
             slot.span.add_bytes(sw.h2d_bytes, sw.d2h_bytes);
             kernels.push(KernelStep::new(
-                self.stages[i].name(),
-                self.stages[i].threads(),
+                stages[i].name(),
+                stages[i].threads(),
                 sw.work,
             ));
             kernel_stage.push(i);
@@ -403,6 +441,7 @@ impl<'g, T> PipelineExecutor<'g, T> {
             }
             mem_updates.push((i, sw.mem_after));
         }
+        drop(occupied);
 
         // Apply memory footprints (alloc new before freeing old, so the
         // transient overlap of a copy shows up in the peak).
@@ -618,17 +657,17 @@ impl<'g, T> PipelineExecutor<'g, T> {
 /// compatibility facade over [`PipelineExecutor`].
 pub struct Pipeline<'g, T> {
     gpu: &'g mut Gpu,
-    stages: Vec<Box<dyn PipeStage<T>>>,
+    stages: Vec<BoxedStage<T>>,
     multi_stream: bool,
 }
 
-impl<'g, T> Pipeline<'g, T> {
+impl<'g, T: Send> Pipeline<'g, T> {
     /// Creates a pipeline from its stages.
     ///
     /// # Panics
     ///
     /// Panics if `stages` is empty.
-    pub fn new(gpu: &'g mut Gpu, stages: Vec<Box<dyn PipeStage<T>>>, multi_stream: bool) -> Self {
+    pub fn new(gpu: &'g mut Gpu, stages: Vec<BoxedStage<T>>, multi_stream: bool) -> Self {
         assert!(!stages.is_empty(), "a pipeline needs at least one stage");
         Self {
             gpu,
@@ -659,6 +698,7 @@ impl<'g, T> Pipeline<'g, T> {
             multi_stream,
         } = self;
         let mut executor = PipelineExecutor::new(gpu, stages, multi_stream);
+        executor.set_host_threads(batchzk_par::current_threads());
         executor.set_queue_capacity(tasks.len().max(1));
         for task in tasks {
             if executor.submit(task).is_err() {
@@ -731,7 +771,7 @@ mod tests {
     }
 
     fn three_stage(gpu: &mut Gpu) -> Pipeline<'_, u64> {
-        let stages: Vec<Box<dyn PipeStage<u64>>> = vec![
+        let stages: Vec<BoxedStage<u64>> = vec![
             Box::new(AddStage {
                 amount: 1,
                 threads: 32,
@@ -830,7 +870,7 @@ mod tests {
     #[test]
     fn stage_stats_satisfy_conservation_laws() {
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let stages: Vec<Box<dyn PipeStage<u64>>> = vec![
+        let stages: Vec<BoxedStage<u64>> = vec![
             Box::new(AddStage {
                 amount: 1,
                 threads: 64,
@@ -903,7 +943,7 @@ mod tests {
             }
         }
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let stages: Vec<Box<dyn PipeStage<u64>>> = vec![Box::new(LoadStage), Box::new(LoadStage)];
+        let stages: Vec<BoxedStage<u64>> = vec![Box::new(LoadStage), Box::new(LoadStage)];
         let run = Pipeline::new(&mut gpu, stages, true)
             .run((0..6).collect())
             .expect("fits");
@@ -960,13 +1000,13 @@ mod tests {
     fn mean_utilization_high_in_steady_state() {
         // Balanced stages + many tasks => most thread-cycles useful.
         let mut gpu = Gpu::new(DeviceProfile::v100());
-        let stages: Vec<Box<dyn PipeStage<u64>>> = (0..4)
+        let stages: Vec<BoxedStage<u64>> = (0..4)
             .map(|i| {
                 Box::new(AddStage {
                     amount: i,
                     threads: 1280,
                     cycles: 50_000,
-                }) as Box<dyn PipeStage<u64>>
+                }) as BoxedStage<u64>
             })
             .collect();
         let run = Pipeline::new(&mut gpu, stages, true)
@@ -979,7 +1019,7 @@ mod tests {
         );
     }
 
-    fn three_stages() -> Vec<Box<dyn PipeStage<u64>>> {
+    fn three_stages() -> Vec<BoxedStage<u64>> {
         vec![
             Box::new(AddStage {
                 amount: 1,

@@ -35,11 +35,11 @@ pub mod sched;
 pub mod sumcheck;
 
 pub use engine::{
-    allocate_threads, PipeStage, Pipeline, PipelineError, PipelineExecutor, PipelineRun, RunStats,
-    StageStats, StageWork,
+    allocate_threads, BoxedStage, PipeStage, Pipeline, PipelineError, PipelineExecutor,
+    PipelineRun, RunStats, StageStats, StageWork,
 };
 pub use observe::{record_error, record_pool_run, record_run, stage_observations};
-pub use sched::{plan_shards, run_sharded, ShardPlan, ShardPolicy, ShardedRun};
+pub use sched::{device_weight, plan_shards, run_sharded, ShardPlan, ShardPolicy, ShardedRun};
 
 #[cfg(test)]
 mod randomized_tests {
@@ -94,7 +94,7 @@ mod randomized_tests {
                 .collect();
             let reference: Vec<_> = tasks
                 .iter()
-                .map(|t| algorithm1::prove(t.table_snapshot(), t.randomness()))
+                .map(|t| algorithm1::prove(&mut t.table_snapshot(), t.randomness()))
                 .collect();
             let mut gpu = Gpu::new(DeviceProfile::v100());
             let run =

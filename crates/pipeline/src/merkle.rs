@@ -12,7 +12,9 @@
 use batchzk_gpu_sim::{Gpu, Work};
 use batchzk_hash::{hash_block, hash_pair, Digest};
 
-use crate::engine::{allocate_threads, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork};
+use crate::engine::{
+    allocate_threads, BoxedStage, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork,
+};
 
 /// A Merkle generation task flowing through the pipeline.
 #[derive(Debug)]
@@ -159,7 +161,7 @@ pub fn run_pipelined(
     let threads = allocate_threads(module_threads, &weights);
     let node_cost = gpu.cost().merkle_node();
 
-    let mut stages: Vec<Box<dyn PipeStage<MerkleTask>>> = vec![Box::new(LeafStage {
+    let mut stages: Vec<BoxedStage<MerkleTask>> = vec![Box::new(LeafStage {
         threads: threads[0],
         n,
         node_cost,

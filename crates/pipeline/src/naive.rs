@@ -123,9 +123,9 @@ pub fn merkle_naive(
             }],
             true,
         );
-        for tree in group {
-            layers.push(tree.iter().map(hash_block).collect());
-        }
+        layers.extend(batchzk_par::par_map(group, |tree| {
+            tree.iter().map(hash_block).collect::<Vec<Digest>>()
+        }));
         // Reduction layers.
         while units > 1 {
             units /= 2;
@@ -144,9 +144,9 @@ pub fn merkle_naive(
                 })
                 .collect();
             gpu.execute_step(&kernels, &[], true);
-            for layer in layers.iter_mut() {
+            batchzk_par::par_map_mut(&mut layers, |_, layer| {
                 *layer = layer.chunks(2).map(|p| hash_pair(&p[0], &p[1])).collect();
-            }
+            });
         }
         let group_latency = gpu.elapsed_cycles() - group_start;
         for layer in layers {
@@ -219,9 +219,7 @@ pub fn sumcheck_naive<F: Field>(
                 })
                 .collect();
             gpu.execute_step(&kernels, &[], true);
-            for task in group.iter_mut() {
-                task.run_round(round);
-            }
+            batchzk_par::par_map_mut(&mut group, |_, task| task.run_round(round));
         }
         let group_latency = gpu.elapsed_cycles() - group_start;
         for task in group {
@@ -306,9 +304,7 @@ pub fn encode_naive<F: Field>(
                 .collect();
             gpu.execute_step(&kernels, &[], true);
         }
-        for msg in group {
-            outputs.push(encoder.encode(msg));
-        }
+        outputs.extend(batchzk_par::par_map(group, |msg| encoder.encode(msg)));
         let group_latency = gpu.elapsed_cycles() - group_start;
         for _ in group {
             latencies.push(group_latency);
@@ -408,7 +404,7 @@ mod tests {
             .collect();
         let reference: Vec<_> = tasks
             .iter()
-            .map(|t| batchzk_sumcheck::algorithm1::prove(t.table_snapshot(), t.randomness()))
+            .map(|t| batchzk_sumcheck::algorithm1::prove(&mut t.table_snapshot(), t.randomness()))
             .collect();
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let run = sumcheck_naive(&mut gpu, tasks, 256, 2);

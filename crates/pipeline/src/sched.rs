@@ -14,8 +14,11 @@
 //! * [`ShardPolicy::RoundRobin`] — task *i* to device *i mod N*; the
 //!   baseline, optimal for homogeneous pools and uniform tasks;
 //! * [`ShardPolicy::LeastOutstanding`] — greedy: each task goes to the
-//!   device with the least outstanding work normalized by its compute
-//!   weight (cores × clock), which load-balances heterogeneous pools;
+//!   device with the least outstanding work normalized by its weight —
+//!   *measured* throughput (completed work per elapsed virtual second,
+//!   from the pool's device snapshots) once a device has history, the
+//!   cores × clock nameplate before — which load-balances heterogeneous
+//!   pools;
 //! * [`ShardPolicy::MemoryAware`] — least-outstanding placement among
 //!   devices the task *fits* on, plus a per-device in-flight admission
 //!   cap sized from the device's memory capacity. A batch whose full
@@ -32,7 +35,7 @@
 
 use batchzk_gpu_sim::{DevicePool, Gpu};
 
-use crate::engine::{PipeStage, PipelineError, PipelineExecutor, RunStats};
+use crate::engine::{BoxedStage, PipelineError, PipelineExecutor, PipelineRun, RunStats};
 
 /// How tasks are distributed across the devices of a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,9 +169,21 @@ pub fn plan_shards(
     }
 }
 
+/// The weight the least-outstanding policy divides a device's load by:
+/// the device's *measured* throughput (useful work completed per elapsed
+/// virtual second, as reported by the pool's snapshots) once it has run
+/// anything, and the cores × clock nameplate before — an optimistic
+/// prior that measurement then discounts toward what the device actually
+/// delivers (memory stalls, transfer backpressure and all).
+pub fn device_weight(pool: &DevicePool, d: usize) -> f64 {
+    pool.measured_weight(d)
+        .unwrap_or_else(|| pool.compute_weight(d))
+        .max(1.0)
+}
+
 /// Greedy least-outstanding-work assignment: each task (in input order)
-/// goes to the eligible device with the smallest assigned-work-to-compute
-/// -weight ratio; ties break to the lowest device index.
+/// goes to the eligible device with the smallest assigned-work-to-weight
+/// ratio ([`device_weight`]); ties break to the lowest device index.
 fn greedy_assign(
     pool: &DevicePool,
     footprints: &[u64],
@@ -176,7 +191,7 @@ fn greedy_assign(
     eligible: impl Fn(usize, u64) -> bool,
 ) {
     let n = assignments.len();
-    let weights: Vec<f64> = (0..n).map(|d| pool.compute_weight(d).max(1.0)).collect();
+    let weights: Vec<f64> = (0..n).map(|d| device_weight(pool, d)).collect();
     // Outstanding work per device, in footprint-bytes as the work proxy
     // (every task contributes at least one unit so zero-footprint tasks
     // still spread out).
@@ -262,23 +277,29 @@ impl<T> ShardedRun<T> {
 /// `footprint` estimates a task's peak device-memory footprint in bytes
 /// (used by the memory-aware policy; return 0 if unknown). `stages`
 /// builds a fresh stage vector for a device — stages may depend on the
-/// device's cost model, so the factory receives the device.
+/// device's cost model, so the factory receives the device (it must be
+/// `Sync`: device workers build their stage sets concurrently).
 ///
-/// Devices are driven sequentially by the host, but each advances its own
-/// virtual clock, so per-device times represent concurrent execution; the
-/// makespan is their maximum.
+/// Devices share nothing, so each shard runs on its own host worker
+/// (`batchzk-par`; thread count from `--threads` / `BATCHZK_THREADS`),
+/// and each device advances its own virtual clock, so per-device times
+/// represent concurrent execution; the makespan is their maximum.
+/// Outputs, statistics, clocks and errors are byte-identical at any host
+/// thread count — every device always runs its shard to completion (or
+/// its own error), and results merge in device order.
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError::OutOfDeviceMemory`] if a shard's working set
-/// does not fit its device even under the admission cap; every device's
-/// allocations are released before returning.
-pub fn run_sharded<T>(
+/// Returns [`PipelineError::OutOfDeviceMemory`] (the lowest-indexed
+/// failing device's) if a shard's working set does not fit its device
+/// even under the admission cap; every device's allocations are released
+/// before returning.
+pub fn run_sharded<T: Send>(
     pool: &mut DevicePool,
     policy: ShardPolicy,
     tasks: Vec<T>,
     footprint: impl Fn(&T) -> u64,
-    stages: impl Fn(&Gpu) -> Vec<Box<dyn PipeStage<T>>>,
+    stages: impl Fn(&Gpu) -> Vec<BoxedStage<T>> + Sync,
     multi_stream: bool,
 ) -> Result<ShardedRun<T>, PipelineError> {
     let n = pool.len();
@@ -301,28 +322,68 @@ pub fn run_sharded<T>(
     let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None)
         .take(shards.iter().map(Vec::len).sum())
         .collect();
+
+    // Coarse beats fine: with several active devices and host threads to
+    // spare, each device gets its own worker and the per-slot fan-out
+    // inside each executor stays serial (no host oversubscription). A
+    // lone active device instead hands the whole thread budget to its
+    // executor's per-slot fan-out.
+    let host_threads = batchzk_par::current_threads();
+    let active = shards.iter().filter(|s| !s.is_empty()).count();
+    let slot_threads = if host_threads > 1 && active > 1 {
+        1
+    } else {
+        host_threads
+    };
+
+    type DeviceRun<T> = (Vec<usize>, f64, Result<PipelineRun<T>, PipelineError>);
+    let device_runs: Vec<DeviceRun<T>> = {
+        let stages = &stages;
+        let caps = &plan.max_in_flight;
+        let mut items: Vec<(&mut Gpu, Vec<(usize, T)>)> =
+            pool.devices_mut().iter_mut().zip(shards).collect();
+        batchzk_par::par_map_mut_with(host_threads, &mut items, |d, (gpu, shard)| {
+            let shard = std::mem::take(shard);
+            let device_stages = stages(gpu);
+            let start = gpu.elapsed_ms();
+            let mut exec = PipelineExecutor::new(gpu, device_stages, multi_stream);
+            exec.set_host_threads(slot_threads);
+            exec.set_queue_capacity(shard.len().max(1));
+            exec.set_max_in_flight(caps[d]);
+            let mut indices = Vec::with_capacity(shard.len());
+            for (i, task) in shard {
+                indices.push(i);
+                if exec.submit(task).is_err() {
+                    unreachable!("queue sized to the shard");
+                }
+            }
+            let run = exec.drain();
+            drop(exec);
+            (indices, gpu.elapsed_ms() - start, run)
+        })
+    };
+
     let mut device_stats = Vec::with_capacity(n);
     let mut device_ms = Vec::with_capacity(n);
-    for (d, shard) in shards.into_iter().enumerate() {
-        let device_stages = stages(pool.device(d));
-        let gpu = pool.device_mut(d);
-        let start = gpu.elapsed_ms();
-        let mut exec = PipelineExecutor::new(gpu, device_stages, multi_stream);
-        exec.set_queue_capacity(shard.len().max(1));
-        exec.set_max_in_flight(plan.max_in_flight[d]);
-        let mut indices = Vec::with_capacity(shard.len());
-        for (i, task) in shard {
-            indices.push(i);
-            if exec.submit(task).is_err() {
-                unreachable!("queue sized to the shard");
+    let mut first_err: Option<PipelineError> = None;
+    for (indices, elapsed, result) in device_runs {
+        match result {
+            Ok(run) => {
+                for (i, out) in indices.into_iter().zip(run.outputs) {
+                    slots[i] = Some(out);
+                }
+                device_stats.push(run.stats);
+                device_ms.push(elapsed);
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
             }
         }
-        let run = exec.drain()?;
-        for (i, out) in indices.into_iter().zip(run.outputs) {
-            slots[i] = Some(out);
-        }
-        device_stats.push(run.stats);
-        device_ms.push(pool.device(d).elapsed_ms() - start);
+    }
+    if let Some(e) = first_err {
+        return Err(e);
     }
 
     let outputs: Vec<T> = slots
@@ -343,7 +404,7 @@ pub fn run_sharded<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::StageWork;
+    use crate::engine::{PipeStage, StageWork};
     use batchzk_gpu_sim::{DeviceProfile, Work};
 
     struct AddStage {
@@ -372,10 +433,10 @@ mod tests {
         }
     }
 
-    fn factory(mem: u64) -> impl Fn(&Gpu) -> Vec<Box<dyn PipeStage<u64>>> {
+    fn factory(mem: u64) -> impl Fn(&Gpu) -> Vec<BoxedStage<u64>> {
         move |_gpu| {
             vec![
-                Box::new(AddStage { amount: 1, mem }) as Box<dyn PipeStage<u64>>,
+                Box::new(AddStage { amount: 1, mem }) as BoxedStage<u64>,
                 Box::new(AddStage { amount: 10, mem }),
                 Box::new(AddStage { amount: 100, mem }),
             ]
@@ -549,5 +610,141 @@ mod tests {
             dual.makespan_ms,
             single.makespan_ms
         );
+    }
+
+    /// Mixed V100 + H100 pool: once both devices carry measured history,
+    /// the least-outstanding weights come from throughput actually
+    /// delivered, and the faster device receives proportionally more
+    /// tasks.
+    #[test]
+    fn measured_throughput_steers_heterogeneous_sharding() {
+        let mut pool =
+            DevicePool::from_profiles(vec![DeviceProfile::v100(), DeviceProfile::h100()]);
+        // Fresh pool: nameplate weights only.
+        assert!(pool.measured_weight(0).is_none());
+        let _ = run_sharded(
+            &mut pool,
+            ShardPolicy::RoundRobin,
+            (0..8u64).collect(),
+            |_| 64,
+            factory(64),
+            true,
+        )
+        .expect("priming run fits");
+        // Warmed pool: both devices report measured throughput, and the
+        // H100 delivered more work per virtual second on the identical
+        // priming shard.
+        let w_v100 = pool.measured_weight(0).expect("ran");
+        let w_h100 = pool.measured_weight(1).expect("ran");
+        assert!(w_h100 > w_v100, "h100 {w_h100} <= v100 {w_v100}");
+        let plan = plan_shards(&pool, ShardPolicy::LeastOutstanding, &[64; 24], 3);
+        let (v100, h100) = (plan.assignments[0].len(), plan.assignments[1].len());
+        assert_eq!(v100 + h100, 24);
+        assert!(h100 > v100, "h100 shard {h100} <= v100 shard {v100}");
+        // Shares track the measured-weight ratio within one-task slack.
+        let expect_h100 = 24.0 * w_h100 / (w_v100 + w_h100);
+        assert!(
+            (h100 as f64 - expect_h100).abs() <= 1.0,
+            "h100 got {h100}, measured weights predict {expect_h100:.2}"
+        );
+    }
+
+    /// A measured slowdown (a device that idles away most of its virtual
+    /// time) outweighs a stronger nameplate.
+    #[test]
+    fn measured_weight_discounts_idle_devices() {
+        let mut pool =
+            DevicePool::from_profiles(vec![DeviceProfile::v100(), DeviceProfile::h100()]);
+        // Both devices execute the same work, but the H100 then idles for
+        // 100x the span, tanking its delivered throughput.
+        for d in 0..2 {
+            let gpu = pool.device_mut(d);
+            gpu.execute_step(
+                &[batchzk_gpu_sim::KernelStep::new(
+                    "prime",
+                    1024,
+                    Work::Uniform {
+                        units: 1 << 16,
+                        cycles_per_unit: 100,
+                    },
+                )],
+                &[],
+                true,
+            );
+        }
+        let h100_clock = pool.device(1).elapsed_cycles();
+        pool.device_mut(1).idle_until(h100_clock * 100);
+        assert!(
+            pool.measured_weight(1).expect("ran") < pool.measured_weight(0).expect("ran"),
+            "idle h100 must measure below busy v100"
+        );
+        let plan = plan_shards(&pool, ShardPolicy::LeastOutstanding, &[64; 12], 3);
+        assert!(
+            plan.assignments[0].len() > plan.assignments[1].len(),
+            "measured weights should favor the busy v100: {:?}",
+            plan.assignments.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+    }
+
+    /// Device snapshots — clocks, utilization, memory — are a function of
+    /// the submitted work only, not of how host workers interleave: any
+    /// thread count produces the identical `PoolSnapshot`.
+    #[test]
+    fn pool_snapshots_independent_of_worker_interleaving() {
+        let run_at = |threads: usize| {
+            batchzk_par::with_threads(threads, || {
+                let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 4);
+                let tasks: Vec<u64> = (0..21).map(|i| i * 3).collect();
+                let run = run_sharded(
+                    &mut pool,
+                    ShardPolicy::LeastOutstanding,
+                    tasks,
+                    |_| 64,
+                    factory(64),
+                    true,
+                )
+                .expect("fits");
+                (pool.snapshot(), run.outputs, run.device_ms)
+            })
+        };
+        let (snap1, out1, ms1) = run_at(1);
+        for threads in [2, 4] {
+            let (snap, out, ms) = run_at(threads);
+            assert_eq!(snap, snap1, "snapshot differs at {threads} threads");
+            assert_eq!(out, out1, "outputs differ at {threads} threads");
+            assert_eq!(ms, ms1, "device times differ at {threads} threads");
+        }
+    }
+
+    /// The full `RunStats` of every device — cycle counts, stalls,
+    /// lifecycles — are byte-identical across host thread counts.
+    #[test]
+    fn device_stats_identical_across_thread_counts() {
+        let run_at = |threads: usize| {
+            batchzk_par::with_threads(threads, || {
+                let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 3);
+                run_sharded(
+                    &mut pool,
+                    ShardPolicy::RoundRobin,
+                    (0..10u64).collect(),
+                    |_| 64,
+                    factory(64),
+                    true,
+                )
+                .expect("fits")
+            })
+        };
+        let base = run_at(1);
+        for threads in [2, 4] {
+            let run = run_at(threads);
+            assert_eq!(run.outputs, base.outputs);
+            for (a, b) in run.device_stats.iter().zip(&base.device_stats) {
+                assert_eq!(a.total_cycles, b.total_cycles, "threads={threads}");
+                assert_eq!(a.stage_stats, b.stage_stats, "threads={threads}");
+                assert_eq!(a.lifecycles, b.lifecycles, "threads={threads}");
+                assert_eq!(a.peak_mem_bytes, b.peak_mem_bytes);
+                assert_eq!(a.h2d_bytes, b.h2d_bytes);
+            }
+        }
     }
 }

@@ -10,7 +10,9 @@
 use batchzk_field::Field;
 use batchzk_gpu_sim::{Gpu, Work};
 
-use crate::engine::{allocate_threads, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork};
+use crate::engine::{
+    allocate_threads, BoxedStage, PipeStage, Pipeline, PipelineError, PipelineRun, StageWork,
+};
 
 /// A sum-check proof-generation task.
 #[derive(Debug)]
@@ -191,7 +193,7 @@ pub fn run_pipelined<F: Field>(
     let threads = allocate_threads(module_threads, &weights);
     let pair_cost = gpu.cost().sumcheck_pair() + gpu.cost().shared_access;
 
-    let stages: Vec<Box<dyn PipeStage<SumcheckTask<F>>>> = (0..n)
+    let stages: Vec<BoxedStage<SumcheckTask<F>>> = (0..n)
         .map(|round| {
             Box::new(RoundStage {
                 threads: threads[round],
@@ -207,7 +209,7 @@ pub fn run_pipelined<F: Field>(
                 } else {
                     0
                 },
-            }) as Box<dyn PipeStage<SumcheckTask<F>>>
+            }) as BoxedStage<SumcheckTask<F>>
         })
         .collect();
 
@@ -243,7 +245,7 @@ mod tests {
         let tasks = fixture(6, 6, 1);
         let reference: Vec<_> = tasks
             .iter()
-            .map(|t| algorithm1::prove(t.table.clone(), &t.rs))
+            .map(|t| algorithm1::prove(&mut t.table.clone(), &t.rs))
             .collect();
         let mut gpu = Gpu::new(DeviceProfile::v100());
         let run = run_pipelined(&mut gpu, tasks, 512, true).expect("fits");

@@ -15,7 +15,10 @@ use batchzk_field::Field;
 pub type PairProof<F> = Vec<(F, F)>;
 
 /// Generates a sum-check proof for the table `a` (length `2^n`) under the
-/// given per-round random numbers, consuming the table in place.
+/// given per-round random numbers, folding the table in place — no copy of
+/// the `2^n`-entry table is ever made, so batch callers pay zero per-task
+/// allocation beyond the table they already own. After return the table is
+/// truncated to a single entry, `a[0] = p(r_n, ..., r_1)`.
 ///
 /// Returns `π = [(π_11, π_12), ..., (π_n1, π_n2)]`.
 ///
@@ -30,13 +33,13 @@ pub type PairProof<F> = Vec<(F, F)>;
 /// use batchzk_field::{Field, Fr};
 ///
 /// let table: Vec<Fr> = (0..8u64).map(Fr::from).collect();
-/// let rs = [Fr::from(5u64), Fr::from(6u64), Fr::from(7u64)];
-/// let proof = algorithm1::prove(table.clone(), &rs);
-/// // Round sums reconstruct the claimed total.
 /// let h: Fr = table.iter().copied().sum();
+/// let rs = [Fr::from(5u64), Fr::from(6u64), Fr::from(7u64)];
+/// let proof = algorithm1::prove(&mut table.clone(), &rs);
+/// // Round sums reconstruct the claimed total.
 /// assert_eq!(proof[0].0 + proof[0].1, h);
 /// ```
-pub fn prove<F: Field>(mut a: Vec<F>, rs: &[F]) -> PairProof<F> {
+pub fn prove<F: Field>(a: &mut Vec<F>, rs: &[F]) -> PairProof<F> {
     let n = rs.len();
     assert_eq!(a.len(), 1usize << n, "table length must be 2^n");
     let mut proof = Vec::with_capacity(n);
@@ -57,32 +60,9 @@ pub fn prove<F: Field>(mut a: Vec<F>, rs: &[F]) -> PairProof<F> {
 
 /// Like [`prove`], additionally returning the final folded table entry
 /// `p(r_n, ..., r_1)` — the value the verifier's final oracle check needs.
-pub fn prove_with_final<F: Field>(mut a: Vec<F>, rs: &[F]) -> (PairProof<F>, F) {
-    let n = rs.len();
-    assert_eq!(a.len(), 1usize << n, "table length must be 2^n");
-    let proof = prove_in_place(&mut a, rs);
+pub fn prove_with_final<F: Field>(a: &mut Vec<F>, rs: &[F]) -> (PairProof<F>, F) {
+    let proof = prove(a, rs);
     (proof, a[0])
-}
-
-/// In-place variant operating on a mutable slice-backed vec; after return
-/// `a[0]` holds the fully folded evaluation.
-pub fn prove_in_place<F: Field>(a: &mut Vec<F>, rs: &[F]) -> PairProof<F> {
-    let n = rs.len();
-    assert_eq!(a.len(), 1usize << n, "table length must be 2^n");
-    let mut proof = Vec::with_capacity(n);
-    for (i, &r) in rs.iter().enumerate() {
-        let half = 1usize << (n - i - 1);
-        let mut pi1 = F::ZERO;
-        let mut pi2 = F::ZERO;
-        for b in 0..half {
-            pi1 += a[b];
-            pi2 += a[b + half];
-            a[b] = (F::ONE - r) * a[b] + r * a[b + half];
-        }
-        a.truncate(half);
-        proof.push((pi1, pi2));
-    }
-    proof
 }
 
 /// Verifies a pair-format proof against the claimed hypercube sum `h`.
@@ -142,17 +122,17 @@ mod tests {
             let table = rand_table(n, n as u64);
             let rs = rand_point(n, 100 + n as u64);
             let h: Fr = table.iter().copied().sum();
-            let proof = prove(table.clone(), &rs);
+            let proof = prove(&mut table.clone(), &rs);
             assert!(verify_with_oracle(h, &proof, &rs, &table), "n={n}");
         }
     }
 
     #[test]
     fn wrong_sum_rejected() {
-        let table = rand_table(6, 1);
+        let mut table = rand_table(6, 1);
         let rs = rand_point(6, 2);
         let h: Fr = table.iter().copied().sum();
-        let proof = prove(table, &rs);
+        let proof = prove(&mut table, &rs);
         assert!(verify(h + Fr::ONE, &proof, &rs).is_none());
     }
 
@@ -161,7 +141,7 @@ mod tests {
         let table = rand_table(6, 3);
         let rs = rand_point(6, 4);
         let h: Fr = table.iter().copied().sum();
-        let mut proof = prove(table.clone(), &rs);
+        let mut proof = prove(&mut table.clone(), &rs);
         proof[3].0 += Fr::ONE;
         assert!(!verify_with_oracle(h, &proof, &rs, &table));
     }
@@ -173,7 +153,7 @@ mod tests {
         let table = rand_table(5, 5);
         let rs = rand_point(5, 6);
         let h: Fr = table.iter().copied().sum();
-        let mut proof = prove(table.clone(), &rs);
+        let mut proof = prove(&mut table.clone(), &rs);
         proof[0].0 += Fr::ONE;
         proof[0].1 -= Fr::ONE;
         assert!(!verify_with_oracle(h, &proof, &rs, &table));
@@ -181,10 +161,10 @@ mod tests {
 
     #[test]
     fn truncated_proof_rejected() {
-        let table = rand_table(4, 7);
+        let mut table = rand_table(4, 7);
         let rs = rand_point(4, 8);
         let h: Fr = table.iter().copied().sum();
-        let mut proof = prove(table, &rs);
+        let mut proof = prove(&mut table, &rs);
         proof.pop();
         assert!(verify(h, &proof, &rs).is_none());
     }
@@ -193,7 +173,7 @@ mod tests {
     fn final_value_is_polynomial_evaluation() {
         let table = rand_table(7, 9);
         let rs = rand_point(7, 10);
-        let (_, final_val) = prove_with_final(table.clone(), &rs);
+        let (_, final_val) = prove_with_final(&mut table.clone(), &rs);
         let point: Vec<Fr> = rs.iter().rev().copied().collect();
         let poly = crate::MultilinearPoly::new(table);
         assert_eq!(final_val, poly.evaluate(&point));
@@ -203,7 +183,7 @@ mod tests {
     fn zero_table_proves_zero() {
         let table = vec![Fr::ZERO; 16];
         let rs = rand_point(4, 11);
-        let proof = prove(table.clone(), &rs);
+        let proof = prove(&mut table.clone(), &rs);
         assert!(verify_with_oracle(Fr::ZERO, &proof, &rs, &table));
     }
 
@@ -211,7 +191,7 @@ mod tests {
     fn single_variable() {
         let table = vec![Fr::from(3u64), Fr::from(4u64)];
         let rs = [Fr::from(10u64)];
-        let proof = prove(table.clone(), &rs);
+        let proof = prove(&mut table.clone(), &rs);
         assert_eq!(proof, vec![(Fr::from(3u64), Fr::from(4u64))]);
         assert!(verify_with_oracle(Fr::from(7u64), &proof, &rs, &table));
     }
@@ -219,6 +199,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "2^n")]
     fn mismatched_lengths_panic() {
-        let _ = prove(vec![Fr::ONE; 8], &[Fr::ONE, Fr::ONE]);
+        let _ = prove(&mut vec![Fr::ONE; 8], &[Fr::ONE, Fr::ONE]);
     }
 }

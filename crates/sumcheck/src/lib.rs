@@ -54,7 +54,7 @@ mod randomized_tests {
             let table = table(&mut rng, 6);
             let rs = point(&mut rng, 6);
             let h: Fr = table.iter().copied().sum();
-            let proof = algorithm1::prove(table.clone(), &rs);
+            let proof = algorithm1::prove(&mut table.clone(), &rs);
             assert!(algorithm1::verify_with_oracle(h, &proof, &rs, &table));
         }
     }
@@ -63,14 +63,14 @@ mod randomized_tests {
     fn algorithm1_sound_against_sum_tamper() {
         let mut rng = SplitMix64::seed_from_u64(0xD1);
         for _ in 0..24 {
-            let table = table(&mut rng, 5);
+            let mut table = table(&mut rng, 5);
             let rs = point(&mut rng, 5);
             let delta = Fr::random(&mut rng);
             if delta.is_zero() {
                 continue;
             }
             let h: Fr = table.iter().copied().sum();
-            let proof = algorithm1::prove(table, &rs);
+            let proof = algorithm1::prove(&mut table, &rs);
             assert!(algorithm1::verify(h + delta, &proof, &rs).is_none());
         }
     }

@@ -225,15 +225,17 @@ impl MlService {
     /// Runs inference on every request and compiles the proof instances.
     #[allow(clippy::type_complexity)]
     fn prepare_requests(&self, images: &[Tensor]) -> (Vec<Vec<i64>>, Vec<(Vec<Fr>, Vec<Fr>)>) {
-        let mut logits_list = Vec::with_capacity(images.len());
-        let mut instances = Vec::with_capacity(images.len());
-        for image in images {
+        // Each request's forward pass + witness compilation is independent,
+        // so fan out across the host pool; `par_map` returns results in
+        // input order, keeping predictions aligned with arrival order.
+        batchzk_par::par_map(images, |image| {
             let trace = self.network.forward(image);
-            logits_list.push(trace.output().data().to_vec());
+            let logits = trace.output().data().to_vec();
             let compiled = compile_inference::<Fr>(&self.network, image, &trace);
-            instances.push((compiled.inputs, compiled.witness));
-        }
-        (logits_list, instances)
+            (logits, (compiled.inputs, compiled.witness))
+        })
+        .into_iter()
+        .unzip()
     }
 
     /// Customer-side verification of one answered request.

@@ -25,8 +25,8 @@ use batchzk_gpu_sim::{DevicePool, Gpu, Work};
 use batchzk_hash::Transcript;
 use batchzk_metrics::Registry;
 use batchzk_pipeline::{
-    allocate_threads, observe, run_sharded, PipeStage, Pipeline, PipelineError, RunStats,
-    ShardPolicy, StageWork,
+    allocate_threads, observe, run_sharded, BoxedStage, PipeStage, Pipeline, PipelineError,
+    RunStats, ShardPolicy, StageWork,
 };
 
 use crate::pcs::{self, EncodedRows, PcsCommitment, PcsParams, PcsProverData};
@@ -278,7 +278,7 @@ fn build_stages<F: Field>(
     r1cs: &Arc<R1cs<F>>,
     params: PcsParams,
     total_threads: u32,
-) -> Vec<Box<dyn PipeStage<BatchTask<F>>>> {
+) -> Vec<BoxedStage<BatchTask<F>>> {
     let weights = module_weights(gpu, r1cs, &params);
     let threads = allocate_threads(total_threads, &weights);
     let cost = *gpu.cost();
@@ -599,6 +599,63 @@ mod tests {
         .expect("nothing to prove");
         assert!(run.proofs.is_empty());
         assert_eq!(run.makespan_ms, 0.0);
+    }
+
+    #[test]
+    fn proofs_identical_across_host_thread_counts() {
+        // Host parallelism may only change wall-clock: proofs, inputs, and
+        // every simulated statistic must be byte-for-byte the threads=1
+        // result at any thread count, single-device and pooled alike.
+        let (r1cs, batch) = instances(16, 6);
+        let params = test_params();
+        let runs: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                batchzk_par::with_threads(t, || {
+                    let mut gpu = Gpu::new(DeviceProfile::a100());
+                    let single = prove_batch(
+                        &mut gpu,
+                        Arc::clone(&r1cs),
+                        params,
+                        batch.clone(),
+                        4096,
+                        true,
+                    )
+                    .expect("fits");
+                    let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 3);
+                    let pooled = prove_batch_pool(
+                        &mut pool,
+                        Arc::clone(&r1cs),
+                        params,
+                        batch.clone(),
+                        4096,
+                        true,
+                        ShardPolicy::LeastOutstanding,
+                    )
+                    .expect("fits");
+                    (single, pooled)
+                })
+            })
+            .collect();
+        let (base_single, base_pooled) = &runs[0];
+        for (i, (single, pooled)) in runs.iter().enumerate().skip(1) {
+            let t = [1, 2, 4][i];
+            assert_eq!(single.proofs, base_single.proofs, "threads={t}: proofs");
+            assert_eq!(single.stats, base_single.stats, "threads={t}: stats");
+            assert_eq!(pooled.proofs, base_pooled.proofs, "threads={t}: pooled");
+            assert_eq!(
+                pooled.assignments, base_pooled.assignments,
+                "threads={t}: shard plan"
+            );
+            assert_eq!(
+                pooled.device_stats, base_pooled.device_stats,
+                "threads={t}: device stats"
+            );
+            assert_eq!(
+                pooled.makespan_ms, base_pooled.makespan_ms,
+                "threads={t}: makespan"
+            );
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn bench_sumcheck_cpu(c: &mut Criterion) {
         let table: Vec<Fr> = (0..1usize << log).map(|_| Fr::random(&mut rng)).collect();
         let rs: Vec<Fr> = (0..log).map(|_| Fr::random(&mut rng)).collect();
         group.bench_function(format!("algorithm1/2^{log}"), |bench| {
-            bench.iter(|| algorithm1::prove(black_box(table.clone()), black_box(&rs)))
+            bench.iter(|| algorithm1::prove(&mut black_box(table.clone()), black_box(&rs)))
         });
     }
     group.finish();

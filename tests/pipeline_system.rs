@@ -47,7 +47,7 @@ fn all_three_pipelines_match_cpu_references() {
         .collect();
     let reference: Vec<_> = tasks
         .iter()
-        .map(|t| algorithm1::prove(t.table_snapshot(), t.randomness()))
+        .map(|t| algorithm1::prove(&mut t.table_snapshot(), t.randomness()))
         .collect();
     let mut gpu = Gpu::new(DeviceProfile::gh200());
     let run = psum::run_pipelined(&mut gpu, tasks, 1024, true).expect("fits");
