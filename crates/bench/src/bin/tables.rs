@@ -1,9 +1,9 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! Usage: `tables <experiment|all|help> [--quick|--medium|--paper]
-//! [--devices N] [--profile <name>] [--threads N]`
+//! [--devices N] [--profile <name>] [--threads N] [--fault-plan <spec>]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
-//! `ablation`, `scaling`, `trace`, `bench-json`.
+//! `ablation`, `scaling`, `faults`, `trace`, `bench-json`.
 //!
 //! `--threads N` sets the host worker-pool size every experiment runs
 //! under (device clocks and per-slot payload work fan out across it);
@@ -17,6 +17,14 @@
 //! largest pool (swept as 1, 2, 4, ... N; default 8) and
 //! `--profile <name>` picks the simulated GPU (`v100`, `a100`,
 //! `rtx3090ti`, `h100`, `gh200`; default `a100`).
+//!
+//! `faults` runs the recovery-overhead study: the scale's scaling batch on
+//! a two-device pool, fault-free and under each scripted-fault scenario
+//! (mid-batch fail-stop, degraded clock, dropped kernel), asserting the
+//! recovered proofs stay byte-identical to the fault-free run.
+//! `--fault-plan <spec>` appends a custom scenario; the spec grammar is
+//! comma-separated `<device>@<cycle>:fail`, `<device>@<cycle>:slow:<pct>`,
+//! or `<device>@<cycle>:drop:<nth>` (see `OPERATIONS.md`).
 //!
 //! `trace` is not part of `all`: it prints the per-stage timeline and
 //! stage-imbalance table of the pipelined Merkle module, then the raw
@@ -60,6 +68,11 @@ const EXPERIMENTS: &[(&str, bool, &str)] = &[
         "multi-device throughput vs device count (--devices, --profile)",
     ),
     (
+        "faults",
+        true,
+        "scripted-fault recovery overhead (--fault-plan)",
+    ),
+    (
         "trace",
         false,
         "per-stage timeline + Chrome-trace JSON (explicit-only)",
@@ -93,6 +106,11 @@ fn usage() -> String {
         "host flags:    --threads N (host worker pool; default BATCHZK_THREADS\n\
          \x20              or available parallelism; results identical at any N)\n",
     );
+    out.push_str(
+        "fault flags:   --fault-plan <spec> (extra `faults` scenario; spec is\n\
+         \x20              comma-separated dev@cycle:fail | dev@cycle:slow:<pct>\n\
+         \x20              | dev@cycle:drop:<nth>)\n",
+    );
     out
 }
 
@@ -115,10 +133,24 @@ fn main() -> ExitCode {
     // Peel off the value-taking flags first, then validate the rest.
     let mut max_devices = 8usize;
     let mut profile = experiments::profile_by_name("a100").expect("a100 profile exists");
+    let mut fault_plan: Option<batchzk_gpu_sim::FaultPlan> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--fault-plan" => match it.next().map(|v| batchzk_gpu_sim::FaultPlan::parse(&v)) {
+                Some(Ok(plan)) => fault_plan = Some(plan),
+                Some(Err(e)) => {
+                    eprintln!("tables: bad --fault-plan spec: {e}\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("tables: --fault-plan needs a spec argument\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--devices" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => max_devices = n,
                 _ => {
@@ -229,6 +261,9 @@ fn main() -> ExitCode {
             "{}",
             experiments::scaling(&scale, &device_ladder(max_devices), &profile)
         );
+    }
+    if want("faults") {
+        println!("{}", experiments::faults(&scale, fault_plan.as_ref()));
     }
     // `trace` is explicit-only: its JSON payload would drown `all` output.
     if which.contains(&"trace") {

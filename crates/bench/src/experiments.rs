@@ -7,9 +7,9 @@ use std::time::Instant;
 
 use batchzk_encoder::{Encoder, EncoderParams};
 use batchzk_field::{Field, Fr};
-use batchzk_gpu_sim::{DevicePool, DeviceProfile, Gpu};
+use batchzk_gpu_sim::{DevicePool, DeviceProfile, FaultPlan, Gpu};
 use batchzk_hash::Prg;
-use batchzk_metrics::{analyze_pool, DeviceObservation, PoolAnalysis};
+use batchzk_metrics::{analyze_pool, analyze_recovery, DeviceObservation, PoolAnalysis};
 use batchzk_pipeline::{
     allocate_threads, encoder as penc, merkle as pmerkle, naive, sumcheck as psum, ShardPolicy,
 };
@@ -850,6 +850,131 @@ pub fn scaling(scale: &Scale, device_counts: &[usize], profile: &DeviceProfile) 
     out
 }
 
+/// One scripted-fault scenario outcome of the recovery study.
+struct RecoveryOutcome {
+    name: &'static str,
+    spec: String,
+    analysis: batchzk_metrics::RecoveryAnalysis,
+    proofs_identical: bool,
+}
+
+/// Fault-free baseline plus per-scenario recovery outcomes, shared by the
+/// `faults` table and the `recovery` section of [`bench_json`].
+struct RecoveryStudy {
+    log_n: u32,
+    batch: usize,
+    devices: usize,
+    fault_free_ms: f64,
+    outcomes: Vec<RecoveryOutcome>,
+}
+
+/// Runs the scale's scaling batch on a two-A100 pool, fault-free and under
+/// each scripted-fault scenario, checking that recovered proofs stay
+/// byte-identical to the fault-free run. `extra` (the `--fault-plan` spec)
+/// appends a custom scenario.
+fn recovery_study(scale: &Scale, extra: Option<&FaultPlan>) -> RecoveryStudy {
+    const DEVICES: usize = 2;
+    let profile = DeviceProfile::a100();
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << scale.scaling_log, 42);
+    let r1cs = Arc::new(r1cs);
+    let run_pool = |plan: Option<&FaultPlan>| {
+        let instances: Vec<_> = (0..scale.scaling_batch)
+            .map(|_| (inputs.clone(), witness.clone()))
+            .collect();
+        let mut pool = DevicePool::homogeneous(profile.clone(), DEVICES);
+        if let Some(p) = plan {
+            pool.apply_fault_plan(p);
+        }
+        prove_batch_pool(
+            &mut pool,
+            Arc::clone(&r1cs),
+            pcs_params(),
+            instances,
+            MODULE_THREADS,
+            true,
+            ShardPolicy::LeastOutstanding,
+        )
+        .expect("fits")
+    };
+    let clean = run_pool(None);
+    // Strike device 1 halfway through its fault-free share: the canonical
+    // mid-batch fail-stop.
+    let mid = clean.device_stats[1].total_cycles / 2;
+    let mut scenarios: Vec<(&'static str, FaultPlan)> = vec![
+        ("fail-stop", FaultPlan::new().fail_stop(1, mid)),
+        ("degraded-clock", FaultPlan::new().degraded_clock(1, 0, 300)),
+        ("drop-kernel", FaultPlan::new().drop_kernel(0, 0, 3)),
+    ];
+    if let Some(plan) = extra {
+        scenarios.push(("custom", plan.clone()));
+    }
+    let outcomes = scenarios
+        .into_iter()
+        .map(|(name, plan)| {
+            let run = run_pool(Some(&plan));
+            let (failed, replayed, rounds) = run
+                .recovery
+                .as_ref()
+                .map(|r| (r.failed_devices.len(), r.replayed_tasks, r.replay_rounds))
+                .unwrap_or((0, 0, 0));
+            RecoveryOutcome {
+                name,
+                spec: plan.spec(),
+                analysis: analyze_recovery(
+                    clean.makespan_ms,
+                    run.makespan_ms,
+                    failed,
+                    replayed,
+                    rounds,
+                ),
+                proofs_identical: run.proofs == clean.proofs,
+            }
+        })
+        .collect();
+    RecoveryStudy {
+        log_n: scale.scaling_log,
+        batch: scale.scaling_batch,
+        devices: DEVICES,
+        fault_free_ms: clean.makespan_ms,
+        outcomes,
+    }
+}
+
+/// The recovery-overhead study behind `tables faults`: a fault-free
+/// baseline on a two-device pool, then each scripted-fault scenario
+/// (mid-batch fail-stop, degraded clock, dropped kernel, plus any
+/// `--fault-plan` spec), reporting makespan overhead and whether the
+/// recovered proofs stayed byte-identical to the fault-free run.
+pub fn faults(scale: &Scale, extra: Option<&FaultPlan>) -> String {
+    let study = recovery_study(scale, extra);
+    let mut out = format!(
+        "## Faults — recovery overhead, {} proofs of S = 2^{} on {} A100s (least-outstanding)\n\n\
+         Fault-free makespan: {:.3} ms\n\n\
+         | Scenario | Plan | Makespan (ms) | Overhead | Failed | Replayed | Rounds | Proofs identical |\n\
+         |---|---|---|---|---|---|---|---|\n",
+        study.batch, study.log_n, study.devices, study.fault_free_ms
+    );
+    let mut reports = String::new();
+    for o in &study.outcomes {
+        out.push_str(&format!(
+            "| {} | `{}` | {:.3} | {:.2}x | {} | {} | {} | {} |\n",
+            o.name,
+            o.spec,
+            o.analysis.faulty_ms,
+            o.analysis.overhead_ratio,
+            o.analysis.failed_devices,
+            o.analysis.replayed_tasks,
+            o.analysis.replay_rounds,
+            if o.proofs_identical { "yes" } else { "NO" },
+        ));
+        reports.push_str(&o.analysis.render_text());
+    }
+    out.push_str("\nPer-scenario recovery verdicts:\n\n```\n");
+    out.push_str(&reports);
+    out.push_str("```\n");
+    out
+}
+
 /// Renders one ASCII occupancy row per kernel track: each character is a
 /// time bucket, each digit the decile of cycles that track was busy.
 fn render_kernel_timelines(
@@ -1031,11 +1156,13 @@ fn bench_section(
 /// system size) on the **A100** profile at `TraceLevel::Full`, and renders
 /// one canonical JSON document: tasks/sec, exact p50/p95/p99 lifecycle
 /// latency in cycles, per-stage occupancy, the trace analyzer's verdict
-/// (limiting stage + thread-reallocation advice), and the accumulated
-/// metrics registry in its canonical exposition. Everything derives from
-/// simulated integer cycles — no wall clock — so two runs at the same
-/// scale produce byte-identical output, making `BENCH.json` diffable
-/// across commits for regression tracking.
+/// (limiting stage + thread-reallocation advice), a `recovery` section
+/// (the scripted-fault study, each scenario asserting
+/// `"proofs_identical":true`), and the accumulated metrics registry in
+/// its canonical exposition. Everything derives from simulated integer
+/// cycles — no wall clock — so two runs at the same scale produce
+/// byte-identical output, making `BENCH.json` diffable across commits
+/// for regression tracking.
 pub fn bench_json(scale: &Scale) -> String {
     use batchzk_gpu_sim::TraceLevel;
     use batchzk_metrics::registry::escape_json;
@@ -1178,6 +1305,39 @@ pub fn bench_json(scale: &Scale) -> String {
                 format_f64(p.makespan_ms),
                 format_f64(p.throughput_per_ms),
                 p.analysis.to_json(),
+            );
+        }
+        out.push_str("]}");
+    }
+
+    // Recovery-overhead study: the same batch on a two-device pool under
+    // each scripted-fault scenario; recovered proofs must stay
+    // byte-identical to the fault-free run (the `proofs_identical` flags
+    // below are what CI greps for).
+    {
+        use batchzk_metrics::registry::{escape_json, format_f64};
+        use std::fmt::Write as _;
+        let study = recovery_study(scale, None);
+        let _ = write!(
+            out,
+            ",\"recovery\":{{\"log_n\":{},\"batch\":{},\"devices\":{},\
+             \"policy\":\"least-outstanding\",\"fault_free_ms\":{},\"scenarios\":[",
+            study.log_n,
+            study.batch,
+            study.devices,
+            format_f64(study.fault_free_ms)
+        );
+        for (i, o) in study.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"plan\":\"{}\",\"proofs_identical\":{},\"analysis\":{}}}",
+                escape_json(o.name),
+                escape_json(&o.spec),
+                o.proofs_identical,
+                o.analysis.to_json(),
             );
         }
         out.push_str("]}");
@@ -1351,14 +1511,41 @@ mod tests {
             "\"devices\":1",
             "\"devices\":8",
             "\"scaling_efficiency\":",
+            "\"recovery\":",
+            "\"proofs_identical\":true",
+            "\"overhead_ratio\":",
             "\"metrics\":",
         ] {
             assert!(json.contains(field), "missing field {field}");
         }
+        // Every recovery scenario recovered byte-identical proofs.
+        for field in ["\"name\":\"fail-stop\"", "\"name\":\"drop-kernel\""] {
+            assert!(json.contains(field), "missing field {field}");
+        }
+        assert!(
+            !json.contains("\"proofs_identical\":false"),
+            "a recovery scenario diverged from the fault-free proofs"
+        );
         // Well-formedness (balanced braces/brackets) and determinism.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(bench_json(&s), json, "bench-json must be byte-stable");
+    }
+
+    #[test]
+    fn faults_table_recovers_identical_proofs() {
+        let s = tiny_scale();
+        let t = faults(&s, None);
+        for scenario in ["fail-stop", "degraded-clock", "drop-kernel"] {
+            assert!(t.contains(scenario), "missing scenario {scenario}: {t}");
+        }
+        assert_eq!(t.matches("| yes |").count(), 3, "{t}");
+        assert!(!t.contains("| NO |"), "recovered proofs diverged:\n{t}");
+        // A custom `--fault-plan` spec rides along as its own scenario.
+        let plan = FaultPlan::parse("0@0:slow:200").expect("valid spec");
+        let custom = faults(&s, Some(&plan));
+        assert!(custom.contains("| custom | `0@0:slow:200` |"), "{custom}");
+        assert_eq!(custom.matches("| yes |").count(), 4, "{custom}");
     }
 
     #[test]

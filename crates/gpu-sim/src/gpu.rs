@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 
 use crate::cost::CostModel;
+use crate::fault::{DeviceHealth, DroppedKernel, FaultEvent, FaultKind};
 use crate::memory::DeviceMemory;
 use crate::profile::DeviceProfile;
 use crate::trace::{KernelEvent, StepEvent, TraceLevel, TransferEvent};
@@ -198,6 +199,15 @@ pub struct Gpu {
     total_busy: u64,
     total_h2d_bytes: u64,
     total_d2h_bytes: u64,
+    /// Scripted faults not yet armed, as `(trigger_cycle, kind)`.
+    fault_script: Vec<(u64, FaultKind)>,
+    health: DeviceHealth,
+    /// Clock dilation in integer percent (100 = nominal).
+    degraded_percent: u32,
+    /// Armed drop faults as `(scripted_nth, launches_remaining)`.
+    drop_countdowns: Vec<(u32, u32)>,
+    dropped: Vec<DroppedKernel>,
+    fault_events: Vec<FaultEvent>,
 }
 
 impl Gpu {
@@ -224,6 +234,12 @@ impl Gpu {
             total_busy: 0,
             total_h2d_bytes: 0,
             total_d2h_bytes: 0,
+            fault_script: Vec::new(),
+            health: DeviceHealth::Healthy,
+            degraded_percent: 100,
+            drop_countdowns: Vec::new(),
+            dropped: Vec::new(),
+            fault_events: Vec::new(),
         }
     }
 
@@ -255,9 +271,113 @@ impl Gpu {
         &self.memory
     }
 
+    /// Scripts a fault to arm when the device clock reaches `at_cycle`.
+    /// Faults are deterministic: they key on the virtual clock, never on
+    /// wall time, so a faulty run replays exactly.
+    pub fn push_fault(&mut self, at_cycle: u64, kind: FaultKind) {
+        self.fault_script.push((at_cycle, kind));
+    }
+
+    /// Arms every scripted fault whose trigger cycle has been reached and
+    /// returns the resulting health. Called automatically at the start of
+    /// [`execute_step`](Self::execute_step); the pipeline layer also calls
+    /// it before admitting work so a fail-stop is observed at a stage
+    /// boundary.
+    pub fn poll_faults(&mut self) -> DeviceHealth {
+        if !self.fault_script.is_empty() {
+            let clock = self.clock;
+            let mut due: Vec<(u64, FaultKind)> = Vec::new();
+            self.fault_script.retain(|&(at, kind)| {
+                if at <= clock {
+                    due.push((at, kind));
+                    false
+                } else {
+                    true
+                }
+            });
+            // Arm in trigger order; the stable sort keeps insertion order
+            // for ties, so arming is deterministic.
+            due.sort_by_key(|&(at, _)| at);
+            for (at, kind) in due {
+                if self.health.is_failed() {
+                    // A dead device arms nothing further; the entries are
+                    // still consumed so the script drains.
+                    continue;
+                }
+                match kind {
+                    FaultKind::FailStop => {
+                        self.health = DeviceHealth::Failed { at_cycle: at };
+                        self.fault_events.push(FaultEvent {
+                            at_cycle: at,
+                            kind,
+                            kernel: None,
+                        });
+                    }
+                    FaultKind::DegradedClock { factor_percent } => {
+                        // Faults never speed a device up: degradation is
+                        // monotone worsening and clamped at nominal.
+                        self.degraded_percent = self.degraded_percent.max(factor_percent.max(100));
+                        if self.degraded_percent > 100 {
+                            self.health = DeviceHealth::Degraded {
+                                factor_percent: self.degraded_percent,
+                            };
+                        }
+                        self.fault_events.push(FaultEvent {
+                            at_cycle: at,
+                            kind,
+                            kernel: None,
+                        });
+                    }
+                    FaultKind::DropKernel { nth } => {
+                        self.drop_countdowns.push((nth, nth.max(1)));
+                        // The trace event is recorded when the drop fires,
+                        // with the suppressed kernel's name.
+                    }
+                }
+            }
+        }
+        self.health
+    }
+
+    /// Current device health (as of the last poll or executed step).
+    pub fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    /// True when the device has fail-stopped.
+    pub fn is_failed(&self) -> bool {
+        self.health.is_failed()
+    }
+
+    /// Current clock dilation in integer percent (100 = nominal; 250 means
+    /// every compute span takes 2.5× as long).
+    pub fn clock_dilation_percent(&self) -> u32 {
+        self.degraded_percent
+    }
+
+    /// Drains the kernels suppressed by armed [`FaultKind::DropKernel`]
+    /// faults since the last call. The pipeline layer polls this after each
+    /// step: a non-empty result means stage work silently did not execute
+    /// and the affected in-flight tasks must be salvaged and replayed.
+    pub fn take_dropped_kernels(&mut self) -> Vec<DroppedKernel> {
+        std::mem::take(&mut self.dropped)
+    }
+
+    /// Fault events (armed fail-stops/degradations, fired drops) recorded
+    /// so far, for trace export.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
+    }
+
     /// Executes one step: all `kernels` run concurrently on their dedicated
     /// thread allocations while `transfers` move data. With `multi_stream`
     /// the copy engines overlap compute; otherwise everything serializes.
+    ///
+    /// Scripted faults apply here: a fail-stopped device executes nothing
+    /// and returns a zeroed [`StepOutcome`] without advancing its clock; a
+    /// clock-degraded device dilates the compute span; an armed
+    /// [`FaultKind::DropKernel`] silently suppresses the counted launch
+    /// (reported via [`take_dropped_kernels`](Self::take_dropped_kernels)).
     ///
     /// # Panics
     ///
@@ -268,11 +388,58 @@ impl Gpu {
         transfers: &[Transfer],
         multi_stream: bool,
     ) -> StepOutcome {
+        if self.poll_faults().is_failed() {
+            return StepOutcome {
+                compute_cycles: 0,
+                h2d_cycles: 0,
+                d2h_cycles: 0,
+                step_cycles: 0,
+                busy_cycles: 0,
+            };
+        }
+        // Armed drop faults count non-empty launches in submission order;
+        // when a countdown reaches zero, that launch is suppressed — it
+        // contributes no compute, busy cycles, threads, or trace events.
+        let mut suppressed: Vec<bool> = Vec::new();
+        if !self.drop_countdowns.is_empty() {
+            suppressed = vec![false; kernels.len()];
+            for (i, k) in kernels.iter().enumerate() {
+                if k.work.is_empty() || self.drop_countdowns.is_empty() {
+                    continue;
+                }
+                let mut fired = false;
+                for (_, remaining) in self.drop_countdowns.iter_mut() {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        fired = true;
+                    }
+                }
+                if fired {
+                    suppressed[i] = true;
+                    for &(nth, remaining) in self.drop_countdowns.iter() {
+                        if remaining == 0 {
+                            self.fault_events.push(FaultEvent {
+                                at_cycle: self.clock,
+                                kind: FaultKind::DropKernel { nth },
+                                kernel: Some(k.name.clone()),
+                            });
+                        }
+                    }
+                    self.dropped.push(DroppedKernel {
+                        name: k.name.clone(),
+                        at_cycle: self.clock,
+                    });
+                    self.drop_countdowns.retain(|&(_, r)| r > 0);
+                }
+            }
+        }
+        let is_suppressed = |i: usize| suppressed.get(i).copied().unwrap_or(false);
+
         let mut compute = 0u64;
         let mut busy = 0u64;
         let mut total_threads = 0u64;
-        for k in kernels {
-            if k.work.is_empty() {
+        for (i, k) in kernels.iter().enumerate() {
+            if k.work.is_empty() || is_suppressed(i) {
                 continue;
             }
             compute = compute.max(k.duration_cycles() + self.cost.kernel_launch);
@@ -285,6 +452,11 @@ impl Gpu {
         let oversubscribed = total_threads > cores;
         if oversubscribed {
             compute = compute * total_threads / cores;
+        }
+        // Degraded clock: the compute span stretches; the PCIe engines are
+        // unaffected (thermal throttling hits the SM clock, not the bus).
+        if self.degraded_percent > 100 {
+            compute = compute * self.degraded_percent as u64 / 100;
         }
 
         let h2d_bytes: u64 = transfers
@@ -325,7 +497,10 @@ impl Gpu {
                     0.0
                 },
             });
-            for k in kernels {
+            for (i, k) in kernels.iter().enumerate() {
+                if is_suppressed(i) {
+                    continue;
+                }
                 let stats = self.kernel_stats.entry(k.name.clone()).or_default();
                 stats.busy_cycles += k.work.useful_cycles();
                 stats.occupied_cycles += k.threads as u64 * step;
@@ -333,14 +508,17 @@ impl Gpu {
             }
         }
         if self.trace_level == TraceLevel::Full {
-            for k in kernels {
-                if k.work.is_empty() {
+            for (i, k) in kernels.iter().enumerate() {
+                if k.work.is_empty() || is_suppressed(i) {
                     continue;
                 }
                 let raw = k.duration_cycles();
                 let mut dur = raw + self.cost.kernel_launch;
                 if oversubscribed {
                     dur = dur * total_threads / cores;
+                }
+                if self.degraded_percent > 100 {
+                    dur = dur * self.degraded_percent as u64 / 100;
                 }
                 let useful = k.work.useful_cycles();
                 let lane_capacity = k.threads as u64 * raw;
@@ -506,7 +684,11 @@ impl Gpu {
     /// device cycle is rendered as one microsecond). Byte-deterministic for a
     /// given run.
     pub fn chrome_trace_json(&self) -> String {
-        crate::trace::chrome_trace_json(&self.kernel_events, &self.transfer_events)
+        crate::trace::chrome_trace_json(
+            &self.kernel_events,
+            &self.transfer_events,
+            &self.fault_events,
+        )
     }
 
     /// Total bytes moved host→device.
@@ -520,7 +702,10 @@ impl Gpu {
     }
 
     /// Resets clock, traces, events and statistics but keeps memory state
-    /// and the trace level.
+    /// and the trace level. Device health, armed degradations/drops, and
+    /// any not-yet-armed fault script persist (a throttled or dead card
+    /// does not heal on a counter reset); un-armed trigger cycles are
+    /// interpreted on the post-reset clock.
     pub fn reset_clock(&mut self) {
         self.clock = 0;
         self.trace.clear();
@@ -532,6 +717,8 @@ impl Gpu {
         self.total_busy = 0;
         self.total_h2d_bytes = 0;
         self.total_d2h_bytes = 0;
+        self.fault_events.clear();
+        self.dropped.clear();
     }
 }
 
@@ -916,6 +1103,131 @@ mod tests {
         assert_eq!(h2d.start_cycle, out.compute_cycles);
         assert_eq!(d2h.start_cycle, out.compute_cycles + out.h2d_cycles);
         assert!(!h2d.overlapped && !d2h.overlapped);
+    }
+
+    #[test]
+    fn fail_stop_freezes_clock_and_reports_failed() {
+        let mut g = gpu();
+        let work = [KernelStep::new(
+            "k",
+            64,
+            Work::Uniform {
+                units: 64,
+                cycles_per_unit: 10,
+            },
+        )];
+        let healthy = g.execute_step(&work, &[], true);
+        assert!(healthy.step_cycles > 0);
+        let before = g.elapsed_cycles();
+        g.push_fault(before, crate::FaultKind::FailStop);
+        let dead = g.execute_step(&work, &[], true);
+        assert_eq!(dead.step_cycles, 0);
+        assert_eq!(dead.busy_cycles, 0);
+        assert_eq!(g.elapsed_cycles(), before, "clock frozen after fail-stop");
+        assert!(g.is_failed());
+        assert_eq!(g.health(), crate::DeviceHealth::Failed { at_cycle: before });
+        assert_eq!(g.fault_events().len(), 1);
+    }
+
+    #[test]
+    fn degraded_clock_dilates_compute_but_not_transfers() {
+        let work = [KernelStep::new(
+            "k",
+            64,
+            Work::Uniform {
+                units: 64,
+                cycles_per_unit: 1000,
+            },
+        )];
+        let xfer = [Transfer {
+            bytes: 1 << 20,
+            dir: Dir::HostToDevice,
+        }];
+        let mut nominal = gpu();
+        let base = nominal.execute_step(&work, &xfer, false);
+        let mut slow = gpu();
+        slow.push_fault(
+            0,
+            crate::FaultKind::DegradedClock {
+                factor_percent: 300,
+            },
+        );
+        let dilated = slow.execute_step(&work, &xfer, false);
+        assert_eq!(dilated.compute_cycles, base.compute_cycles * 3);
+        assert_eq!(dilated.h2d_cycles, base.h2d_cycles, "PCIe unaffected");
+        assert!(slow.health().is_degraded());
+        assert_eq!(slow.clock_dilation_percent(), 300);
+        // Determinism: an identical device with the same script matches.
+        let mut slow2 = gpu();
+        slow2.push_fault(
+            0,
+            crate::FaultKind::DegradedClock {
+                factor_percent: 300,
+            },
+        );
+        assert_eq!(slow2.execute_step(&work, &xfer, false), dilated);
+        // Degradation is monotone: a weaker fault never speeds it back up.
+        slow.push_fault(
+            slow.elapsed_cycles(),
+            crate::FaultKind::DegradedClock {
+                factor_percent: 150,
+            },
+        );
+        slow.poll_faults();
+        assert_eq!(slow.clock_dilation_percent(), 300);
+    }
+
+    #[test]
+    fn drop_kernel_suppresses_nth_launch() {
+        let mut g = gpu();
+        let launch = g.cost().kernel_launch;
+        g.push_fault(0, crate::FaultKind::DropKernel { nth: 2 });
+        let work = |name: &str| {
+            KernelStep::new(
+                name,
+                32,
+                Work::Uniform {
+                    units: 32,
+                    cycles_per_unit: 50,
+                },
+            )
+        };
+        // First launch survives (countdown 2 -> 1).
+        let first = g.execute_step(&[work("a")], &[], true);
+        assert_eq!(first.compute_cycles, 50 + launch);
+        assert!(g.take_dropped_kernels().is_empty());
+        // Second launch is suppressed: the step runs as if empty.
+        let second = g.execute_step(&[work("b")], &[], true);
+        assert_eq!(second.compute_cycles, 0);
+        assert_eq!(second.busy_cycles, 0);
+        let dropped = g.take_dropped_kernels();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].name, "b");
+        assert!(g.take_dropped_kernels().is_empty(), "drained");
+        // Third launch runs normally again — the fault fired once.
+        let third = g.execute_step(&[work("c")], &[], true);
+        assert_eq!(third.compute_cycles, 50 + launch);
+        assert_eq!(g.fault_events().len(), 1);
+        assert_eq!(g.fault_events()[0].kernel.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn faults_trigger_on_virtual_cycles_not_steps() {
+        let mut g = gpu();
+        let big = [KernelStep::new(
+            "k",
+            64,
+            Work::Uniform {
+                units: 64,
+                cycles_per_unit: 10_000,
+            },
+        )];
+        g.push_fault(5_000, crate::FaultKind::FailStop);
+        // The first step starts at cycle 0: the fault has not armed yet.
+        let out = g.execute_step(&big, &[], true);
+        assert!(out.step_cycles > 0);
+        // The clock is now past the trigger: the next poll arms it.
+        assert!(g.poll_faults().is_failed());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![deny(missing_docs)]
 
 mod cost;
+mod fault;
 mod gpu;
 mod memory;
 mod pool;
@@ -40,6 +41,7 @@ mod profile;
 mod trace;
 
 pub use cost::CostModel;
+pub use fault::{DeviceHealth, DroppedKernel, FaultEntry, FaultEvent, FaultKind, FaultPlan};
 pub use gpu::{
     Dir, Gpu, KernelStats, KernelStep, StepOutcome, Transfer, UtilSample, Work, WARP_SIZE,
 };

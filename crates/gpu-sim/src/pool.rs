@@ -18,6 +18,7 @@
 //! per-device elapsed time, exactly as it would be on real hardware where
 //! the batch is done when the last card finishes.
 
+use crate::fault::{DeviceHealth, FaultPlan};
 use crate::gpu::Gpu;
 use crate::profile::DeviceProfile;
 use crate::trace::TraceLevel;
@@ -39,6 +40,9 @@ pub struct DeviceSnapshot {
     pub mem_in_use_bytes: u64,
     /// Device memory capacity in bytes.
     pub mem_capacity_bytes: u64,
+    /// Device health as of the snapshot (armed faults only; a scripted
+    /// fault whose trigger cycle has not been reached reads as healthy).
+    pub health: DeviceHealth,
 }
 
 /// Point-in-time view of the whole pool.
@@ -207,6 +211,7 @@ impl DevicePool {
                 mean_utilization: g.mean_utilization(),
                 mem_in_use_bytes: g.memory_ref().in_use(),
                 mem_capacity_bytes: g.memory_ref().capacity(),
+                health: g.health(),
             })
             .collect();
         let makespan_ms = devices.iter().map(|d| d.elapsed_ms).fold(0.0, f64::max);
@@ -222,6 +227,41 @@ impl DevicePool {
             makespan_ms,
             imbalance,
         }
+    }
+
+    /// Distributes a [`FaultPlan`]'s entries onto the pool's devices and
+    /// returns how many entries were applied. Entries naming a device
+    /// index outside the pool are skipped (a plan scripted for a larger
+    /// pool degrades gracefully).
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> usize {
+        let mut applied = 0;
+        for e in plan.entries() {
+            if let Some(gpu) = self.devices.get_mut(e.device) {
+                gpu.push_fault(e.at_cycle, e.kind);
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Indices of devices that have not fail-stopped, in pool order.
+    pub fn healthy_devices(&self) -> Vec<usize> {
+        (0..self.devices.len())
+            .filter(|&i| !self.devices[i].is_failed())
+            .collect()
+    }
+
+    /// Number of fail-stopped devices.
+    pub fn failed_count(&self) -> usize {
+        self.devices.iter().filter(|g| g.is_failed()).count()
+    }
+
+    /// Number of clock-degraded (but still executing) devices.
+    pub fn degraded_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|g| g.health().is_degraded())
+            .count()
     }
 
     /// Dissolves the pool back into its devices.
@@ -316,6 +356,35 @@ mod tests {
     #[should_panic(expected = "at least one GPU")]
     fn empty_pool_rejected() {
         let _ = DevicePool::new(vec![]);
+    }
+
+    #[test]
+    fn fault_plan_distributes_to_devices_and_snapshot_sees_health() {
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 3);
+        let plan = FaultPlan::new()
+            .fail_stop(1, 0)
+            .degraded_clock(2, 0, 250)
+            .fail_stop(9, 0); // out of range: skipped
+        assert_eq!(pool.apply_fault_plan(&plan), 2);
+        for d in 0..3 {
+            burn(pool.device_mut(d), 1 << 12);
+        }
+        assert_eq!(pool.healthy_devices(), vec![0, 2]);
+        assert_eq!(pool.failed_count(), 1);
+        assert_eq!(pool.degraded_count(), 1);
+        let snap = pool.snapshot();
+        assert_eq!(snap.devices[0].health, DeviceHealth::Healthy);
+        assert_eq!(snap.devices[1].health, DeviceHealth::Failed { at_cycle: 0 });
+        assert_eq!(
+            snap.devices[2].health,
+            DeviceHealth::Degraded {
+                factor_percent: 250
+            }
+        );
+        // The dead device executed nothing.
+        assert_eq!(snap.devices[1].elapsed_cycles, 0);
+        // The degraded device is slower than the healthy one.
+        assert!(snap.devices[2].elapsed_cycles > snap.devices[0].elapsed_cycles);
     }
 
     #[test]

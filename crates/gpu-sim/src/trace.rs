@@ -24,6 +24,7 @@
 //! `copy-d2h` engines. The export is byte-deterministic for a given run:
 //! events are emitted in recording order and every number is an integer.
 
+use crate::fault::FaultEvent;
 use crate::gpu::Dir;
 
 /// How much the device records while executing steps.
@@ -113,10 +114,14 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Serializes recorded events to Chrome-trace JSON (see module docs for the
-/// track layout). Deterministic: same events → byte-identical output.
+/// track layout). Deterministic: same events → byte-identical output. Fault
+/// events, when present, appear as instant (`"ph": "i"`) markers on a
+/// dedicated `faults` track after the copy engines; a run without faults
+/// produces output byte-identical to a build without fault support.
 pub(crate) fn chrome_trace_json(
     kernel_events: &[KernelEvent],
     transfer_events: &[TransferEvent],
+    fault_events: &[FaultEvent],
 ) -> String {
     // Track ids: kernels by first appearance, then the two copy engines.
     let mut names: Vec<&str> = Vec::new();
@@ -151,6 +156,13 @@ pub(crate) fn chrome_trace_json(
         "{{\"ph\":\"M\",\"pid\":0,\"tid\":{d2h_tid},\"name\":\"thread_name\",\
          \"args\":{{\"name\":\"copy-d2h\"}}}}"
     ));
+    let fault_tid = d2h_tid + 1;
+    if !fault_events.is_empty() {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{fault_tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"faults\"}}}}"
+        ));
+    }
 
     for e in kernel_events {
         let tid = names.iter().position(|n| *n == e.name).expect("known") as u64 + 1;
@@ -183,6 +195,19 @@ pub(crate) fn chrome_trace_json(
             step = e.step,
             bytes = e.bytes,
             overlapped = e.overlapped,
+        ));
+    }
+
+    for e in fault_events {
+        let name = match &e.kernel {
+            Some(k) => format!("{}:{}", e.kind.label(), k),
+            None => e.kind.label(),
+        };
+        events.push(format!(
+            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{fault_tid},\"ts\":{ts},\"s\":\"t\",\
+             \"name\":\"{name}\"}}",
+            ts = e.at_cycle,
+            name = json_escape(&name),
         ));
     }
 
@@ -233,19 +258,44 @@ mod tests {
             dir: Dir::HostToDevice,
             overlapped: true,
         }];
-        let json = chrome_trace_json(&kernels, &transfers);
+        let json = chrome_trace_json(&kernels, &transfers, &[]);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("stage-a"));
         assert!(json.contains("copy-h2d"));
         assert!(json.contains("\"warp_occupancy_ppm\":500000"));
+        // No fault events -> no faults track.
+        assert!(!json.contains("faults"));
         // Deterministic.
-        assert_eq!(json, chrome_trace_json(&kernels, &transfers));
+        assert_eq!(json, chrome_trace_json(&kernels, &transfers, &[]));
         // Balanced braces/brackets as a cheap well-formedness check.
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()
                 == json.chars().filter(|&c| c == close).count()
         };
         assert!(balance('{', '}') && balance('[', ']'));
+    }
+
+    #[test]
+    fn fault_events_appear_on_their_own_track() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let faults = vec![
+            FaultEvent {
+                at_cycle: 100,
+                kind: FaultKind::FailStop,
+                kernel: None,
+            },
+            FaultEvent {
+                at_cycle: 40,
+                kind: FaultKind::DropKernel { nth: 3 },
+                kernel: Some("system-merkle".into()),
+            },
+        ];
+        let json = chrome_trace_json(&[], &[], &faults);
+        assert!(json.contains("\"name\":\"faults\""));
+        assert!(json.contains("\"name\":\"fail\""));
+        assert!(json.contains("\"name\":\"drop:3:system-merkle\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert_eq!(json, chrome_trace_json(&[], &[], &faults));
     }
 }

@@ -338,6 +338,86 @@ pub fn analyze_pool(devices: &[DeviceObservation], single_device_ms: Option<f64>
     }
 }
 
+/// The analyzer's verdict on fault-recovery overhead: how much slower a
+/// run that lost devices mid-batch finished compared to its fault-free
+/// twin, and how much work the recovery replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryAnalysis {
+    /// Makespan of the fault-free baseline run, in milliseconds.
+    pub fault_free_ms: f64,
+    /// Makespan of the faulty (recovered) run, in milliseconds.
+    pub faulty_ms: f64,
+    /// `faulty_ms / fault_free_ms` — 1.0 means recovery was free, 2.0
+    /// means the faults doubled the makespan (0 when no baseline).
+    pub overhead_ratio: f64,
+    /// Devices that fail-stopped during the faulty run.
+    pub failed_devices: usize,
+    /// Tasks salvaged and replayed during recovery.
+    pub replayed_tasks: usize,
+    /// Resharding rounds the recovery needed beyond the initial one.
+    pub replay_rounds: usize,
+}
+
+impl RecoveryAnalysis {
+    /// Renders a compact human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "recovery: {} failed device(s), {} task(s) replayed over {} round(s)",
+            self.failed_devices, self.replayed_tasks, self.replay_rounds
+        );
+        let _ = writeln!(
+            out,
+            "  makespan {:.3} ms vs fault-free {:.3} ms — {:.2}x overhead",
+            self.faulty_ms, self.fault_free_ms, self.overhead_ratio
+        );
+        out
+    }
+
+    /// Renders the analysis as canonical JSON (sorted, deterministic).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"fault_free_ms\":{},\"faulty_ms\":{},\"overhead_ratio\":{},\
+             \"failed_devices\":{},\"replayed_tasks\":{},\"replay_rounds\":{}}}",
+            format_f64(self.fault_free_ms),
+            format_f64(self.faulty_ms),
+            format_f64(self.overhead_ratio),
+            self.failed_devices,
+            self.replayed_tasks,
+            self.replay_rounds
+        )
+    }
+}
+
+/// Quantifies fault-recovery overhead against a fault-free baseline of
+/// the same workload on the same pool profile.
+///
+/// `fault_free_ms` / `faulty_ms` are the two runs' makespans;
+/// `failed_devices`, `replayed_tasks` and `replay_rounds` come from the
+/// scheduler's recovery report. A `fault_free_ms` of 0 zeroes the ratio
+/// rather than dividing by it.
+pub fn analyze_recovery(
+    fault_free_ms: f64,
+    faulty_ms: f64,
+    failed_devices: usize,
+    replayed_tasks: usize,
+    replay_rounds: usize,
+) -> RecoveryAnalysis {
+    RecoveryAnalysis {
+        fault_free_ms,
+        faulty_ms,
+        overhead_ratio: if fault_free_ms > 0.0 {
+            faulty_ms / fault_free_ms
+        } else {
+            0.0
+        },
+        failed_devices,
+        replayed_tasks,
+        replay_rounds,
+    }
+}
+
 /// Computes per-stage thread advice from aggregate observations.
 fn thread_advice(stages: &[StageObservation], total_threads: u32) -> Vec<StageAdvice> {
     let works: Vec<u128> = stages
@@ -653,6 +733,22 @@ mod tests {
         let json = a.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn recovery_analysis_reports_overhead() {
+        let a = analyze_recovery(10.0, 15.0, 1, 7, 1);
+        assert!((a.overhead_ratio - 1.5).abs() < 1e-12);
+        assert_eq!(a.failed_devices, 1);
+        assert_eq!(a.replayed_tasks, 7);
+        assert_eq!(a.replay_rounds, 1);
+        assert!(a.render_text().contains("1.50x overhead"));
+        assert!(a.to_json().contains("\"overhead_ratio\":1.5"));
+        assert_eq!(a.to_json(), analyze_recovery(10.0, 15.0, 1, 7, 1).to_json());
+        // No baseline: ratio zeroed, not a division by zero.
+        assert_eq!(analyze_recovery(0.0, 5.0, 0, 0, 0).overhead_ratio, 0.0);
+        let json = a.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub mod registry;
 pub mod span;
 
 pub use analysis::{
-    analyze, analyze_pool, BoundShare, DeviceObservation, DeviceVerdict, PoolAnalysis, RunAnalysis,
-    StageAdvice, StageObservation,
+    analyze, analyze_pool, analyze_recovery, BoundShare, DeviceObservation, DeviceVerdict,
+    PoolAnalysis, RecoveryAnalysis, RunAnalysis, StageAdvice, StageObservation,
 };
 pub use registry::{Histogram, MetricId, Registry, HISTOGRAM_BUCKETS};
 pub use span::{Span, StageSpan};

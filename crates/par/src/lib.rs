@@ -21,6 +21,21 @@
 //!    flag),
 //! 3. the `BATCHZK_THREADS` environment variable,
 //! 4. [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! // Results land in input order regardless of which worker ran what,
+//! // so the bytes match the serial run at any thread count.
+//! let squares = batchzk_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let mut cells = vec![0u64; 8];
+//! batchzk_par::with_threads(4, || {
+//!     batchzk_par::par_map_mut(&mut cells, |i, c| *c += i as u64);
+//! });
+//! assert_eq!(cells, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+//! ```
 
 #![deny(missing_docs)]
 

@@ -68,6 +68,34 @@ pub enum PipelineError {
         /// Device capacity in bytes.
         capacity_bytes: u64,
     },
+    /// The device fail-stopped (a scripted
+    /// [`FaultKind::FailStop`](batchzk_gpu_sim::FaultKind::FailStop)
+    /// fault armed). Unlike OOM, this error is *recoverable at the pool
+    /// level*: every in-flight task was salvaged back to the front of the
+    /// pending queue (in admission order, with its device memory released)
+    /// before this was returned, so a scheduler can harvest completed
+    /// outputs, take the pending tasks, and replay them on surviving
+    /// devices.
+    DeviceFailed {
+        /// Device-clock cycle the fail-stop was scripted at.
+        at_cycle: u64,
+        /// In-flight tasks returned to the pending queue.
+        salvaged: usize,
+    },
+    /// A scripted fault silently dropped one of the pipeline's kernel
+    /// launches, so a stage's work did not execute even though its host-side
+    /// computation ran. The affected step cannot be trusted: every in-flight
+    /// task was salvaged back to the pending queue (as for
+    /// [`DeviceFailed`](Self::DeviceFailed)) for replay from stage 0. The
+    /// device itself remains healthy.
+    KernelDropped {
+        /// Name of the stage/kernel whose launch was dropped.
+        stage: String,
+        /// Device-clock cycle the drop fired at.
+        at_cycle: u64,
+        /// In-flight tasks returned to the pending queue.
+        salvaged: usize,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -83,6 +111,20 @@ impl fmt::Display for PipelineError {
                 "pipeline stage `{stage}` exceeded simulated device memory: \
                  requested {requested_bytes} bytes with \
                  {in_use_bytes}/{capacity_bytes} in use"
+            ),
+            PipelineError::DeviceFailed { at_cycle, salvaged } => write!(
+                f,
+                "device fail-stopped at cycle {at_cycle}; \
+                 {salvaged} in-flight task(s) salvaged for replay"
+            ),
+            PipelineError::KernelDropped {
+                stage,
+                at_cycle,
+                salvaged,
+            } => write!(
+                f,
+                "kernel launch for stage `{stage}` dropped at cycle {at_cycle}; \
+                 {salvaged} in-flight task(s) salvaged for replay"
             ),
         }
     }
@@ -369,9 +411,23 @@ impl<'g, T: Send> PipelineExecutor<'g, T> {
     /// does not fit in device memory. All pipeline allocations are
     /// released and the slots cleared (partially processed tasks are
     /// unrecoverable); queued tasks stay pending.
+    ///
+    /// Returns [`PipelineError::DeviceFailed`] when the device's scripted
+    /// fail-stop has armed, and [`PipelineError::KernelDropped`] when a
+    /// scripted fault suppressed one of this step's kernel launches. Both
+    /// salvage every in-flight task back to the front of the pending queue
+    /// in admission order (device memory released), so
+    /// [`take_pending`](Self::take_pending) recovers exactly the
+    /// not-yet-completed tasks for replay elsewhere.
     pub fn step(&mut self) -> Result<bool, PipelineError> {
         if self.in_flight == 0 && self.pending.is_empty() {
             return Ok(false);
+        }
+        // Observe scripted faults at the stage boundary, before any host
+        // work runs: a dead device admits nothing and executes nothing.
+        if let batchzk_gpu_sim::DeviceHealth::Failed { at_cycle } = self.gpu.poll_faults() {
+            let salvaged = self.salvage_slots();
+            return Err(PipelineError::DeviceFailed { at_cycle, salvaged });
         }
         let num_stages = self.stages.len();
 
@@ -487,6 +543,23 @@ impl<'g, T: Send> PipelineExecutor<'g, T> {
             .gpu
             .execute_step(&kernels, &transfers, self.multi_stream);
 
+        // A scripted fault may have suppressed one of this step's launches:
+        // the stage's host-side computation ran but the device work did
+        // not, so the step's results are untrusted. Salvage everything in
+        // flight for replay from stage 0 (all task state is recomputed on
+        // replay) and skip this step's stage accounting — the faulted
+        // step's cycles stay attributed to the run total only, which the
+        // per-epoch conservation laws tolerate because the epoch ends here.
+        let dropped = self.gpu.take_dropped_kernels();
+        if let Some(drop) = dropped.into_iter().next() {
+            let salvaged = self.salvage_slots();
+            return Err(PipelineError::KernelDropped {
+                stage: drop.name,
+                at_cycle: drop.at_cycle,
+                salvaged,
+            });
+        }
+
         // Attribute this step's cycles to each stage's buckets. A
         // stage's own kernel span is recomputed exactly as the simulator
         // scales it (launch overhead + oversubscription dilation, capped
@@ -495,6 +568,7 @@ impl<'g, T: Send> PipelineExecutor<'g, T> {
         // backpressure (step - compute).
         let launch = self.gpu.cost().kernel_launch;
         let cores = self.gpu.profile().cuda_cores as u64;
+        let dilation = self.gpu.clock_dilation_percent() as u64;
         let total_threads: u64 = kernels
             .iter()
             .filter(|k| !work_is_empty(&k.work))
@@ -524,6 +598,12 @@ impl<'g, T: Send> PipelineExecutor<'g, T> {
                     let mut d = k.duration_cycles() + launch;
                     if total_threads > cores {
                         d = d * total_threads / cores;
+                    }
+                    // Mirror the simulator's degraded-clock dilation so
+                    // busy/imbalance attribution stays faithful on a
+                    // throttled device.
+                    if dilation > 100 {
+                        d = d * dilation / 100;
                     }
                     d.min(compute)
                 };
@@ -562,6 +642,38 @@ impl<'g, T: Send> PipelineExecutor<'g, T> {
         Ok(true)
     }
 
+    /// Returns every in-flight task to the *front* of the pending queue and
+    /// frees its device memory, reporting how many were salvaged. Slots are
+    /// walked shallowest-first so the deepest (earliest-admitted) task ends
+    /// up at the queue front — the pending queue regains exact admission
+    /// order, which is what lets a scheduler map salvaged tasks back to
+    /// their original batch positions without tagging them. The queue may
+    /// transiently exceed its capacity here; the capacity only bounds
+    /// [`submit`](Self::submit).
+    fn salvage_slots(&mut self) -> usize {
+        let mut salvaged = 0;
+        for i in 0..self.slots.len() {
+            if let Some(mut slot) = self.slots[i].take() {
+                if let Some(handle) = slot.mem.take() {
+                    self.gpu.memory().free(handle);
+                }
+                self.pending.push_front(slot.task);
+                salvaged += 1;
+            }
+        }
+        self.in_flight = 0;
+        salvaged
+    }
+
+    /// Removes and returns every pending task in queue order. After a
+    /// recoverable fault ([`PipelineError::DeviceFailed`] /
+    /// [`PipelineError::KernelDropped`]) this is exactly the batch suffix
+    /// that did not complete, in admission order — the slice a pool
+    /// scheduler reshards onto surviving devices.
+    pub fn take_pending(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.pending).into()
+    }
+
     /// Steps until the pipeline and pending queue are empty, then harvests
     /// the epoch's completed tasks and statistics. The executor remains
     /// usable: a subsequent `submit`/`drain` starts a fresh epoch on the
@@ -571,7 +683,11 @@ impl<'g, T: Send> PipelineExecutor<'g, T> {
     ///
     /// Returns [`PipelineError::OutOfDeviceMemory`] if a stage's footprint
     /// does not fit in device memory; all pipeline allocations are
-    /// released before returning (completed outputs are discarded).
+    /// released before returning (completed outputs are discarded). On a
+    /// recoverable fault ([`PipelineError::DeviceFailed`] /
+    /// [`PipelineError::KernelDropped`]) the caller can still
+    /// [`harvest`](Self::harvest) the tasks completed before the fault and
+    /// [`take_pending`](Self::take_pending) the salvaged remainder.
     pub fn drain(&mut self) -> Result<PipelineRun<T>, PipelineError> {
         while self.step()? {}
         Ok(self.harvest())
@@ -856,7 +972,10 @@ mod tests {
             requested_bytes,
             in_use_bytes,
             capacity_bytes,
-        } = err.clone();
+        } = err.clone()
+        else {
+            panic!("expected OOM, got {err:?}");
+        };
         // The second admitted task's stage-0 allocation collides with the
         // first task's footprint still resident downstream.
         assert_eq!(stage, "add-1");
@@ -1151,5 +1270,151 @@ mod tests {
         exec.set_max_in_flight(1);
         let run = exec.drain().expect("one footprint fits");
         assert_eq!(run.outputs.len(), 2);
+    }
+
+    /// Restart-safe stage for fault tests: OR-ing a bit is idempotent, so a
+    /// task salvaged mid-pipeline and replayed from stage 0 converges to
+    /// the same value as an uninterrupted pass (matching the real proving
+    /// stages, which overwrite their intermediates).
+    struct OrStage {
+        bit: u64,
+        threads: u32,
+        cycles: u64,
+    }
+
+    impl PipeStage<u64> for OrStage {
+        fn name(&self) -> String {
+            format!("or-{}", self.bit)
+        }
+        fn threads(&self) -> u32 {
+            self.threads
+        }
+        fn process(&self, task: &mut u64) -> StageWork {
+            *task |= self.bit;
+            StageWork {
+                work: Work::Uniform {
+                    units: self.threads as u64,
+                    cycles_per_unit: self.cycles,
+                },
+                h2d_bytes: 0,
+                d2h_bytes: 0,
+                mem_after: 64,
+            }
+        }
+    }
+
+    fn or_stages() -> Vec<BoxedStage<u64>> {
+        (0..3)
+            .map(|i| {
+                Box::new(OrStage {
+                    bit: 1 << (i + 8),
+                    threads: 32,
+                    cycles: 100,
+                }) as BoxedStage<u64>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fail_stop_salvages_in_flight_tasks_in_admission_order() {
+        use batchzk_gpu_sim::FaultKind;
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut exec = PipelineExecutor::new(&mut gpu, or_stages(), true);
+        exec.set_queue_capacity(8);
+        for t in 1..=6u64 {
+            exec.submit(t).expect("fits");
+        }
+        // Two fill steps put two tasks in flight (none completed yet),
+        // then the device fails.
+        for _ in 0..2 {
+            exec.step().expect("healthy");
+        }
+        assert_eq!(exec.in_flight(), 2);
+        let now = exec.gpu.elapsed_cycles();
+        exec.gpu.push_fault(now, FaultKind::FailStop);
+        let err = exec.step().expect_err("device dead");
+        assert_eq!(
+            err,
+            PipelineError::DeviceFailed {
+                at_cycle: now,
+                salvaged: 2
+            }
+        );
+        assert!(err.to_string().contains("fail-stopped"));
+        assert_eq!(exec.in_flight(), 0);
+        assert_eq!(exec.gpu.memory_ref().in_use(), 0, "salvage frees memory");
+        // Salvage restores exact admission order: in-flight tasks (1,2,3,
+        // partially processed) ahead of never-admitted ones (4,5,6).
+        let pending = exec.take_pending();
+        assert_eq!(pending.len(), 6);
+        assert_eq!(
+            pending.iter().map(|t| t & 0xff).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        // Nothing completed before the fault.
+        let partial = exec.harvest();
+        assert!(partial.outputs.is_empty());
+    }
+
+    #[test]
+    fn fail_stop_mid_batch_keeps_completed_outputs() {
+        use batchzk_gpu_sim::FaultKind;
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut exec = PipelineExecutor::new(&mut gpu, or_stages(), true);
+        exec.set_queue_capacity(8);
+        for t in 1..=6u64 {
+            exec.submit(t).expect("fits");
+        }
+        // Five steps complete three tasks (depth 3: a task retires at the
+        // end of its third step).
+        for _ in 0..5 {
+            exec.step().expect("healthy");
+        }
+        exec.gpu
+            .push_fault(exec.gpu.elapsed_cycles(), FaultKind::FailStop);
+        assert!(matches!(
+            exec.step(),
+            Err(PipelineError::DeviceFailed { .. })
+        ));
+        let partial = exec.harvest();
+        assert_eq!(partial.outputs, vec![1 | 0x700, 2 | 0x700, 3 | 0x700]);
+        let pending = exec.take_pending();
+        assert_eq!(
+            pending.iter().map(|t| t & 0xff).collect::<Vec<_>>(),
+            vec![4, 5, 6],
+            "completed prefix + salvaged suffix tile the batch"
+        );
+    }
+
+    #[test]
+    fn dropped_kernel_surfaces_stage_and_salvages() {
+        use batchzk_gpu_sim::FaultKind;
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let mut exec = PipelineExecutor::new(&mut gpu, or_stages(), true);
+        exec.set_queue_capacity(8);
+        for t in 1..=4u64 {
+            exec.submit(t).expect("fits");
+        }
+        // Step 1 launches one kernel (or-256); drop the second launch,
+        // which is step 2's deeper stage set.
+        exec.gpu.push_fault(0, FaultKind::DropKernel { nth: 2 });
+        exec.step().expect("first launch survives");
+        let err = exec.step().expect_err("second launch dropped");
+        let PipelineError::KernelDropped {
+            stage, salvaged, ..
+        } = &err
+        else {
+            panic!("expected KernelDropped, got {err:?}");
+        };
+        assert!(stage.starts_with("or-"), "stage name surfaced: {stage}");
+        assert_eq!(*salvaged, 2);
+        assert!(err.to_string().contains("dropped"));
+        // The device stays healthy: replaying the salvaged tasks on the
+        // same executor completes and produces fully-processed values.
+        assert!(!exec.gpu.is_failed());
+        let _ = exec.harvest();
+        let run = exec.drain().expect("replay completes");
+        assert_eq!(run.outputs.len(), 4);
+        assert!(run.outputs.iter().all(|t| t & 0x700 == 0x700));
     }
 }

@@ -20,8 +20,9 @@
 //!   Icicle, and "Ours-np";
 //! * [`sched`] — shard policies (round-robin, least-outstanding-work,
 //!   memory-aware admission) that spread one task stream over a
-//!   multi-device pool, one persistent executor per device;
-//! * [`observe`] — folds finished runs (and OOM failures) into a
+//!   multi-device pool, one persistent executor per device, with
+//!   survivor resharding when a device carries a scripted fault;
+//! * [`observe`] — folds finished runs (and OOM/fault failures) into a
 //!   `batchzk-metrics` registry under a stable metric schema.
 
 #![deny(missing_docs)]
@@ -38,8 +39,13 @@ pub use engine::{
     allocate_threads, BoxedStage, PipeStage, Pipeline, PipelineError, PipelineExecutor,
     PipelineRun, RunStats, StageStats, StageWork,
 };
-pub use observe::{record_error, record_pool_run, record_run, stage_observations};
-pub use sched::{device_weight, plan_shards, run_sharded, ShardPlan, ShardPolicy, ShardedRun};
+pub use observe::{
+    record_error, record_pool_health, record_pool_run, record_recovery, record_run,
+    stage_observations,
+};
+pub use sched::{
+    device_weight, plan_shards, run_sharded, RecoveryReport, ShardPlan, ShardPolicy, ShardedRun,
+};
 
 #[cfg(test)]
 mod randomized_tests {

@@ -4,7 +4,7 @@
 //! reports everything it measured in [`RunStats`], including per-task
 //! lifecycle [`Span`](batchzk_metrics::Span)s. The functions here fold a
 //! finished run (or a failed one) into a
-//! [`Registry`](batchzk_metrics::Registry) under a stable metric schema, so
+//! [`Registry`] under a stable metric schema, so
 //! every caller — the module pipelines, the system prover, the ML service —
 //! exposes the same names:
 //!
@@ -34,13 +34,27 @@
 //! | `batchzk_pool_devices` | gauge | `module` |
 //! | `batchzk_pool_makespan_ms` | gauge | `module` |
 //! | `batchzk_pool_imbalance` | gauge | `module` |
+//!
+//! Fault-tolerant runs ([`record_error`], [`record_recovery`],
+//! [`record_pool_health`]) add the failure families (see `OPERATIONS.md`
+//! for the runbook that reads them):
+//!
+//! | metric | kind | labels |
+//! |---|---|---|
+//! | `batchzk_device_failures_total` | counter | `module` |
+//! | `batchzk_kernels_dropped_total` | counter | `module`, `stage` |
+//! | `batchzk_tasks_replayed_total` | counter | `module` |
+//! | `batchzk_recovery_replay_rounds` | gauge | `module` |
+//! | `batchzk_pool_failed_devices` | gauge | `module` |
+//! | `batchzk_pool_degraded_devices` | gauge | `module` |
 
 use crate::engine::{PipelineError, RunStats, StageStats};
+use crate::sched::RecoveryReport;
 use batchzk_metrics::{Registry, StageObservation};
 
 /// Folds a completed run's statistics into `registry` under `module`.
 ///
-/// Counters accumulate across runs (a [`StreamingProver`]-style service
+/// Counters accumulate across runs (a `StreamingProver`-style service
 /// calls this once per chunk); gauges reflect the most recent run.
 pub fn record_run(registry: &mut Registry, module: &str, stats: &RunStats) {
     let m = [("module", module)];
@@ -182,9 +196,10 @@ pub fn record_pool_run(
     registry.gauge_set("batchzk_pool_imbalance", &m, imbalance);
 }
 
-/// Folds a failed run into `registry` under `module` — currently one OOM
-/// counter per failing stage, making memory pressure visible in exposition
-/// output.
+/// Folds a failed run into `registry` under `module`: an OOM counter per
+/// failing stage, a device-failure counter per fail-stop, and a
+/// dropped-kernel counter per suppressed launch — making memory pressure
+/// and device faults visible in exposition output.
 pub fn record_error(registry: &mut Registry, module: &str, error: &PipelineError) {
     match error {
         PipelineError::OutOfDeviceMemory { stage, .. } => {
@@ -194,7 +209,64 @@ pub fn record_error(registry: &mut Registry, module: &str, error: &PipelineError
                 1,
             );
         }
+        PipelineError::DeviceFailed { .. } => {
+            registry.counter_add("batchzk_device_failures_total", &[("module", module)], 1);
+        }
+        PipelineError::KernelDropped { stage, .. } => {
+            registry.counter_add(
+                "batchzk_kernels_dropped_total",
+                &[("module", module), ("stage", stage)],
+                1,
+            );
+        }
     }
+}
+
+/// Folds a sharded run's [`RecoveryReport`] into `registry` under
+/// `module`: one [`record_error`] per absorbed fault plus counters for
+/// the replay volume and a gauge for the rounds the recovery took.
+///
+/// Call this after [`record_pool_run`] when
+/// [`ShardedRun::recovery`](crate::ShardedRun::recovery) is `Some`; a
+/// fault-free run records nothing.
+pub fn record_recovery(registry: &mut Registry, module: &str, recovery: &RecoveryReport) {
+    let m = [("module", module)];
+    for fault in &recovery.faults {
+        record_error(registry, module, fault);
+    }
+    registry.counter_add(
+        "batchzk_tasks_replayed_total",
+        &m,
+        recovery.replayed_tasks as u64,
+    );
+    registry.gauge_set(
+        "batchzk_recovery_replay_rounds",
+        &m,
+        recovery.replay_rounds as f64,
+    );
+}
+
+/// Records the pool's current health as gauges under `module`:
+/// `batchzk_pool_failed_devices` and `batchzk_pool_degraded_devices`.
+/// Complements [`record_recovery`] (which counts events) with the
+/// resulting state, so dashboards can alert on a shrinking pool even
+/// between runs.
+pub fn record_pool_health(
+    registry: &mut Registry,
+    module: &str,
+    pool: &batchzk_gpu_sim::DevicePool,
+) {
+    let m = [("module", module)];
+    registry.gauge_set(
+        "batchzk_pool_failed_devices",
+        &m,
+        pool.failed_count() as f64,
+    );
+    registry.gauge_set(
+        "batchzk_pool_degraded_devices",
+        &m,
+        pool.degraded_count() as f64,
+    );
 }
 
 /// Converts per-stage run statistics into the analyzer's input form.
@@ -280,7 +352,9 @@ mod tests {
         let err = merkle::run_pipelined(&mut gpu, trees(4, 8), 256, true)
             .expect_err("must exceed 100 bytes of device memory");
         record_error(&mut reg, "merkle", &err);
-        let PipelineError::OutOfDeviceMemory { stage, .. } = &err;
+        let PipelineError::OutOfDeviceMemory { stage, .. } = &err else {
+            panic!("expected OOM, got {err:?}");
+        };
         assert_eq!(
             reg.counter(
                 "batchzk_oom_total",
@@ -355,6 +429,54 @@ mod tests {
         assert!((makespan - ms[0].max(ms[1])).abs() < 1e-12);
         let imbalance = reg.gauge("batchzk_pool_imbalance", &m).expect("set");
         assert!(imbalance >= 1.0, "{imbalance}");
+    }
+
+    #[test]
+    fn recovery_and_health_metrics_record_fault_families() {
+        use batchzk_gpu_sim::{DevicePool, FaultPlan};
+        let mut reg = Registry::new();
+        let report = crate::sched::RecoveryReport {
+            failed_devices: vec![1],
+            dropped_kernels: 1,
+            replayed_tasks: 7,
+            replay_rounds: 2,
+            faults: vec![
+                PipelineError::DeviceFailed {
+                    at_cycle: 100,
+                    salvaged: 3,
+                },
+                PipelineError::KernelDropped {
+                    stage: "merkle-layer".into(),
+                    at_cycle: 40,
+                    salvaged: 4,
+                },
+            ],
+        };
+        record_recovery(&mut reg, "system", &report);
+        let m = [("module", "system")];
+        assert_eq!(reg.counter("batchzk_device_failures_total", &m), 1);
+        assert_eq!(
+            reg.counter(
+                "batchzk_kernels_dropped_total",
+                &[("module", "system"), ("stage", "merkle-layer")]
+            ),
+            1
+        );
+        assert_eq!(reg.counter("batchzk_tasks_replayed_total", &m), 7);
+        assert_eq!(reg.gauge("batchzk_recovery_replay_rounds", &m), Some(2.0));
+
+        // Health gauges reflect the pool's current state.
+        let mut pool = DevicePool::homogeneous(DeviceProfile::v100(), 3);
+        pool.apply_fault_plan(&FaultPlan::new().fail_stop(1, 0).degraded_clock(2, 0, 200));
+        for d in 0..3 {
+            pool.device_mut(d).poll_faults();
+        }
+        record_pool_health(&mut reg, "system", &pool);
+        assert_eq!(reg.gauge("batchzk_pool_failed_devices", &m), Some(1.0));
+        assert_eq!(reg.gauge("batchzk_pool_degraded_devices", &m), Some(1.0));
+        assert!(reg
+            .to_prometheus()
+            .contains("batchzk_device_failures_total"));
     }
 
     #[test]

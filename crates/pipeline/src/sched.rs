@@ -32,6 +32,58 @@
 //! All policies are deterministic: identical inputs produce identical
 //! plans, and since tasks are independent (each proof's transcript
 //! depends only on its own inputs), identical outputs.
+//!
+//! **Fault tolerance.** When a device carries a scripted fault (see
+//! [`batchzk_gpu_sim::FaultPlan`]), [`run_sharded`] absorbs the
+//! recoverable errors ([`PipelineError::DeviceFailed`] /
+//! [`PipelineError::KernelDropped`]): completed outputs are kept, the
+//! salvaged remainder is resharded over surviving devices with the same
+//! measured-weight greedy policy, and the replay repeats until every task
+//! completes (or every device is dead, which surfaces a clean error). The
+//! recovered outputs are byte-identical to a fault-free run, and a
+//! [`RecoveryReport`] on the result describes what it cost
+//! (`DESIGN.md` §12).
+//!
+//! # Examples
+//!
+//! ```
+//! use batchzk_gpu_sim::{DevicePool, DeviceProfile, Gpu, Work};
+//! use batchzk_pipeline::{
+//!     run_sharded, BoxedStage, PipeStage, ShardPolicy, StageWork,
+//! };
+//!
+//! struct Double;
+//! impl PipeStage<u64> for Double {
+//!     fn name(&self) -> String {
+//!         "double".into()
+//!     }
+//!     fn threads(&self) -> u32 {
+//!         32
+//!     }
+//!     fn process(&self, task: &mut u64) -> StageWork {
+//!         *task *= 2;
+//!         StageWork {
+//!             work: Work::Uniform { units: 32, cycles_per_unit: 10 },
+//!             h2d_bytes: 0,
+//!             d2h_bytes: 0,
+//!             mem_after: 0,
+//!         }
+//!     }
+//! }
+//!
+//! let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+//! let run = run_sharded(
+//!     &mut pool,
+//!     ShardPolicy::LeastOutstanding,
+//!     (0..8u64).collect(),
+//!     |_| 0,
+//!     |_gpu: &Gpu| vec![Box::new(Double) as BoxedStage<u64>],
+//!     true,
+//! )
+//! .unwrap();
+//! assert_eq!(run.outputs, (0..8u64).map(|t| t * 2).collect::<Vec<_>>());
+//! assert!(run.recovery.is_none(), "no faults scripted");
+//! ```
 
 use batchzk_gpu_sim::{DevicePool, Gpu};
 
@@ -215,24 +267,54 @@ fn greedy_assign(
     }
 }
 
+/// What it cost a sharded run to survive scripted device faults: which
+/// devices died, how much work was replayed, and the faults themselves.
+///
+/// Present on [`ShardedRun::recovery`] only when at least one recoverable
+/// fault ([`PipelineError::DeviceFailed`] /
+/// [`PipelineError::KernelDropped`]) fired — a fault-free run reports
+/// `None` and behaves exactly as before the fault layer existed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Pool indices of devices that fail-stopped, in order of discovery.
+    pub failed_devices: Vec<usize>,
+    /// Kernel-drop faults absorbed (the device stayed healthy; the step's
+    /// in-flight tasks were replayed).
+    pub dropped_kernels: usize,
+    /// Tasks salvaged and re-run, counted once per replay (a task that
+    /// survives two faults counts twice).
+    pub replayed_tasks: usize,
+    /// Resharding rounds beyond the initial one (0 would mean no replay
+    /// was needed, but the report only exists when a fault fired).
+    pub replay_rounds: usize,
+    /// Every recoverable fault observed, in device order within each
+    /// round and rounds in replay order.
+    pub faults: Vec<PipelineError>,
+}
+
 /// The result of a sharded multi-device run.
 #[derive(Debug)]
 pub struct ShardedRun<T> {
     /// Outputs in the *original input order* — sharding is invisible.
     pub outputs: Vec<T>,
     /// Per-device run statistics, in pool order (devices that received no
-    /// tasks report zeroed stats).
+    /// tasks report zeroed stats). Under fault recovery a device's stats
+    /// accumulate over its replay rounds.
     pub device_stats: Vec<RunStats>,
     /// The plan that produced this run.
     pub plan: ShardPlan,
     /// The policy that produced the plan.
     pub policy: ShardPolicy,
     /// Wall time of the whole run: the maximum per-device elapsed time
-    /// (the batch is done when the last device finishes), in ms.
+    /// (the batch is done when the last device finishes), in ms. Replay
+    /// rounds after a fault are sequential with the initial round, so
+    /// their per-round maxima add.
     pub makespan_ms: f64,
     /// Per-device elapsed milliseconds for this run (deltas, so prior
     /// device time from earlier runs is excluded).
     pub device_ms: Vec<f64>,
+    /// Fault-recovery account; `None` for a fault-free run.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl<T> ShardedRun<T> {
@@ -271,6 +353,63 @@ impl<T> ShardedRun<T> {
     }
 }
 
+/// Folds one replay round's [`RunStats`] into a device's accumulated
+/// stats. Counters and byte totals add; utilization is cycle-weighted and
+/// latency task-weighted; throughput and occupancy are recomputed against
+/// the merged totals; peak memory takes the max; lifecycles concatenate
+/// (completion order within a round, rounds in replay order).
+fn merge_stats(into: &mut Option<RunStats>, add: RunStats) {
+    let Some(base) = into else {
+        *into = Some(add);
+        return;
+    };
+    let cycles = base.total_cycles + add.total_cycles;
+    if cycles > 0 {
+        base.mean_utilization = (base.mean_utilization * base.total_cycles as f64
+            + add.mean_utilization * add.total_cycles as f64)
+            / cycles as f64;
+    }
+    let tasks = base.tasks + add.tasks;
+    if tasks > 0 {
+        base.mean_latency_ms = (base.mean_latency_ms * base.tasks as f64
+            + add.mean_latency_ms * add.tasks as f64)
+            / tasks as f64;
+    }
+    base.total_cycles = cycles;
+    base.total_ms += add.total_ms;
+    base.tasks = tasks;
+    base.throughput_per_ms = if base.total_ms > 0.0 {
+        base.tasks as f64 / base.total_ms
+    } else {
+        0.0
+    };
+    base.peak_mem_bytes = base.peak_mem_bytes.max(add.peak_mem_bytes);
+    base.h2d_bytes += add.h2d_bytes;
+    base.d2h_bytes += add.d2h_bytes;
+    if base.stage_stats.is_empty() {
+        base.stage_stats = add.stage_stats;
+    } else if base.stage_stats.len() == add.stage_stats.len() {
+        for (s, a) in base.stage_stats.iter_mut().zip(add.stage_stats) {
+            s.tasks += a.tasks;
+            s.occupied_cycles += a.occupied_cycles;
+            s.busy_cycles += a.busy_cycles;
+            s.imbalance_stall_cycles += a.imbalance_stall_cycles;
+            s.memory_stall_cycles += a.memory_stall_cycles;
+            s.fill_cycles += a.fill_cycles;
+            s.idle_cycles += a.idle_cycles;
+            s.drain_cycles += a.drain_cycles;
+            s.h2d_bytes += a.h2d_bytes;
+            s.d2h_bytes += a.d2h_bytes;
+            s.occupancy = if cycles > 0 {
+                s.occupied_cycles as f64 / cycles as f64
+            } else {
+                0.0
+            };
+        }
+    }
+    base.lifecycles.extend(add.lifecycles);
+}
+
 /// Shards `tasks` over the pool under `policy` and runs every shard to
 /// completion, one [`PipelineExecutor`] per device.
 ///
@@ -288,12 +427,27 @@ impl<T> ShardedRun<T> {
 /// thread count — every device always runs its shard to completion (or
 /// its own error), and results merge in device order.
 ///
+/// **Fault recovery.** A device that hits a scripted recoverable fault
+/// ([`PipelineError::DeviceFailed`] / [`PipelineError::KernelDropped`])
+/// does not fail the run: its completed outputs are kept, the salvaged
+/// remainder (in admission order) is resharded over the surviving
+/// devices with the same measured-weight greedy assignment, and the
+/// replay loops until every task completes. Stages must therefore be
+/// *replay-safe*: a salvaged task restarts from stage 0, which is
+/// correct for stages that overwrite their task state (as all the proof
+/// modules do) but not for blind accumulation. Recovered outputs are
+/// byte-identical to a fault-free run; [`ShardedRun::recovery`] reports
+/// the cost.
+///
 /// # Errors
 ///
 /// Returns [`PipelineError::OutOfDeviceMemory`] (the lowest-indexed
 /// failing device's) if a shard's working set does not fit its device
 /// even under the admission cap; every device's allocations are released
-/// before returning.
+/// before returning. OOM is *not* recovered — it is a planning defect,
+/// not a device fault. Returns [`PipelineError::DeviceFailed`] only when
+/// every device in the pool has fail-stopped, leaving no survivor to
+/// replay on.
 pub fn run_sharded<T: Send>(
     pool: &mut DevicePool,
     policy: ShardPolicy,
@@ -323,74 +477,190 @@ pub fn run_sharded<T: Send>(
         .take(shards.iter().map(Vec::len).sum())
         .collect();
 
-    // Coarse beats fine: with several active devices and host threads to
-    // spare, each device gets its own worker and the per-slot fan-out
-    // inside each executor stays serial (no host oversubscription). A
-    // lone active device instead hands the whole thread budget to its
-    // executor's per-slot fan-out.
-    let host_threads = batchzk_par::current_threads();
-    let active = shards.iter().filter(|s| !s.is_empty()).count();
-    let slot_threads = if host_threads > 1 && active > 1 {
-        1
-    } else {
-        host_threads
-    };
+    let mut device_stats: Vec<Option<RunStats>> = (0..n).map(|_| None).collect();
+    let mut device_ms = vec![0.0f64; n];
+    let mut makespan_ms = 0.0f64;
+    let mut recovery: Option<RecoveryReport> = None;
+    let mut caps = plan.max_in_flight.clone();
 
-    type DeviceRun<T> = (Vec<usize>, f64, Result<PipelineRun<T>, PipelineError>);
-    let device_runs: Vec<DeviceRun<T>> = {
-        let stages = &stages;
-        let caps = &plan.max_in_flight;
-        let mut items: Vec<(&mut Gpu, Vec<(usize, T)>)> =
-            pool.devices_mut().iter_mut().zip(shards).collect();
-        batchzk_par::par_map_mut_with(host_threads, &mut items, |d, (gpu, shard)| {
-            let shard = std::mem::take(shard);
-            let device_stages = stages(gpu);
-            let start = gpu.elapsed_ms();
-            let mut exec = PipelineExecutor::new(gpu, device_stages, multi_stream);
-            exec.set_host_threads(slot_threads);
-            exec.set_queue_capacity(shard.len().max(1));
-            exec.set_max_in_flight(caps[d]);
-            let mut indices = Vec::with_capacity(shard.len());
-            for (i, task) in shard {
-                indices.push(i);
-                if exec.submit(task).is_err() {
-                    unreachable!("queue sized to the shard");
-                }
-            }
-            let run = exec.drain();
-            drop(exec);
-            (indices, gpu.elapsed_ms() - start, run)
-        })
-    };
+    loop {
+        // One round: every device drains its current shard concurrently.
+        // Coarse beats fine: with several active devices and host threads
+        // to spare, each device gets its own worker and the per-slot
+        // fan-out inside each executor stays serial (no host
+        // oversubscription). A lone active device instead hands the whole
+        // thread budget to its executor's per-slot fan-out.
+        let host_threads = batchzk_par::current_threads();
+        let active = shards.iter().filter(|s| !s.is_empty()).count();
+        let slot_threads = if host_threads > 1 && active > 1 {
+            1
+        } else {
+            host_threads
+        };
 
-    let mut device_stats = Vec::with_capacity(n);
-    let mut device_ms = Vec::with_capacity(n);
-    let mut first_err: Option<PipelineError> = None;
-    for (indices, elapsed, result) in device_runs {
-        match result {
-            Ok(run) => {
-                for (i, out) in indices.into_iter().zip(run.outputs) {
-                    slots[i] = Some(out);
+        // On a recoverable fault the worker harvests what completed and
+        // salvages the rest instead of discarding the round.
+        type DeviceRun<T> = (
+            Vec<usize>,
+            f64,
+            PipelineRun<T>,
+            Option<(PipelineError, Vec<T>)>,
+        );
+        let device_runs: Vec<DeviceRun<T>> = {
+            let stages = &stages;
+            let caps = &caps;
+            let round_shards = std::mem::replace(&mut shards, (0..n).map(|_| Vec::new()).collect());
+            let mut items: Vec<(&mut Gpu, Vec<(usize, T)>)> =
+                pool.devices_mut().iter_mut().zip(round_shards).collect();
+            batchzk_par::par_map_mut_with(host_threads, &mut items, |d, (gpu, shard)| {
+                let shard = std::mem::take(shard);
+                let device_stages = stages(gpu);
+                let start = gpu.elapsed_ms();
+                let mut exec = PipelineExecutor::new(gpu, device_stages, multi_stream);
+                exec.set_host_threads(slot_threads);
+                exec.set_queue_capacity(shard.len().max(1));
+                exec.set_max_in_flight(caps[d]);
+                let mut indices = Vec::with_capacity(shard.len());
+                for (i, task) in shard {
+                    indices.push(i);
+                    if exec.submit(task).is_err() {
+                        unreachable!("queue sized to the shard");
+                    }
                 }
-                device_stats.push(run.stats);
-                device_ms.push(elapsed);
+                let (run, fault) = match exec.drain() {
+                    Ok(run) => (run, None),
+                    Err(e) => {
+                        let partial = exec.harvest();
+                        let leftover = exec.take_pending();
+                        (partial, Some((e, leftover)))
+                    }
+                };
+                drop(exec);
+                (indices, gpu.elapsed_ms() - start, run, fault)
+            })
+        };
+
+        // Merge the round in device order; collect what a fault lost.
+        let mut lost: Vec<(usize, T)> = Vec::new();
+        let mut fatal: Option<PipelineError> = None;
+        let mut round_max_ms = 0.0f64;
+        for (d, (indices, elapsed, run, fault)) in device_runs.into_iter().enumerate() {
+            let done = run.outputs.len();
+            for (&i, out) in indices.iter().zip(run.outputs) {
+                slots[i] = Some(out);
             }
-            Err(e) => {
-                if first_err.is_none() {
-                    first_err = Some(e);
+            merge_stats(&mut device_stats[d], run.stats);
+            device_ms[d] += elapsed;
+            round_max_ms = round_max_ms.max(elapsed);
+            if let Some((err, leftover)) = fault {
+                match err {
+                    PipelineError::DeviceFailed { .. } | PipelineError::KernelDropped { .. } => {
+                        let rec = recovery.get_or_insert_with(RecoveryReport::default);
+                        if matches!(err, PipelineError::DeviceFailed { .. }) {
+                            if !rec.failed_devices.contains(&d) {
+                                rec.failed_devices.push(d);
+                            }
+                        } else {
+                            rec.dropped_kernels += 1;
+                        }
+                        rec.replayed_tasks += leftover.len();
+                        rec.faults.push(err);
+                        lost.extend(indices[done..].iter().copied().zip(leftover));
+                    }
+                    other => {
+                        if fatal.is_none() {
+                            fatal = Some(other);
+                        }
+                    }
                 }
             }
         }
-    }
-    if let Some(e) = first_err {
-        return Err(e);
+        // Replay rounds run after the previous round's laggard, so
+        // per-round maxima accumulate into the makespan.
+        makespan_ms += round_max_ms;
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        if lost.is_empty() {
+            break;
+        }
+
+        // Reshard the lost slice over the survivors and go again.
+        let rec = recovery.as_mut().expect("lost tasks imply a fault");
+        rec.replay_rounds += 1;
+        lost.sort_by_key(|&(i, _)| i);
+        let failed: Vec<bool> = (0..n).map(|d| pool.device(d).is_failed()).collect();
+        if failed.iter().all(|&f| f) {
+            // Nobody left to replay on: surface the first fail-stop.
+            return Err(rec
+                .faults
+                .iter()
+                .find(|e| matches!(e, PipelineError::DeviceFailed { .. }))
+                .cloned()
+                .expect("an all-failed pool saw at least one fail-stop"));
+        }
+        let capacities: Vec<u64> = (0..n)
+            .map(|d| pool.device(d).memory_ref().capacity())
+            .collect();
+        let lost_fp: Vec<u64> = lost.iter().map(|&(i, _)| footprints[i]).collect();
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n];
+        greedy_assign(pool, &lost_fp, &mut assignments, |d, fp| {
+            !failed[d]
+                && (policy != ShardPolicy::MemoryAware || fp.saturating_mul(2) <= capacities[d])
+        });
+        // A task that fits no surviving device goes to the biggest healthy
+        // one so the executor surfaces precise OOM diagnostics.
+        let mut assigned = vec![false; lost.len()];
+        for a in &assignments {
+            for &p in a {
+                assigned[p] = true;
+            }
+        }
+        if assigned.iter().any(|&a| !a) {
+            let biggest = (0..n)
+                .filter(|&d| !failed[d])
+                .max_by_key(|&d| capacities[d])
+                .expect("a healthy device exists");
+            for (p, was) in assigned.iter().enumerate() {
+                if !was {
+                    assignments[biggest].push(p);
+                }
+            }
+            assignments[biggest].sort_unstable();
+        }
+        let mut lost_owner = vec![0usize; lost.len()];
+        for (d, a) in assignments.iter().enumerate() {
+            for &p in a {
+                lost_owner[p] = d;
+            }
+        }
+        for (p, (i, task)) in lost.into_iter().enumerate() {
+            shards[lost_owner[p]].push((i, task));
+        }
+        // Re-derive memory-aware admission caps for the replay shards —
+        // a survivor may inherit bigger tasks than its original shard.
+        if policy == ShardPolicy::MemoryAware {
+            for d in 0..n {
+                let worst = shards[d]
+                    .iter()
+                    .map(|&(i, _)| footprints[i])
+                    .max()
+                    .unwrap_or(0);
+                if let Some(fit) = capacities[d].checked_div(worst) {
+                    caps[d] = (fit.saturating_sub(1).max(1) as usize).min(depth.max(1));
+                }
+            }
+        }
     }
 
     let outputs: Vec<T> = slots
         .into_iter()
         .map(|s| s.expect("every task ran on exactly one device"))
         .collect();
-    let makespan_ms = device_ms.iter().copied().fold(0.0, f64::max);
+    let device_stats: Vec<RunStats> = device_stats
+        .into_iter()
+        .map(|s| s.expect("every device ran in the first round"))
+        .collect();
     Ok(ShardedRun {
         outputs,
         device_stats,
@@ -398,6 +668,7 @@ pub fn run_sharded<T: Send>(
         policy,
         makespan_ms,
         device_ms,
+        recovery,
     })
 }
 
@@ -713,6 +984,306 @@ mod tests {
             assert_eq!(snap, snap1, "snapshot differs at {threads} threads");
             assert_eq!(out, out1, "outputs differ at {threads} threads");
             assert_eq!(ms, ms1, "device times differ at {threads} threads");
+        }
+    }
+
+    /// Replay-safe stage for fault tests: OR-ing a bit is idempotent, so
+    /// a salvaged task that restarts from stage 0 converges to the same
+    /// value (unlike `AddStage`, which would double-count).
+    struct OrStage {
+        bit: u64,
+    }
+
+    impl PipeStage<u64> for OrStage {
+        fn name(&self) -> String {
+            format!("or-{:x}", self.bit)
+        }
+        fn threads(&self) -> u32 {
+            32
+        }
+        fn process(&self, task: &mut u64) -> StageWork {
+            *task |= self.bit;
+            StageWork {
+                work: Work::Uniform {
+                    units: 32,
+                    cycles_per_unit: 100,
+                },
+                h2d_bytes: 0,
+                d2h_bytes: 0,
+                mem_after: 64,
+            }
+        }
+    }
+
+    fn or_factory() -> impl Fn(&Gpu) -> Vec<BoxedStage<u64>> {
+        |_gpu| {
+            vec![
+                Box::new(OrStage { bit: 0x100 }) as BoxedStage<u64>,
+                Box::new(OrStage { bit: 0x200 }),
+                Box::new(OrStage { bit: 0x400 }),
+            ]
+        }
+    }
+
+    /// The tentpole invariant: a scripted single-device fail-stop
+    /// mid-batch completes on the survivor with outputs byte-identical to
+    /// a fault-free run, and the recovery report accounts for the replay.
+    #[test]
+    fn single_fail_stop_recovers_byte_identical_outputs() {
+        use batchzk_gpu_sim::FaultPlan;
+        let tasks: Vec<u64> = (0..16).collect();
+        let mut clean_pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        let clean = run_sharded(
+            &mut clean_pool,
+            ShardPolicy::LeastOutstanding,
+            tasks.clone(),
+            |_| 64,
+            or_factory(),
+            true,
+        )
+        .expect("fault-free run completes");
+        assert!(clean.recovery.is_none());
+
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        // Cycle 1: device 1 fail-stops at its second step boundary, with
+        // tasks in flight and most of its shard still pending.
+        pool.apply_fault_plan(&FaultPlan::new().fail_stop(1, 1));
+        let run = run_sharded(
+            &mut pool,
+            ShardPolicy::LeastOutstanding,
+            tasks,
+            |_| 64,
+            or_factory(),
+            true,
+        )
+        .expect("survivor absorbs the dead device's shard");
+        assert_eq!(run.outputs, clean.outputs, "recovery must be invisible");
+        let rec = run.recovery.as_ref().expect("a fault fired");
+        assert_eq!(rec.failed_devices, vec![1]);
+        assert_eq!(rec.dropped_kernels, 0);
+        assert_eq!(rec.replay_rounds, 1);
+        assert!(rec.replayed_tasks > 0, "the dead shard was replayed");
+        assert_eq!(rec.faults.len(), 1);
+        assert!(matches!(
+            rec.faults[0],
+            PipelineError::DeviceFailed { salvaged, .. } if salvaged > 0
+        ));
+        // The dead device's memory was released by the salvage.
+        assert_eq!(pool.device(1).memory_ref().in_use(), 0);
+        assert!(pool.device(1).is_failed());
+        // Recovery costs time: the survivor ran two rounds.
+        assert!(run.makespan_ms > clean.makespan_ms);
+    }
+
+    /// When every device fail-stops there is no survivor to reshard onto:
+    /// the run returns a clean `DeviceFailed` instead of hanging or
+    /// panicking.
+    #[test]
+    fn fail_stop_of_every_device_is_a_clean_error() {
+        use batchzk_gpu_sim::FaultPlan;
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        pool.apply_fault_plan(&FaultPlan::new().fail_stop(0, 0).fail_stop(1, 0));
+        let err = run_sharded(
+            &mut pool,
+            ShardPolicy::RoundRobin,
+            (0..8u64).collect(),
+            |_| 64,
+            or_factory(),
+            true,
+        )
+        .expect_err("no survivors");
+        assert!(matches!(err, PipelineError::DeviceFailed { .. }));
+    }
+
+    /// A kernel-drop fault leaves the device healthy, so the replay goes
+    /// back to the same device — even a single-device pool recovers.
+    #[test]
+    fn kernel_drop_replays_on_the_same_device() {
+        use batchzk_gpu_sim::FaultPlan;
+        let tasks: Vec<u64> = (0..6).collect();
+        let mut clean_pool = DevicePool::homogeneous(DeviceProfile::a100(), 1);
+        let clean = run_sharded(
+            &mut clean_pool,
+            ShardPolicy::RoundRobin,
+            tasks.clone(),
+            |_| 64,
+            or_factory(),
+            true,
+        )
+        .expect("fault-free");
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 1);
+        pool.apply_fault_plan(&FaultPlan::new().drop_kernel(0, 0, 2));
+        let run = run_sharded(
+            &mut pool,
+            ShardPolicy::RoundRobin,
+            tasks,
+            |_| 64,
+            or_factory(),
+            true,
+        )
+        .expect("drop is absorbed by replay");
+        assert_eq!(run.outputs, clean.outputs);
+        let rec = run.recovery.as_ref().expect("a fault fired");
+        assert!(rec.failed_devices.is_empty(), "device stayed healthy");
+        assert_eq!(rec.dropped_kernels, 1);
+        assert_eq!(rec.replay_rounds, 1);
+        assert!(matches!(
+            &rec.faults[0],
+            PipelineError::KernelDropped { stage, .. } if stage.starts_with("or-")
+        ));
+        assert!(!pool.device(0).is_failed());
+    }
+
+    /// A degraded clock is not an error: the run completes with no
+    /// recovery report, just more virtual time on the slow device.
+    #[test]
+    fn degraded_clock_slows_but_completes_without_recovery() {
+        use batchzk_gpu_sim::FaultPlan;
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        pool.apply_fault_plan(&FaultPlan::new().degraded_clock(1, 0, 300));
+        let run = run_sharded(
+            &mut pool,
+            ShardPolicy::RoundRobin,
+            (0..8u64).collect(),
+            |_| 64,
+            or_factory(),
+            true,
+        )
+        .expect("degradation is not failure");
+        assert!(run.recovery.is_none());
+        assert_eq!(
+            run.outputs,
+            (0..8u64).map(|t| t | 0x700).collect::<Vec<_>>()
+        );
+        assert_eq!(pool.degraded_count(), 1);
+        assert!(
+            run.device_ms[1] > run.device_ms[0] * 2.0,
+            "3x-degraded device {} vs healthy {}",
+            run.device_ms[1],
+            run.device_ms[0]
+        );
+    }
+
+    /// The determinism matrix extended to faulty runs: the same fault
+    /// plan at 1, 2 and 4 host threads produces byte-identical outputs,
+    /// recovery reports, and per-device stats.
+    #[test]
+    fn faulty_runs_identical_across_thread_counts() {
+        use batchzk_gpu_sim::FaultPlan;
+        let run_at = |threads: usize| {
+            batchzk_par::with_threads(threads, || {
+                let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 3);
+                pool.apply_fault_plan(&FaultPlan::new().fail_stop(1, 2_000).drop_kernel(2, 0, 3));
+                let run = run_sharded(
+                    &mut pool,
+                    ShardPolicy::LeastOutstanding,
+                    (0..21u64).collect(),
+                    |_| 64,
+                    or_factory(),
+                    true,
+                )
+                .expect("recovers");
+                (run, pool.snapshot())
+            })
+        };
+        let (base, snap1) = run_at(1);
+        base.recovery.as_ref().expect("the fault plan fired");
+        for threads in [2, 4] {
+            let (run, snap) = run_at(threads);
+            assert_eq!(run.outputs, base.outputs, "threads={threads}");
+            assert_eq!(run.recovery, base.recovery, "threads={threads}");
+            assert_eq!(run.device_ms, base.device_ms, "threads={threads}");
+            assert_eq!(snap, snap1, "threads={threads}");
+            for (a, b) in run.device_stats.iter().zip(&base.device_stats) {
+                assert_eq!(a.total_cycles, b.total_cycles, "threads={threads}");
+                assert_eq!(a.stage_stats, b.stage_stats, "threads={threads}");
+                assert_eq!(a.lifecycles, b.lifecycles, "threads={threads}");
+            }
+        }
+    }
+
+    /// Seeded sweep over scripted fault plans (SplitMix64; no external
+    /// generator): whenever the pool keeps at least one healthy device
+    /// the run must recover byte-identically to the fault-free baseline,
+    /// and an all-failed pool must error cleanly — never hang, never
+    /// return wrong bytes.
+    #[test]
+    fn scripted_fault_sweep_recovers_or_errors_cleanly() {
+        use batchzk_gpu_sim::{FaultKind, FaultPlan};
+        struct Rng(u64);
+        impl Rng {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            }
+            fn range(&mut self, lo: u64, hi: u64) -> u64 {
+                lo + ((self.next() as u128 * (hi - lo) as u128) >> 64) as u64
+            }
+        }
+        let devices = 3usize;
+        let tasks: Vec<u64> = (0..18).collect();
+        let mut clean_pool = DevicePool::homogeneous(DeviceProfile::a100(), devices);
+        let clean = run_sharded(
+            &mut clean_pool,
+            ShardPolicy::LeastOutstanding,
+            tasks.clone(),
+            |_| 64,
+            or_factory(),
+            true,
+        )
+        .expect("baseline");
+
+        let mut rng = Rng(0xBA7C);
+        for case in 0..12 {
+            let mut plan = FaultPlan::new();
+            let entries = rng.range(1, 4);
+            for _ in 0..entries {
+                let device = rng.range(0, devices as u64) as usize;
+                let at_cycle = rng.range(0, 30_000);
+                let kind = match rng.range(0, 3) {
+                    0 => FaultKind::FailStop,
+                    1 => FaultKind::DegradedClock {
+                        factor_percent: rng.range(150, 500) as u32,
+                    },
+                    _ => FaultKind::DropKernel {
+                        nth: rng.range(1, 6) as u32,
+                    },
+                };
+                plan.push(batchzk_gpu_sim::FaultEntry {
+                    device,
+                    at_cycle,
+                    kind,
+                });
+            }
+            let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), devices);
+            pool.apply_fault_plan(&plan);
+            match run_sharded(
+                &mut pool,
+                ShardPolicy::LeastOutstanding,
+                tasks.clone(),
+                |_| 64,
+                or_factory(),
+                true,
+            ) {
+                Ok(run) => assert_eq!(
+                    run.outputs, clean.outputs,
+                    "case {case} plan {plan} corrupted outputs"
+                ),
+                Err(e) => {
+                    assert!(
+                        matches!(e, PipelineError::DeviceFailed { .. }),
+                        "case {case} plan {plan}: unexpected error {e}"
+                    );
+                    assert_eq!(
+                        pool.healthy_devices().len(),
+                        0,
+                        "case {case} plan {plan}: errored with survivors"
+                    );
+                }
+            }
         }
     }
 

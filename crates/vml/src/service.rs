@@ -15,7 +15,7 @@ use batchzk_gpu_sim::{DevicePool, Gpu};
 use batchzk_hash::Digest;
 use batchzk_merkle::MerkleTree;
 use batchzk_metrics::Registry;
-use batchzk_pipeline::{observe, PipelineError, RunStats, ShardPolicy};
+use batchzk_pipeline::{observe, PipelineError, RecoveryReport, RunStats, ShardPolicy};
 use batchzk_zkp::r1cs::R1cs;
 use batchzk_zkp::{prove_batch, prove_batch_pool, verify, PcsParams, Proof};
 
@@ -63,6 +63,10 @@ pub struct PoolServiceRun {
     pub device_stats: Vec<RunStats>,
     /// Wall time of the round: the slowest device's elapsed ms.
     pub makespan_ms: f64,
+    /// What fault recovery (if any) the round performed. Even under
+    /// recovery the predictions above carry proofs byte-identical to a
+    /// fault-free round.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl MlService {
@@ -170,11 +174,22 @@ impl MlService {
     /// proofs byte-identical to a single-device [`serve_batch`]; metrics
     /// gain the per-device label dimension.
     ///
+    /// If a pool device carries a scripted fault
+    /// ([`batchzk_gpu_sim::FaultPlan`]), the round rides the scheduler's
+    /// survivor resharding: requests lost to a fail-stop or dropped kernel
+    /// are replayed on healthy devices, the returned
+    /// [`PoolServiceRun::recovery`] describes what happened, and the fault
+    /// metric families (`batchzk_device_failures_total`,
+    /// `batchzk_pool_failed_devices`, ...) are recorded under the `vml`
+    /// module.
+    ///
     /// # Errors
     ///
     /// Returns [`PipelineError::OutOfDeviceMemory`] if a shard's working
     /// set does not fit its device even under the memory-aware admission
-    /// cap; all devices are left clean.
+    /// cap; all devices are left clean. Returns
+    /// [`PipelineError::DeviceFailed`] only when every pool device has
+    /// fail-stopped.
     ///
     /// # Panics
     ///
@@ -205,6 +220,10 @@ impl MlService {
             &run.device_stats,
             &run.device_ms,
         );
+        if let Some(recovery) = &run.recovery {
+            observe::record_recovery(&mut self.metrics, VML_MODULE, recovery);
+        }
+        observe::record_pool_health(&mut self.metrics, VML_MODULE, pool);
         let predictions = run
             .proofs
             .into_iter()
@@ -219,6 +238,7 @@ impl MlService {
             predictions,
             device_stats: run.device_stats,
             makespan_ms: run.makespan_ms,
+            recovery: run.recovery,
         })
     }
 
@@ -337,6 +357,50 @@ mod tests {
             .metrics()
             .counter("batchzk_tasks_total", &[("module", "vml"), ("device", "1")]);
         assert_eq!(d0 + d1, 4);
+    }
+
+    #[test]
+    fn pooled_service_survives_device_fail_stop() {
+        use batchzk_gpu_sim::FaultPlan;
+        let mut svc = service();
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| synthetic_image(50 + i, &svc.network().input_shape))
+            .collect();
+        let mut clean_pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        let clean = svc
+            .serve_batch_pool(
+                &mut clean_pool,
+                &images,
+                4096,
+                ShardPolicy::LeastOutstanding,
+            )
+            .expect("fits");
+        assert!(clean.recovery.is_none());
+
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        pool.apply_fault_plan(&FaultPlan::new().fail_stop(1, 0));
+        let run = svc
+            .serve_batch_pool(&mut pool, &images, 4096, ShardPolicy::LeastOutstanding)
+            .expect("survivor carries the round");
+        assert_eq!(run.predictions.len(), 4);
+        for (p, c) in run.predictions.iter().zip(&clean.predictions) {
+            assert!(svc.verify_prediction(p));
+            assert_eq!(p.proof, c.proof, "recovery is invisible in the proof");
+            assert_eq!(p.logits, c.logits);
+        }
+        let rec = run.recovery.expect("fail-stop was recovered");
+        assert_eq!(rec.failed_devices, vec![1]);
+        assert!(rec.replay_rounds >= 1);
+        // Fault metric families recorded under the vml module.
+        let m = [("module", "vml")];
+        assert_eq!(
+            svc.metrics().counter("batchzk_device_failures_total", &m),
+            1
+        );
+        assert_eq!(
+            svc.metrics().gauge("batchzk_pool_failed_devices", &m),
+            Some(1.0)
+        );
     }
 
     #[test]

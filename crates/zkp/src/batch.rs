@@ -26,7 +26,7 @@ use batchzk_hash::Transcript;
 use batchzk_metrics::Registry;
 use batchzk_pipeline::{
     allocate_threads, observe, run_sharded, BoxedStage, PipeStage, Pipeline, PipelineError,
-    RunStats, ShardPolicy, StageWork,
+    RecoveryReport, RunStats, ShardPolicy, StageWork,
 };
 
 use crate::pcs::{self, EncodedRows, PcsCommitment, PcsParams, PcsProverData};
@@ -383,6 +383,10 @@ pub struct PoolBatchRun<F: Field> {
     pub makespan_ms: f64,
     /// Per-device elapsed milliseconds for this batch.
     pub device_ms: Vec<f64>,
+    /// Fault-recovery account when a device fail-stopped or dropped a
+    /// kernel mid-batch (`None` for a fault-free run). Even under
+    /// recovery the proofs above are byte-identical to a fault-free run.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl<F: Field> PoolBatchRun<F> {
@@ -416,11 +420,20 @@ impl<F: Field> PoolBatchRun<F> {
 /// `total_threads` allocated by its cost model; proofs come back in input
 /// order and are byte-identical to a single-device [`prove_batch`].
 ///
+/// Devices carrying scripted faults (a
+/// [`FaultPlan`](batchzk_gpu_sim::FaultPlan) applied to the pool) are
+/// tolerated: a fail-stop or dropped kernel salvages the affected tasks
+/// and reshards them over the surviving devices, and the stage design is
+/// replay-safe (every stage overwrites its task fields), so recovered
+/// proofs are still byte-identical to a fault-free run. The cost appears
+/// in [`PoolBatchRun::recovery`].
+///
 /// # Errors
 ///
 /// Returns [`PipelineError::OutOfDeviceMemory`] if a shard does not fit
 /// its device even under the memory-aware admission cap (only a single
-/// task larger than every device's memory is unrecoverable).
+/// task larger than every device's memory is unrecoverable), and
+/// [`PipelineError::DeviceFailed`] when *every* pool device fail-stops.
 ///
 /// # Panics
 ///
@@ -460,6 +473,7 @@ pub fn prove_batch_pool<F: Field>(
         policy,
         makespan_ms: run.makespan_ms,
         device_ms: run.device_ms,
+        recovery: run.recovery,
     })
 }
 
@@ -771,6 +785,68 @@ mod tests {
         }
     }
 
+    /// The end-to-end tentpole invariant: a device that fail-stops halfway
+    /// through its shard loses no proofs — the survivor replays the
+    /// salvaged tasks and the recovered proofs are byte-identical to a
+    /// fault-free run (and still verify). The same fault plan is also
+    /// byte-deterministic across host thread counts.
+    #[test]
+    fn pool_recovers_from_mid_batch_fail_stop_with_identical_proofs() {
+        use batchzk_gpu_sim::FaultPlan;
+        let (r1cs, batch) = instances(16, 8);
+        let params = test_params();
+        let mut clean_pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        let clean = prove_batch_pool(
+            &mut clean_pool,
+            Arc::clone(&r1cs),
+            params,
+            batch.clone(),
+            4096,
+            true,
+            ShardPolicy::LeastOutstanding,
+        )
+        .expect("fault-free baseline");
+        assert!(clean.recovery.is_none());
+
+        // Fail device 1 halfway through its fault-free elapsed cycles —
+        // squarely mid-shard, with proofs completed and proofs in flight.
+        let mid = clean.device_stats[1].total_cycles / 2;
+        assert!(mid > 0);
+        let faulty = |threads: usize| {
+            batchzk_par::with_threads(threads, || {
+                let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+                pool.apply_fault_plan(&FaultPlan::new().fail_stop(1, mid));
+                prove_batch_pool(
+                    &mut pool,
+                    Arc::clone(&r1cs),
+                    params,
+                    batch.clone(),
+                    4096,
+                    true,
+                    ShardPolicy::LeastOutstanding,
+                )
+                .expect("survivor completes the batch")
+            })
+        };
+        let run = faulty(1);
+        assert_eq!(run.proofs, clean.proofs, "recovery must be invisible");
+        for (io, proof) in &run.proofs {
+            assert!(verify(&params, &r1cs, io, proof));
+        }
+        let rec = run.recovery.as_ref().expect("the fail-stop fired");
+        assert_eq!(rec.failed_devices, vec![1]);
+        assert!(rec.replayed_tasks > 0);
+        assert!(
+            run.makespan_ms > clean.makespan_ms,
+            "recovery costs wall time"
+        );
+        // Same fault plan, more host threads: byte-identical everything.
+        let run2 = faulty(2);
+        assert_eq!(run2.proofs, run.proofs);
+        assert_eq!(run2.recovery, run.recovery);
+        assert_eq!(run2.device_ms, run.device_ms);
+    }
+
     #[test]
     fn faster_gpu_higher_throughput() {
         let params = test_params();
@@ -881,6 +957,10 @@ impl<F: Field> StreamingProver<F> {
             &run.device_stats,
             &run.device_ms,
         );
+        if let Some(recovery) = &run.recovery {
+            observe::record_recovery(&mut self.metrics, SYSTEM_MODULE, recovery);
+        }
+        observe::record_pool_health(&mut self.metrics, SYSTEM_MODULE, &self.pool);
         self.proofs_emitted += run.proofs.len();
         Ok(run.proofs)
     }
@@ -993,6 +1073,60 @@ mod streaming_tests {
         assert_eq!(prover.gpu().memory_ref().in_use(), 0);
         let gpu = prover.into_gpu();
         assert!(gpu.elapsed_cycles() > 0);
+    }
+
+    /// A fail-stop during a streamed chunk surfaces in the service
+    /// metrics: failure counters, replay counters, and the pool-health
+    /// gauges a dashboard would alert on.
+    #[test]
+    fn streaming_prover_records_fault_metrics() {
+        use batchzk_gpu_sim::FaultPlan;
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(16, 42);
+        let r1cs = Arc::new(r1cs);
+        let params = PcsParams {
+            num_col_tests: 8,
+            ..PcsParams::default()
+        };
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        pool.apply_fault_plan(&FaultPlan::new().fail_stop(1, 0));
+        let mut prover = StreamingProver::over_pool(
+            pool,
+            ShardPolicy::LeastOutstanding,
+            Arc::clone(&r1cs),
+            params,
+            2048,
+        );
+        let proofs = prover
+            .prove_chunk(vec![(inputs.clone(), witness.clone()); 4])
+            .expect("survivor proves the chunk");
+        assert_eq!(proofs.len(), 4);
+        for (io, proof) in &proofs {
+            assert!(verify(&params, &r1cs, io, proof));
+        }
+        let m = [("module", "system")];
+        assert_eq!(
+            prover
+                .metrics()
+                .counter("batchzk_device_failures_total", &m),
+            1
+        );
+        assert!(prover.metrics().counter("batchzk_tasks_replayed_total", &m) > 0);
+        assert_eq!(
+            prover.metrics().gauge("batchzk_pool_failed_devices", &m),
+            Some(1.0)
+        );
+        assert_eq!(
+            prover.metrics().gauge("batchzk_pool_degraded_devices", &m),
+            Some(0.0)
+        );
+        // The healthy device carried every proof.
+        assert_eq!(
+            prover.metrics().counter(
+                "batchzk_tasks_total",
+                &[("module", "system"), ("device", "0")]
+            ),
+            4
+        );
     }
 
     #[test]
