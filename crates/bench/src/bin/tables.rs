@@ -1,9 +1,10 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! Usage: `tables <experiment|all|help> [--quick|--medium|--paper]
-//! [--devices N] [--profile <name>] [--threads N] [--fault-plan <spec>]`
+//! [--devices N] [--profile <name>] [--threads N] [--fault-plan <spec>]
+//! [--trace <spec>] [--trace-file <path>]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
-//! `ablation`, `scaling`, `faults`, `trace`, `bench-json`.
+//! `ablation`, `scaling`, `faults`, `serve`, `trace`, `bench-json`.
 //!
 //! `--threads N` sets the host worker-pool size every experiment runs
 //! under (device clocks and per-slot payload work fan out across it);
@@ -25,6 +26,17 @@
 //! `--fault-plan <spec>` appends a custom scenario; the spec grammar is
 //! comma-separated `<device>@<cycle>:fail`, `<device>@<cycle>:slow:<pct>`,
 //! or `<device>@<cycle>:drop:<nth>` (see `OPERATIONS.md`).
+//!
+//! `serve` replays an open-loop arrival trace through the online proving
+//! service on A100 pools of 1 and 4 devices and prints the per-class SLO
+//! report (submitted / accepted / rejected-with-reason, p50/p95/p99
+//! latency vs SLO, goodput). The default trace is the committed reference
+//! trace (`traces/reference.trace`); override it with `--trace <spec>`
+//! (the arrival grammar of `DESIGN.md` §13: comma-separated
+//! `<class>@<cycle>:one | <class>@<cycle>:poisson:<gap>:<count>:<seed> |
+//! <class>@<cycle>:onoff:<gap>:<count>:<seed>:<on>:<off>`) or
+//! `--trace-file <path>`. Empty traces and malformed specs are errors,
+//! not panics.
 //!
 //! `trace` is not part of `all`: it prints the per-stage timeline and
 //! stage-imbalance table of the pipelined Merkle module, then the raw
@@ -73,6 +85,11 @@ const EXPERIMENTS: &[(&str, bool, &str)] = &[
         "scripted-fault recovery overhead (--fault-plan)",
     ),
     (
+        "serve",
+        true,
+        "online service replay: per-class SLO report (--trace, --trace-file)",
+    ),
+    (
         "trace",
         false,
         "per-stage timeline + Chrome-trace JSON (explicit-only)",
@@ -111,6 +128,13 @@ fn usage() -> String {
          \x20              comma-separated dev@cycle:fail | dev@cycle:slow:<pct>\n\
          \x20              | dev@cycle:drop:<nth>)\n",
     );
+    out.push_str(
+        "serve flags:   --trace <spec> | --trace-file <path> (arrival trace to\n\
+         \x20              replay; default is the committed reference trace.\n\
+         \x20              Spec grammar (DESIGN.md 13): comma-separated\n\
+         \x20              class@cycle:one | class@cycle:poisson:<gap>:<count>:<seed>\n\
+         \x20              | class@cycle:onoff:<gap>:<count>:<seed>:<on>:<off>)\n",
+    );
     out
 }
 
@@ -134,10 +158,42 @@ fn main() -> ExitCode {
     let mut max_devices = 8usize;
     let mut profile = experiments::profile_by_name("a100").expect("a100 profile exists");
     let mut fault_plan: Option<batchzk_gpu_sim::FaultPlan> = None;
+    let mut arrival_plan = experiments::reference_plan();
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace" => match it.next().map(|v| batchzk_gpu_sim::ArrivalPlan::parse(&v)) {
+                Some(Ok(plan)) => arrival_plan = plan,
+                Some(Err(e)) => {
+                    eprintln!("tables: bad --trace spec: {e}\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("tables: --trace needs a spec argument\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-file" => match it.next() {
+                Some(path) => match std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| batchzk_gpu_sim::ArrivalPlan::parse(&s))
+                {
+                    Ok(plan) => arrival_plan = plan,
+                    Err(e) => {
+                        eprintln!("tables: bad --trace-file `{path}`: {e}\n");
+                        eprint!("{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("tables: --trace-file needs a path argument\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--fault-plan" => match it.next().map(|v| batchzk_gpu_sim::FaultPlan::parse(&v)) {
                 Some(Ok(plan)) => fault_plan = Some(plan),
                 Some(Err(e)) => {
@@ -264,6 +320,15 @@ fn main() -> ExitCode {
     }
     if want("faults") {
         println!("{}", experiments::faults(&scale, fault_plan.as_ref()));
+    }
+    if want("serve") {
+        match experiments::serve(&scale, &arrival_plan) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("tables: serve failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     // `trace` is explicit-only: its JSON payload would drown `all` output.
     if which.contains(&"trace") {

@@ -7,15 +7,22 @@ use std::time::Instant;
 
 use batchzk_encoder::{Encoder, EncoderParams};
 use batchzk_field::{Field, Fr};
-use batchzk_gpu_sim::{DevicePool, DeviceProfile, FaultPlan, Gpu};
+use batchzk_gpu_sim::{ArrivalPlan, DevicePool, DeviceProfile, FaultPlan, Gpu};
 use batchzk_hash::Prg;
-use batchzk_metrics::{analyze_pool, analyze_recovery, DeviceObservation, PoolAnalysis};
+use batchzk_metrics::{
+    analyze_pool, analyze_recovery, analyze_service, DeviceObservation, PoolAnalysis,
+    ServiceClassObservation,
+};
 use batchzk_pipeline::{
-    allocate_threads, encoder as penc, merkle as pmerkle, naive, sumcheck as psum, ShardPolicy,
+    allocate_threads, encoder as penc, merkle as pmerkle, naive, sumcheck as psum, ClassPolicy,
+    PriorityClass, ServiceConfig, ServiceOutcome, ShardPolicy,
 };
 use batchzk_zkp::batch::module_weights;
 use batchzk_zkp::r1cs::{synthetic_r1cs, R1cs};
-use batchzk_zkp::{pcs, prove_batch, prove_batch_pool, spartan, PcsParams};
+use batchzk_zkp::{
+    pcs, prove_batch, prove_batch_pool, prove_service, spartan, PcsParams, ProofRequest,
+    ServiceProofRun,
+};
 
 use crate::baseline::{groth16_cpu, groth16_gpu, BELLPERSON_BYTES_PER_CONSTRAINT};
 use crate::scale::Scale;
@@ -975,6 +982,287 @@ pub fn faults(scale: &Scale, extra: Option<&FaultPlan>) -> String {
     out
 }
 
+/// The committed reference arrival trace (`traces/reference.trace`),
+/// embedded so `tables serve` and the BENCH.json `service` section replay
+/// identical load everywhere. Trace time is in *units* of 1/100 of the
+/// measured steady-state proof interval (see [`serve`]), so the same spec
+/// exercises every scale comparably.
+pub const REFERENCE_TRACE: &str = include_str!("../../../traces/reference.trace");
+
+/// Parses the committed reference trace. Panics only if the committed file
+/// is corrupted (CI replays it on every push).
+pub fn reference_plan() -> ArrivalPlan {
+    ArrivalPlan::parse(REFERENCE_TRACE).expect("committed reference trace parses")
+}
+
+/// Trace time units per measured proof interval: an arrival at trace cycle
+/// `t` lands at device cycle `t * interval / UNITS_PER_INTERVAL`.
+const UNITS_PER_INTERVAL: u64 = 100;
+/// Per-class latency SLOs in proof intervals, indexed like
+/// [`PriorityClass::ALL`] (interactive, standard, bulk). Unloaded latency
+/// is ~1 interval and a saturated single device queues ~7–12 intervals
+/// deep, so the tight interactive SLO *misses* under single-device
+/// overload and recovers on the 4-device pool — the shape the SLO runbook
+/// in OPERATIONS.md walks through.
+const SLO_INTERVALS: [u64; 3] = [4, 8, 24];
+/// Per-class admission queue caps, same order.
+const QUEUE_CAPS: [usize; 3] = [2, 4, 8];
+/// Pool sizes the service replay runs at (the BENCH.json device matrix).
+const SERVICE_DEVICES: [usize; 2] = [1, 4];
+
+/// The admission/SLO policy of the replay: tight SLO and a shallow queue
+/// for `interactive`, loose SLO and a deep queue for `bulk`, and a global
+/// outstanding bound that grows with the pool.
+fn service_config(devices: usize, interval: u64) -> ServiceConfig {
+    ServiceConfig {
+        classes: std::array::from_fn(|i| ClassPolicy {
+            queue_cap: QUEUE_CAPS[i],
+            slo_cycles: SLO_INTERVALS[i] * interval,
+        }),
+        max_outstanding: 12 * devices,
+        device_queue_cap: 2,
+        max_in_flight: 0,
+    }
+}
+
+/// One pool size of the online-service replay.
+struct ServicePoint {
+    devices: usize,
+    outcome: ServiceProofRun<Fr>,
+}
+
+/// The online-service replay behind `tables serve` and the BENCH.json
+/// `service` section: a probe batch calibrates the trace time unit, then
+/// the arrival plan is replayed at each [`SERVICE_DEVICES`] pool size.
+struct ServiceStudy {
+    log_n: u32,
+    arrivals: usize,
+    proof_interval_cycles: u64,
+    unit_cycles: u64,
+    points: Vec<ServicePoint>,
+}
+
+fn service_study(scale: &Scale, plan: &ArrivalPlan) -> Result<ServiceStudy, String> {
+    let arrivals = plan.expand();
+    if arrivals.is_empty() {
+        return Err("arrival trace is empty: nothing to serve".into());
+    }
+    // Reject unknown class labels before spending any proving time.
+    let classes: Vec<PriorityClass> = arrivals
+        .iter()
+        .map(|a| PriorityClass::parse(&a.class))
+        .collect::<Result<_, _>>()?;
+    let profile = DeviceProfile::a100();
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << scale.service_log, 42);
+    let r1cs = Arc::new(r1cs);
+    // Calibration probe: the steady-state per-proof interval on one device
+    // defines the trace time unit, so the committed trace offers the same
+    // *relative* load at any circuit size. Integer simulated cycles only —
+    // the calibration is as deterministic as the replay itself.
+    let probe: Vec<_> = (0..scale.service_probe_batch)
+        .map(|_| (inputs.clone(), witness.clone()))
+        .collect();
+    let mut gpu = Gpu::new(profile.clone());
+    let probe_stats = prove_batch(
+        &mut gpu,
+        Arc::clone(&r1cs),
+        pcs_params(),
+        probe,
+        MODULE_THREADS,
+        true,
+    )
+    .expect("fits")
+    .stats;
+    let interval = (probe_stats.total_cycles / probe_stats.tasks.max(1) as u64).max(1);
+    let unit = (interval / UNITS_PER_INTERVAL).max(1);
+    let mut points = Vec::new();
+    for devices in SERVICE_DEVICES {
+        let requests: Vec<ProofRequest<Fr>> = arrivals
+            .iter()
+            .zip(&classes)
+            .map(|(a, &class)| {
+                (
+                    class,
+                    a.at_cycle.saturating_mul(unit),
+                    (inputs.clone(), witness.clone()),
+                )
+            })
+            .collect();
+        let mut pool = DevicePool::homogeneous(profile.clone(), devices);
+        let outcome = prove_service(
+            &mut pool,
+            Arc::clone(&r1cs),
+            pcs_params(),
+            &service_config(devices, interval),
+            requests,
+            MODULE_THREADS,
+            true,
+        )
+        .map_err(|e| e.to_string())?;
+        points.push(ServicePoint { devices, outcome });
+    }
+    Ok(ServiceStudy {
+        log_n: scale.service_log,
+        arrivals: arrivals.len(),
+        proof_interval_cycles: interval,
+        unit_cycles: unit,
+        points,
+    })
+}
+
+/// Folds one replay outcome's per-class reports into the analyzer's
+/// observation shape.
+fn service_observations<T>(o: &ServiceOutcome<T>) -> Vec<ServiceClassObservation> {
+    o.reports
+        .iter()
+        .map(|r| ServiceClassObservation {
+            class: r.class.name().into(),
+            slo_cycles: r.slo_cycles,
+            submitted: r.submitted,
+            accepted: r.accepted,
+            rejected: r.rejected_queue_full + r.rejected_saturated,
+            completed: r.completed,
+            within_slo: r.within_slo,
+            latency_p99_cycles: r.latency_p99_cycles,
+        })
+        .collect()
+}
+
+/// The `tables serve` report: replays `plan` (default: the committed
+/// reference trace) through the online service front on A100 pools of 1
+/// and 4 devices and renders the per-class SLO accounting — submitted /
+/// accepted / rejected-with-reason / completed, nearest-rank latency
+/// quantiles against each class's SLO, goodput, and the service analyzer's
+/// per-class verdicts.
+///
+/// # Errors
+///
+/// Returns a message (no panic) for an empty trace, an unknown class
+/// label, or a service-side failure.
+pub fn serve(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String> {
+    let study = service_study(scale, plan)?;
+    let mut out = format!(
+        "## Serve — open-loop replay, S = 2^{} on A100 pools of 1 and 4 ({} arrivals)\n\n\
+         Trace: `{}`\n\n\
+         Calibration: proof interval {} cycles, so 1 trace unit = {} device cycles\n\
+         (SLOs: interactive {}, standard {}, bulk {} proof intervals).\n",
+        study.log_n,
+        study.arrivals,
+        plan.spec(),
+        study.proof_interval_cycles,
+        study.unit_cycles,
+        SLO_INTERVALS[0],
+        SLO_INTERVALS[1],
+        SLO_INTERVALS[2],
+    );
+    for p in &study.points {
+        let o = &p.outcome;
+        out.push_str(&format!(
+            "\n### {} device{}\n\n\
+             | Class | SLO (cycles) | Submitted | Accepted | Rejected (queue / saturated) | Completed | Within SLO | p50 | p95 | p99 | Attainment |\n\
+             |---|---|---|---|---|---|---|---|---|---|---|\n",
+            p.devices,
+            if p.devices == 1 { "" } else { "s" },
+        ));
+        for r in &o.reports {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} / {} | {} | {} | {} | {} | {} | {:.1}% |\n",
+                r.class,
+                r.slo_cycles,
+                r.submitted,
+                r.accepted,
+                r.rejected_queue_full,
+                r.rejected_saturated,
+                r.completed,
+                r.within_slo,
+                r.latency_p50_cycles,
+                r.latency_p95_cycles,
+                r.latency_p99_cycles,
+                r.slo_attainment() * 100.0,
+            ));
+        }
+        let analysis = analyze_service(&service_observations(o));
+        out.push_str(&format!(
+            "\nGoodput {:.3} within-SLO proofs/Mcycle; overall rejection rate {:.1}%.\n\n```\n{}```\n",
+            o.goodput_per_mcycle(),
+            analysis.rejection_rate * 100.0,
+            analysis.render_text(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Renders one study as the BENCH.json `service` section (canonical JSON,
+/// byte-deterministic).
+fn service_json_from_study(study: &ServiceStudy, plan: &ArrivalPlan) -> String {
+    use batchzk_metrics::registry::{escape_json, format_f64};
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"log_n\":{},\"trace\":\"{}\",\"arrivals\":{},\
+         \"proof_interval_cycles\":{},\"unit_cycles\":{},\"runs\":[",
+        study.log_n,
+        escape_json(&plan.spec()),
+        study.arrivals,
+        study.proof_interval_cycles,
+        study.unit_cycles,
+    );
+    for (i, p) in study.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let o = &p.outcome;
+        let _ = write!(out, "{{\"devices\":{},\"classes\":[", p.devices);
+        for (j, r) in o.reports.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"class\":\"{}\",\"slo_cycles\":{},\"submitted\":{},\"accepted\":{},\
+                 \"rejected_queue_full\":{},\"rejected_saturated\":{},\"completed\":{},\
+                 \"within_slo\":{},\"latency_cycles\":{{\"p50\":{},\"p95\":{},\"p99\":{},\
+                 \"max\":{}}},\"slo_attainment\":{},\"rejection_rate\":{}}}",
+                r.class.name(),
+                r.slo_cycles,
+                r.submitted,
+                r.accepted,
+                r.rejected_queue_full,
+                r.rejected_saturated,
+                r.completed,
+                r.within_slo,
+                r.latency_p50_cycles,
+                r.latency_p95_cycles,
+                r.latency_p99_cycles,
+                r.latency_max_cycles,
+                format_f64(r.slo_attainment()),
+                format_f64(r.rejection_rate()),
+            );
+        }
+        let analysis = analyze_service(&service_observations(o));
+        let _ = write!(
+            out,
+            "],\"goodput_per_mcycle\":{},\"rejection_rate\":{},\"analysis\":{}}}",
+            format_f64(o.goodput_per_mcycle()),
+            format_f64(analysis.rejection_rate),
+            analysis.to_json(),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The BENCH.json `service` section on its own: the replay of `plan` at
+/// pool sizes 1 and 4, rendered as canonical JSON. Byte-deterministic for
+/// a given scale and plan at any host thread count — this is what the CI
+/// determinism gate compares.
+///
+/// # Errors
+///
+/// Same conditions as [`serve`].
+pub fn service_json(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String> {
+    Ok(service_json_from_study(&service_study(scale, plan)?, plan))
+}
+
 /// Renders one ASCII occupancy row per kernel track: each character is a
 /// time bucket, each digit the decile of cycles that track was busy.
 fn render_kernel_timelines(
@@ -1158,7 +1446,10 @@ fn bench_section(
 /// latency in cycles, per-stage occupancy, the trace analyzer's verdict
 /// (limiting stage + thread-reallocation advice), a `recovery` section
 /// (the scripted-fault study, each scenario asserting
-/// `"proofs_identical":true`), and the accumulated metrics registry in
+/// `"proofs_identical":true`), a `service` section (the committed
+/// reference arrival trace replayed through the online service front at
+/// pool sizes 1 and 4 — per-class p50/p95/p99 latency vs SLO, goodput,
+/// rejection rate), and the accumulated metrics registry in
 /// its canonical exposition. Everything derives from simulated integer
 /// cycles — no wall clock — so two runs at the same scale produce
 /// byte-identical output, making `BENCH.json` diffable across commits
@@ -1343,6 +1634,25 @@ pub fn bench_json(scale: &Scale) -> String {
         out.push_str("]}");
     }
 
+    // Online-service replay of the committed reference trace at pool sizes
+    // 1 and 4: per-class latency quantiles vs SLO, goodput, rejection
+    // rate. Virtual-time throughout, so byte-stable like everything above;
+    // the service metric families land in the registry under per-pool
+    // module labels (`service-d1`, `service-d4`).
+    {
+        let plan = reference_plan();
+        let study = service_study(scale, &plan).expect("committed reference trace serves");
+        for p in &study.points {
+            batchzk_pipeline::observe::record_service(
+                &mut registry,
+                &format!("service-d{}", p.devices),
+                &p.outcome,
+            );
+        }
+        out.push_str(",\"service\":");
+        out.push_str(&service_json_from_study(&study, &plan));
+    }
+
     out.push_str(",\"metrics\":");
     out.push_str(&registry.to_json());
     out.push_str("}\n");
@@ -1436,6 +1746,8 @@ mod tests {
             vgg_batch: 2,
             scaling_log: 8,
             scaling_batch: 48,
+            service_log: 8,
+            service_probe_batch: 8,
             tag: "test",
         }
     }
@@ -1514,6 +1826,10 @@ mod tests {
             "\"recovery\":",
             "\"proofs_identical\":true",
             "\"overhead_ratio\":",
+            "\"service\":",
+            "\"slo_attainment\":",
+            "\"goodput_per_mcycle\":",
+            "\"rejection_rate\":",
             "\"metrics\":",
         ] {
             assert!(json.contains(field), "missing field {field}");
@@ -1625,6 +1941,92 @@ mod tests {
             );
             assert!(p.throughput_per_ms > one.throughput_per_ms);
         }
+    }
+
+    #[test]
+    fn serve_report_renders_with_slo_accounting() {
+        let s = tiny_scale();
+        let report = serve(&s, &reference_plan()).expect("reference trace serves");
+        for needle in [
+            "interactive",
+            "standard",
+            "bulk",
+            "Attainment",
+            "Goodput",
+            "### 1 device",
+            "### 4 devices",
+        ] {
+            assert!(report.contains(needle), "missing `{needle}`:\n{report}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_empty_and_unknown_traces() {
+        let s = tiny_scale();
+        let err = serve(&s, &ArrivalPlan::new()).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        let premium = ArrivalPlan::new().one("premium", 0);
+        let err = serve(&s, &premium).unwrap_err();
+        assert!(err.contains("premium"), "{err}");
+        assert!(service_json(&s, &ArrivalPlan::new()).is_err());
+    }
+
+    #[test]
+    fn service_section_byte_identical_across_host_thread_counts() {
+        // The determinism matrix of the acceptance criteria: the same
+        // trace renders the same `service` section bytes at host threads
+        // 1/2/4, and the section itself carries the 1- and 4-device runs.
+        let s = tiny_scale();
+        let plan = reference_plan();
+        let base = batchzk_par::with_threads(1, || service_json(&s, &plan).unwrap());
+        for t in [2usize, 4] {
+            let json = batchzk_par::with_threads(t, || service_json(&s, &plan).unwrap());
+            assert_eq!(json, base, "service section differs at threads={t}");
+        }
+        assert!(base.contains("\"devices\":1"), "{base}");
+        assert!(base.contains("\"devices\":4"), "{base}");
+        for field in [
+            "\"p50\":",
+            "\"p95\":",
+            "\"p99\":",
+            "\"slo_attainment\":",
+            "\"goodput_per_mcycle\":",
+            "\"rejection_rate\":",
+            "\"trace\":",
+        ] {
+            assert!(base.contains(field), "missing {field}");
+        }
+        assert_eq!(base.matches('{').count(), base.matches('}').count());
+        assert_eq!(base.matches('[').count(), base.matches(']').count());
+    }
+
+    #[test]
+    fn service_accounting_conserves_per_class() {
+        // accepted + rejected == submitted for every class at every pool
+        // size, and the reference trace actually sheds load on the
+        // single-device pool, so the admission story is not vacuous.
+        let s = tiny_scale();
+        let study = service_study(&s, &reference_plan()).unwrap();
+        let mut rejected_total = 0u64;
+        for p in &study.points {
+            for r in &p.outcome.reports {
+                assert_eq!(
+                    r.accepted + r.rejected_queue_full + r.rejected_saturated,
+                    r.submitted,
+                    "conservation broken for {} at {} devices",
+                    r.class,
+                    p.devices
+                );
+                assert_eq!(r.completed, r.accepted, "fault-free: all accepted finish");
+                rejected_total += r.rejected_queue_full + r.rejected_saturated;
+            }
+            let submitted: u64 = p.outcome.reports.iter().map(|r| r.submitted).sum();
+            assert_eq!(submitted, study.arrivals as u64);
+        }
+        assert!(
+            rejected_total > 0,
+            "reference trace should shed some load on the 1-device pool"
+        );
     }
 
     #[test]

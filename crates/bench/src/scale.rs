@@ -30,6 +30,16 @@ pub struct Scale {
     /// pipeline slots on one device but `m/d + depth - 1` on each of `d`,
     /// so small batches understate the pool's steady-state speedup.
     pub scaling_batch: usize,
+    /// log2 circuit size for the online-service replay (`tables serve` and
+    /// the BENCH.json `service` section). Kept small like `scaling_log`:
+    /// the replay proves every admitted arrival of the trace at two pool
+    /// sizes, and the admission/SLO shape is size-independent because
+    /// trace time is calibrated to the measured proof interval.
+    pub service_log: u32,
+    /// Probe batch for the service-time calibration: the replay first
+    /// proves this many instances in batch mode to measure the
+    /// steady-state per-proof interval that defines the trace time unit.
+    pub service_probe_batch: usize,
     /// Human-readable tag recorded in outputs.
     pub tag: &'static str,
 }
@@ -48,6 +58,8 @@ impl Scale {
             vgg_batch: 4,
             scaling_log: 10,
             scaling_batch: 48,
+            service_log: 10,
+            service_probe_batch: 8,
             tag: "quick (sizes /16 of paper)",
         }
     }
@@ -63,6 +75,8 @@ impl Scale {
             vgg_batch: 4,
             scaling_log: 18,
             scaling_batch: 48,
+            service_log: 18,
+            service_probe_batch: 8,
             tag: "paper scale",
         }
     }
@@ -78,6 +92,8 @@ impl Scale {
             vgg_batch: 4,
             scaling_log: 12,
             scaling_batch: 48,
+            service_log: 12,
+            service_probe_batch: 8,
             tag: "medium (sizes /16..64 of paper)",
         }
     }
@@ -96,6 +112,10 @@ mod tests {
             // The scaling sweep needs a batch large against the 4-stage
             // pipeline depth to expose steady-state speedup.
             assert!(s.scaling_batch >= 8 * 4);
+            // The service calibration probe must clear the same depth so
+            // its per-proof interval reflects the steady state.
+            assert!(s.service_probe_batch >= 2 * 4);
+            assert!(s.service_log >= 8);
         }
     }
 }

@@ -1,0 +1,514 @@
+//! Deterministic open-loop arrival traces in virtual device time.
+//!
+//! The online proving service (DESIGN.md §13) is exercised with *open-loop*
+//! load: request arrival times are fixed in advance, in virtual device-clock
+//! cycles, and do not react to how fast the service drains them. A trace is
+//! described by an [`ArrivalPlan`] — a list of generator segments with a
+//! compact text grammar modelled on [`FaultPlan`](crate::FaultPlan)'s spec
+//! format — and expanded to a concrete, sorted list of [`Arrival`]s by
+//! [`ArrivalPlan::expand`].
+//!
+//! Everything is exact: seeds are part of the spec, the Poisson sampler uses
+//! a software logarithm built from `+ - * /` only (every operation is
+//! IEEE-754 correctly rounded, so expansion is bit-identical on any
+//! platform), and expansion never consults the wall clock. The same spec
+//! string therefore always yields the same arrival list, which is what makes
+//! the BENCH.json `service` section byte-deterministic.
+//!
+//! # Grammar
+//!
+//! Comma-separated segments, each `<class>@<cycle>:<kind>`:
+//!
+//! | segment | meaning |
+//! |---------|---------|
+//! | `<class>@<cycle>:one` | a single arrival at an explicit cycle |
+//! | `<class>@<cycle>:poisson:<gap>:<count>:<seed>` | `count` Poisson arrivals from `cycle`, mean inter-arrival `gap` cycles |
+//! | `<class>@<cycle>:onoff:<gap>:<count>:<seed>:<on>:<off>` | the same Poisson process gated by an on/off duty cycle: arrivals only land inside `on`-cycle windows separated by `off`-cycle silences |
+//!
+//! `class` is a lowercase label (`[a-z0-9_-]+`) the service layer maps to a
+//! priority class. Whitespace around segments is ignored; an empty spec is
+//! the empty plan. [`ArrivalPlan::spec`] renders the plan back to this
+//! grammar, and `parse(spec()) == plan` round-trips.
+//!
+//! ```
+//! use batchzk_gpu_sim::ArrivalPlan;
+//!
+//! let plan = ArrivalPlan::parse(
+//!     "interactive@0:poisson:5000:8:1, bulk@0:onoff:2000:8:2:40000:80000",
+//! )
+//! .unwrap();
+//! let arrivals = plan.expand();
+//! assert_eq!(arrivals.len(), 16);
+//! assert!(arrivals.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+//! assert_eq!(ArrivalPlan::parse(&plan.spec()).unwrap(), plan);
+//! ```
+
+use std::fmt;
+
+/// One request arrival: a priority-class label and the virtual device-clock
+/// cycle the request reaches the service front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Priority-class label from the generating segment (e.g.
+    /// `"interactive"`). The service layer maps it to a priority class.
+    pub class: String,
+    /// Virtual device-clock cycle of the arrival.
+    pub at_cycle: u64,
+}
+
+/// The arrival process one [`ArrivalSegment`] generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// A single arrival at the segment's start cycle.
+    One,
+    /// A seeded Poisson process: exponential inter-arrival gaps with the
+    /// given mean, starting at the segment's start cycle.
+    Poisson {
+        /// Mean inter-arrival gap in cycles (> 0).
+        mean_gap: u64,
+        /// Number of arrivals to generate.
+        count: u32,
+        /// Seed for the per-segment deterministic RNG.
+        seed: u64,
+    },
+    /// A bursty on/off-modulated Poisson process: the same exponential gaps,
+    /// but time only advances inside `on`-cycle windows; each window is
+    /// followed by `off` cycles of silence.
+    OnOff {
+        /// Mean inter-arrival gap in cycles (> 0) while "on".
+        mean_gap: u64,
+        /// Number of arrivals to generate.
+        count: u32,
+        /// Seed for the per-segment deterministic RNG.
+        seed: u64,
+        /// Width of each "on" window in cycles (> 0).
+        on: u64,
+        /// Width of each "off" silence in cycles.
+        off: u64,
+    },
+}
+
+impl ArrivalKind {
+    fn label(&self) -> String {
+        match self {
+            ArrivalKind::One => "one".into(),
+            ArrivalKind::Poisson {
+                mean_gap,
+                count,
+                seed,
+            } => format!("poisson:{mean_gap}:{count}:{seed}"),
+            ArrivalKind::OnOff {
+                mean_gap,
+                count,
+                seed,
+                on,
+                off,
+            } => format!("onoff:{mean_gap}:{count}:{seed}:{on}:{off}"),
+        }
+    }
+}
+
+/// One generator segment: a class label, a start cycle, and a process kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSegment {
+    /// Priority-class label stamped on every arrival this segment emits.
+    pub class: String,
+    /// Virtual cycle the process starts at.
+    pub start_cycle: u64,
+    /// The arrival process.
+    pub kind: ArrivalKind,
+}
+
+/// A deterministic open-loop arrival trace: an ordered list of generator
+/// segments with a compact text spec grammar (see [`ArrivalPlan::parse`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArrivalPlan {
+    segments: Vec<ArrivalSegment>,
+}
+
+impl ArrivalPlan {
+    /// An empty plan (no arrivals).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a single arrival of `class` at `cycle`.
+    pub fn one(mut self, class: &str, cycle: u64) -> Self {
+        self.segments.push(ArrivalSegment {
+            class: class.into(),
+            start_cycle: cycle,
+            kind: ArrivalKind::One,
+        });
+        self
+    }
+
+    /// Adds a seeded Poisson segment: `count` arrivals of `class` from
+    /// `start_cycle` with mean inter-arrival gap `mean_gap` cycles.
+    pub fn poisson(
+        mut self,
+        class: &str,
+        start_cycle: u64,
+        mean_gap: u64,
+        count: u32,
+        seed: u64,
+    ) -> Self {
+        self.segments.push(ArrivalSegment {
+            class: class.into(),
+            start_cycle,
+            kind: ArrivalKind::Poisson {
+                mean_gap,
+                count,
+                seed,
+            },
+        });
+        self
+    }
+
+    /// Adds a bursty on/off segment: Poisson arrivals of `class` gated by
+    /// `on`-cycle active windows separated by `off`-cycle silences.
+    #[allow(clippy::too_many_arguments)]
+    pub fn onoff(
+        mut self,
+        class: &str,
+        start_cycle: u64,
+        mean_gap: u64,
+        count: u32,
+        seed: u64,
+        on: u64,
+        off: u64,
+    ) -> Self {
+        self.segments.push(ArrivalSegment {
+            class: class.into(),
+            start_cycle,
+            kind: ArrivalKind::OnOff {
+                mean_gap,
+                count,
+                seed,
+                on,
+                off,
+            },
+        });
+        self
+    }
+
+    /// The segments, in insertion order.
+    pub fn segments(&self) -> &[ArrivalSegment] {
+        &self.segments
+    }
+
+    /// True when the plan generates no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.expand().is_empty()
+    }
+
+    /// The distinct class labels, in order of first appearance.
+    pub fn classes(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.segments {
+            if !out.contains(&s.class) {
+                out.push(s.class.clone());
+            }
+        }
+        out
+    }
+
+    /// Parses the compact text spec: comma-separated segments of the form
+    /// `<class>@<cycle>:one`,
+    /// `<class>@<cycle>:poisson:<gap>:<count>:<seed>`, or
+    /// `<class>@<cycle>:onoff:<gap>:<count>:<seed>:<on>:<off>`, where
+    /// `class` is a lowercase label (`[a-z0-9_-]+`). Whitespace around
+    /// segments is ignored; an empty spec is the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the malformed segment.
+    pub fn parse(spec: &str) -> Result<ArrivalPlan, String> {
+        let mut plan = ArrivalPlan::new();
+        for raw in spec.split(',') {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let err = || format!("malformed arrival segment `{entry}`");
+            let (target, action) = entry.split_once(':').ok_or_else(err)?;
+            let (class, cycle) = target.split_once('@').ok_or_else(err)?;
+            let class = class.trim();
+            if class.is_empty()
+                || !class
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+            {
+                return Err(err());
+            }
+            let start_cycle: u64 = cycle.trim().parse().map_err(|_| err())?;
+            let fields: Vec<&str> = action.split(':').map(str::trim).collect();
+            let num = |s: &str| -> Result<u64, String> { s.parse::<u64>().map_err(|_| err()) };
+            let kind = match fields.as_slice() {
+                ["one"] => ArrivalKind::One,
+                ["poisson", gap, count, seed] => ArrivalKind::Poisson {
+                    mean_gap: positive(num(gap)?, err)?,
+                    count: num(count)? as u32,
+                    seed: num(seed)?,
+                },
+                ["onoff", gap, count, seed, on, off] => ArrivalKind::OnOff {
+                    mean_gap: positive(num(gap)?, err)?,
+                    count: num(count)? as u32,
+                    seed: num(seed)?,
+                    on: positive(num(on)?, err)?,
+                    off: num(off)?,
+                },
+                _ => return Err(err()),
+            };
+            plan.segments.push(ArrivalSegment {
+                class: class.into(),
+                start_cycle,
+                kind,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back to the [`parse`](Self::parse) spec format.
+    pub fn spec(&self) -> String {
+        self.segments
+            .iter()
+            .map(|s| format!("{}@{}:{}", s.class, s.start_cycle, s.kind.label()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Expands the plan to the concrete arrival list, sorted by cycle
+    /// (ties broken by segment insertion order, then emission order).
+    /// Expansion is pure integer/IEEE arithmetic seeded from the spec, so
+    /// the same plan always yields the same list, on any platform.
+    pub fn expand(&self) -> Vec<Arrival> {
+        let mut out: Vec<(u64, usize, Arrival)> = Vec::new();
+        for (seg_idx, seg) in self.segments.iter().enumerate() {
+            let emit = |out: &mut Vec<(u64, usize, Arrival)>, at_cycle: u64| {
+                out.push((
+                    at_cycle,
+                    seg_idx,
+                    Arrival {
+                        class: seg.class.clone(),
+                        at_cycle,
+                    },
+                ));
+            };
+            match seg.kind {
+                ArrivalKind::One => emit(&mut out, seg.start_cycle),
+                ArrivalKind::Poisson {
+                    mean_gap,
+                    count,
+                    seed,
+                } => {
+                    let mut rng = SplitMix64(seed);
+                    let mut t = seg.start_cycle;
+                    for _ in 0..count {
+                        t = t.saturating_add(exp_gap(&mut rng, mean_gap));
+                        emit(&mut out, t);
+                    }
+                }
+                ArrivalKind::OnOff {
+                    mean_gap,
+                    count,
+                    seed,
+                    on,
+                    off,
+                } => {
+                    let mut rng = SplitMix64(seed);
+                    // Active time: cycles elapsed inside "on" windows only.
+                    let mut active = 0u64;
+                    for _ in 0..count {
+                        active = active.saturating_add(exp_gap(&mut rng, mean_gap));
+                        // Map active time to wall time through the duty
+                        // cycle: each full `on` window costs `on + off`.
+                        let wall = (active / on).saturating_mul(on + off) + (active % on);
+                        emit(&mut out, seg.start_cycle.saturating_add(wall));
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(cycle, seg, _)| (*cycle, *seg));
+        out.into_iter().map(|(_, _, a)| a).collect()
+    }
+}
+
+impl fmt::Display for ArrivalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+fn positive(v: u64, err: impl Fn() -> String) -> Result<u64, String> {
+    if v == 0 {
+        Err(err())
+    } else {
+        Ok(v)
+    }
+}
+
+/// SplitMix64; duplicated privately because this crate has no deps.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Samples an exponential inter-arrival gap with the given mean via inverse
+/// transform: `gap = -ln(u) * mean` with `u` uniform in `(0, 1]`.
+fn exp_gap(rng: &mut SplitMix64, mean_gap: u64) -> u64 {
+    // 53 random bits, shifted into (0, 1]: never zero, never subnormal.
+    let u = ((rng.next() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    (-det_ln(u) * mean_gap as f64).round() as u64
+}
+
+/// Software natural logarithm for `x` in `(0, 1]` using only `+ - * /` —
+/// every operation is IEEE-754 correctly rounded, so the result is
+/// bit-identical on any platform (libm's `ln` is not guaranteed to be).
+///
+/// Decomposes `x = m * 2^e` with `m` in `[0.5, 1)`, then
+/// `ln(m) = 2 * atanh((m - 1) / (m + 1))` by its Taylor series, which
+/// converges fast because `|z| <= 1/3` on that interval.
+fn det_ln(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x <= 1.0);
+    if x == 1.0 {
+        // The decomposition below writes 1.0 as 0.5 * 2^1, which leaves a
+        // 1-ulp series residue; ln(1) = 0 is exactly representable.
+        return 0.0;
+    }
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i64 - 1022; // x = m * 2^e, m in [0.5, 1)
+    let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1022u64 << 52));
+    let z = (m - 1.0) / (m + 1.0);
+    let z2 = z * z;
+    let mut term = z;
+    let mut atanh = z;
+    for k in 1..20 {
+        term *= z2;
+        atanh += term / (2 * k + 1) as f64;
+    }
+    e as f64 * std::f64::consts::LN_2 + 2.0 * atanh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_ln_matches_libm() {
+        // Sanity only: on this platform the software log should agree with
+        // libm to ~1 ulp over the sampler's input range.
+        let mut rng = SplitMix64(7);
+        for _ in 0..10_000 {
+            let u = ((rng.next() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+            let got = det_ln(u);
+            let want = u.ln();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-15 + 1e-15,
+                "ln({u}) = {got}, libm {want}"
+            );
+        }
+        assert_eq!(det_ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_close() {
+        let plan = ArrivalPlan::new().poisson("standard", 0, 10_000, 4000, 42);
+        let arrivals = plan.expand();
+        assert_eq!(arrivals.len(), 4000);
+        let last = arrivals.last().unwrap().at_cycle;
+        let mean = last as f64 / 4000.0;
+        assert!(
+            (mean - 10_000.0).abs() < 600.0,
+            "empirical mean gap {mean} far from 10000"
+        );
+    }
+
+    #[test]
+    fn onoff_arrivals_respect_duty_cycle() {
+        let (on, off) = (5_000u64, 20_000u64);
+        let plan = ArrivalPlan::new().onoff("bulk", 1_000, 500, 64, 3, on, off);
+        for a in plan.expand() {
+            let phase = (a.at_cycle - 1_000) % (on + off);
+            assert!(phase <= on, "arrival at phase {phase} inside off window");
+        }
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let plan = ArrivalPlan::new()
+            .one("interactive", 17)
+            .poisson("standard", 0, 9_000, 32, 11)
+            .onoff("bulk", 250_000, 2_000, 64, 12, 40_000, 80_000);
+        let spec = plan.spec();
+        assert_eq!(
+            spec,
+            "interactive@17:one,standard@0:poisson:9000:32:11,\
+             bulk@250000:onoff:2000:64:12:40000:80000"
+                .replace(" ", "")
+        );
+        let reparsed = ArrivalPlan::parse(&spec).unwrap();
+        assert_eq!(reparsed, plan);
+        assert_eq!(reparsed.expand(), plan.expand());
+        assert_eq!(format!("{plan}"), spec);
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_sorted() {
+        let plan = ArrivalPlan::parse(
+            "interactive@0:poisson:5000:50:1,standard@0:poisson:7000:50:2,bulk@0:onoff:1000:50:3:30000:60000",
+        )
+        .unwrap();
+        let a = plan.expand();
+        let b = plan.expand();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+        assert_eq!(a.len(), 150);
+        // Different seed, different trace.
+        let other = ArrivalPlan::parse("interactive@0:poisson:5000:50:9").unwrap();
+        assert_ne!(other.expand()[..], a[..]);
+    }
+
+    #[test]
+    fn whitespace_and_empty_specs() {
+        assert_eq!(ArrivalPlan::parse("").unwrap(), ArrivalPlan::new());
+        assert_eq!(ArrivalPlan::parse(" , ,, ").unwrap(), ArrivalPlan::new());
+        let plan = ArrivalPlan::parse("  interactive@5:one ,bulk@0:poisson:100:2:7 ").unwrap();
+        assert_eq!(plan.segments().len(), 2);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "interactive@5",                    // no kind
+            "interactive:one",                  // no @cycle
+            "Interactive@5:one",                // uppercase class
+            "@5:one",                           // empty class
+            "interactive@x:one",                // bad cycle
+            "interactive@5:two",                // unknown kind
+            "interactive@5:poisson:100:2",      // missing seed
+            "interactive@5:poisson:0:2:7",      // zero mean gap
+            "interactive@5:onoff:100:2:7:0:50", // zero on-window
+            "interactive@5:onoff:100:2:7:50",   // missing off
+            "interactive@5:poisson:100:2:7:9",  // trailing field
+        ] {
+            let err = ArrivalPlan::parse(bad).unwrap_err();
+            assert!(err.contains("malformed arrival segment"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn classes_lists_first_appearance_order() {
+        let plan =
+            ArrivalPlan::parse("bulk@0:one,interactive@1:one,bulk@2:one,standard@3:one").unwrap();
+        assert_eq!(plan.classes(), ["bulk", "interactive", "standard"]);
+        assert!(!plan.is_empty());
+        assert!(ArrivalPlan::new().is_empty());
+    }
+}

@@ -32,6 +32,7 @@
 
 #![deny(missing_docs)]
 
+mod arrivals;
 mod cost;
 mod fault;
 mod gpu;
@@ -40,6 +41,7 @@ mod pool;
 mod profile;
 mod trace;
 
+pub use arrivals::{Arrival, ArrivalKind, ArrivalPlan, ArrivalSegment};
 pub use cost::CostModel;
 pub use fault::{DeviceHealth, DroppedKernel, FaultEntry, FaultEvent, FaultKind, FaultPlan};
 pub use gpu::{

@@ -418,6 +418,158 @@ pub fn analyze_recovery(
     }
 }
 
+/// Per-class input to [`analyze_service`]: the accounting one service
+/// run produced for one priority class, in the cycle domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceClassObservation {
+    /// Class name (`"interactive"`, `"standard"`, `"bulk"`).
+    pub class: String,
+    /// Latency SLO in cycles.
+    pub slo_cycles: u64,
+    /// Requests that arrived.
+    pub submitted: u64,
+    /// Requests admitted past admission control.
+    pub accepted: u64,
+    /// Requests rejected (all reasons).
+    pub rejected: u64,
+    /// Requests whose proof was emitted.
+    pub completed: u64,
+    /// Completions with latency ≤ SLO.
+    pub within_slo: u64,
+    /// Nearest-rank p99 latency in cycles.
+    pub latency_p99_cycles: u64,
+}
+
+/// The analyzer's verdict on one class's SLO health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceClassVerdict {
+    /// Class name.
+    pub class: String,
+    /// Completions within SLO over completions (1 when idle).
+    pub slo_attainment: f64,
+    /// Rejections over submissions (0 when idle).
+    pub rejection_rate: f64,
+    /// `latency_p99 / slo` — the SLO burn multiple; > 1 means the tail
+    /// misses the objective (0 when nothing completed).
+    pub p99_burn: f64,
+    /// One-line advice: healthy, shed load, or raise capacity.
+    pub advice: String,
+}
+
+/// SLO analysis of one online service run across its priority classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceAnalysis {
+    /// Per-class verdicts, in the input order.
+    pub classes: Vec<ServiceClassVerdict>,
+    /// Overall rejection rate across classes.
+    pub rejection_rate: f64,
+}
+
+impl ServiceAnalysis {
+    /// Renders a compact human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "service: {:.1}% of requests rejected overall",
+            self.rejection_rate * 100.0
+        );
+        for v in &self.classes {
+            let _ = writeln!(
+                out,
+                "  {}: {:.1}% within SLO, p99 at {:.2}x of SLO, {:.1}% rejected — {}",
+                v.class,
+                v.slo_attainment * 100.0,
+                v.p99_burn,
+                v.rejection_rate * 100.0,
+                v.advice
+            );
+        }
+        out
+    }
+
+    /// Renders the analysis as canonical JSON (sorted, deterministic).
+    pub fn to_json(&self) -> String {
+        let classes = self
+            .classes
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"class\":\"{}\",\"slo_attainment\":{},\"rejection_rate\":{},\
+                     \"p99_burn\":{},\"advice\":\"{}\"}}",
+                    escape_json(&v.class),
+                    format_f64(v.slo_attainment),
+                    format_f64(v.rejection_rate),
+                    format_f64(v.p99_burn),
+                    escape_json(&v.advice)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"classes\":[{classes}],\"rejection_rate\":{}}}",
+            format_f64(self.rejection_rate)
+        )
+    }
+}
+
+/// Judges each class's SLO health from one service run's accounting.
+///
+/// The verdict logic mirrors the `OPERATIONS.md` runbook: a class that
+/// meets ≥ 99% of completions within SLO and sheds < 1% of traffic is
+/// healthy; a class whose p99 burns past its SLO needs a tighter
+/// admission cap (queueing is eating the budget) or more devices; a
+/// class shedding load while within SLO has its queue cap set below
+/// what the pool could absorb.
+pub fn analyze_service(classes: &[ServiceClassObservation]) -> ServiceAnalysis {
+    let submitted: u64 = classes.iter().map(|c| c.submitted).sum();
+    let rejected: u64 = classes.iter().map(|c| c.rejected).sum();
+    let verdicts = classes
+        .iter()
+        .map(|c| {
+            let slo_attainment = if c.completed == 0 {
+                1.0
+            } else {
+                c.within_slo as f64 / c.completed as f64
+            };
+            let rejection_rate = if c.submitted == 0 {
+                0.0
+            } else {
+                c.rejected as f64 / c.submitted as f64
+            };
+            let p99_burn = if c.completed == 0 {
+                0.0
+            } else {
+                c.latency_p99_cycles as f64 / c.slo_cycles as f64
+            };
+            let advice = if c.submitted == 0 {
+                "no traffic".to_string()
+            } else if p99_burn > 1.0 {
+                "p99 over SLO: lower this class's queue cap or add devices".to_string()
+            } else if rejection_rate > 0.01 {
+                "within SLO but shedding load: raise the queue cap or max_outstanding".to_string()
+            } else {
+                "healthy".to_string()
+            };
+            ServiceClassVerdict {
+                class: c.class.clone(),
+                slo_attainment,
+                rejection_rate,
+                p99_burn,
+                advice,
+            }
+        })
+        .collect();
+    ServiceAnalysis {
+        classes: verdicts,
+        rejection_rate: if submitted == 0 {
+            0.0
+        } else {
+            rejected as f64 / submitted as f64
+        },
+    }
+}
+
 /// Computes per-stage thread advice from aggregate observations.
 fn thread_advice(stages: &[StageObservation], total_threads: u32) -> Vec<StageAdvice> {
     let works: Vec<u128> = stages
@@ -767,5 +919,57 @@ mod tests {
         assert_eq!(a.total_cycles, 0);
         assert_eq!(a.limiting_share, 0.0);
         assert!(a.advice.is_empty());
+    }
+
+    #[test]
+    fn service_analysis_judges_slo_health() {
+        let obs = |class: &str, slo, completed, within, rejected, p99| ServiceClassObservation {
+            class: class.into(),
+            slo_cycles: slo,
+            submitted: completed + rejected,
+            accepted: completed,
+            rejected,
+            completed,
+            within_slo: within,
+            latency_p99_cycles: p99,
+        };
+        let a = analyze_service(&[
+            // Healthy: everything lands within SLO, nothing shed.
+            obs("interactive", 10_000, 100, 100, 0, 8_000),
+            // Burning: tail blows through the SLO.
+            obs("standard", 10_000, 100, 60, 0, 25_000),
+            // Shedding while within SLO: cap set too low.
+            obs("bulk", 100_000, 50, 50, 50, 40_000),
+        ]);
+        assert_eq!(a.classes.len(), 3);
+        assert_eq!(a.classes[0].advice, "healthy");
+        assert!(
+            a.classes[1].advice.contains("p99 over SLO"),
+            "{}",
+            a.classes[1].advice
+        );
+        assert!(a.classes[2].advice.contains("raise the queue cap"));
+        assert!((a.classes[1].p99_burn - 2.5).abs() < 1e-12);
+        assert!((a.rejection_rate - 50.0 / 300.0).abs() < 1e-12);
+        let text = a.render_text();
+        assert!(text.contains("interactive") && text.contains("bulk"));
+        let json = a.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"class\":\"standard\""));
+        // Deterministic rendering.
+        assert_eq!(
+            json,
+            analyze_service(&[
+                obs("interactive", 10_000, 100, 100, 0, 8_000),
+                obs("standard", 10_000, 100, 60, 0, 25_000),
+                obs("bulk", 100_000, 50, 50, 50, 40_000),
+            ])
+            .to_json()
+        );
+        // Idle input: no divisions by zero.
+        let idle = analyze_service(&[obs("interactive", 10_000, 0, 0, 0, 0)]);
+        assert_eq!(idle.classes[0].slo_attainment, 1.0);
+        assert_eq!(idle.classes[0].advice, "no traffic");
+        assert_eq!(idle.rejection_rate, 0.0);
     }
 }

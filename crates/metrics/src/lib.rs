@@ -42,8 +42,9 @@ pub mod registry;
 pub mod span;
 
 pub use analysis::{
-    analyze, analyze_pool, analyze_recovery, BoundShare, DeviceObservation, DeviceVerdict,
-    PoolAnalysis, RecoveryAnalysis, RunAnalysis, StageAdvice, StageObservation,
+    analyze, analyze_pool, analyze_recovery, analyze_service, BoundShare, DeviceObservation,
+    DeviceVerdict, PoolAnalysis, RecoveryAnalysis, RunAnalysis, ServiceAnalysis,
+    ServiceClassObservation, ServiceClassVerdict, StageAdvice, StageObservation,
 };
 pub use registry::{Histogram, MetricId, Registry, HISTOGRAM_BUCKETS};
 pub use span::{Span, StageSpan};

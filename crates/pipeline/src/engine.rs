@@ -391,6 +391,23 @@ impl<'g, T: Send> PipelineExecutor<'g, T> {
         self.in_flight == 0 && self.pending.is_empty()
     }
 
+    /// The device's elapsed virtual clock in cycles — the time base the
+    /// online service layer (`crate::service`) uses to order submit/step
+    /// events across a pool of executors.
+    pub fn clock_cycles(&self) -> u64 {
+        self.gpu.elapsed_cycles()
+    }
+
+    /// Fast-forwards the device clock to `cycle` while the executor is
+    /// idle, so a request arriving after a quiet period is admitted at its
+    /// virtual arrival time rather than at the clock of the last drained
+    /// batch. A no-op when `cycle` is in the past or work is resident.
+    pub fn idle_until(&mut self, cycle: u64) {
+        if self.is_idle() {
+            self.gpu.idle_until(cycle);
+        }
+    }
+
     /// Enqueues one task. Returns the task back as `Err` when the bounded
     /// queue is full — the caller decides whether to step the pipeline,
     /// back off, or shed load.

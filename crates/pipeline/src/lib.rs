@@ -22,6 +22,10 @@
 //!   memory-aware admission) that spread one task stream over a
 //!   multi-device pool, one persistent executor per device, with
 //!   survivor resharding when a device carries a scripted fault;
+//! * [`service`] — the online proving front: open-loop arrival replay in
+//!   virtual time, priority classes with per-class latency SLOs, and
+//!   admission control that sheds load with a reject reason when the
+//!   pool saturates;
 //! * [`observe`] — folds finished runs (and OOM/fault failures) into a
 //!   `batchzk-metrics` registry under a stable metric schema.
 
@@ -33,6 +37,7 @@ pub mod merkle;
 pub mod naive;
 pub mod observe;
 pub mod sched;
+pub mod service;
 pub mod sumcheck;
 
 pub use engine::{
@@ -40,11 +45,15 @@ pub use engine::{
     PipelineRun, RunStats, StageStats, StageWork,
 };
 pub use observe::{
-    record_error, record_pool_health, record_pool_run, record_recovery, record_run,
+    record_error, record_pool_health, record_pool_run, record_recovery, record_run, record_service,
     stage_observations,
 };
 pub use sched::{
     device_weight, plan_shards, run_sharded, RecoveryReport, ShardPlan, ShardPolicy, ShardedRun,
+};
+pub use service::{
+    run_service, ClassPolicy, ClassReport, PriorityClass, RejectReason, RejectedRequest,
+    ServiceCompletion, ServiceConfig, ServiceError, ServiceOutcome, ServiceRequest,
 };
 
 #[cfg(test)]

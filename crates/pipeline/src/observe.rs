@@ -47,9 +47,26 @@
 //! | `batchzk_recovery_replay_rounds` | gauge | `module` |
 //! | `batchzk_pool_failed_devices` | gauge | `module` |
 //! | `batchzk_pool_degraded_devices` | gauge | `module` |
+//!
+//! Online service runs ([`record_service`]) add the per-class SLO
+//! families the `OPERATIONS.md` SLO-management runbook reads:
+//!
+//! | metric | kind | labels |
+//! |---|---|---|
+//! | `batchzk_service_requests_total` | counter | `module`, `class` |
+//! | `batchzk_service_accepted_total` | counter | `module`, `class` |
+//! | `batchzk_service_rejected_total` | counter | `module`, `class`, `reason` |
+//! | `batchzk_service_completed_total` | counter | `module`, `class` |
+//! | `batchzk_service_slo_miss_total` | counter | `module`, `class` |
+//! | `batchzk_service_latency_cycles` | histogram | `module`, `class` |
+//! | `batchzk_service_slo_attainment` | gauge | `module`, `class` |
+//! | `batchzk_service_latency_p99_cycles` | gauge | `module`, `class` |
+//! | `batchzk_service_rejection_rate` | gauge | `module` |
+//! | `batchzk_service_goodput_per_mcycle` | gauge | `module` |
 
 use crate::engine::{PipelineError, RunStats, StageStats};
 use crate::sched::RecoveryReport;
+use crate::service::{RejectReason, ServiceOutcome};
 use batchzk_metrics::{Registry, StageObservation};
 
 /// Folds a completed run's statistics into `registry` under `module`.
@@ -269,6 +286,81 @@ pub fn record_pool_health(
     );
 }
 
+/// Folds one online service run into `registry` under `module`: per-class
+/// admission counters (the conservation law `requests = accepted +
+/// rejected` holds per class by construction), a per-class latency
+/// histogram over arrival→completion cycles, SLO burn counters/gauges,
+/// and service-wide rejection-rate and goodput gauges. The SLO-management
+/// runbook in `OPERATIONS.md` is written against these families.
+pub fn record_service<T>(registry: &mut Registry, module: &str, outcome: &ServiceOutcome<T>) {
+    let m = [("module", module)];
+    let mut submitted_all = 0u64;
+    let mut rejected_all = 0u64;
+    for report in &outcome.reports {
+        let class = report.class.name();
+        let c = [("module", module), ("class", class)];
+        registry.counter_add("batchzk_service_requests_total", &c, report.submitted);
+        registry.counter_add("batchzk_service_accepted_total", &c, report.accepted);
+        registry.counter_add(
+            "batchzk_service_rejected_total",
+            &[
+                ("module", module),
+                ("class", class),
+                ("reason", RejectReason::QueueFull.name()),
+            ],
+            report.rejected_queue_full,
+        );
+        registry.counter_add(
+            "batchzk_service_rejected_total",
+            &[
+                ("module", module),
+                ("class", class),
+                ("reason", RejectReason::Saturated.name()),
+            ],
+            report.rejected_saturated,
+        );
+        registry.counter_add("batchzk_service_completed_total", &c, report.completed);
+        registry.counter_add(
+            "batchzk_service_slo_miss_total",
+            &c,
+            report.completed - report.within_slo,
+        );
+        registry.gauge_set(
+            "batchzk_service_slo_attainment",
+            &c,
+            report.slo_attainment(),
+        );
+        registry.gauge_set(
+            "batchzk_service_latency_p99_cycles",
+            &c,
+            report.latency_p99_cycles as f64,
+        );
+        submitted_all += report.submitted;
+        rejected_all += report.rejected_queue_full + report.rejected_saturated;
+    }
+    for completion in &outcome.completions {
+        registry.observe(
+            "batchzk_service_latency_cycles",
+            &[("module", module), ("class", completion.class.name())],
+            completion.latency_cycles(),
+        );
+    }
+    registry.gauge_set(
+        "batchzk_service_rejection_rate",
+        &m,
+        if submitted_all == 0 {
+            0.0
+        } else {
+            rejected_all as f64 / submitted_all as f64
+        },
+    );
+    registry.gauge_set(
+        "batchzk_service_goodput_per_mcycle",
+        &m,
+        outcome.goodput_per_mcycle(),
+    );
+}
+
 /// Converts per-stage run statistics into the analyzer's input form.
 pub fn stage_observations(stage_stats: &[StageStats]) -> Vec<StageObservation> {
     stage_stats
@@ -477,6 +569,96 @@ mod tests {
         assert!(reg
             .to_prometheus()
             .contains("batchzk_device_failures_total"));
+    }
+
+    #[test]
+    fn service_metrics_record_slo_families() {
+        use crate::service::{
+            run_service, ClassPolicy, PriorityClass, ServiceConfig, ServiceRequest,
+        };
+        use crate::{BoxedStage, PipeStage, StageWork};
+        use batchzk_gpu_sim::{DevicePool, Work};
+
+        struct Busy;
+        impl PipeStage<u64> for Busy {
+            fn name(&self) -> String {
+                "busy".into()
+            }
+            fn threads(&self) -> u32 {
+                32
+            }
+            fn process(&self, _task: &mut u64) -> StageWork {
+                StageWork {
+                    work: Work::Uniform {
+                        units: 32,
+                        cycles_per_unit: 50,
+                    },
+                    h2d_bytes: 0,
+                    d2h_bytes: 0,
+                    mem_after: 64,
+                }
+            }
+        }
+
+        let config = ServiceConfig {
+            classes: [ClassPolicy {
+                queue_cap: 2,
+                slo_cycles: 10_000,
+            }; 3],
+            max_outstanding: 4,
+            device_queue_cap: 1,
+            max_in_flight: 0,
+        };
+        let requests: Vec<ServiceRequest<u64>> = (0..12)
+            .map(|i| ServiceRequest {
+                class: PriorityClass::ALL[i % 3],
+                arrival_cycle: 100,
+                task: i as u64,
+            })
+            .collect();
+        let mut pool = DevicePool::homogeneous(DeviceProfile::v100(), 1);
+        let stages = |_: &Gpu| -> Vec<BoxedStage<u64>> { vec![Box::new(Busy), Box::new(Busy)] };
+        let outcome = run_service(&mut pool, &config, requests, stages, true).unwrap();
+        assert!(!outcome.rejected.is_empty(), "burst should shed load");
+
+        let mut reg = Registry::new();
+        record_service(&mut reg, "service", &outcome);
+        let mut requests_total = 0;
+        let mut accepted_total = 0;
+        let mut rejected_total = 0;
+        for class in PriorityClass::ALL {
+            let c = [("module", "service"), ("class", class.name())];
+            requests_total += reg.counter("batchzk_service_requests_total", &c);
+            accepted_total += reg.counter("batchzk_service_accepted_total", &c);
+            for reason in ["queue-full", "saturated"] {
+                rejected_total += reg.counter(
+                    "batchzk_service_rejected_total",
+                    &[
+                        ("module", "service"),
+                        ("class", class.name()),
+                        ("reason", reason),
+                    ],
+                );
+            }
+            assert!(reg.gauge("batchzk_service_slo_attainment", &c).is_some());
+        }
+        assert_eq!(requests_total, 12);
+        assert_eq!(requests_total, accepted_total + rejected_total);
+        let h = reg
+            .histogram(
+                "batchzk_service_latency_cycles",
+                &[("module", "service"), ("class", "interactive")],
+            )
+            .expect("latency histogram recorded");
+        assert!(h.count() > 0);
+        assert!(
+            reg.gauge("batchzk_service_rejection_rate", &[("module", "service")])
+                .expect("rejection rate gauge")
+                > 0.0
+        );
+        assert!(reg
+            .to_prometheus()
+            .contains("batchzk_service_requests_total"));
     }
 
     #[test]

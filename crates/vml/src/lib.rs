@@ -32,5 +32,8 @@ pub use compile::{
     compile_inference, compile_inference_with_options, CompileOptions, CompiledInference,
 };
 pub use network::{tiny_cnn, vgg16, Layer, Network, Trace};
-pub use service::{MlService, PoolServiceRun, ServiceRun, VerifiedPrediction};
+pub use service::{
+    MlService, OnlinePrediction, OnlineRequest, OnlineServiceRun, PoolServiceRun, ServiceRun,
+    VerifiedPrediction,
+};
 pub use tensor::Tensor;

@@ -25,8 +25,9 @@ use batchzk_gpu_sim::{DevicePool, Gpu, Work};
 use batchzk_hash::Transcript;
 use batchzk_metrics::Registry;
 use batchzk_pipeline::{
-    allocate_threads, observe, run_sharded, BoxedStage, PipeStage, Pipeline, PipelineError,
-    RecoveryReport, RunStats, ShardPolicy, StageWork,
+    allocate_threads, observe, run_service, run_sharded, BoxedStage, PipeStage, Pipeline,
+    PipelineError, PriorityClass, RecoveryReport, RunStats, ServiceConfig, ServiceError,
+    ServiceOutcome, ServiceRequest, ShardPolicy, StageWork,
 };
 
 use crate::pcs::{self, EncodedRows, PcsCommitment, PcsParams, PcsProverData};
@@ -475,6 +476,63 @@ pub fn prove_batch_pool<F: Field>(
         device_ms: run.device_ms,
         recovery: run.recovery,
     })
+}
+
+/// One request entering the online proving service: a priority class, an
+/// arrival cycle in virtual device time, and the instance to prove.
+pub type ProofRequest<F> = (PriorityClass, u64, (Vec<F>, Vec<F>));
+
+/// Result of one online service replay: completions carry finished
+/// [`BatchTask`]s (extract proofs with [`BatchTask::into_proof`]).
+pub type ServiceProofRun<F> = ServiceOutcome<BatchTask<F>>;
+
+/// Serves an open-loop stream of proof requests through the online
+/// service front ([`batchzk_pipeline::service`]): per-device Figure-7
+/// pipelines fed continuously under admission control, with per-class
+/// latency SLOs judged in virtual device cycles.
+///
+/// Requests are `(class, arrival_cycle, (inputs, witness))`; arrival
+/// cycles come from a deterministic
+/// [`ArrivalPlan`](batchzk_gpu_sim::ArrivalPlan) expansion or any other
+/// virtual-time source. Unlike [`prove_batch_pool`], requests the
+/// admission controller rejects are *not* proved — the outcome reports
+/// them per class with a reject reason.
+///
+/// # Errors
+///
+/// Propagates [`ServiceError::InvalidInput`] for zero-capacity configs,
+/// empty pools, or mixed-clock pools, and [`ServiceError::Pipeline`] for
+/// device-side failures.
+///
+/// # Panics
+///
+/// Panics if any admitted assignment is unsatisfying (proof construction
+/// asserts like the batch paths).
+pub fn prove_service<F: Field>(
+    pool: &mut DevicePool,
+    r1cs: Arc<R1cs<F>>,
+    params: PcsParams,
+    config: &ServiceConfig,
+    requests: Vec<ProofRequest<F>>,
+    total_threads: u32,
+    multi_stream: bool,
+) -> Result<ServiceProofRun<F>, ServiceError> {
+    let service_requests: Vec<ServiceRequest<BatchTask<F>>> = requests
+        .into_iter()
+        .map(|(class, arrival_cycle, (inputs, witness))| ServiceRequest {
+            class,
+            arrival_cycle,
+            task: BatchTask::new(inputs, witness),
+        })
+        .collect();
+    let stages_r1cs = Arc::clone(&r1cs);
+    run_service(
+        pool,
+        config,
+        service_requests,
+        move |gpu| build_stages(gpu, &stages_r1cs, params, total_threads),
+        multi_stream,
+    )
 }
 
 #[cfg(test)]
@@ -1174,6 +1232,60 @@ mod streaming_tests {
         for d in 0..2 {
             assert!(pool.device(d).elapsed_cycles() > 0);
             assert_eq!(pool.device(d).memory_ref().in_use(), 0);
+        }
+    }
+
+    #[test]
+    fn service_proofs_verify_and_match_single_shot() {
+        use batchzk_pipeline::ClassPolicy;
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(16, 42);
+        let r1cs = Arc::new(r1cs);
+        let params = PcsParams {
+            num_col_tests: 8,
+            ..PcsParams::default()
+        };
+        let instance = (inputs, witness);
+        let reference = spartan::prove(&params, &r1cs, &instance.0, &instance.1);
+        let config = ServiceConfig {
+            classes: [ClassPolicy {
+                queue_cap: 4,
+                slo_cycles: 100_000_000,
+            }; 3],
+            max_outstanding: 16,
+            device_queue_cap: 4,
+            max_in_flight: 0,
+        };
+        let requests: Vec<ProofRequest<Fr>> = (0..6)
+            .map(|i| {
+                (
+                    PriorityClass::ALL[i % 3],
+                    10_000 * i as u64,
+                    instance.clone(),
+                )
+            })
+            .collect();
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
+        let outcome = prove_service(
+            &mut pool,
+            Arc::clone(&r1cs),
+            params,
+            &config,
+            requests,
+            2048,
+            true,
+        )
+        .expect("service run");
+        assert_eq!(outcome.completions.len(), 6, "no load shed at this pace");
+        for completion in outcome.completions {
+            assert!(completion.completed_cycle >= completion.arrival_cycle);
+            let proof = completion.task.into_proof();
+            // Online serving must not change the proof system's output.
+            assert_eq!(proof, reference);
+            assert!(verify(&params, &r1cs, &instance.0, &proof));
+        }
+        for report in &outcome.reports {
+            assert_eq!(report.submitted, 2);
+            assert_eq!(report.completed, 2);
         }
     }
 }

@@ -24,7 +24,8 @@ pub mod r1cs;
 pub mod spartan;
 
 pub use batch::{
-    prove_batch, prove_batch_pool, task_footprint_bytes, BatchRun, PoolBatchRun, StreamingProver,
+    prove_batch, prove_batch_pool, prove_service, task_footprint_bytes, BatchRun, PoolBatchRun,
+    ProofRequest, ServiceProofRun, StreamingProver,
 };
 pub use pcs::{PcsCommitment, PcsOpening, PcsParams};
 pub use r1cs::{R1cs, R1csBuilder, Var};
