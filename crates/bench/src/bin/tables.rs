@@ -4,7 +4,8 @@
 //! [--devices N] [--profile <name>] [--threads N] [--fault-plan <spec>]
 //! [--trace <spec>] [--trace-file <path>]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
-//! `ablation`, `scaling`, `faults`, `serve`, `trace`, `bench-json`.
+//! `ablation`, `scaling`, `faults`, `serve`, `trace`, `timeline`,
+//! `bench-json`.
 //!
 //! `--threads N` sets the host worker-pool size every experiment runs
 //! under (device clocks and per-slot payload work fan out across it);
@@ -43,6 +44,16 @@
 //! Chrome-trace JSON as the final block of output — redirect or copy it
 //! into a `.json` file and load it in `chrome://tracing` or
 //! <https://ui.perfetto.dev>.
+//!
+//! `timeline` is also explicit-only: it replays the arrival trace (same
+//! `--trace` / `--trace-file` flags as `serve`) on the single-device pool
+//! — the committed overload case — prints the flight recorder's
+//! per-window sparkline table and the deterministic fire/resolve alert
+//! log, and writes two artifacts to the current directory: `TIMELINE.json`
+//! (the windowed series, rule set, and alert log; byte-identical to the
+//! BENCH.json `timeline` section at the same scale) and
+//! `TIMELINE.trace.json` (the device's Chrome trace with the recorder
+//! merged in as counter tracks, for `chrome://tracing` or Perfetto).
 //!
 //! `bench-json` is also explicit-only: it runs the standard module and
 //! system pipelines on the A100 profile and writes the machine-readable
@@ -95,6 +106,11 @@ const EXPERIMENTS: &[(&str, bool, &str)] = &[
         "per-stage timeline + Chrome-trace JSON (explicit-only)",
     ),
     (
+        "timeline",
+        false,
+        "flight recorder: sparklines, alert log, TIMELINE.json (explicit-only)",
+    ),
+    (
         "bench-json",
         false,
         "write machine-readable BENCH.json (explicit-only)",
@@ -130,7 +146,8 @@ fn usage() -> String {
     );
     out.push_str(
         "serve flags:   --trace <spec> | --trace-file <path> (arrival trace to\n\
-         \x20              replay; default is the committed reference trace.\n\
+         \x20              replay, shared with `timeline`; default is the\n\
+         \x20              committed reference trace.\n\
          \x20              Spec grammar (DESIGN.md 13): comma-separated\n\
          \x20              class@cycle:one | class@cycle:poisson:<gap>:<count>:<seed>\n\
          \x20              | class@cycle:onoff:<gap>:<count>:<seed>:<on>:<off>)\n",
@@ -336,6 +353,28 @@ fn main() -> ExitCode {
         println!("{report}");
         println!("Chrome trace JSON (load in chrome://tracing or Perfetto):\n");
         println!("{json}");
+    }
+    // `timeline` is explicit-only: it writes artifacts, like `bench-json`.
+    if which.contains(&"timeline") {
+        match experiments::timeline(&scale, &arrival_plan) {
+            Ok(artifacts) => {
+                println!("{}", artifacts.report);
+                for (path, content) in [
+                    ("TIMELINE.json", &artifacts.json),
+                    ("TIMELINE.trace.json", &artifacts.chrome_trace),
+                ] {
+                    if let Err(e) = std::fs::write(path, content) {
+                        eprintln!("tables: failed to write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {path} ({} bytes)", content.len());
+                }
+            }
+            Err(e) => {
+                eprintln!("tables: timeline failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     // `bench-json` is explicit-only: it writes an artifact, not a table.
     if which.contains(&"bench-json") {

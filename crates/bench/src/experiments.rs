@@ -1022,6 +1022,7 @@ fn service_config(devices: usize, interval: u64) -> ServiceConfig {
         max_outstanding: 12 * devices,
         device_queue_cap: 2,
         max_in_flight: 0,
+        timeline_window_cycles: 0,
     }
 }
 
@@ -1042,7 +1043,22 @@ struct ServiceStudy {
     points: Vec<ServicePoint>,
 }
 
-fn service_study(scale: &Scale, plan: &ArrivalPlan) -> Result<ServiceStudy, String> {
+/// Shared front half of every service replay: the parsed and validated
+/// arrivals plus the probe-calibrated trace time unit. Splitting this from
+/// the replay itself lets [`service_study`] (pool sizes 1 and 4) and the
+/// flight-recorder study ([`timeline`], 1 device under `TraceLevel::Full`)
+/// calibrate once and replay under different trace levels.
+struct ServiceSetup {
+    r1cs: Arc<R1cs<Fr>>,
+    inputs: Vec<Fr>,
+    witness: Vec<Fr>,
+    classes: Vec<PriorityClass>,
+    arrival_units: Vec<u64>,
+    proof_interval_cycles: u64,
+    unit_cycles: u64,
+}
+
+fn service_setup(scale: &Scale, plan: &ArrivalPlan) -> Result<ServiceSetup, String> {
     let arrivals = plan.expand();
     if arrivals.is_empty() {
         return Err("arrival trace is empty: nothing to serve".into());
@@ -1052,7 +1068,6 @@ fn service_study(scale: &Scale, plan: &ArrivalPlan) -> Result<ServiceStudy, Stri
         .iter()
         .map(|a| PriorityClass::parse(&a.class))
         .collect::<Result<_, _>>()?;
-    let profile = DeviceProfile::a100();
     let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << scale.service_log, 42);
     let r1cs = Arc::new(r1cs);
     // Calibration probe: the steady-state per-proof interval on one device
@@ -1062,7 +1077,7 @@ fn service_study(scale: &Scale, plan: &ArrivalPlan) -> Result<ServiceStudy, Stri
     let probe: Vec<_> = (0..scale.service_probe_batch)
         .map(|_| (inputs.clone(), witness.clone()))
         .collect();
-    let mut gpu = Gpu::new(profile.clone());
+    let mut gpu = Gpu::new(DeviceProfile::a100());
     let probe_stats = prove_batch(
         &mut gpu,
         Arc::clone(&r1cs),
@@ -1075,37 +1090,65 @@ fn service_study(scale: &Scale, plan: &ArrivalPlan) -> Result<ServiceStudy, Stri
     .stats;
     let interval = (probe_stats.total_cycles / probe_stats.tasks.max(1) as u64).max(1);
     let unit = (interval / UNITS_PER_INTERVAL).max(1);
+    Ok(ServiceSetup {
+        r1cs,
+        inputs,
+        witness,
+        classes,
+        arrival_units: arrivals.iter().map(|a| a.at_cycle).collect(),
+        proof_interval_cycles: interval,
+        unit_cycles: unit,
+    })
+}
+
+/// Replays the calibrated arrivals through the service front on an A100
+/// pool of `devices`, recording at `level`. Returns the pool alongside the
+/// outcome so callers can export its trace. The trace level changes only
+/// what the devices *record* — scheduling and the flight recorder are
+/// byte-identical across levels.
+fn service_replay(
+    setup: &ServiceSetup,
+    devices: usize,
+    level: batchzk_gpu_sim::TraceLevel,
+) -> Result<(ServiceProofRun<Fr>, DevicePool), String> {
+    let requests: Vec<ProofRequest<Fr>> = setup
+        .classes
+        .iter()
+        .zip(&setup.arrival_units)
+        .map(|(&class, &at)| {
+            (
+                class,
+                at.saturating_mul(setup.unit_cycles),
+                (setup.inputs.clone(), setup.witness.clone()),
+            )
+        })
+        .collect();
+    let mut pool = DevicePool::homogeneous_with_trace_level(DeviceProfile::a100(), devices, level);
+    let outcome = prove_service(
+        &mut pool,
+        Arc::clone(&setup.r1cs),
+        pcs_params(),
+        &service_config(devices, setup.proof_interval_cycles),
+        requests,
+        MODULE_THREADS,
+        true,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok((outcome, pool))
+}
+
+fn service_study(scale: &Scale, plan: &ArrivalPlan) -> Result<ServiceStudy, String> {
+    let setup = service_setup(scale, plan)?;
     let mut points = Vec::new();
     for devices in SERVICE_DEVICES {
-        let requests: Vec<ProofRequest<Fr>> = arrivals
-            .iter()
-            .zip(&classes)
-            .map(|(a, &class)| {
-                (
-                    class,
-                    a.at_cycle.saturating_mul(unit),
-                    (inputs.clone(), witness.clone()),
-                )
-            })
-            .collect();
-        let mut pool = DevicePool::homogeneous(profile.clone(), devices);
-        let outcome = prove_service(
-            &mut pool,
-            Arc::clone(&r1cs),
-            pcs_params(),
-            &service_config(devices, interval),
-            requests,
-            MODULE_THREADS,
-            true,
-        )
-        .map_err(|e| e.to_string())?;
+        let (outcome, _) = service_replay(&setup, devices, batchzk_gpu_sim::TraceLevel::default())?;
         points.push(ServicePoint { devices, outcome });
     }
     Ok(ServiceStudy {
         log_n: scale.service_log,
-        arrivals: arrivals.len(),
-        proof_interval_cycles: interval,
-        unit_cycles: unit,
+        arrivals: setup.classes.len(),
+        proof_interval_cycles: setup.proof_interval_cycles,
+        unit_cycles: setup.unit_cycles,
         points,
     })
 }
@@ -1261,6 +1304,175 @@ fn service_json_from_study(study: &ServiceStudy, plan: &ArrivalPlan) -> String {
 /// Same conditions as [`serve`].
 pub fn service_json(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String> {
     Ok(service_json_from_study(&service_study(scale, plan)?, plan))
+}
+
+/// Renders one ASCII sparkline row per flight-recorder series: each
+/// character is one window, the digit the decile of the row's own maximum
+/// (the same glyph scheme as the kernel-occupancy timelines).
+fn render_timeline_sparklines(t: &batchzk_metrics::Timeline) -> String {
+    let glyphs = [' ', '1', '2', '3', '4', '5', '6', '7', '8', '9'];
+    let mut rows: Vec<(String, Vec<u64>)> = Vec::new();
+    for (ci, name) in t.class_names().iter().enumerate() {
+        rows.push((format!("{name} queue depth"), t.queue_depth_series(ci)));
+        rows.push((format!("{name} rejects"), t.rejected_series(ci)));
+    }
+    for d in 0..t.devices() {
+        rows.push((
+            format!("device{d} utilization"),
+            t.utilization_ppm_series(d),
+        ));
+    }
+    rows.push(("p99 latency".into(), t.p99_series()));
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, row) in &rows {
+        let max = row.iter().copied().max().unwrap_or(0).max(1);
+        out.push_str(&format!("{name:width$} : ["));
+        for &v in row {
+            out.push(glyphs[(((v as f64 / max as f64) * 9.0).round() as usize).min(9)]);
+        }
+        out.push_str("]\n");
+    }
+    out
+}
+
+/// Canonical JSON of one flight-recorder evaluation: the replay's
+/// calibration envelope, the rule set, the recorder itself, and the
+/// ordered alert log. Integers and strings only — byte-deterministic.
+fn timeline_json_inner(
+    plan: &ArrivalPlan,
+    log_n: u32,
+    interval: u64,
+    unit: u64,
+    t: &batchzk_metrics::Timeline,
+    rules: &[batchzk_metrics::AlertRule],
+    log: &batchzk_metrics::AlertLog,
+) -> String {
+    use batchzk_metrics::registry::escape_json;
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"log_n\":{log_n},\"trace\":\"{}\",\"devices\":1,\
+         \"proof_interval_cycles\":{interval},\"unit_cycles\":{unit},\"rules\":[",
+        escape_json(&plan.spec()),
+    );
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"threshold_ppm\":{},\"for_windows\":{},\"runbook\":\"{}\"}}",
+            escape_json(&r.name),
+            r.threshold_ppm,
+            r.for_windows,
+            escape_json(&r.runbook),
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"recorder\":{},\"alerts\":{}}}",
+        t.to_json(),
+        log.to_json()
+    );
+    out
+}
+
+/// The BENCH.json `timeline` section, derived from an already-run service
+/// study's single-device point (the committed overload case) — no extra
+/// proving. The default alerting policy
+/// ([`batchzk_pipeline::default_service_rules`]) is evaluated against the
+/// replay's flight recorder.
+fn timeline_json_from_study(study: &ServiceStudy, plan: &ArrivalPlan) -> String {
+    let p = study
+        .points
+        .iter()
+        .find(|p| p.devices == 1)
+        .expect("the service study always replays the 1-device pool");
+    let rules =
+        batchzk_pipeline::default_service_rules(&service_config(1, study.proof_interval_cycles), 1);
+    let log = batchzk_metrics::evaluate(&p.outcome.timeline, &rules);
+    timeline_json_inner(
+        plan,
+        study.log_n,
+        study.proof_interval_cycles,
+        study.unit_cycles,
+        &p.outcome.timeline,
+        &rules,
+        &log,
+    )
+}
+
+/// Everything `tables timeline` emits for one replay.
+pub struct TimelineArtifacts {
+    /// Markdown report: calibration envelope, per-window sparkline table,
+    /// and the rendered alert log.
+    pub report: String,
+    /// Canonical `TIMELINE.json` content — the same bytes as the
+    /// BENCH.json `timeline` section for the same scale and plan.
+    pub json: String,
+    /// The device's Chrome trace with the flight recorder merged in as
+    /// phase-`"C"` counter tracks.
+    pub chrome_trace: String,
+}
+
+/// The flight-recorder report: replays `plan` on the **single-device**
+/// A100 pool (the committed reference trace's overload case) under
+/// `TraceLevel::Full`, evaluates the default alerting policy against the
+/// recorded timeline, and renders the per-window sparkline table, the
+/// fire/resolve alert log (each line naming its OPERATIONS.md runbook
+/// section), the canonical JSON artifact, and the merged Chrome trace.
+///
+/// # Errors
+///
+/// Same conditions as [`serve`].
+pub fn timeline(scale: &Scale, plan: &ArrivalPlan) -> Result<TimelineArtifacts, String> {
+    use batchzk_gpu_sim::TraceLevel;
+    let setup = service_setup(scale, plan)?;
+    let (outcome, pool) = service_replay(&setup, 1, TraceLevel::Full)?;
+    let t = &outcome.timeline;
+    let rules =
+        batchzk_pipeline::default_service_rules(&service_config(1, setup.proof_interval_cycles), 1);
+    let log = batchzk_metrics::evaluate(t, &rules);
+    let tracks = batchzk_pipeline::timeline_counter_tracks(t);
+    let chrome_trace = pool.device(0).chrome_trace_json_with_counters(&tracks);
+    let report = format!(
+        "## Timeline — flight recorder, S = 2^{} on 1 A100 ({} arrivals)\n\n\
+         Trace: `{}`\n\n\
+         Calibration: proof interval {} cycles; window {} cycles, {} windows\n\
+         ({} downsampling pass{}).\n\n\
+         Per-window series (each char = one window, digit = decile of the row's max):\n\n\
+         ```\n{}```\n\n\
+         Alert evaluation ({} rules; {} fired, {} resolved, {} still firing):\n\n\
+         ```\n{}```\n",
+        scale.service_log,
+        setup.classes.len(),
+        plan.spec(),
+        setup.proof_interval_cycles,
+        t.window_cycles(),
+        t.windows().len(),
+        t.downsamples(),
+        if t.downsamples() == 1 { "" } else { "es" },
+        render_timeline_sparklines(t),
+        rules.len(),
+        log.fired(),
+        log.resolved(),
+        log.still_firing.len(),
+        log.render_text(),
+    );
+    let json = timeline_json_inner(
+        plan,
+        scale.service_log,
+        setup.proof_interval_cycles,
+        setup.unit_cycles,
+        t,
+        &rules,
+        &log,
+    );
+    Ok(TimelineArtifacts {
+        report,
+        json,
+        chrome_trace,
+    })
 }
 
 /// Renders one ASCII occupancy row per kernel track: each character is a
@@ -1651,6 +1863,12 @@ pub fn bench_json(scale: &Scale) -> String {
         }
         out.push_str(",\"service\":");
         out.push_str(&service_json_from_study(&study, &plan));
+        // The flight recorder of the same study's 1-device replay (the
+        // overload case), with the default alert policy evaluated against
+        // it — windowed series, rule set, and fire/resolve log, all
+        // integer-valued and byte-stable.
+        out.push_str(",\"timeline\":");
+        out.push_str(&timeline_json_from_study(&study, &plan));
     }
 
     out.push_str(",\"metrics\":");
@@ -1827,6 +2045,9 @@ mod tests {
             "\"proofs_identical\":true",
             "\"overhead_ratio\":",
             "\"service\":",
+            "\"timeline\":",
+            "\"recorder\":",
+            "\"alerts\":",
             "\"slo_attainment\":",
             "\"goodput_per_mcycle\":",
             "\"rejection_rate\":",
@@ -2027,6 +2248,92 @@ mod tests {
             rejected_total > 0,
             "reference trace should shed some load on the 1-device pool"
         );
+    }
+
+    #[test]
+    fn timeline_fires_and_resolves_alerts_on_the_reference_overload() {
+        // The acceptance scenario: the committed reference trace on the
+        // single-device pool (26.5% rejection) must fire at least the
+        // rejection-rate rule and a burn-rate rule, and every alert must
+        // resolve before the drain — no rule still firing at the end.
+        let s = tiny_scale();
+        let a = timeline(&s, &reference_plan()).expect("reference trace replays");
+        assert!(
+            a.json
+                .contains("\"rule\":\"rejection-rate\",\"state\":\"fire\""),
+            "rejection-rate must fire: {}",
+            a.json
+        );
+        assert!(
+            a.json.contains("\"rule\":\"slo-burn-"),
+            "a burn-rate rule must fire: {}",
+            a.json
+        );
+        // The artifact ends with the alert log's `still_firing` list, then
+        // the closing brace of the envelope.
+        assert!(
+            a.json.ends_with("\"still_firing\":[]}}"),
+            "all alerts resolve before drain: {}",
+            a.json
+        );
+        // The report carries the sparkline table and the alert log with
+        // runbook references.
+        for needle in [
+            "queue depth",
+            "device0 utilization",
+            "p99 latency",
+            "FIRE",
+            "resolve",
+            "OPERATIONS.md#when-the-rejection-rate-spikes",
+        ] {
+            assert!(
+                a.report.contains(needle),
+                "missing `{needle}`:\n{}",
+                a.report
+            );
+        }
+        // The merged Chrome trace carries both kernel spans (the replay
+        // runs under TraceLevel::Full) and the counter tracks.
+        assert!(a.chrome_trace.contains("\"ph\":\"X\""));
+        assert!(a.chrome_trace.contains("\"ph\":\"C\""));
+        assert!(a.chrome_trace.contains("\"name\":\"service queue depth\""));
+        assert_eq!(
+            a.chrome_trace.matches('{').count(),
+            a.chrome_trace.matches('}').count()
+        );
+    }
+
+    #[test]
+    fn timeline_json_byte_identical_across_host_thread_counts() {
+        // The CI determinism gate in-test: TIMELINE.json (and so the
+        // BENCH.json `timeline` section, which shares its builder) renders
+        // the same bytes at host threads 1/2/4, alert window indexes
+        // included.
+        let s = tiny_scale();
+        let plan = reference_plan();
+        let base = batchzk_par::with_threads(1, || timeline(&s, &plan).unwrap().json);
+        for t in [2usize, 4] {
+            let json = batchzk_par::with_threads(t, || timeline(&s, &plan).unwrap().json);
+            assert_eq!(json, base, "timeline artifact differs at threads={t}");
+        }
+        for field in [
+            "\"rules\":[",
+            "\"recorder\":",
+            "\"alerts\":",
+            "\"window_cycles\":",
+            "\"events\":[",
+        ] {
+            assert!(base.contains(field), "missing {field}");
+        }
+        assert_eq!(base.matches('{').count(), base.matches('}').count());
+        assert_eq!(base.matches('[').count(), base.matches(']').count());
+        // Integer-only values: a digit is never followed by a decimal
+        // point (the only `.`s are inside runbook/trace strings).
+        let float_like = base
+            .as_bytes()
+            .windows(2)
+            .any(|w| w[0].is_ascii_digit() && w[1] == b'.');
+        assert!(!float_like, "integer-only artifact: {base}");
     }
 
     #[test]

@@ -684,10 +684,24 @@ impl Gpu {
     /// device cycle is rendered as one microsecond). Byte-deterministic for a
     /// given run.
     pub fn chrome_trace_json(&self) -> String {
+        self.chrome_trace_json_with_counters(&[])
+    }
+
+    /// [`Self::chrome_trace_json`] with external counter tracks (phase
+    /// `"C"` events) merged in — e.g. the service flight recorder's queue
+    /// depth and utilization series rendered beside the kernel timeline.
+    /// An empty `counters` slice is a byte-exact no-op, and the counters
+    /// are supplied at export time, so counter support costs nothing per
+    /// step at any [`TraceLevel`].
+    pub fn chrome_trace_json_with_counters(
+        &self,
+        counters: &[crate::trace::CounterTrack],
+    ) -> String {
         crate::trace::chrome_trace_json(
             &self.kernel_events,
             &self.transfer_events,
             &self.fault_events,
+            counters,
         )
     }
 
@@ -979,6 +993,15 @@ mod tests {
         assert!(g.step_events().is_empty());
         assert!(g.elapsed_cycles() > 0);
         assert_eq!(g.total_h2d_bytes(), 4096);
+        // Counter emission is a no-op at Off: with no recorded events and
+        // no counter points, the export carries no duration or counter
+        // events, and passing an empty counter slice is byte-exact.
+        assert_eq!(
+            g.chrome_trace_json(),
+            g.chrome_trace_json_with_counters(&[])
+        );
+        assert!(!g.chrome_trace_json().contains("\"ph\":\"X\""));
+        assert!(!g.chrome_trace_json().contains("\"ph\":\"C\""));
         // Timing is identical to a recording device.
         let mut g2 = Gpu::with_trace_level(DeviceProfile::v100(), TraceLevel::Full);
         let out2 = g2.execute_step(
@@ -997,6 +1020,43 @@ mod tests {
             true,
         );
         assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn trace_level_stats_allocates_no_per_step_events_even_with_counters() {
+        // Counter tracks are supplied at export time, never recorded per
+        // step: after stepping at `Stats`, every per-step event buffer
+        // stays empty (stats keeps only aggregate samples), and exporting
+        // with counters reads those buffers without touching them.
+        let mut g = Gpu::with_trace_level(DeviceProfile::v100(), TraceLevel::Stats);
+        for _ in 0..4 {
+            g.execute_step(
+                &[KernelStep::new(
+                    "k",
+                    64,
+                    Work::Uniform {
+                        units: 64,
+                        cycles_per_unit: 10,
+                    },
+                )],
+                &[],
+                true,
+            );
+        }
+        assert!(g.kernel_events().is_empty());
+        assert!(g.transfer_events().is_empty());
+        assert!(g.step_events().is_empty());
+        assert!(!g.utilization_trace().is_empty(), "stats still samples");
+        let track = crate::trace::CounterTrack {
+            name: "queue depth".into(),
+            series: vec!["all".into()],
+            points: vec![(0, vec![2]), (50, vec![1])],
+        };
+        let json = g.chrome_trace_json_with_counters(&[track]);
+        assert!(json.contains("\"ph\":\"C\""));
+        // Export did not materialize any per-step events as a side effect.
+        assert!(g.kernel_events().is_empty());
+        assert!(g.step_events().is_empty());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use gpu::{
 pub use memory::{DeviceMemory, MemHandle, OutOfDeviceMemory};
 pub use pool::{DevicePool, DeviceSnapshot, PoolSnapshot};
 pub use profile::{DeviceProfile, Interconnect};
-pub use trace::{KernelEvent, StepEvent, TraceLevel, TransferEvent};
+pub use trace::{CounterTrack, KernelEvent, StepEvent, TraceLevel, TransferEvent};
 
 #[cfg(test)]
 mod randomized_tests {

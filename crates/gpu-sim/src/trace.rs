@@ -96,6 +96,25 @@ pub struct StepEvent {
     pub d2h_cycles: u64,
 }
 
+/// One Chrome-trace counter track: a named family of per-timestamp values
+/// rendered as a stacked area chart beside the kernel timeline (phase
+/// `"C"` events). Built by higher layers — e.g. the service flight
+/// recorder's queue-depth and utilization series — and merged into the
+/// device trace by [`crate::Gpu::chrome_trace_json_with_counters`].
+///
+/// Values are integers (counts, cycles, parts-per-million) so the export
+/// stays byte-deterministic; `series` names the stacked components and
+/// every point carries one value per series, in the same order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterTrack {
+    /// Track name shown by the viewer (e.g. `service queue depth`).
+    pub name: String,
+    /// Names of the stacked series inside the track.
+    pub series: Vec<String>,
+    /// `(timestamp_cycle, values)` points; `values` aligns with `series`.
+    pub points: Vec<(u64, Vec<u64>)>,
+}
+
 /// Escapes a string for inclusion in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -116,12 +135,15 @@ fn json_escape(s: &str) -> String {
 /// Serializes recorded events to Chrome-trace JSON (see module docs for the
 /// track layout). Deterministic: same events → byte-identical output. Fault
 /// events, when present, appear as instant (`"ph": "i"`) markers on a
-/// dedicated `faults` track after the copy engines; a run without faults
-/// produces output byte-identical to a build without fault support.
+/// dedicated `faults` track after the copy engines; counter tracks, when
+/// present, append their phase-`"C"` events after everything else. Empty
+/// fault and counter inputs are exact no-ops: the output is byte-identical
+/// to an export without them.
 pub(crate) fn chrome_trace_json(
     kernel_events: &[KernelEvent],
     transfer_events: &[TransferEvent],
     fault_events: &[FaultEvent],
+    counter_tracks: &[CounterTrack],
 ) -> String {
     // Track ids: kernels by first appearance, then the two copy engines.
     let mut names: Vec<&str> = Vec::new();
@@ -211,6 +233,25 @@ pub(crate) fn chrome_trace_json(
         ));
     }
 
+    // Counter tracks (phase "C"): identified by name, no tid — the viewer
+    // draws each as a stacked area chart under the duration tracks.
+    for track in counter_tracks {
+        let name = json_escape(&track.name);
+        for (ts, values) in &track.points {
+            let mut args = String::new();
+            for (i, (series, value)) in track.series.iter().zip(values).enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":{}", json_escape(series), value));
+            }
+            events.push(format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"name\":\"{name}\",\
+                 \"args\":{{{args}}}}}"
+            ));
+        }
+    }
+
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     out.push_str(&events.join(",\n"));
     out.push_str("\n]}\n");
@@ -258,7 +299,7 @@ mod tests {
             dir: Dir::HostToDevice,
             overlapped: true,
         }];
-        let json = chrome_trace_json(&kernels, &transfers, &[]);
+        let json = chrome_trace_json(&kernels, &transfers, &[], &[]);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("stage-a"));
@@ -267,7 +308,7 @@ mod tests {
         // No fault events -> no faults track.
         assert!(!json.contains("faults"));
         // Deterministic.
-        assert_eq!(json, chrome_trace_json(&kernels, &transfers, &[]));
+        assert_eq!(json, chrome_trace_json(&kernels, &transfers, &[], &[]));
         // Balanced braces/brackets as a cheap well-formedness check.
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()
@@ -291,11 +332,68 @@ mod tests {
                 kernel: Some("system-merkle".into()),
             },
         ];
-        let json = chrome_trace_json(&[], &[], &faults);
+        let json = chrome_trace_json(&[], &[], &faults, &[]);
         assert!(json.contains("\"name\":\"faults\""));
         assert!(json.contains("\"name\":\"fail\""));
         assert!(json.contains("\"name\":\"drop:3:system-merkle\""));
         assert!(json.contains("\"ph\":\"i\""));
-        assert_eq!(json, chrome_trace_json(&[], &[], &faults));
+        assert_eq!(json, chrome_trace_json(&[], &[], &faults, &[]));
+    }
+
+    #[test]
+    fn counter_tracks_render_as_phase_c_events() {
+        let tracks = vec![
+            CounterTrack {
+                name: "service queue depth".into(),
+                series: vec!["interactive".into(), "bulk".into()],
+                points: vec![(0, vec![1, 4]), (100, vec![0, 2])],
+            },
+            CounterTrack {
+                name: "utilization ppm d0".into(),
+                series: vec!["busy".into()],
+                points: vec![(0, vec![1_000_000])],
+            },
+        ];
+        let json = chrome_trace_json(&[], &[], &[], &tracks);
+        assert!(json.contains(
+            "{\"ph\":\"C\",\"pid\":0,\"ts\":0,\"name\":\"service queue depth\",\
+             \"args\":{\"interactive\":1,\"bulk\":4}}"
+        ));
+        assert!(json.contains("\"ts\":100"));
+        assert!(json.contains("utilization ppm d0"));
+        assert_eq!(json, chrome_trace_json(&[], &[], &[], &tracks));
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+
+    #[test]
+    fn empty_counter_input_is_a_byte_exact_no_op() {
+        let kernels = vec![KernelEvent {
+            step: 0,
+            start_cycle: 0,
+            duration_cycles: 10,
+            name: "stage-a".into(),
+            threads: 32,
+            busy_cycles: 320,
+            warp_occupancy: 1.0,
+        }];
+        assert_eq!(
+            chrome_trace_json(&kernels, &[], &[], &[]),
+            chrome_trace_json(
+                &kernels,
+                &[],
+                &[],
+                &[CounterTrack {
+                    name: "empty".into(),
+                    series: vec!["v".into()],
+                    points: Vec::new(),
+                }]
+            ),
+            "a counter track with no points must not perturb the export"
+        );
+        assert!(!chrome_trace_json(&kernels, &[], &[], &[]).contains("\"ph\":\"C\""));
     }
 }

@@ -3,9 +3,13 @@
 //! Service-level observability for the BatchZK reproduction: a
 //! deterministic, dependency-free metrics [`Registry`] (counters, gauges,
 //! log₂-bucketed histograms with p50/p95/p99), per-proof lifecycle
-//! [`Span`]s in simulated device cycles, and a trace-driven bottleneck
+//! [`Span`]s in simulated device cycles, a trace-driven bottleneck
 //! [`analysis`] that names the throughput-limiting stage of a pipelined
-//! run and suggests a work-proportional thread reallocation.
+//! run and suggests a work-proportional thread reallocation, a windowed
+//! flight-recorder [`timeline`] (fixed-width cycle windows with bounded
+//! 2:1 downsampling), and a deterministic [`alerts`] engine that
+//! evaluates declarative SLO rules window-by-window into an ordered
+//! fire/resolve log.
 //!
 //! The PR 1 trace layer (`batchzk-gpu-sim`'s `TraceLevel` recorder)
 //! answers *where cycles go inside one run*; this crate answers what the
@@ -37,10 +41,13 @@
 
 #![deny(missing_docs)]
 
+pub mod alerts;
 pub mod analysis;
 pub mod registry;
 pub mod span;
+pub mod timeline;
 
+pub use alerts::{evaluate, AlertEvent, AlertKind, AlertLog, AlertRule};
 pub use analysis::{
     analyze, analyze_pool, analyze_recovery, analyze_service, BoundShare, DeviceObservation,
     DeviceVerdict, PoolAnalysis, RecoveryAnalysis, RunAnalysis, ServiceAnalysis,
@@ -48,3 +55,4 @@ pub use analysis::{
 };
 pub use registry::{Histogram, MetricId, Registry, HISTOGRAM_BUCKETS};
 pub use span::{Span, StageSpan};
+pub use timeline::{ClassWindow, DeviceWindow, Timeline, TimelineConfig, Window};

@@ -150,13 +150,27 @@ impl Histogram {
         }
     }
 
-    /// Estimated quantile `q ∈ [0, 1]` (0 if empty). See the type docs for
-    /// the estimation rule.
+    /// Estimated quantile `q ∈ [0, 1]`. See the type docs for the
+    /// estimation rule. Edge cases are defined, not incidental:
+    ///
+    /// * an **empty** histogram returns 0 for every `q`;
+    /// * `q = 1.0` (or anything that resolves to the top rank, including
+    ///   `q > 1`) returns the **recorded maximum exactly** — never the
+    ///   enclosing log₂ bucket's upper bound, which could overshoot the
+    ///   true max by up to 2×;
+    /// * `q ≤ 0` and non-finite `q` clamp to the lowest rank (a value in
+    ///   the first non-empty bucket, at least [`Self::min`]).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The nearest-rank sample at the top rank is the recorded
+            // maximum itself — return it exactly rather than the enclosing
+            // bucket's upper bound (which can overshoot by up to 2x).
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -571,5 +585,77 @@ mod tests {
         assert_eq!(format_f64(2.0), "2.0");
         assert_eq!(format_f64(f64::NAN), "0.0");
         assert_eq!(format_f64(f64::INFINITY), "0.0");
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // Empty histogram: 0 for every q, including the extremes.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0, 2.0, -1.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+
+        // q = 1.0 returns the recorded max exactly, not the bucket bound.
+        // 1_000_000 lives in the [524288, 1048575] bucket: a bucket-bound
+        // answer would overshoot by ~4.8%.
+        let mut h = Histogram::default();
+        for v in [3u64, 700_000, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_ne!(bucket_upper(bucket_index(1_000_000)), 1_000_000);
+        // q beyond 1 clamps to the same top rank.
+        assert_eq!(h.quantile(1.5), 1_000_000);
+        // The top rank is exact even when several samples share the top
+        // bucket (the overshoot case the bound-walk alone would hit).
+        let mut crowded = Histogram::default();
+        crowded.observe(600_000);
+        crowded.observe(1_000_000);
+        assert_eq!(crowded.quantile(1.0), 1_000_000);
+
+        // q <= 0 and non-finite q clamp to the lowest rank and stay within
+        // the recorded range.
+        for q in [0.0, -3.0, f64::NAN] {
+            let v = h.quantile(q);
+            assert!(v >= h.min() && v <= h.max(), "q={q} gave {v}");
+        }
+
+        // A single-sample histogram answers that sample for every q.
+        let mut one = Histogram::default();
+        one.observe(37);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one.quantile(q), 37);
+        }
+    }
+
+    #[test]
+    fn non_finite_values_render_stably_in_both_expositions() {
+        // format_f64 itself: every non-finite input collapses to the same
+        // stable token — no `inf` / `-inf` / `NaN` / `Infinity` drift.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -f64::NAN] {
+            assert_eq!(format_f64(v), "0.0", "non-finite {v} must render as 0.0");
+        }
+
+        // Through the registry: a gauge poisoned with each non-finite value
+        // renders identically (and parseably) in Prometheus and JSON.
+        let expose = |v: f64| {
+            let mut reg = Registry::new();
+            reg.gauge_set("poisoned", &[("kind", "gauge")], v);
+            (reg.to_prometheus(), reg.to_json())
+        };
+        let (prom_ref, json_ref) = expose(f64::NAN);
+        for v in [f64::INFINITY, f64::NEG_INFINITY] {
+            let (prom, json) = expose(v);
+            assert_eq!(prom, prom_ref, "Prometheus text drifts for {v}");
+            assert_eq!(json, json_ref, "JSON drifts for {v}");
+        }
+        assert!(prom_ref.contains("poisoned{kind=\"gauge\"} 0.0"));
+        assert!(json_ref.contains(":0.0"));
+        for banned in ["inf", "Inf", "NaN", "nan"] {
+            assert!(
+                !prom_ref.contains(banned) && !json_ref.contains(banned),
+                "exposition leaked `{banned}`"
+            );
+        }
     }
 }

@@ -45,8 +45,8 @@ pub use engine::{
     PipelineRun, RunStats, StageStats, StageWork,
 };
 pub use observe::{
-    record_error, record_pool_health, record_pool_run, record_recovery, record_run, record_service,
-    stage_observations,
+    default_service_rules, record_error, record_pool_health, record_pool_run, record_recovery,
+    record_run, record_service, stage_observations, timeline_counter_tracks,
 };
 pub use sched::{
     device_weight, plan_shards, run_sharded, RecoveryReport, ShardPlan, ShardPolicy, ShardedRun,

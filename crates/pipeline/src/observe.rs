@@ -66,8 +66,9 @@
 
 use crate::engine::{PipelineError, RunStats, StageStats};
 use crate::sched::RecoveryReport;
-use crate::service::{RejectReason, ServiceOutcome};
-use batchzk_metrics::{Registry, StageObservation};
+use crate::service::{PriorityClass, RejectReason, ServiceConfig, ServiceOutcome};
+use batchzk_gpu_sim::CounterTrack;
+use batchzk_metrics::{AlertKind, AlertRule, Registry, StageObservation, Timeline};
 
 /// Folds a completed run's statistics into `registry` under `module`.
 ///
@@ -361,6 +362,117 @@ pub fn record_service<T>(registry: &mut Registry, module: &str, outcome: &Servic
     );
 }
 
+/// The default alerting policy for an online service run: the rule set the
+/// flight recorder is evaluated against unless an operator supplies their
+/// own. Per class: an SLO burn-rate rule (≥ 50% of a window's completions
+/// missing their SLO, sustained 2 windows) and a queue-growth rule (the
+/// class queue pinned at its admission cap, sustained 2 windows). Service
+/// wide: a rejection-rate rule (≥ 25% of a window's arrivals shed,
+/// sustained 2 windows). Per device: a stall rule (≥ 95% idle while the
+/// service has queued backlog, sustained 2 windows).
+///
+/// Each rule names the `OPERATIONS.md` runbook section the on-call should
+/// open; the alert-response table there maps back to these rule names.
+pub fn default_service_rules(config: &ServiceConfig, devices: usize) -> Vec<AlertRule> {
+    let mut rules = Vec::new();
+    for (ci, class) in PriorityClass::ALL.iter().enumerate() {
+        rules.push(AlertRule {
+            name: format!("slo-burn-{}", class.name()),
+            kind: AlertKind::BurnRate { class: ci },
+            threshold_ppm: 500_000,
+            for_windows: 2,
+            runbook: "OPERATIONS.md#reading-per-class-slo-burn".into(),
+        });
+        rules.push(AlertRule {
+            name: format!("queue-growth-{}", class.name()),
+            kind: AlertKind::QueueGrowth { class: ci },
+            threshold_ppm: (config.classes[ci].queue_cap as u64).saturating_mul(1_000_000),
+            for_windows: 2,
+            runbook: "OPERATIONS.md#tuning-the-admission-caps".into(),
+        });
+    }
+    rules.push(AlertRule {
+        name: "rejection-rate".into(),
+        kind: AlertKind::RejectionRate { class: None },
+        threshold_ppm: 250_000,
+        for_windows: 2,
+        runbook: "OPERATIONS.md#when-the-rejection-rate-spikes".into(),
+    });
+    for d in 0..devices {
+        rules.push(AlertRule {
+            name: format!("device-stall-{d}"),
+            kind: AlertKind::DeviceStall { device: d },
+            threshold_ppm: 950_000,
+            for_windows: 2,
+            runbook: "OPERATIONS.md#reading-the-failure-metrics".into(),
+        });
+    }
+    rules
+}
+
+/// One Chrome-trace counter point set, column-major to row-major.
+fn track(name: &str, series: Vec<String>, columns: Vec<Vec<u64>>, starts: &[u64]) -> CounterTrack {
+    let points = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &ts)| (ts, columns.iter().map(|col| col[i]).collect()))
+        .collect();
+    CounterTrack {
+        name: name.into(),
+        series,
+        points,
+    }
+}
+
+/// Converts a finalized service [`Timeline`] into Chrome-trace counter
+/// tracks (phase `"C"` events, one point per window at the window's start
+/// cycle): per-class queue depth and rejections, per-device utilization
+/// (ppm) and in-flight peak, and the windowed p99 lifecycle latency.
+/// Merge them into a device trace with
+/// `Gpu::chrome_trace_json_with_counters`; `chrome://tracing` and Perfetto
+/// render each track as a stacked area chart above the kernel spans.
+pub fn timeline_counter_tracks(timeline: &Timeline) -> Vec<CounterTrack> {
+    let starts: Vec<u64> = timeline.windows().iter().map(|w| w.start_cycle).collect();
+    let class_series: Vec<String> = timeline.class_names().to_vec();
+    let device_series: Vec<String> = (0..timeline.devices())
+        .map(|d| format!("device{d}"))
+        .collect();
+    let queue_cols = (0..class_series.len())
+        .map(|c| timeline.queue_depth_series(c))
+        .collect();
+    let reject_cols = (0..class_series.len())
+        .map(|c| timeline.rejected_series(c))
+        .collect();
+    let util_cols = (0..timeline.devices())
+        .map(|d| timeline.utilization_ppm_series(d))
+        .collect();
+    let inflight_cols = (0..timeline.devices())
+        .map(|d| timeline.in_flight_series(d))
+        .collect();
+    vec![
+        track(
+            "service queue depth",
+            class_series.clone(),
+            queue_cols,
+            &starts,
+        ),
+        track("service rejections", class_series, reject_cols, &starts),
+        track(
+            "device utilization ppm",
+            device_series.clone(),
+            util_cols,
+            &starts,
+        ),
+        track("device in-flight", device_series, inflight_cols, &starts),
+        track(
+            "service latency p99 cycles",
+            vec!["p99".into()],
+            vec![timeline.p99_series()],
+            &starts,
+        ),
+    ]
+}
+
 /// Converts per-stage run statistics into the analyzer's input form.
 pub fn stage_observations(stage_stats: &[StageStats]) -> Vec<StageObservation> {
     stage_stats
@@ -608,6 +720,7 @@ mod tests {
             max_outstanding: 4,
             device_queue_cap: 1,
             max_in_flight: 0,
+            timeline_window_cycles: 0,
         };
         let requests: Vec<ServiceRequest<u64>> = (0..12)
             .map(|i| ServiceRequest {
@@ -659,6 +772,98 @@ mod tests {
         assert!(reg
             .to_prometheus()
             .contains("batchzk_service_requests_total"));
+    }
+
+    #[test]
+    fn default_rules_cover_every_class_and_device_and_fire_deterministically() {
+        use crate::service::{ClassPolicy, PriorityClass, ServiceConfig};
+        use batchzk_metrics::{evaluate, TimelineConfig};
+
+        let config = ServiceConfig {
+            classes: [ClassPolicy {
+                queue_cap: 2,
+                slo_cycles: 1_000,
+            }; 3],
+            max_outstanding: 8,
+            device_queue_cap: 1,
+            max_in_flight: 0,
+            timeline_window_cycles: 0,
+        };
+        let rules = default_service_rules(&config, 2);
+        // 2 rules per class + 1 global rejection-rate + 1 per device.
+        assert_eq!(rules.len(), 2 * PriorityClass::ALL.len() + 1 + 2);
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rules.len(), "rule names are unique");
+        for r in &rules {
+            assert!(r.runbook.starts_with("OPERATIONS.md#"), "{}", r.runbook);
+        }
+
+        // A synthetic timeline shedding half its traffic for two windows
+        // fires the global rejection-rate rule, which resolves at the
+        // first clean window.
+        let mut t = Timeline::new(TimelineConfig {
+            window_cycles: 100,
+            max_windows: 16,
+            class_names: PriorityClass::ALL.iter().map(|c| c.name().into()).collect(),
+            devices: 2,
+        });
+        for w in 0..2u64 {
+            t.record_accept(w * 100, 0);
+            t.record_reject_queue_full(w * 100 + 1, 0);
+        }
+        t.record_accept(250, 0);
+        t.finalize(300);
+        let log = evaluate(&t, &rules);
+        let rejection = log.events_for("rejection-rate");
+        assert_eq!(rejection.len(), 2);
+        assert!(rejection[0].fired);
+        assert_eq!(rejection[0].window, 1);
+        assert!(!rejection[1].fired);
+        assert_eq!(rejection[1].window, 2);
+        assert_eq!(log.to_json(), evaluate(&t, &rules).to_json());
+    }
+
+    #[test]
+    fn counter_tracks_mirror_the_timeline_and_merge_into_a_device_trace() {
+        use batchzk_metrics::TimelineConfig;
+
+        let mut t = Timeline::new(TimelineConfig {
+            window_cycles: 100,
+            max_windows: 8,
+            class_names: vec!["interactive".into(), "bulk".into()],
+            devices: 1,
+        });
+        t.record_accept(0, 0);
+        t.sample_queue_depth(10, 0, 3);
+        t.record_reject_queue_full(120, 1);
+        t.record_busy(0, 0, 150);
+        t.record_completion(180, 0, 180, true);
+        t.finalize(200);
+
+        let tracks = timeline_counter_tracks(&t);
+        assert_eq!(tracks.len(), 5);
+        for track in &tracks {
+            assert_eq!(track.points.len(), t.windows().len());
+            for (ts, values) in &track.points {
+                assert_eq!(values.len(), track.series.len());
+                assert!(t.windows().iter().any(|w| w.start_cycle == *ts));
+            }
+        }
+        let depth = &tracks[0];
+        assert_eq!(depth.name, "service queue depth");
+        assert_eq!(depth.series, vec!["interactive", "bulk"]);
+        assert_eq!(depth.points[0].1, vec![3, 0]);
+        let rejects = &tracks[1];
+        assert_eq!(rejects.points[1].1, vec![0, 1]);
+
+        // Merged into a device trace they render as phase-"C" events.
+        let gpu = Gpu::new(DeviceProfile::v100());
+        let json = gpu.chrome_trace_json_with_counters(&tracks);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"service queue depth\""));
+        assert_eq!(json, gpu.chrome_trace_json_with_counters(&tracks));
     }
 
     #[test]

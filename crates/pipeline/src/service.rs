@@ -15,6 +15,13 @@
 //! only parallelize the per-slot fan-out *inside* each step, which is
 //! already byte-stable.
 //!
+//! The loop also feeds the **flight recorder**: every admission decision,
+//! queue-depth/in-flight sample, device busy interval, and completion is
+//! recorded into a windowed [`batchzk_metrics::Timeline`] carried on
+//! [`ServiceOutcome::timeline`], giving operators the time-resolved view
+//! (and the [`batchzk_metrics::alerts`] input) the end-of-run
+//! [`ClassReport`]s cannot.
+//!
 //! ```text
 //!  arrivals ──▶ admission ──▶ class queues ──▶ dispatch ──▶ executors
 //!  (virtual      (reject:      (bounded,        (strict      (submit ∥ step)
@@ -27,8 +34,15 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use batchzk_gpu_sim::{DevicePool, Gpu};
+use batchzk_metrics::{Timeline, TimelineConfig};
 
 use crate::engine::{BoxedStage, PipelineError, PipelineExecutor, RunStats};
+
+/// Retention bound of the service flight recorder: when a replay needs
+/// more windows than this, the [`Timeline`] downsamples 2:1 (window width
+/// doubles). 64 windows keep the BENCH.json `timeline` section readable
+/// while covering the committed reference replay without a merge pass.
+pub const TIMELINE_MAX_WINDOWS: usize = 64;
 
 /// Priority class of a service request. Classes are a strict dispatch
 /// order: every queued `Interactive` request is dispatched before any
@@ -112,9 +126,25 @@ pub struct ServiceConfig {
     /// Per-device in-flight cap (the memory-aware admission lever);
     /// `0` means the full pipeline depth.
     pub max_in_flight: usize,
+    /// Width of one flight-recorder window in device cycles; `0` derives
+    /// a quarter of the tightest class SLO, so the recorder resolves an
+    /// SLO burn into at least four windows.
+    pub timeline_window_cycles: u64,
 }
 
 impl ServiceConfig {
+    /// The flight-recorder window width this config resolves to:
+    /// [`Self::timeline_window_cycles`] when set, else a quarter of the
+    /// tightest class SLO (at least 1 cycle).
+    pub fn resolved_timeline_window(&self) -> u64 {
+        if self.timeline_window_cycles > 0 {
+            self.timeline_window_cycles
+        } else {
+            let min_slo = self.classes.iter().map(|c| c.slo_cycles).min().unwrap_or(1);
+            (min_slo / 4).max(1)
+        }
+    }
+
     /// Checks every capacity and SLO is non-zero.
     ///
     /// # Errors
@@ -309,6 +339,14 @@ pub struct ServiceOutcome<T> {
     pub first_arrival_cycle: u64,
     /// Cycle of the last completion (0 when nothing completed).
     pub last_completion_cycle: u64,
+    /// The flight recorder: windowed per-class admission/completion
+    /// counters, queue-depth peaks, per-device busy cycles and in-flight
+    /// peaks, and per-window p99 lifecycle latency, sampled from inside
+    /// the event loop (window width from
+    /// [`ServiceConfig::resolved_timeline_window`], retention bound
+    /// [`TIMELINE_MAX_WINDOWS`]). Feed it to [`batchzk_metrics::evaluate`]
+    /// for the alerting pass.
+    pub timeline: Timeline,
 }
 
 impl<T> ServiceOutcome<T> {
@@ -364,6 +402,22 @@ fn dispatch<T: Send>(
                 }
             }
         }
+    }
+}
+
+/// Samples the instantaneous class-queue depths and per-device in-flight
+/// counts into the flight recorder at event time `now`.
+fn sample_timeline<T: Send>(
+    timeline: &mut Timeline,
+    now: u64,
+    queues: &[VecDeque<(usize, u64, T)>; 3],
+    execs: &[PipelineExecutor<'_, T>],
+) {
+    for (ci, queue) in queues.iter().enumerate() {
+        timeline.sample_queue_depth(now, ci, queue.len() as u64);
+    }
+    for (d, exec) in execs.iter().enumerate() {
+        timeline.sample_in_flight(now, d, exec.in_flight() as u64);
     }
 }
 
@@ -447,6 +501,18 @@ pub fn run_service<T: Send>(
 
     let mut queues: [VecDeque<(usize, u64, T)>; 3] = Default::default();
     let mut meta: Vec<Vec<(usize, PriorityClass, u64)>> = vec![Vec::new(); execs.len()];
+    // The flight recorder rides the serial event loop: admission decisions
+    // and queue/in-flight samples land in virtual-cycle windows as they
+    // happen, so the recording is as deterministic as the loop itself.
+    let mut timeline = Timeline::new(TimelineConfig {
+        window_cycles: config.resolved_timeline_window(),
+        max_windows: TIMELINE_MAX_WINDOWS,
+        class_names: PriorityClass::ALL
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect(),
+        devices: execs.len(),
+    });
     let mut submitted = [0u64; 3];
     let mut accepted = [0u64; 3];
     let mut rejected_qf = [0u64; 3];
@@ -478,6 +544,7 @@ pub fn run_service<T: Send>(
                     + execs.iter().map(|e| e.outstanding()).sum::<usize>();
                 if queues[ci].len() >= config.classes[ci].queue_cap {
                     rejected_qf[ci] += 1;
+                    timeline.record_reject_queue_full(now, ci);
                     rejected.push(RejectedRequest {
                         request: idx,
                         class: r.class,
@@ -486,6 +553,7 @@ pub fn run_service<T: Send>(
                     });
                 } else if outstanding >= config.max_outstanding {
                     rejected_sat[ci] += 1;
+                    timeline.record_reject_saturated(now, ci);
                     rejected.push(RejectedRequest {
                         request: idx,
                         class: r.class,
@@ -494,16 +562,24 @@ pub fn run_service<T: Send>(
                     });
                 } else {
                     accepted[ci] += 1;
+                    timeline.record_accept(now, ci);
                     queues[ci].push_back((idx, r.arrival_cycle, r.task));
                 }
             }
+            // Sample backlog before dispatch drains it (the peak the
+            // queue-growth alert watches), then again after, together with
+            // per-device in-flight.
+            sample_timeline(&mut timeline, now, &queues, &execs);
             dispatch(&mut execs[..], &mut queues, &mut meta, now);
-        } else if let Some((_, d)) = busy {
+            sample_timeline(&mut timeline, now, &queues, &execs);
+        } else if let Some((busy_cycle, d)) = busy {
             // Step the earliest busy device; its post-step clock is the
             // event time capacity freed at.
             execs[d].step()?;
             let now = execs[d].clock_cycles();
+            timeline.record_busy(d, busy_cycle, now);
             dispatch(&mut execs[..], &mut queues, &mut meta, now);
+            sample_timeline(&mut timeline, now, &queues, &execs);
         } else {
             break;
         }
@@ -535,6 +611,20 @@ pub fn run_service<T: Send>(
         .map(|c| c.completed_cycle)
         .max()
         .unwrap_or(0);
+    // Completion events land in the recorder by completed cycle. Recording
+    // here (after the sort) rather than inside the loop changes nothing:
+    // windowed counters are order-independent and the per-window latency
+    // sets are sorted by `finalize`.
+    for c in &completions {
+        let ci = c.class.index();
+        timeline.record_completion(
+            c.completed_cycle,
+            ci,
+            c.latency_cycles(),
+            c.latency_cycles() <= config.classes[ci].slo_cycles,
+        );
+    }
+    timeline.finalize(last_completion_cycle);
 
     let mut reports: [ClassReport; 3] = PriorityClass::ALL.map(|class| ClassReport {
         class,
@@ -582,6 +672,7 @@ pub fn run_service<T: Send>(
         device_stats,
         first_arrival_cycle,
         last_completion_cycle,
+        timeline,
     })
 }
 
@@ -653,6 +744,7 @@ mod tests {
             max_outstanding: 12,
             device_queue_cap: 2,
             max_in_flight: 0,
+            timeline_window_cycles: 0,
         }
     }
 
@@ -836,6 +928,106 @@ mod tests {
         assert!(PriorityClass::parse("premium").is_err());
         assert_eq!(PriorityClass::Interactive.index(), 0);
         assert_eq!(PriorityClass::Bulk.index(), 2);
+    }
+
+    #[test]
+    fn timeline_windows_conserve_class_totals_at_every_thread_count() {
+        // Satellite conservation law: summing any per-window counter over
+        // the whole timeline must reproduce the end-of-run ClassReport
+        // exactly — at host threads 1, 2, and 4 — and the recording itself
+        // must be bit-identical across thread counts.
+        let run = || {
+            let mut pool = DevicePool::homogeneous(DeviceProfile::v100(), 2);
+            // Burst + paced tail: trips both reject reasons and then
+            // drains, so every counter class is exercised.
+            let mut requests = burst_requests(40);
+            requests.extend(paced_requests(20, 2_500));
+            run_service(&mut pool, &config(), requests, stages, true).unwrap()
+        };
+        let reference = batchzk_par::with_threads(1, run);
+        for threads in [1usize, 2, 4] {
+            let outcome = batchzk_par::with_threads(threads, run);
+            let t = &outcome.timeline;
+            assert_eq!(
+                t.class_names(),
+                &["interactive", "standard", "bulk"],
+                "threads={threads}"
+            );
+            for report in &outcome.reports {
+                let ci = report.class.index();
+                let sum = |f: &dyn Fn(&batchzk_metrics::ClassWindow) -> u64| -> u64 {
+                    t.windows().iter().map(|w| f(&w.classes[ci])).sum()
+                };
+                assert_eq!(sum(&|c| c.accepted), report.accepted, "threads={threads}");
+                assert_eq!(
+                    sum(&|c| c.rejected_queue_full),
+                    report.rejected_queue_full,
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    sum(&|c| c.rejected_saturated),
+                    report.rejected_saturated,
+                    "threads={threads}"
+                );
+                assert_eq!(sum(&|c| c.completed), report.completed, "threads={threads}");
+                assert_eq!(
+                    sum(&|c| c.slo_miss),
+                    report.completed - report.within_slo,
+                    "threads={threads}"
+                );
+            }
+            assert_eq!(outcome.timeline, reference.timeline, "threads={threads}");
+            assert_eq!(
+                outcome.timeline.to_json(),
+                reference.timeline.to_json(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_samples_depth_busy_and_latency() {
+        let mut pool = DevicePool::homogeneous(DeviceProfile::v100(), 1);
+        let outcome = run_service(&mut pool, &config(), burst_requests(12), stages, true).unwrap();
+        let t = &outcome.timeline;
+        assert!(!t.is_empty());
+        assert_eq!(t.devices(), 1);
+        assert_eq!(t.window_cycles(), config().resolved_timeline_window());
+        assert_eq!(t.origin_cycle(), outcome.first_arrival_cycle);
+        // A same-cycle burst of 12 against queue caps 2/4/8 pins at least
+        // one class queue at its cap before dispatch drains it.
+        let peak: u64 = t
+            .windows()
+            .iter()
+            .map(|w| w.queue_depth_peak())
+            .max()
+            .unwrap_or(0);
+        assert!(peak >= 2, "burst backlog must be visible, saw {peak}");
+        // The single device does all the work: busy cycles appear, and the
+        // recorded total busy time is within the covered span.
+        let busy: u64 = t.windows().iter().map(|w| w.devices[0].busy_cycles).sum();
+        assert!(busy > 0);
+        assert!(busy <= t.windows().len() as u64 * t.window_cycles());
+        // Windowed completions carry latencies: some window has a p99.
+        assert!(t.p99_series().iter().any(|&p| p > 0));
+        // The last completion falls inside the covered window range.
+        let covered_end = t.origin_cycle() + t.windows().len() as u64 * t.window_cycles();
+        assert!(outcome.last_completion_cycle <= covered_end);
+    }
+
+    #[test]
+    fn empty_stream_yields_an_empty_timeline() {
+        let mut pool = DevicePool::homogeneous(DeviceProfile::v100(), 2);
+        let outcome = run_service(
+            &mut pool,
+            &config(),
+            Vec::<ServiceRequest<u64>>::new(),
+            stages,
+            true,
+        )
+        .unwrap();
+        assert!(outcome.timeline.is_empty());
+        assert!(outcome.timeline.to_json().contains("\"windows\":[]"));
     }
 
     #[test]

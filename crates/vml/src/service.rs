@@ -115,6 +115,10 @@ pub struct OnlineServiceRun {
     pub device_stats: Vec<RunStats>,
     /// Within-SLO completions per million cycles of served span.
     pub goodput_per_mcycle: f64,
+    /// The flight recorder of the round: windowed admission, completion,
+    /// queue-depth, and device-utilization series (see
+    /// [`batchzk_metrics::Timeline`]).
+    pub timeline: batchzk_metrics::Timeline,
 }
 
 impl MlService {
@@ -386,6 +390,7 @@ impl MlService {
             reports: run.reports,
             device_stats: run.device_stats,
             goodput_per_mcycle,
+            timeline: run.timeline,
         })
     }
 
@@ -575,6 +580,7 @@ mod tests {
             max_outstanding: 16,
             device_queue_cap: 4,
             max_in_flight: 0,
+            timeline_window_cycles: 0,
         };
         let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 2);
         let run = svc
@@ -631,12 +637,20 @@ mod tests {
             max_outstanding: 2,
             device_queue_cap: 1,
             max_in_flight: 0,
+            timeline_window_cycles: 0,
         };
         let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), 1);
         let run = svc
             .serve_online(&mut pool, requests, &config, 2048)
             .expect("valid config");
+        // The shed load is visible in the flight recorder too: windowed
+        // rejects sum to the report's total.
+        let timeline_rejected: u64 = run.timeline.windows().iter().map(|w| w.rejected()).sum();
         let bulk = &run.reports[PriorityClass::Bulk.index()];
+        assert_eq!(
+            timeline_rejected,
+            bulk.rejected_queue_full + bulk.rejected_saturated
+        );
         assert_eq!(bulk.submitted, 5);
         assert_eq!(
             bulk.accepted + bulk.rejected_queue_full + bulk.rejected_saturated,

@@ -1254,6 +1254,7 @@ mod streaming_tests {
             max_outstanding: 16,
             device_queue_cap: 4,
             max_in_flight: 0,
+            timeline_window_cycles: 0,
         };
         let requests: Vec<ProofRequest<Fr>> = (0..6)
             .map(|i| {
@@ -1287,5 +1288,23 @@ mod streaming_tests {
             assert_eq!(report.submitted, 2);
             assert_eq!(report.completed, 2);
         }
+        // The flight recorder rides the outcome: its per-window counters
+        // conserve the end-of-run totals.
+        assert!(!outcome.timeline.is_empty());
+        let accepted: u64 = outcome
+            .timeline
+            .windows()
+            .iter()
+            .flat_map(|w| w.classes.iter())
+            .map(|c| c.accepted)
+            .sum();
+        assert_eq!(accepted, 6);
+        let completed: u64 = outcome
+            .timeline
+            .windows()
+            .iter()
+            .map(|w| w.completed())
+            .sum();
+        assert_eq!(completed, 6);
     }
 }
