@@ -17,14 +17,13 @@ use batchzk_field::{Field, Fr, NttDomain};
 use batchzk_gpu_sim::{DeviceProfile, Gpu, KernelStep, Work};
 use batchzk_hash::Prg;
 
-/// G1-equivalent MSMs in one Groth16 proof.
-pub const MSM_COUNT: u64 = 5;
-/// NTT transforms (of size 2S) in one Groth16 proof.
-pub const NTT_COUNT: u64 = 7;
+pub use batchzk_pipeline::groth::{MSM_COUNT, NTT_COUNT};
+
 /// Modeled device bytes per constraint for a resident Groth16 proving run
 /// (witness + bases + FFT buffers + proving key), calibrated against the
-/// paper's Table 10 (1.38 GB at S = 2^20 ⇒ ~1.4 KB per constraint).
-pub const BELLPERSON_BYTES_PER_CONSTRAINT: u64 = 1400;
+/// paper's Table 10 (1.38 GB at S = 2^20 ⇒ ~1.4 KB per constraint). The
+/// canonical constant lives with the pipelined backend.
+pub const BELLPERSON_BYTES_PER_CONSTRAINT: u64 = batchzk_pipeline::groth::BYTES_PER_CONSTRAINT;
 
 /// Timed breakdown of a CPU (Libsnark-like) Groth16-style prover.
 #[derive(Debug, Clone, Copy)]

@@ -2,10 +2,10 @@
 //!
 //! Usage: `tables <experiment|all|help> [--quick|--medium|--paper]
 //! [--devices N] [--profile <name>] [--threads N] [--fault-plan <spec>]
-//! [--trace <spec>] [--trace-file <path>]`
+//! [--trace <spec>] [--trace-file <path>] [--backend <name>]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
-//! `ablation`, `scaling`, `faults`, `serve`, `trace`, `timeline`,
-//! `bench-json`.
+//! `ablation`, `scaling`, `faults`, `serve`, `backends`, `trace`,
+//! `timeline`, `bench-json`.
 //!
 //! `--threads N` sets the host worker-pool size every experiment runs
 //! under (device clocks and per-slot payload work fan out across it);
@@ -38,6 +38,15 @@
 //! <class>@<cycle>:onoff:<gap>:<count>:<seed>:<on>:<off>`) or
 //! `--trace-file <path>`. Empty traces and malformed specs are errors,
 //! not panics.
+//!
+//! `backends` compares every [`batchzk_zkp::ProverBackend`] proved through
+//! the fully pipelined schedule against the kernel-per-task naive schedule
+//! (byte-identical proofs asserted), then replays the committed mixed
+//! trace (`traces/mixed.trace`) through one service instance serving both
+//! protocols. `--backend <name>` restricts the sweep to one backend
+//! (`sumcheck` or `groth16`); unknown names exit non-zero with usage.
+//! The `serve`/`timeline` arrival grammar also accepts a per-arrival
+//! backend suffix (`class/backend@...`), validated against the same set.
 //!
 //! `trace` is not part of `all`: it prints the per-stage timeline and
 //! stage-imbalance table of the pipelined Merkle module, then the raw
@@ -101,6 +110,11 @@ const EXPERIMENTS: &[(&str, bool, &str)] = &[
         "online service replay: per-class SLO report (--trace, --trace-file)",
     ),
     (
+        "backends",
+        true,
+        "pipelined vs naive per ProverBackend + mixed-trace service (--backend)",
+    ),
+    (
         "trace",
         false,
         "per-stage timeline + Chrome-trace JSON (explicit-only)",
@@ -150,8 +164,15 @@ fn usage() -> String {
          \x20              committed reference trace.\n\
          \x20              Spec grammar (DESIGN.md 13): comma-separated\n\
          \x20              class@cycle:one | class@cycle:poisson:<gap>:<count>:<seed>\n\
-         \x20              | class@cycle:onoff:<gap>:<count>:<seed>:<on>:<off>)\n",
+         \x20              | class@cycle:onoff:<gap>:<count>:<seed>:<on>:<off>;\n\
+         \x20              class may carry a backend suffix, class/backend@...)\n",
     );
+    out.push_str(&format!(
+        "backend flags: --backend <{}> (restrict `backends` to one\n\
+         \x20              prover backend; trace backend suffixes are validated\n\
+         \x20              against the same set)\n",
+        batchzk_zkp::BACKEND_NAMES.join("|"),
+    ));
     out
 }
 
@@ -176,6 +197,7 @@ fn main() -> ExitCode {
     let mut profile = experiments::profile_by_name("a100").expect("a100 profile exists");
     let mut fault_plan: Option<batchzk_gpu_sim::FaultPlan> = None;
     let mut arrival_plan = experiments::reference_plan();
+    let mut backend_filter: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -250,8 +272,34 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--backend" => match it.next() {
+                Some(name) if batchzk_zkp::BACKEND_NAMES.contains(&name.as_str()) => {
+                    backend_filter = Some(name);
+                }
+                Some(name) => {
+                    eprintln!(
+                        "tables: unknown backend `{name}`: expected one of {}\n",
+                        batchzk_zkp::BACKEND_NAMES.join(", ")
+                    );
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("tables: --backend needs a name argument\n");
+                    eprint!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             _ => args.push(arg),
         }
+    }
+
+    // Per-arrival backend suffixes in the replay trace must name known
+    // prover backends — reject before spending any proving time.
+    if let Err(e) = experiments::validate_trace_backends(&arrival_plan) {
+        eprintln!("tables: bad trace: {e}\n");
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
     }
 
     // Reject unknown flags and experiments up front (exit non-zero).
@@ -346,6 +394,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if want("backends") {
+        println!(
+            "{}",
+            experiments::backends(&scale, backend_filter.as_deref())
+        );
     }
     // `trace` is explicit-only: its JSON payload would drown `all` output.
     if which.contains(&"trace") {

@@ -20,8 +20,10 @@ use batchzk_pipeline::{
 use batchzk_zkp::batch::module_weights;
 use batchzk_zkp::r1cs::{synthetic_r1cs, R1cs};
 use batchzk_zkp::{
-    pcs, prove_batch, prove_batch_pool, prove_service, spartan, PcsParams, ProofRequest,
-    ServiceProofRun,
+    pcs, prove_batch, prove_batch_naive_with, prove_batch_pool, prove_batch_with, prove_service,
+    prove_service_with, spartan, BackendProofRequest, GrothBackend, MixedBackend, MixedInstance,
+    MixedTask, PcsParams, ProofRequest, ProverBackend, ServiceProofRun, SpartanBackend,
+    BACKEND_NAMES,
 };
 
 use crate::baseline::{groth16_cpu, groth16_gpu, BELLPERSON_BYTES_PER_CONSTRAINT};
@@ -1178,11 +1180,19 @@ fn service_observations<T>(o: &ServiceOutcome<T>) -> Vec<ServiceClassObservation
 /// quantiles against each class's SLO, goodput, and the service analyzer's
 /// per-class verdicts.
 ///
+/// A trace whose arrivals carry backend labels (`class/backend@...`)
+/// routes through the mixed-backend service instead: one
+/// [`MixedBackend`] service instance interleaves both protocols, and the
+/// report adds the per-backend completion split.
+///
 /// # Errors
 ///
-/// Returns a message (no panic) for an empty trace, an unknown class
-/// label, or a service-side failure.
+/// Returns a message (no panic) for an empty trace, an unknown class or
+/// backend label, or a service-side failure.
 pub fn serve(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String> {
+    if !plan.backends().is_empty() {
+        return mixed_serve(scale, plan);
+    }
     let study = service_study(scale, plan)?;
     let mut out = format!(
         "## Serve — open-loop replay, S = 2^{} on A100 pools of 1 and 4 ({} arrivals)\n\n\
@@ -1304,6 +1314,521 @@ fn service_json_from_study(study: &ServiceStudy, plan: &ArrivalPlan) -> String {
 /// Same conditions as [`serve`].
 pub fn service_json(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String> {
     Ok(service_json_from_study(&service_study(scale, plan)?, plan))
+}
+
+// ---------------------------------------------------------------------------
+// Backend comparison (`tables backends`, BENCH.json `backends` section).
+// ---------------------------------------------------------------------------
+
+/// The committed mixed-backend arrival trace: both protocols interleaved
+/// through one service instance (`traces/mixed.trace`).
+pub const MIXED_TRACE: &str = include_str!("../../../traces/mixed.trace");
+
+/// Parses the committed mixed-backend trace.
+pub fn mixed_plan() -> ArrivalPlan {
+    ArrivalPlan::parse(MIXED_TRACE).expect("committed mixed trace parses")
+}
+
+/// Validates every backend label of `plan` against [`BACKEND_NAMES`].
+/// Arrivals without a label default to the sumcheck backend.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown label and the accepted set.
+pub fn validate_trace_backends(plan: &ArrivalPlan) -> Result<(), String> {
+    for b in plan.backends() {
+        if !BACKEND_NAMES.contains(&b.as_str()) {
+            return Err(format!(
+                "unknown backend `{b}`: expected one of {}",
+                BACKEND_NAMES.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One pipelined-vs-naive measurement of one backend at one batch size.
+struct BackendScenarioPoint {
+    scenario: &'static str,
+    tasks: usize,
+    pipelined: batchzk_pipeline::RunStats,
+    naive: batchzk_pipeline::RunStats,
+    /// Both schedules must produce byte-identical proofs: the schedule
+    /// changes *when* work runs, never what it computes.
+    proofs_identical: bool,
+    /// Every pipelined proof passed the backend's verifier.
+    verified: bool,
+}
+
+/// One backend's scenario sweep.
+struct BackendStudyPoint {
+    backend: &'static str,
+    scenarios: Vec<BackendScenarioPoint>,
+}
+
+/// The backend comparison behind `tables backends` and the BENCH.json
+/// `backends` section.
+struct BackendsStudy {
+    log_n: u32,
+    throughput_batch: usize,
+    points: Vec<BackendStudyPoint>,
+    /// The committed mixed trace through one service instance; skipped
+    /// when the study is filtered to a single backend.
+    mixed: Option<MixedServiceStudy>,
+}
+
+/// Runs one backend through the latency (batch 1) and throughput
+/// (batch `batch`) scenarios, pipelined and kernel-per-task naive, on
+/// fresh A100 devices. Pipelined runs land in `registry` under a
+/// `backend` label.
+fn backend_scenarios<B>(
+    registry: &mut batchzk_metrics::Registry,
+    backend: &B,
+    instances_for: impl Fn(usize) -> Vec<B::Instance>,
+    batch: usize,
+) -> BackendStudyPoint
+where
+    B: ProverBackend,
+    B::Statement: PartialEq,
+    B::Proof: PartialEq,
+{
+    let mut scenarios = Vec::new();
+    for (scenario, tasks) in [("latency", 1usize), ("throughput", batch)] {
+        let mut gpu = Gpu::new(DeviceProfile::a100());
+        let piped = prove_batch_with(
+            &mut gpu,
+            backend,
+            instances_for(tasks),
+            MODULE_THREADS,
+            true,
+        )
+        .expect("fits");
+        let mut gpu = Gpu::new(DeviceProfile::a100());
+        let naive = prove_batch_naive_with(
+            &mut gpu,
+            backend,
+            instances_for(tasks),
+            MODULE_THREADS,
+            NAIVE_CONCURRENCY,
+        );
+        let proofs_identical = piped.proofs == naive.proofs;
+        let verified = piped.proofs.iter().all(|(s, p)| backend.verify(s, p));
+        batchzk_pipeline::observe::record_run_with_backend(
+            registry,
+            &format!("backends-{scenario}"),
+            backend.name(),
+            &piped.stats,
+        );
+        scenarios.push(BackendScenarioPoint {
+            scenario,
+            tasks,
+            pipelined: piped.stats,
+            naive: naive.stats,
+            proofs_identical,
+            verified,
+        });
+    }
+    BackendStudyPoint {
+        backend: backend.name(),
+        scenarios,
+    }
+}
+
+fn backends_study(
+    scale: &Scale,
+    registry: &mut batchzk_metrics::Registry,
+    only: Option<&str>,
+) -> BackendsStudy {
+    let log = scale.backends_log;
+    let mut points = Vec::new();
+    if only.is_none_or(|o| o == BACKEND_NAMES[0]) {
+        let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << log, 42);
+        let spartan = SpartanBackend::new(Arc::new(r1cs), pcs_params());
+        points.push(backend_scenarios(
+            registry,
+            &spartan,
+            |n| (0..n).map(|_| (inputs.clone(), witness.clone())).collect(),
+            scale.backends_batch,
+        ));
+    }
+    if only.is_none_or(|o| o == BACKEND_NAMES[1]) {
+        let groth = GrothBackend::new(log);
+        points.push(backend_scenarios(
+            registry,
+            &groth,
+            |n| {
+                (0..n)
+                    .map(|i| groth.circuit().witness(1000 + i as u64))
+                    .collect()
+            },
+            scale.backends_batch,
+        ));
+    }
+    let mixed = if only.is_none() {
+        Some(
+            mixed_service_study(scale, &mixed_plan(), registry)
+                .expect("committed mixed trace serves"),
+        )
+    } else {
+        None
+    };
+    BackendsStudy {
+        log_n: log,
+        throughput_batch: scale.backends_batch,
+        points,
+        mixed,
+    }
+}
+
+/// One pool size of the mixed-backend service replay.
+struct MixedServicePoint {
+    devices: usize,
+    outcome: ServiceOutcome<MixedTask>,
+    /// Completions per backend, indexed like [`BACKEND_NAMES`].
+    completed_by_backend: [u64; 2],
+}
+
+/// The committed mixed trace replayed through one
+/// [`prove_service_with`]`(`[`MixedBackend`]`)` instance per pool size:
+/// sumcheck and Groth16-style tasks interleave through the same pipelines
+/// under the existing SLO classes.
+struct MixedServiceStudy {
+    spec: String,
+    log_sumcheck: u32,
+    log_groth: u32,
+    arrivals: usize,
+    proof_interval_cycles: u64,
+    unit_cycles: u64,
+    points: Vec<MixedServicePoint>,
+}
+
+fn mixed_service_study(
+    scale: &Scale,
+    plan: &ArrivalPlan,
+    registry: &mut batchzk_metrics::Registry,
+) -> Result<MixedServiceStudy, String> {
+    validate_trace_backends(plan)?;
+    let arrivals = plan.expand();
+    if arrivals.is_empty() {
+        return Err("arrival trace is empty: nothing to serve".into());
+    }
+    let classes: Vec<PriorityClass> = arrivals
+        .iter()
+        .map(|a| PriorityClass::parse(&a.class))
+        .collect::<Result<_, _>>()?;
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << scale.service_log, 42);
+    let r1cs = Arc::new(r1cs);
+    // Same calibration as the single-backend replay: the sumcheck probe
+    // interval defines the trace time unit, so a mixed trace offers the
+    // same relative load as its sumcheck-only twin.
+    let probe: Vec<_> = (0..scale.service_probe_batch)
+        .map(|_| (inputs.clone(), witness.clone()))
+        .collect();
+    let mut gpu = Gpu::new(DeviceProfile::a100());
+    let probe_stats = prove_batch(
+        &mut gpu,
+        Arc::clone(&r1cs),
+        pcs_params(),
+        probe,
+        MODULE_THREADS,
+        true,
+    )
+    .expect("fits")
+    .stats;
+    let interval = (probe_stats.total_cycles / probe_stats.tasks.max(1) as u64).max(1);
+    let unit = (interval / UNITS_PER_INTERVAL).max(1);
+    let backend = MixedBackend::new(
+        SpartanBackend::new(Arc::clone(&r1cs), pcs_params()),
+        GrothBackend::new(scale.backends_log),
+    );
+    let mut points = Vec::new();
+    for devices in SERVICE_DEVICES {
+        let requests: Vec<BackendProofRequest<MixedBackend>> = classes
+            .iter()
+            .zip(&arrivals)
+            .enumerate()
+            .map(|(i, (&class, a))| {
+                let instance = match a.backend.as_deref() {
+                    Some("groth16") => {
+                        MixedInstance::Groth(backend.groth().circuit().witness(2000 + i as u64))
+                    }
+                    // `validate_trace_backends` rejected everything else.
+                    _ => MixedInstance::Sumcheck((inputs.clone(), witness.clone())),
+                };
+                (class, a.at_cycle.saturating_mul(unit), instance)
+            })
+            .collect();
+        let mut pool = DevicePool::homogeneous(DeviceProfile::a100(), devices);
+        let outcome = prove_service_with(
+            &mut pool,
+            &backend,
+            &service_config(devices, interval),
+            requests,
+            MODULE_THREADS,
+            true,
+        )
+        .map_err(|e| e.to_string())?;
+        let mut completed_by_backend = [0u64; 2];
+        for c in &outcome.completions {
+            let idx = BACKEND_NAMES
+                .iter()
+                .position(|n| *n == c.task.backend_name())
+                .expect("built-in backend");
+            completed_by_backend[idx] += 1;
+        }
+        let module = format!("mixed-d{devices}");
+        batchzk_pipeline::observe::record_service(registry, &module, &outcome);
+        batchzk_pipeline::observe::record_service_backends(registry, &module, &outcome, |t| {
+            t.backend_name()
+        });
+        points.push(MixedServicePoint {
+            devices,
+            outcome,
+            completed_by_backend,
+        });
+    }
+    Ok(MixedServiceStudy {
+        spec: plan.spec(),
+        log_sumcheck: scale.service_log,
+        log_groth: scale.backends_log,
+        arrivals: arrivals.len(),
+        proof_interval_cycles: interval,
+        unit_cycles: unit,
+        points,
+    })
+}
+
+/// The `tables backends` report: each built-in [`ProverBackend`] proved
+/// through the fully pipelined schedule and the kernel-per-task naive
+/// schedule at the same size on fresh A100 devices (latency scenario at
+/// batch 1, throughput scenario at the scale's backend batch), asserting
+/// the two schedules produce byte-identical proofs — then the committed
+/// mixed trace through one service instance serving both protocols.
+/// `only` (the `--backend` flag) restricts the sweep to one backend and
+/// skips the mixed replay.
+pub fn backends(scale: &Scale, only: Option<&str>) -> String {
+    let mut registry = batchzk_metrics::Registry::new();
+    let study = backends_study(scale, &mut registry, only);
+    let mut out = format!(
+        "## Backends — pipelined vs kernel-per-task naive, S = 2^{} on A100\n\n\
+         | Backend | Scenario | Tasks | Naive (proofs/ms) | Pipelined (proofs/ms) | Speedup | Proofs identical | Verified |\n\
+         |---|---|---|---|---|---|---|---|\n",
+        study.log_n,
+    );
+    for p in &study.points {
+        for s in &p.scenarios {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.3} | {:.3} | {:.2}x | {} | {} |\n",
+                p.backend,
+                s.scenario,
+                s.tasks,
+                s.naive.throughput_per_ms,
+                s.pipelined.throughput_per_ms,
+                s.pipelined.throughput_per_ms / s.naive.throughput_per_ms,
+                if s.proofs_identical { "YES" } else { "NO" },
+                if s.verified { "YES" } else { "NO" },
+            ));
+        }
+    }
+    if let Some(m) = &study.mixed {
+        out.push_str(&format!(
+            "\n### Mixed service — one pool, both protocols\n\n\
+             Trace: `{}`\n\n\
+             Sumcheck at 2^{}, Groth16-style at 2^{}; {} arrivals,\n\
+             1 trace unit = {} device cycles.\n\n\
+             | Devices | Accepted | Rejected | Completed ({}) | Completed ({}) | Goodput (within-SLO/Mcycle) |\n\
+             |---|---|---|---|---|---|\n",
+            m.spec,
+            m.log_sumcheck,
+            m.log_groth,
+            m.arrivals,
+            m.unit_cycles,
+            BACKEND_NAMES[0],
+            BACKEND_NAMES[1],
+        ));
+        for p in &m.points {
+            let accepted: u64 = p.outcome.reports.iter().map(|r| r.accepted).sum();
+            let rejected: u64 = p
+                .outcome
+                .reports
+                .iter()
+                .map(|r| r.rejected_queue_full + r.rejected_saturated)
+                .sum();
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {:.3} |\n",
+                p.devices,
+                accepted,
+                rejected,
+                p.completed_by_backend[0],
+                p.completed_by_backend[1],
+                p.outcome.goodput_per_mcycle(),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders one study as the BENCH.json `backends` section (canonical
+/// JSON, byte-deterministic).
+fn backends_json_from_study(study: &BackendsStudy) -> String {
+    use batchzk_metrics::registry::{escape_json, format_f64};
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"log_n\":{},\"throughput_batch\":{},\"runs\":[",
+        study.log_n, study.throughput_batch,
+    );
+    for (i, p) in study.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"backend\":\"{}\",\"scenarios\":[", p.backend);
+        for (j, s) in p.scenarios.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scenario\":\"{}\",\"tasks\":{},\
+                 \"pipelined\":{{\"total_cycles\":{},\"throughput_per_ms\":{}}},\
+                 \"naive\":{{\"total_cycles\":{},\"throughput_per_ms\":{}}},\
+                 \"speedup\":{},\"proofs_identical\":{},\"verified\":{}}}",
+                s.scenario,
+                s.tasks,
+                s.pipelined.total_cycles,
+                format_f64(s.pipelined.throughput_per_ms),
+                s.naive.total_cycles,
+                format_f64(s.naive.throughput_per_ms),
+                format_f64(s.pipelined.throughput_per_ms / s.naive.throughput_per_ms),
+                s.proofs_identical,
+                s.verified,
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    let m = study
+        .mixed
+        .as_ref()
+        .expect("unfiltered study carries mixed");
+    let _ = write!(
+        out,
+        ",\"mixed_service\":{{\"trace\":\"{}\",\"log_sumcheck\":{},\"log_groth16\":{},\
+         \"arrivals\":{},\"proof_interval_cycles\":{},\"unit_cycles\":{},\"runs\":[",
+        escape_json(&m.spec),
+        m.log_sumcheck,
+        m.log_groth,
+        m.arrivals,
+        m.proof_interval_cycles,
+        m.unit_cycles,
+    );
+    for (i, p) in m.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"devices\":{},\"completed_by_backend\":{{\"{}\":{},\"{}\":{}}},\"classes\":[",
+            p.devices,
+            BACKEND_NAMES[0],
+            p.completed_by_backend[0],
+            BACKEND_NAMES[1],
+            p.completed_by_backend[1],
+        );
+        for (j, r) in p.outcome.reports.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"class\":\"{}\",\"slo_cycles\":{},\"submitted\":{},\"accepted\":{},\
+                 \"rejected_queue_full\":{},\"rejected_saturated\":{},\"completed\":{},\
+                 \"within_slo\":{},\"latency_cycles\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
+                 \"slo_attainment\":{}}}",
+                r.class.name(),
+                r.slo_cycles,
+                r.submitted,
+                r.accepted,
+                r.rejected_queue_full,
+                r.rejected_saturated,
+                r.completed,
+                r.within_slo,
+                r.latency_p50_cycles,
+                r.latency_p95_cycles,
+                r.latency_p99_cycles,
+                format_f64(r.slo_attainment()),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"goodput_per_mcycle\":{}}}",
+            format_f64(p.outcome.goodput_per_mcycle()),
+        );
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// The BENCH.json `backends` section on its own (canonical JSON,
+/// byte-deterministic at any host thread count). Records nothing into a
+/// shared registry — [`bench_json`] threads its own.
+pub fn backends_json(scale: &Scale) -> String {
+    let mut registry = batchzk_metrics::Registry::new();
+    backends_json_from_study(&backends_study(scale, &mut registry, None))
+}
+
+/// The `tables serve` report for a mixed-backend trace: the same per-class
+/// SLO accounting as [`serve`], plus the per-backend completion split, from
+/// one [`MixedBackend`] service instance per pool size.
+fn mixed_serve(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String> {
+    let mut registry = batchzk_metrics::Registry::new();
+    let study = mixed_service_study(scale, plan, &mut registry)?;
+    let mut out = format!(
+        "## Serve (mixed backends) — sumcheck 2^{} + groth16 2^{} on A100 pools of 1 and 4 ({} arrivals)\n\n\
+         Trace: `{}`\n\n\
+         Calibration: proof interval {} cycles, so 1 trace unit = {} device cycles.\n",
+        study.log_sumcheck,
+        study.log_groth,
+        study.arrivals,
+        plan.spec(),
+        study.proof_interval_cycles,
+        study.unit_cycles,
+    );
+    for p in &study.points {
+        let o = &p.outcome;
+        out.push_str(&format!(
+            "\n### {} device{}\n\n\
+             | Class | SLO (cycles) | Submitted | Accepted | Rejected (queue / saturated) | Completed | Within SLO | p50 | p95 | p99 | Attainment |\n\
+             |---|---|---|---|---|---|---|---|---|---|---|\n",
+            p.devices,
+            if p.devices == 1 { "" } else { "s" },
+        ));
+        for r in &o.reports {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} / {} | {} | {} | {} | {} | {} | {:.1}% |\n",
+                r.class,
+                r.slo_cycles,
+                r.submitted,
+                r.accepted,
+                r.rejected_queue_full,
+                r.rejected_saturated,
+                r.completed,
+                r.within_slo,
+                r.latency_p50_cycles,
+                r.latency_p95_cycles,
+                r.latency_p99_cycles,
+                r.slo_attainment() * 100.0,
+            ));
+        }
+        out.push_str(&format!(
+            "\nCompleted by backend: {} [{}], {} [{}]; goodput {:.3} within-SLO proofs/Mcycle.\n",
+            p.completed_by_backend[0],
+            BACKEND_NAMES[0],
+            p.completed_by_backend[1],
+            BACKEND_NAMES[1],
+            o.goodput_per_mcycle(),
+        ));
+    }
+    Ok(out)
 }
 
 /// Renders one ASCII sparkline row per flight-recorder series: each
@@ -1661,7 +2186,10 @@ fn bench_section(
 /// `"proofs_identical":true`), a `service` section (the committed
 /// reference arrival trace replayed through the online service front at
 /// pool sizes 1 and 4 — per-class p50/p95/p99 latency vs SLO, goodput,
-/// rejection rate), and the accumulated metrics registry in
+/// rejection rate), a `backends` section (each [`ProverBackend`] proved
+/// pipelined and kernel-per-task naive with byte-identical proofs, plus
+/// the committed mixed trace through one [`MixedBackend`] service
+/// instance), and the accumulated metrics registry in
 /// its canonical exposition. Everything derives from simulated integer
 /// cycles — no wall clock — so two runs at the same scale produce
 /// byte-identical output, making `BENCH.json` diffable across commits
@@ -1871,6 +2399,18 @@ pub fn bench_json(scale: &Scale) -> String {
         out.push_str(&timeline_json_from_study(&study, &plan));
     }
 
+    // Backend comparison: each ProverBackend proved through the pipelined
+    // and the kernel-per-task naive schedule at the same size (proofs must
+    // be byte-identical between the two), then the committed mixed trace
+    // through one MixedBackend service instance at pool sizes 1 and 4.
+    // The pipelined runs and mixed replays land in the registry under
+    // `backend`-labelled metric families.
+    {
+        let study = backends_study(scale, &mut registry, None);
+        out.push_str(",\"backends\":");
+        out.push_str(&backends_json_from_study(&study));
+    }
+
     out.push_str(",\"metrics\":");
     out.push_str(&registry.to_json());
     out.push_str("}\n");
@@ -1966,6 +2506,8 @@ mod tests {
             scaling_batch: 48,
             service_log: 8,
             service_probe_batch: 8,
+            backends_log: 8,
+            backends_batch: 3,
             tag: "test",
         }
     }
@@ -2051,6 +2593,9 @@ mod tests {
             "\"slo_attainment\":",
             "\"goodput_per_mcycle\":",
             "\"rejection_rate\":",
+            "\"backends\":",
+            "\"mixed_service\":",
+            "\"completed_by_backend\":",
             "\"metrics\":",
         ] {
             assert!(json.contains(field), "missing field {field}");
@@ -2248,6 +2793,138 @@ mod tests {
             rejected_total > 0,
             "reference trace should shed some load on the 1-device pool"
         );
+    }
+
+    #[test]
+    fn backends_report_and_json_render_with_identical_proofs() {
+        let s = tiny_scale();
+        let report = backends(&s, None);
+        for needle in [
+            "| sumcheck |",
+            "| groth16 |",
+            "latency",
+            "throughput",
+            "Mixed service",
+        ] {
+            assert!(report.contains(needle), "missing `{needle}`:\n{report}");
+        }
+        assert!(
+            !report.contains("| NO |"),
+            "a schedule diverged or a proof failed verification:\n{report}"
+        );
+        let json = backends_json(&s);
+        assert!(!json.contains("\"proofs_identical\":false"), "{json}");
+        assert!(!json.contains("\"verified\":false"), "{json}");
+        for field in [
+            "\"backend\":\"sumcheck\"",
+            "\"backend\":\"groth16\"",
+            "\"scenario\":\"latency\"",
+            "\"scenario\":\"throughput\"",
+            "\"speedup\":",
+            "\"mixed_service\":",
+            "\"completed_by_backend\":",
+        ] {
+            assert!(json.contains(field), "missing {field}: {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn backends_report_filters_to_one_backend() {
+        let s = tiny_scale();
+        let report = backends(&s, Some("groth16"));
+        assert!(report.contains("| groth16 |"), "{report}");
+        assert!(!report.contains("| sumcheck |"), "{report}");
+        assert!(
+            !report.contains("Mixed service"),
+            "filtered sweep skips the mixed replay:\n{report}"
+        );
+    }
+
+    #[test]
+    fn mixed_service_conserves_per_class_and_serves_both_backends() {
+        let s = tiny_scale();
+        let mut registry = batchzk_metrics::Registry::new();
+        let study = mixed_service_study(&s, &mixed_plan(), &mut registry).unwrap();
+        for p in &study.points {
+            let mut completed_total = 0u64;
+            for r in &p.outcome.reports {
+                assert_eq!(
+                    r.accepted + r.rejected_queue_full + r.rejected_saturated,
+                    r.submitted,
+                    "conservation broken for {} at {} devices",
+                    r.class,
+                    p.devices
+                );
+                assert_eq!(r.completed, r.accepted, "fault-free: all accepted finish");
+                completed_total += r.completed;
+            }
+            let submitted: u64 = p.outcome.reports.iter().map(|r| r.submitted).sum();
+            assert_eq!(submitted, study.arrivals as u64);
+            // The per-backend split partitions the completions exactly.
+            assert_eq!(
+                p.completed_by_backend.iter().sum::<u64>(),
+                completed_total,
+                "backend split must partition completions at {} devices",
+                p.devices
+            );
+        }
+        // The committed mixed trace genuinely interleaves: the 4-device
+        // pool completes proofs of both protocols.
+        let wide = study.points.last().unwrap();
+        assert!(
+            wide.completed_by_backend.iter().all(|&c| c > 0),
+            "both backends must complete work: {:?}",
+            wide.completed_by_backend
+        );
+        // The backend-labelled service families rode into the registry.
+        let metrics = registry.to_json();
+        for needle in ["backend=\\\"sumcheck\\\"", "backend=\\\"groth16\\\""] {
+            let plain = needle.replace("\\\"", "\"");
+            assert!(
+                metrics.contains(&plain) || metrics.contains(needle),
+                "missing backend label {plain} in {metrics}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_serve_report_renders_backend_split() {
+        let s = tiny_scale();
+        let report = serve(&s, &mixed_plan()).expect("committed mixed trace serves");
+        for needle in [
+            "mixed backends",
+            "Completed by backend",
+            "[sumcheck]",
+            "[groth16]",
+            "### 1 device",
+            "### 4 devices",
+        ] {
+            assert!(report.contains(needle), "missing `{needle}`:\n{report}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_unknown_backend_labels() {
+        let s = tiny_scale();
+        let plan = ArrivalPlan::parse("interactive/premium@0:one").expect("lexically valid");
+        let err = serve(&s, &plan).unwrap_err();
+        assert!(err.contains("premium"), "{err}");
+        assert!(
+            err.contains("sumcheck"),
+            "error names the accepted set: {err}"
+        );
+    }
+
+    #[test]
+    fn backends_section_byte_identical_across_host_thread_counts() {
+        let s = tiny_scale();
+        let base = batchzk_par::with_threads(1, || backends_json(&s));
+        for t in [2usize, 4] {
+            let json = batchzk_par::with_threads(t, || backends_json(&s));
+            assert_eq!(json, base, "backends section differs at threads={t}");
+        }
     }
 
     #[test]

@@ -40,6 +40,13 @@ pub struct Scale {
     /// proves this many instances in batch mode to measure the
     /// steady-state per-proof interval that defines the trace time unit.
     pub service_probe_batch: usize,
+    /// log2 circuit size for the backend comparison (`tables backends` and
+    /// the BENCH.json `backends` section). Both backends run at this size;
+    /// kept modest because the Groth16-style prover performs real Pippenger
+    /// MSMs per proof on the host.
+    pub backends_log: u32,
+    /// Throughput-scenario batch size for the backend comparison.
+    pub backends_batch: usize,
     /// Human-readable tag recorded in outputs.
     pub tag: &'static str,
 }
@@ -60,6 +67,8 @@ impl Scale {
             scaling_batch: 48,
             service_log: 10,
             service_probe_batch: 8,
+            backends_log: 10,
+            backends_batch: 6,
             tag: "quick (sizes /16 of paper)",
         }
     }
@@ -77,6 +86,8 @@ impl Scale {
             scaling_batch: 48,
             service_log: 18,
             service_probe_batch: 8,
+            backends_log: 12,
+            backends_batch: 12,
             tag: "paper scale",
         }
     }
@@ -94,6 +105,8 @@ impl Scale {
             scaling_batch: 48,
             service_log: 12,
             service_probe_batch: 8,
+            backends_log: 11,
+            backends_batch: 8,
             tag: "medium (sizes /16..64 of paper)",
         }
     }
@@ -116,6 +129,9 @@ mod tests {
             // its per-proof interval reflects the steady state.
             assert!(s.service_probe_batch >= 2 * 4);
             assert!(s.service_log >= 8);
+            // The backend comparison needs a throughput batch past the
+            // 4-stage depth and a size that exercises real MSM windows.
+            assert!(s.backends_batch >= 4 && s.backends_log >= 8);
         }
     }
 }

@@ -116,7 +116,7 @@ pub fn msm_group_op_count(n: usize) -> u64 {
 mod tests {
     use super::*;
     use batchzk_field::Field;
-    use batchzk_field::SplitMix64;
+    use batchzk_field::{RngCore, SplitMix64};
 
     fn fixture(n: usize, seed: u64) -> (Vec<G1Affine>, Vec<Fr>) {
         let mut rng = SplitMix64::seed_from_u64(seed);
@@ -170,6 +170,81 @@ mod tests {
             msm(&points, &sum),
             msm(&points, &s1).add(&msm(&points, &s2))
         );
+    }
+
+    #[test]
+    fn pippenger_matches_naive_on_seeded_random_inputs() {
+        // Property sweep: many seeds, sizes spanning several window-size
+        // rungs, scalars fully random.
+        let mut rng = SplitMix64::seed_from_u64(0xbeef);
+        for trial in 0..24 {
+            let n = 1 + (rng.next_u64() % 96) as usize;
+            let (points, scalars) = fixture(n, rng.next_u64());
+            assert_eq!(
+                msm(&points, &scalars),
+                msm_naive(&points, &scalars),
+                "trial={trial} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pippenger_matches_naive_with_zero_scalars_mixed_in() {
+        let mut rng = SplitMix64::seed_from_u64(0xf00d);
+        for n in [5usize, 33, 64] {
+            let (points, mut scalars) = fixture(n, n as u64 ^ 0x55);
+            // Zero out a pseudo-random subset (always including the ends).
+            scalars[0] = Fr::ZERO;
+            scalars[n - 1] = Fr::ZERO;
+            for s in scalars.iter_mut() {
+                if rng.next_u64().is_multiple_of(3) {
+                    *s = Fr::ZERO;
+                }
+            }
+            assert_eq!(
+                msm(&points, &scalars),
+                msm_naive(&points, &scalars),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pippenger_matches_naive_with_identity_points_mixed_in() {
+        let mut rng = SplitMix64::seed_from_u64(0xabad);
+        for n in [4usize, 40, 70] {
+            let (mut points, scalars) = fixture(n, n as u64 ^ 0xaa);
+            points[0] = G1Affine::identity();
+            for p in points.iter_mut() {
+                if rng.next_u64().is_multiple_of(4) {
+                    *p = G1Affine::identity();
+                }
+            }
+            assert_eq!(
+                msm(&points, &scalars),
+                msm_naive(&points, &scalars),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pippenger_matches_naive_at_window_boundaries() {
+        // One size on each side of every window_size ladder rung that is
+        // cheap enough to cross-check against the naive oracle.
+        for n in [3usize, 4, 31, 32, 255, 256] {
+            let (points, scalars) = fixture(n, 0x1000 + n as u64);
+            assert_eq!(
+                msm(&points, &scalars),
+                msm_naive(&points, &scalars),
+                "n={n}"
+            );
+        }
+        // The ladder itself steps exactly at the documented boundaries.
+        assert_ne!(window_size(3), window_size(4));
+        assert_ne!(window_size(31), window_size(32));
+        assert_ne!(window_size(255), window_size(256));
+        assert_ne!(window_size(2047), window_size(2048));
     }
 
     #[test]

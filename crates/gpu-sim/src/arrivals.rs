@@ -17,7 +17,7 @@
 //!
 //! # Grammar
 //!
-//! Comma-separated segments, each `<class>@<cycle>:<kind>`:
+//! Comma-separated segments, each `<class>[/<backend>]@<cycle>:<kind>`:
 //!
 //! | segment | meaning |
 //! |---------|---------|
@@ -26,9 +26,13 @@
 //! | `<class>@<cycle>:onoff:<gap>:<count>:<seed>:<on>:<off>` | the same Poisson process gated by an on/off duty cycle: arrivals only land inside `on`-cycle windows separated by `off`-cycle silences |
 //!
 //! `class` is a lowercase label (`[a-z0-9_-]+`) the service layer maps to a
-//! priority class. Whitespace around segments is ignored; an empty spec is
-//! the empty plan. [`ArrivalPlan::spec`] renders the plan back to this
-//! grammar, and `parse(spec()) == plan` round-trips.
+//! priority class. It may carry an optional `/<backend>` suffix (same
+//! charset) naming the prover backend the request targets — e.g.
+//! `interactive/groth16@0:one`; without a suffix the service's default
+//! backend applies. The simulator treats both as opaque labels; the CLI
+//! layer validates backend names. Whitespace around segments is ignored;
+//! an empty spec is the empty plan. [`ArrivalPlan::spec`] renders the plan
+//! back to this grammar, and `parse(spec()) == plan` round-trips.
 //!
 //! ```
 //! use batchzk_gpu_sim::ArrivalPlan;
@@ -52,6 +56,10 @@ pub struct Arrival {
     /// Priority-class label from the generating segment (e.g.
     /// `"interactive"`). The service layer maps it to a priority class.
     pub class: String,
+    /// Prover-backend label from the generating segment, if the segment
+    /// named one (`class/backend` in the spec); `None` means the service's
+    /// default backend.
+    pub backend: Option<String>,
     /// Virtual device-clock cycle of the arrival.
     pub at_cycle: u64,
 }
@@ -113,6 +121,9 @@ impl ArrivalKind {
 pub struct ArrivalSegment {
     /// Priority-class label stamped on every arrival this segment emits.
     pub class: String,
+    /// Optional prover-backend label stamped on every arrival this segment
+    /// emits; `None` means the service's default backend.
+    pub backend: Option<String>,
     /// Virtual cycle the process starts at.
     pub start_cycle: u64,
     /// The arrival process.
@@ -132,10 +143,13 @@ impl ArrivalPlan {
         Self::default()
     }
 
-    /// Adds a single arrival of `class` at `cycle`.
+    /// Adds a single arrival of `class` at `cycle`. As in the spec grammar,
+    /// `class` may carry a `/<backend>` suffix.
     pub fn one(mut self, class: &str, cycle: u64) -> Self {
+        let (class, backend) = split_token(class);
         self.segments.push(ArrivalSegment {
-            class: class.into(),
+            class,
+            backend,
             start_cycle: cycle,
             kind: ArrivalKind::One,
         });
@@ -143,7 +157,8 @@ impl ArrivalPlan {
     }
 
     /// Adds a seeded Poisson segment: `count` arrivals of `class` from
-    /// `start_cycle` with mean inter-arrival gap `mean_gap` cycles.
+    /// `start_cycle` with mean inter-arrival gap `mean_gap` cycles. As in
+    /// the spec grammar, `class` may carry a `/<backend>` suffix.
     pub fn poisson(
         mut self,
         class: &str,
@@ -152,8 +167,10 @@ impl ArrivalPlan {
         count: u32,
         seed: u64,
     ) -> Self {
+        let (class, backend) = split_token(class);
         self.segments.push(ArrivalSegment {
-            class: class.into(),
+            class,
+            backend,
             start_cycle,
             kind: ArrivalKind::Poisson {
                 mean_gap,
@@ -165,7 +182,8 @@ impl ArrivalPlan {
     }
 
     /// Adds a bursty on/off segment: Poisson arrivals of `class` gated by
-    /// `on`-cycle active windows separated by `off`-cycle silences.
+    /// `on`-cycle active windows separated by `off`-cycle silences. As in
+    /// the spec grammar, `class` may carry a `/<backend>` suffix.
     #[allow(clippy::too_many_arguments)]
     pub fn onoff(
         mut self,
@@ -177,8 +195,10 @@ impl ArrivalPlan {
         on: u64,
         off: u64,
     ) -> Self {
+        let (class, backend) = split_token(class);
         self.segments.push(ArrivalSegment {
-            class: class.into(),
+            class,
+            backend,
             start_cycle,
             kind: ArrivalKind::OnOff {
                 mean_gap,
@@ -212,12 +232,29 @@ impl ArrivalPlan {
         out
     }
 
+    /// The distinct backend labels explicitly named by segments, in order
+    /// of first appearance (segments without a suffix contribute nothing).
+    /// The CLI layer validates these against the prover-backend registry.
+    pub fn backends(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.segments {
+            if let Some(b) = &s.backend {
+                if !out.contains(b) {
+                    out.push(b.clone());
+                }
+            }
+        }
+        out
+    }
+
     /// Parses the compact text spec: comma-separated segments of the form
     /// `<class>@<cycle>:one`,
     /// `<class>@<cycle>:poisson:<gap>:<count>:<seed>`, or
     /// `<class>@<cycle>:onoff:<gap>:<count>:<seed>:<on>:<off>`, where
-    /// `class` is a lowercase label (`[a-z0-9_-]+`). Whitespace around
-    /// segments is ignored; an empty spec is the empty plan.
+    /// `class` is a lowercase label (`[a-z0-9_-]+`), optionally suffixed
+    /// `/<backend>` (same charset) to target a specific prover backend.
+    /// Whitespace around segments is ignored; an empty spec is the empty
+    /// plan.
     ///
     /// # Errors
     ///
@@ -231,13 +268,15 @@ impl ArrivalPlan {
             }
             let err = || format!("malformed arrival segment `{entry}`");
             let (target, action) = entry.split_once(':').ok_or_else(err)?;
-            let (class, cycle) = target.split_once('@').ok_or_else(err)?;
-            let class = class.trim();
-            if class.is_empty()
-                || !class
-                    .chars()
-                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
-            {
+            let (token, cycle) = target.split_once('@').ok_or_else(err)?;
+            let label_ok = |s: &str| {
+                !s.is_empty()
+                    && s.chars().all(|c| {
+                        c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'
+                    })
+            };
+            let (class, backend) = split_token(token.trim());
+            if !label_ok(&class) || backend.as_deref().is_some_and(|b| !label_ok(b)) {
                 return Err(err());
             }
             let start_cycle: u64 = cycle.trim().parse().map_err(|_| err())?;
@@ -260,7 +299,8 @@ impl ArrivalPlan {
                 _ => return Err(err()),
             };
             plan.segments.push(ArrivalSegment {
-                class: class.into(),
+                class,
+                backend,
                 start_cycle,
                 kind,
             });
@@ -272,7 +312,13 @@ impl ArrivalPlan {
     pub fn spec(&self) -> String {
         self.segments
             .iter()
-            .map(|s| format!("{}@{}:{}", s.class, s.start_cycle, s.kind.label()))
+            .map(|s| {
+                let token = match &s.backend {
+                    Some(b) => format!("{}/{b}", s.class),
+                    None => s.class.clone(),
+                };
+                format!("{token}@{}:{}", s.start_cycle, s.kind.label())
+            })
             .collect::<Vec<_>>()
             .join(",")
     }
@@ -290,6 +336,7 @@ impl ArrivalPlan {
                     seg_idx,
                     Arrival {
                         class: seg.class.clone(),
+                        backend: seg.backend.clone(),
                         at_cycle,
                     },
                 ));
@@ -336,6 +383,15 @@ impl ArrivalPlan {
 impl fmt::Display for ArrivalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.spec())
+    }
+}
+
+/// Splits a `class[/backend]` token into its parts (first `/` wins; the
+/// parser rejects backends that themselves contain `/`).
+fn split_token(token: &str) -> (String, Option<String>) {
+    match token.split_once('/') {
+        Some((class, backend)) => (class.into(), Some(backend.into())),
+        None => (token.into(), None),
     }
 }
 
@@ -497,10 +553,41 @@ mod tests {
             "interactive@5:onoff:100:2:7:0:50", // zero on-window
             "interactive@5:onoff:100:2:7:50",   // missing off
             "interactive@5:poisson:100:2:7:9",  // trailing field
+            "interactive/@5:one",               // empty backend
+            "/groth16@5:one",                   // empty class with backend
+            "interactive/Groth@5:one",          // uppercase backend
+            "interactive/a/b@5:one",            // nested slash
         ] {
             let err = ArrivalPlan::parse(bad).unwrap_err();
             assert!(err.contains("malformed arrival segment"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn backend_suffix_round_trips_and_stamps_arrivals() {
+        let plan = ArrivalPlan::parse(
+            "interactive@0:poisson:100:4:1, interactive/groth16@0:poisson:100:4:2,\
+             bulk/sumcheck@5:one",
+        )
+        .unwrap();
+        assert_eq!(plan.classes(), ["interactive", "bulk"]);
+        assert_eq!(plan.backends(), ["groth16", "sumcheck"]);
+        assert_eq!(ArrivalPlan::parse(&plan.spec()).unwrap(), plan);
+        let arrivals = plan.expand();
+        assert_eq!(arrivals.len(), 9);
+        let tagged = arrivals
+            .iter()
+            .filter(|a| a.backend.as_deref() == Some("groth16"))
+            .count();
+        assert_eq!(tagged, 4);
+        assert!(arrivals
+            .iter()
+            .filter(|a| a.backend.is_none())
+            .all(|a| a.class == "interactive"));
+        // Builder path splits the same token grammar.
+        let built = ArrivalPlan::new().one("bulk/sumcheck", 5);
+        assert_eq!(built.segments()[0].backend.as_deref(), Some("sumcheck"));
+        assert_eq!(built.spec(), "bulk/sumcheck@5:one");
     }
 
     #[test]

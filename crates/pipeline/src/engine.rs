@@ -44,6 +44,21 @@ pub trait PipeStage<T> {
 
     /// Performs the stage's real computation on `task` and returns its cost.
     fn process(&self, task: &mut T) -> StageWork;
+
+    /// The serial phase decomposition a *kernel-per-task* baseline walks
+    /// for this stage (tree layers, sum-check rounds, NTT levels, MSM
+    /// windows), or `None` when the stage has no finer granularity than
+    /// its aggregate [`process`](Self::process) charge. The pipelined
+    /// executor never calls this; the naive runner
+    /// ([`run_stages_naive`](crate::naive::run_stages_naive)) issues one
+    /// device step per phase, reproducing the Figure-4a utilization
+    /// collapse when late phases have fewer work units than the threads
+    /// the task holds. Called after [`process`](Self::process) on the
+    /// same task, so phase sizes may depend on the processed state.
+    fn naive_phases(&self, task: &T) -> Option<Vec<Work>> {
+        let _ = task;
+        None
+    }
 }
 
 /// The boxed stage type every pipeline is built from. `Send + Sync` so a

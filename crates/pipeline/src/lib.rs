@@ -1,10 +1,13 @@
 //! # batchzk-pipeline
 //!
-//! The paper's core contribution: fully pipelined GPU modules for Merkle
-//! trees, the sum-check protocol and the linear-time encoder (§3), plus the
-//! non-pipelined "intuitive" baselines they are compared against
-//! (Figure 4a) — all driven by the cycle-level simulator in
-//! `batchzk-gpu-sim` while performing the *real* module computation.
+//! The paper's core contribution: fully pipelined GPU modules — Merkle
+//! trees, the sum-check protocol and the linear-time encoder (§3), and
+//! since the `ProverBackend` split also the Groth16-style NTT+MSM stack
+//! ([`groth`]) — plus the non-pipelined "intuitive" baselines they are
+//! compared against (Figure 4a), all driven by the cycle-level simulator
+//! in `batchzk-gpu-sim` while performing the *real* module computation.
+//! The pipeline engine is protocol-agnostic: any stage set implementing
+//! [`PipeStage`] runs under the same executor, scheduler, and service.
 //!
 //! Modules:
 //!
@@ -16,8 +19,11 @@
 //!   odd/even alternation (§3.2, Figure 5b);
 //! * [`encoder`] — two interconnected pipelines (forward `A`-phase, backward
 //!   `B`-phase) with bucket-sorted warp scheduling (§3.3, Figure 6);
+//! * [`groth`] — the pipelined Groth16-style backend: witness NTTs,
+//!   exact quotient, and real Pippenger MSM commitments, charged with the
+//!   baseline per-proof operation counts;
 //! * [`naive`] — the kernel-per-task baselines standing in for Simon,
-//!   Icicle, and "Ours-np";
+//!   Icicle, and "Ours-np", plus a generic stage-set runner;
 //! * [`sched`] — shard policies (round-robin, least-outstanding-work,
 //!   memory-aware admission) that spread one task stream over a
 //!   multi-device pool, one persistent executor per device, with
@@ -33,6 +39,7 @@
 
 pub mod encoder;
 pub mod engine;
+pub mod groth;
 pub mod merkle;
 pub mod naive;
 pub mod observe;
@@ -46,7 +53,8 @@ pub use engine::{
 };
 pub use observe::{
     default_service_rules, record_error, record_pool_health, record_pool_run, record_recovery,
-    record_run, record_service, stage_observations, timeline_counter_tracks,
+    record_run, record_run_with_backend, record_service, record_service_backends,
+    stage_observations, timeline_counter_tracks, timeline_counter_tracks_labeled,
 };
 pub use sched::{
     device_weight, plan_shards, run_sharded, RecoveryReport, ShardPlan, ShardPolicy, ShardedRun,

@@ -59,6 +59,123 @@ fn finish_stats(gpu: &Gpu, start_cycles: u64, tasks: usize, latencies: &[u64]) -
     }
 }
 
+/// Runs an arbitrary stage set in the kernel-per-task naive model: each
+/// group of `concurrent` tasks walks all stages serially (no cross-stage
+/// pipelining, no transfer/compute overlap), every task holding an equal
+/// `total_threads / concurrent` slice of the thread budget, with the full
+/// working set of `preload_bytes` pre-loaded to device memory. The stage
+/// math is exactly the pipelined math — outputs are byte-identical to a
+/// [`Pipeline`](crate::engine::Pipeline) run of the same stages — only
+/// the schedule (and therefore the clock) differs.
+///
+/// Stages that expose a
+/// [`naive_phases`](crate::engine::PipeStage::naive_phases) decomposition
+/// are charged one device step per serial phase — the Figure-4a model,
+/// where a task's kernel holds its full thread slice through every small
+/// late phase. Stages without phases are charged their aggregate
+/// [`StageWork`](crate::engine::StageWork). Per-stage `mem_after` reports
+/// are ignored: the naive model's residency is the pre-load.
+///
+/// # Panics
+///
+/// Panics if `tasks` is empty, the pre-load does not fit in device
+/// memory, or tasks in one group disagree on their phase count (the
+/// runner batches groups in lockstep, so it requires a uniform circuit).
+pub fn run_stages_naive<T: Send>(
+    gpu: &mut Gpu,
+    stages: Vec<crate::engine::BoxedStage<T>>,
+    tasks: Vec<T>,
+    kernel_prefix: &str,
+    preload_bytes: u64,
+    total_threads: u32,
+    concurrent: usize,
+) -> NaiveRun<T> {
+    assert!(!tasks.is_empty(), "need at least one task");
+    let concurrent = concurrent.max(1).min(tasks.len());
+    let threads_per_task = (total_threads as usize / concurrent).max(1) as u32;
+    let start = gpu.elapsed_cycles();
+    gpu.memory().reset_peak();
+    let input_mem = gpu
+        .memory()
+        .alloc(preload_bytes, &format!("naive-{kernel_prefix}-inputs"))
+        .expect("naive pre-load must fit for this experiment");
+
+    let mut outputs = Vec::with_capacity(tasks.len());
+    let mut latencies = Vec::with_capacity(tasks.len());
+    let mut queue = tasks;
+    while !queue.is_empty() {
+        let take = concurrent.min(queue.len());
+        let mut group: Vec<T> = queue.drain(..take).collect();
+        let group_start = gpu.elapsed_cycles();
+        for stage in &stages {
+            let works = batchzk_par::par_map_mut(&mut group, |_, task| stage.process(task));
+            let h2d: u64 = works.iter().map(|w| w.h2d_bytes).sum();
+            let d2h: u64 = works.iter().map(|w| w.d2h_bytes).sum();
+            let mut transfers = Vec::new();
+            if h2d > 0 {
+                transfers.push(Transfer {
+                    bytes: h2d,
+                    dir: Dir::HostToDevice,
+                });
+            }
+            if d2h > 0 {
+                transfers.push(Transfer {
+                    bytes: d2h,
+                    dir: Dir::DeviceToHost,
+                });
+            }
+            // Phase-granular when the stage provides it (tasks advance
+            // their serial phases in lockstep, transfers ride the first
+            // step); aggregate otherwise.
+            let phase_lists: Vec<Option<Vec<Work>>> =
+                group.iter().map(|t| stage.naive_phases(t)).collect();
+            if phase_lists.iter().all(Option::is_some) {
+                let phases: Vec<Vec<Work>> = phase_lists.into_iter().flatten().collect();
+                let depth = phases[0].len();
+                assert!(
+                    phases.iter().all(|p| p.len() == depth),
+                    "ragged phase counts in one naive group"
+                );
+                for j in 0..depth {
+                    let kernels: Vec<KernelStep> = phases
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            KernelStep::new(
+                                format!("naive-{kernel_prefix}-task{i}"),
+                                threads_per_task,
+                                p[j].clone(),
+                            )
+                        })
+                        .collect();
+                    gpu.execute_step(&kernels, if j == 0 { &transfers } else { &[] }, true);
+                }
+            } else {
+                let kernels: Vec<KernelStep> = works
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        KernelStep::new(
+                            format!("naive-{kernel_prefix}-task{i}"),
+                            threads_per_task,
+                            w.work,
+                        )
+                    })
+                    .collect();
+                gpu.execute_step(&kernels, &transfers, true);
+            }
+        }
+        let group_latency = gpu.elapsed_cycles() - group_start;
+        for task in group {
+            outputs.push(task);
+            latencies.push(group_latency);
+        }
+    }
+    gpu.memory().free(input_mem);
+    let stats = finish_stats(gpu, start, outputs.len(), &latencies);
+    NaiveRun { outputs, stats }
+}
+
 /// Naive batched Merkle generation (the Simon model): `concurrent` kernels
 /// at a time, each building one whole tree with `total_threads/concurrent`
 /// threads, all input data pre-loaded to device memory.

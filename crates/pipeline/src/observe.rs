@@ -63,6 +63,25 @@
 //! | `batchzk_service_latency_p99_cycles` | gauge | `module`, `class` |
 //! | `batchzk_service_rejection_rate` | gauge | `module` |
 //! | `batchzk_service_goodput_per_mcycle` | gauge | `module` |
+//!
+//! Since the `ProverBackend` split, runs and service outcomes can also be
+//! qualified by which prover backend produced them. The backend-aware
+//! entry points ([`record_run_with_backend`],
+//! [`record_service_backends`], [`timeline_counter_tracks_labeled`]) are
+//! strictly additive: they record the same unlabelled families
+//! byte-for-byte (or leave them untouched) and *add* series under a
+//! `backend` label dimension, so pre-existing dashboards keep reading the
+//! same values:
+//!
+//! | metric | kind | labels |
+//! |---|---|---|
+//! | `batchzk_runs_total` | counter | `module`, `backend` |
+//! | `batchzk_tasks_total` | counter | `module`, `backend` |
+//! | `batchzk_throughput_tasks_per_ms` | gauge | `module`, `backend` |
+//! | `batchzk_mean_utilization` | gauge | `module`, `backend` |
+//! | `batchzk_service_completed_total` | counter | `module`, `backend` |
+//! | `batchzk_service_slo_miss_total` | counter | `module`, `backend` |
+//! | `batchzk_service_latency_cycles` | histogram | `module`, `backend` |
 
 use crate::engine::{PipelineError, RunStats, StageStats};
 use crate::sched::RecoveryReport;
@@ -103,6 +122,28 @@ pub fn record_run(registry: &mut Registry, module: &str, stats: &RunStats) {
             stage.occupancy,
         );
     }
+}
+
+/// Backend-qualified variant of [`record_run`]: records the exact same
+/// `module`-labelled series (so existing dashboards see no difference),
+/// then qualifies the headline run families with an additional `backend`
+/// label naming the prover backend that produced the run.
+pub fn record_run_with_backend(
+    registry: &mut Registry,
+    module: &str,
+    backend: &str,
+    stats: &RunStats,
+) {
+    record_run(registry, module, stats);
+    let b = [("module", module), ("backend", backend)];
+    registry.counter_add("batchzk_runs_total", &b, 1);
+    registry.counter_add("batchzk_tasks_total", &b, stats.tasks as u64);
+    registry.gauge_set(
+        "batchzk_throughput_tasks_per_ms",
+        &b,
+        stats.throughput_per_ms,
+    );
+    registry.gauge_set("batchzk_mean_utilization", &b, stats.mean_utilization);
 }
 
 /// Folds one pool-wide run (per-device [`RunStats`] plus per-device
@@ -362,6 +403,38 @@ pub fn record_service<T>(registry: &mut Registry, module: &str, outcome: &Servic
     );
 }
 
+/// Adds the `backend` label dimension to a service outcome's completion
+/// families: per-backend completed counters, SLO-miss counters, and
+/// latency histograms, derived by classifying each completion's finished
+/// task through `backend_of`. Strictly additive — call it *after*
+/// [`record_service`]; the unlabelled families are untouched. This is how
+/// a mixed-protocol trace (one pool, several prover backends) stays
+/// observable per backend under the shared SLO classes.
+pub fn record_service_backends<T>(
+    registry: &mut Registry,
+    module: &str,
+    outcome: &ServiceOutcome<T>,
+    backend_of: impl Fn(&T) -> &'static str,
+) {
+    for completion in &outcome.completions {
+        let labels = [
+            ("module", module),
+            ("backend", backend_of(&completion.task)),
+        ];
+        registry.counter_add("batchzk_service_completed_total", &labels, 1);
+        let latency = completion.latency_cycles();
+        registry.observe("batchzk_service_latency_cycles", &labels, latency);
+        let slo = outcome
+            .reports
+            .iter()
+            .find(|r| r.class == completion.class)
+            .map_or(u64::MAX, |r| r.slo_cycles);
+        if latency > slo {
+            registry.counter_add("batchzk_service_slo_miss_total", &labels, 1);
+        }
+    }
+}
+
 /// The default alerting policy for an online service run: the rule set the
 /// flight recorder is evaluated against unless an operator supplies their
 /// own. Per class: an SLO burn-rate rule (≥ 50% of a window's completions
@@ -471,6 +544,19 @@ pub fn timeline_counter_tracks(timeline: &Timeline) -> Vec<CounterTrack> {
             &starts,
         ),
     ]
+}
+
+/// [`timeline_counter_tracks`] with every track name suffixed
+/// `" [<backend>]"` — the timeline's `backend` label. A mixed-protocol
+/// service merges one labelled track set per serving backend (or a single
+/// set labelled with the composite backend name) into the same device
+/// trace without the counter names colliding.
+pub fn timeline_counter_tracks_labeled(timeline: &Timeline, backend: &str) -> Vec<CounterTrack> {
+    let mut tracks = timeline_counter_tracks(timeline);
+    for track in &mut tracks {
+        track.name = format!("{} [{backend}]", track.name);
+    }
+    tracks
 }
 
 /// Converts per-stage run statistics into the analyzer's input form.
@@ -864,6 +950,159 @@ mod tests {
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"name\":\"service queue depth\""));
         assert_eq!(json, gpu.chrome_trace_json_with_counters(&tracks));
+    }
+
+    #[test]
+    fn backend_label_is_additive_over_unlabelled_families() {
+        let mut gpu = Gpu::new(DeviceProfile::v100());
+        let run = merkle::run_pipelined(&mut gpu, trees(6, 16), 512, true).expect("fits");
+
+        // The backend-aware entry point records the plain module families
+        // byte-for-byte...
+        let mut plain = Registry::new();
+        record_run(&mut plain, "merkle", &run.stats);
+        let mut labelled = Registry::new();
+        record_run_with_backend(&mut labelled, "merkle", "sumcheck", &run.stats);
+        let m = [("module", "merkle")];
+        assert_eq!(
+            plain.counter("batchzk_tasks_total", &m),
+            labelled.counter("batchzk_tasks_total", &m)
+        );
+        assert_eq!(
+            plain.gauge("batchzk_throughput_tasks_per_ms", &m),
+            labelled.gauge("batchzk_throughput_tasks_per_ms", &m)
+        );
+        // ...and adds the backend-qualified dimension on top.
+        let b = [("module", "merkle"), ("backend", "sumcheck")];
+        assert_eq!(labelled.counter("batchzk_runs_total", &b), 1);
+        assert_eq!(labelled.counter("batchzk_tasks_total", &b), 6);
+        assert!(labelled
+            .gauge("batchzk_throughput_tasks_per_ms", &b)
+            .is_some());
+        assert_eq!(plain.counter("batchzk_runs_total", &b), 0);
+    }
+
+    #[test]
+    fn service_backend_families_classify_completions() {
+        use crate::service::{
+            run_service, ClassPolicy, PriorityClass, ServiceConfig, ServiceRequest,
+        };
+        use crate::{BoxedStage, PipeStage, StageWork};
+        use batchzk_gpu_sim::{DevicePool, Work};
+
+        struct Busy;
+        impl PipeStage<u64> for Busy {
+            fn name(&self) -> String {
+                "busy".into()
+            }
+            fn threads(&self) -> u32 {
+                32
+            }
+            fn process(&self, _task: &mut u64) -> StageWork {
+                StageWork {
+                    work: Work::Uniform {
+                        units: 32,
+                        cycles_per_unit: 50,
+                    },
+                    h2d_bytes: 0,
+                    d2h_bytes: 0,
+                    mem_after: 64,
+                }
+            }
+        }
+
+        let config = ServiceConfig {
+            classes: [ClassPolicy {
+                queue_cap: 8,
+                slo_cycles: 3_000,
+            }; 3],
+            max_outstanding: 32,
+            device_queue_cap: 4,
+            max_in_flight: 0,
+            timeline_window_cycles: 0,
+        };
+        // Even request indices target one backend, odd the other.
+        let requests: Vec<ServiceRequest<u64>> = (0..8u64)
+            .map(|i| ServiceRequest {
+                class: PriorityClass::ALL[(i % 3) as usize],
+                arrival_cycle: 100 * i,
+                task: i,
+            })
+            .collect();
+        let mut pool = DevicePool::homogeneous(DeviceProfile::v100(), 1);
+        let stages = |_: &Gpu| -> Vec<BoxedStage<u64>> { vec![Box::new(Busy)] };
+        let outcome = run_service(&mut pool, &config, requests, stages, true).unwrap();
+        let total_completed = outcome.completions.len() as u64;
+        assert!(total_completed > 0);
+
+        let backend_of = |t: &u64| -> &'static str {
+            if t.is_multiple_of(2) {
+                "sumcheck"
+            } else {
+                "groth16"
+            }
+        };
+        let mut reg = Registry::new();
+        record_service_backends(&mut reg, "service", &outcome, backend_of);
+        let sc = [("module", "service"), ("backend", "sumcheck")];
+        let gr = [("module", "service"), ("backend", "groth16")];
+        // Per-backend completions partition the total.
+        assert_eq!(
+            reg.counter("batchzk_service_completed_total", &sc)
+                + reg.counter("batchzk_service_completed_total", &gr),
+            total_completed
+        );
+        let expect_sc = outcome
+            .completions
+            .iter()
+            .filter(|c| c.task % 2 == 0)
+            .count() as u64;
+        assert_eq!(
+            reg.counter("batchzk_service_completed_total", &sc),
+            expect_sc
+        );
+        // Per-backend SLO misses partition the per-class miss totals.
+        let misses: u64 = outcome
+            .reports
+            .iter()
+            .map(|r| r.completed - r.within_slo)
+            .sum();
+        assert_eq!(
+            reg.counter("batchzk_service_slo_miss_total", &sc)
+                + reg.counter("batchzk_service_slo_miss_total", &gr),
+            misses
+        );
+        let h = reg
+            .histogram("batchzk_service_latency_cycles", &sc)
+            .expect("recorded");
+        assert_eq!(h.count(), expect_sc);
+        // The unlabelled families are untouched by the backend pass.
+        assert_eq!(
+            reg.counter(
+                "batchzk_service_completed_total",
+                &[("module", "service"), ("class", "interactive")]
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn labeled_counter_tracks_suffix_the_backend() {
+        use batchzk_metrics::TimelineConfig;
+        let mut t = Timeline::new(TimelineConfig {
+            window_cycles: 100,
+            max_windows: 4,
+            class_names: vec!["interactive".into()],
+            devices: 1,
+        });
+        t.record_accept(0, 0);
+        t.finalize(100);
+        let tracks = timeline_counter_tracks_labeled(&t, "mixed");
+        assert!(!tracks.is_empty());
+        for (labelled, plain) in tracks.iter().zip(timeline_counter_tracks(&t)) {
+            assert_eq!(labelled.name, format!("{} [mixed]", plain.name));
+            assert_eq!(labelled.points, plain.points);
+        }
     }
 
     #[test]

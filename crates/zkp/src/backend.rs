@@ -1,0 +1,401 @@
+//! The [`ProverBackend`] trait: one pipelined proving protocol behind a
+//! common seam.
+//!
+//! The batch layer (`prove_batch`, `prove_batch_pool`, `prove_service`,
+//! [`StreamingProver`](crate::StreamingProver)) was originally welded to the
+//! Spartan/sumcheck protocol. This module splits it along a trait so the
+//! same pipeline engine, shard policies, admission control, and metrics
+//! serve *any* protocol that can express its prover as a fixed sequence of
+//! [`PipeStage`](batchzk_pipeline::PipeStage)s:
+//!
+//! * [`SpartanBackend`] — the paper's sumcheck system (encoder → Merkle →
+//!   sum-check → assemble), byte-identical to the pre-trait code path;
+//! * [`GrothBackend`] — the Groth16-style NTT+MSM stack built from the real
+//!   [`batchzk_field::NttDomain`] and [`batchzk_curve::msm`] kernels (see
+//!   [`batchzk_pipeline::groth`]);
+//! * [`MixedBackend`] — a task-level union of the two, so one
+//!   [`run_service`](batchzk_pipeline::run_service) instance serves a mixed
+//!   trace under the existing SLO classes.
+//!
+//! A third protocol plugs in by implementing the trait: define a task type
+//! carrying the proof state, stages that advance it while reporting
+//! simulated [`StageWork`](batchzk_pipeline::StageWork), an analytic
+//! footprint for the memory-aware scheduler, and a verification hook.
+//! Every layer above — sharding, fault recovery, the online service,
+//! BENCH.json — comes for free (DESIGN.md §15).
+
+use std::sync::Arc;
+
+use batchzk_field::{Field, Fr};
+use batchzk_gpu_sim::Gpu;
+use batchzk_pipeline::groth::{self, GrothCircuit, GrothProof, GrothTask};
+use batchzk_pipeline::{BoxedStage, PipeStage, StageWork};
+
+use crate::batch::{build_stages, module_weights, task_footprint_bytes, BatchTask};
+use crate::pcs::PcsParams;
+use crate::r1cs::R1cs;
+use crate::spartan::{self, Proof};
+
+/// Stable names of every built-in backend, in CLI/report order. The
+/// `tables` harness validates `--backend` flags and mixed-trace specs
+/// against this list.
+pub const BACKEND_NAMES: [&str; 2] = ["sumcheck", "groth16"];
+
+/// One pipelined proving protocol: how to turn submitted instances into
+/// in-pipeline tasks, which stages advance them, what they cost, and how
+/// the finished proof is extracted and verified.
+///
+/// Implementations are cheap handles (`Arc`-backed) cloned into per-device
+/// stage factories, so the trait requires `Clone + Send + Sync`.
+pub trait ProverBackend: Clone + Send + Sync + 'static {
+    /// What callers submit: the per-proof input (e.g. `(inputs, witness)`).
+    type Instance: Send;
+    /// The task state a proof-in-progress carries through the pipeline.
+    type Task: Send;
+    /// The public statement paired with each finished proof.
+    type Statement: Send;
+    /// The finished proof.
+    type Proof: Send;
+
+    /// Stable kebab-case protocol name (CLI flag value, metric label).
+    fn name(&self) -> &'static str;
+
+    /// Wraps one submitted instance into a fresh pipeline task.
+    fn begin(&self, instance: Self::Instance) -> Self::Task;
+
+    /// Per-module work weights in cycles under `gpu`'s cost model — the
+    /// measured-ratio rule input that sizes per-stage thread allocation.
+    fn module_weights(&self, gpu: &Gpu) -> Vec<u64>;
+
+    /// Builds the protocol's stage set for one device, allocating
+    /// `total_threads` across modules by [`module_weights`].
+    ///
+    /// [`module_weights`]: ProverBackend::module_weights
+    fn stages(&self, gpu: &Gpu, total_threads: u32) -> Vec<BoxedStage<Self::Task>>;
+
+    /// Analytic per-task peak device-memory footprint in bytes. The
+    /// memory-aware shard policy sizes per-device admission caps from this.
+    fn task_footprint_bytes(&self) -> u64;
+
+    /// Splits a completed task into its statement and proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task has not completed the pipeline.
+    fn finish(&self, task: Self::Task) -> (Self::Statement, Self::Proof);
+
+    /// Verifies a finished proof against its statement.
+    fn verify(&self, statement: &Self::Statement, proof: &Self::Proof) -> bool;
+}
+
+/// The paper's sumcheck system as a [`ProverBackend`]: encoder → Merkle →
+/// sum-check → assemble over one shared R1CS. This is the pre-trait code
+/// path verbatim — proofs, statistics, and metrics are byte-identical to
+/// the monolithic implementation it replaced.
+pub struct SpartanBackend<F: Field> {
+    r1cs: Arc<R1cs<F>>,
+    params: PcsParams,
+}
+
+impl<F: Field> Clone for SpartanBackend<F> {
+    fn clone(&self) -> Self {
+        Self {
+            r1cs: Arc::clone(&self.r1cs),
+            params: self.params,
+        }
+    }
+}
+
+impl<F: Field> SpartanBackend<F> {
+    /// Creates the backend over one shared circuit and PCS parameter set.
+    pub fn new(r1cs: Arc<R1cs<F>>, params: PcsParams) -> Self {
+        Self { r1cs, params }
+    }
+
+    /// The shared circuit.
+    pub fn r1cs(&self) -> &Arc<R1cs<F>> {
+        &self.r1cs
+    }
+
+    /// The PCS parameters.
+    pub fn params(&self) -> &PcsParams {
+        &self.params
+    }
+}
+
+impl<F: Field> ProverBackend for SpartanBackend<F> {
+    type Instance = (Vec<F>, Vec<F>);
+    type Task = BatchTask<F>;
+    type Statement = Vec<F>;
+    type Proof = Proof<F>;
+
+    fn name(&self) -> &'static str {
+        "sumcheck"
+    }
+
+    fn begin(&self, (inputs, witness): Self::Instance) -> Self::Task {
+        BatchTask::new(inputs, witness)
+    }
+
+    fn module_weights(&self, gpu: &Gpu) -> Vec<u64> {
+        module_weights(gpu, &self.r1cs, &self.params).to_vec()
+    }
+
+    fn stages(&self, gpu: &Gpu, total_threads: u32) -> Vec<BoxedStage<Self::Task>> {
+        build_stages(gpu, &self.r1cs, self.params, total_threads)
+    }
+
+    fn task_footprint_bytes(&self) -> u64 {
+        task_footprint_bytes(&self.r1cs, &self.params)
+    }
+
+    fn finish(&self, task: Self::Task) -> (Self::Statement, Self::Proof) {
+        let statement = task.inputs().to_vec();
+        (statement, task.into_proof())
+    }
+
+    fn verify(&self, statement: &Self::Statement, proof: &Self::Proof) -> bool {
+        spartan::verify(&self.params, &self.r1cs, statement, proof)
+    }
+}
+
+/// The Groth16-style NTT+MSM stack as a [`ProverBackend`], wrapping the
+/// pipelined implementation in [`batchzk_pipeline::groth`]: witness NTTs →
+/// quotient → MSM buckets → MSM reduce/assemble, running the real
+/// [`batchzk_field::NttDomain`] and [`batchzk_curve::msm`] kernels under
+/// the gpu-sim cost model.
+#[derive(Clone)]
+pub struct GrothBackend {
+    circuit: Arc<GrothCircuit>,
+}
+
+impl GrothBackend {
+    /// Creates the backend over one shared circuit of `2^log_size` gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_size` exceeds what the field's two-adicity admits
+    /// (the quotient works on a domain of size `2^(log_size + 1)`).
+    pub fn new(log_size: u32) -> Self {
+        Self {
+            circuit: Arc::new(GrothCircuit::new(log_size)),
+        }
+    }
+
+    /// The shared circuit.
+    pub fn circuit(&self) -> &Arc<GrothCircuit> {
+        &self.circuit
+    }
+}
+
+impl ProverBackend for GrothBackend {
+    type Instance = Vec<Fr>;
+    type Task = GrothTask;
+    type Statement = Vec<Fr>;
+    type Proof = GrothProof;
+
+    fn name(&self) -> &'static str {
+        "groth16"
+    }
+
+    fn begin(&self, witness: Self::Instance) -> Self::Task {
+        GrothTask::new(witness)
+    }
+
+    fn module_weights(&self, gpu: &Gpu) -> Vec<u64> {
+        groth::module_weights(gpu, &self.circuit).to_vec()
+    }
+
+    fn stages(&self, gpu: &Gpu, total_threads: u32) -> Vec<BoxedStage<Self::Task>> {
+        groth::build_stages(gpu, &self.circuit, total_threads)
+    }
+
+    fn task_footprint_bytes(&self) -> u64 {
+        groth::task_footprint_bytes(&self.circuit)
+    }
+
+    fn finish(&self, task: Self::Task) -> (Self::Statement, Self::Proof) {
+        let statement = task.statement().to_vec();
+        (statement, task.into_proof())
+    }
+
+    fn verify(&self, statement: &Self::Statement, proof: &Self::Proof) -> bool {
+        groth::verify(&self.circuit, statement, proof)
+    }
+}
+
+/// An instance entering the mixed service: one variant per backend.
+#[derive(Debug, Clone)]
+pub enum MixedInstance {
+    /// A sumcheck-system instance: `(public inputs, witness)`.
+    Sumcheck((Vec<Fr>, Vec<Fr>)),
+    /// A Groth16-style instance: the gate witness vector.
+    Groth(Vec<Fr>),
+}
+
+/// A proof-in-progress in the mixed pipeline.
+pub enum MixedTask {
+    /// A sumcheck-system task.
+    Sumcheck(BatchTask<Fr>),
+    /// A Groth16-style task.
+    Groth(GrothTask),
+}
+
+impl MixedTask {
+    /// The backend name this task belongs to.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            MixedTask::Sumcheck(_) => BACKEND_NAMES[0],
+            MixedTask::Groth(_) => BACKEND_NAMES[1],
+        }
+    }
+}
+
+/// A statement attested by a mixed-service proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedStatement {
+    /// Sumcheck-system public inputs.
+    Sumcheck(Vec<Fr>),
+    /// Groth16-style public inputs.
+    Groth(Vec<Fr>),
+}
+
+/// A finished mixed-service proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedProof {
+    /// A sumcheck-system proof.
+    Sumcheck(Proof<Fr>),
+    /// A Groth16-style proof.
+    Groth(GrothProof),
+}
+
+/// Serves both protocols from one pipeline: every stage is a dispatching
+/// pair of the two backends' stages at the same depth, so sumcheck and
+/// Groth16-style tasks interleave freely through one
+/// [`run_service`](batchzk_pipeline::run_service) (or batch) instance.
+///
+/// Both stage sets are sized from their own module weights against the
+/// same thread budget — the device multiplexes whichever protocol occupies
+/// a slot, exactly as a shared production pool would.
+#[derive(Clone)]
+pub struct MixedBackend {
+    sumcheck: SpartanBackend<Fr>,
+    groth: GrothBackend,
+}
+
+impl MixedBackend {
+    /// Creates the mixed backend from one backend of each protocol.
+    pub fn new(sumcheck: SpartanBackend<Fr>, groth: GrothBackend) -> Self {
+        Self { sumcheck, groth }
+    }
+
+    /// The sumcheck half.
+    pub fn sumcheck(&self) -> &SpartanBackend<Fr> {
+        &self.sumcheck
+    }
+
+    /// The Groth16-style half.
+    pub fn groth(&self) -> &GrothBackend {
+        &self.groth
+    }
+}
+
+/// One pipeline slot serving both protocols: dispatches on the task
+/// variant and forwards to the matching backend's stage at this depth.
+struct MixedStage {
+    sumcheck: BoxedStage<BatchTask<Fr>>,
+    groth: BoxedStage<GrothTask>,
+}
+
+impl PipeStage<MixedTask> for MixedStage {
+    fn name(&self) -> String {
+        format!("{}+{}", self.sumcheck.name(), self.groth.name())
+    }
+
+    fn threads(&self) -> u32 {
+        self.sumcheck.threads().max(self.groth.threads())
+    }
+
+    fn process(&self, task: &mut MixedTask) -> StageWork {
+        match task {
+            MixedTask::Sumcheck(t) => self.sumcheck.process(t),
+            MixedTask::Groth(t) => self.groth.process(t),
+        }
+    }
+}
+
+impl ProverBackend for MixedBackend {
+    type Instance = MixedInstance;
+    type Task = MixedTask;
+    type Statement = MixedStatement;
+    type Proof = MixedProof;
+
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+
+    fn begin(&self, instance: Self::Instance) -> Self::Task {
+        match instance {
+            MixedInstance::Sumcheck(i) => MixedTask::Sumcheck(self.sumcheck.begin(i)),
+            MixedInstance::Groth(i) => MixedTask::Groth(self.groth.begin(i)),
+        }
+    }
+
+    fn module_weights(&self, gpu: &Gpu) -> Vec<u64> {
+        // Per slot, the heavier of the two protocols' module weights: the
+        // slot must keep up with whichever task variant occupies it.
+        self.sumcheck
+            .module_weights(gpu)
+            .into_iter()
+            .zip(self.groth.module_weights(gpu))
+            .map(|(a, b)| a.max(b))
+            .collect()
+    }
+
+    fn stages(&self, gpu: &Gpu, total_threads: u32) -> Vec<BoxedStage<Self::Task>> {
+        let sumcheck = self.sumcheck.stages(gpu, total_threads);
+        let groth = self.groth.stages(gpu, total_threads);
+        assert_eq!(
+            sumcheck.len(),
+            groth.len(),
+            "mixed service requires equal pipeline depths"
+        );
+        sumcheck
+            .into_iter()
+            .zip(groth)
+            .map(|(s, g)| {
+                Box::new(MixedStage {
+                    sumcheck: s,
+                    groth: g,
+                }) as BoxedStage<MixedTask>
+            })
+            .collect()
+    }
+
+    fn task_footprint_bytes(&self) -> u64 {
+        self.sumcheck
+            .task_footprint_bytes()
+            .max(self.groth.task_footprint_bytes())
+    }
+
+    fn finish(&self, task: Self::Task) -> (Self::Statement, Self::Proof) {
+        match task {
+            MixedTask::Sumcheck(t) => {
+                let (s, p) = self.sumcheck.finish(t);
+                (MixedStatement::Sumcheck(s), MixedProof::Sumcheck(p))
+            }
+            MixedTask::Groth(t) => {
+                let (s, p) = self.groth.finish(t);
+                (MixedStatement::Groth(s), MixedProof::Groth(p))
+            }
+        }
+    }
+
+    fn verify(&self, statement: &Self::Statement, proof: &Self::Proof) -> bool {
+        match (statement, proof) {
+            (MixedStatement::Sumcheck(s), MixedProof::Sumcheck(p)) => self.sumcheck.verify(s, p),
+            (MixedStatement::Groth(s), MixedProof::Groth(p)) => self.groth.verify(s, p),
+            _ => false,
+        }
+    }
+}

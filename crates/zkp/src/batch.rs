@@ -30,6 +30,7 @@ use batchzk_pipeline::{
     ServiceOutcome, ServiceRequest, ShardPolicy, StageWork,
 };
 
+use crate::backend::{ProverBackend, SpartanBackend};
 use crate::pcs::{self, EncodedRows, PcsCommitment, PcsParams, PcsProverData};
 use crate::r1cs::R1cs;
 use crate::spartan::{self, Proof, SumcheckPart};
@@ -48,7 +49,7 @@ pub struct BatchTask<F: Field> {
 }
 
 impl<F: Field> BatchTask<F> {
-    fn new(inputs: Vec<F>, witness: Vec<F>) -> Self {
+    pub(crate) fn new(inputs: Vec<F>, witness: Vec<F>) -> Self {
         Self {
             inputs,
             witness,
@@ -142,6 +143,25 @@ impl<F: Field> PipeStage<BatchTask<F>> for MerkleStage {
             mem_after: encoded_bytes + columns * 64,
         }
     }
+    fn naive_phases(&self, task: &BatchTask<F>) -> Option<Vec<Work>> {
+        // Kernel-per-layer: the non-pipelined baseline launches one kernel
+        // per tree layer, and the upper layers have too few nodes to fill
+        // its thread slice (Figure 4a's utilization collapse).
+        let data = task.pcs_data.as_ref().expect("merkle stage ran");
+        let mut nodes = (data.codeword_len() as u64 / 2).max(1);
+        let mut phases = Vec::new();
+        loop {
+            phases.push(Work::Uniform {
+                units: nodes,
+                cycles_per_unit: self.column_cost,
+            });
+            if nodes == 1 {
+                break;
+            }
+            nodes /= 2;
+        }
+        Some(phases)
+    }
 }
 
 struct SumcheckStage<F: Field> {
@@ -186,6 +206,38 @@ impl<F: Field> PipeStage<BatchTask<F>> for SumcheckStage<F> {
             d2h_bytes: 0,
             mem_after: resident + 2 * (3 * m + n) * 32 / 3,
         }
+    }
+    fn naive_phases(&self, _task: &BatchTask<F>) -> Option<Vec<Work>> {
+        // Kernel-per-round: each sum-check round halves the tables, so the
+        // later rounds leave most of the baseline's thread slice idle.
+        let m = self.r1cs.padded_constraints() as u64;
+        let n = self.r1cs.z_len() as u64;
+        let mut phases = Vec::new();
+        let mut pairs = m;
+        while pairs >= 1 {
+            // Sum-check #1: four tables folded together per round.
+            phases.push(Work::Uniform {
+                units: 4 * pairs,
+                cycles_per_unit: self.pair_cost,
+            });
+            if pairs == 1 {
+                break;
+            }
+            pairs /= 2;
+        }
+        let mut pairs = n;
+        while pairs >= 1 {
+            // Sum-check #2: two tables folded together per round.
+            phases.push(Work::Uniform {
+                units: 2 * pairs,
+                cycles_per_unit: self.pair_cost,
+            });
+            if pairs == 1 {
+                break;
+            }
+            pairs /= 2;
+        }
+        Some(phases)
     }
 }
 
@@ -246,6 +298,192 @@ pub struct BatchRun<F: Field> {
     pub stats: RunStats,
 }
 
+/// Finished backend proofs, each paired with the statement it attests to.
+pub type BackendProofs<B> = Vec<(<B as ProverBackend>::Statement, <B as ProverBackend>::Proof)>;
+
+/// Result of a backend-generic batch proving run: finished
+/// `(statement, proof)` pairs in input order plus the run statistics.
+pub struct BackendBatchRun<B: ProverBackend> {
+    /// Finished proofs paired with their statements, in input order.
+    pub proofs: BackendProofs<B>,
+    /// Timing statistics.
+    pub stats: RunStats,
+}
+
+/// Proves a batch of backend instances through the fully pipelined system
+/// on one device — the backend-generic engine behind [`prove_batch`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfDeviceMemory`] if the per-proof working
+/// set does not fit in simulated device memory.
+///
+/// # Panics
+///
+/// Panics if a backend stage panics (e.g. an unsatisfying assignment).
+pub fn prove_batch_with<B: ProverBackend>(
+    gpu: &mut Gpu,
+    backend: &B,
+    instances: Vec<B::Instance>,
+    total_threads: u32,
+    multi_stream: bool,
+) -> Result<BackendBatchRun<B>, PipelineError> {
+    let stages = backend.stages(gpu, total_threads);
+    let tasks: Vec<B::Task> = instances.into_iter().map(|i| backend.begin(i)).collect();
+    let run = Pipeline::new(gpu, stages, multi_stream).run(tasks)?;
+    let proofs = run.outputs.into_iter().map(|t| backend.finish(t)).collect();
+    Ok(BackendBatchRun {
+        proofs,
+        stats: run.stats,
+    })
+}
+
+/// Proves a batch of backend instances through the kernel-per-task naive
+/// baseline (Figure 4a's "intuitive" schedule): the same backend stages —
+/// so proofs are byte-identical to the pipelined path — but executed in
+/// groups of `concurrent` tasks with the thread budget split evenly and
+/// no cross-stage pipelining. The whole batch's working set is pre-loaded.
+///
+/// # Panics
+///
+/// Panics if `instances` is empty, a backend stage panics, or the
+/// pre-loaded working set does not fit in device memory.
+pub fn prove_batch_naive_with<B: ProverBackend>(
+    gpu: &mut Gpu,
+    backend: &B,
+    instances: Vec<B::Instance>,
+    total_threads: u32,
+    concurrent: usize,
+) -> BackendBatchRun<B> {
+    let stages = backend.stages(gpu, total_threads);
+    let tasks: Vec<B::Task> = instances.into_iter().map(|i| backend.begin(i)).collect();
+    let preload = backend.task_footprint_bytes() * tasks.len() as u64;
+    let run = batchzk_pipeline::naive::run_stages_naive(
+        gpu,
+        stages,
+        tasks,
+        backend.name(),
+        preload,
+        total_threads,
+        concurrent,
+    );
+    let proofs = run.outputs.into_iter().map(|t| backend.finish(t)).collect();
+    BackendBatchRun {
+        proofs,
+        stats: run.stats,
+    }
+}
+
+/// Result of a backend-generic pool proving run — the generic engine's
+/// counterpart of [`PoolBatchRun`].
+pub struct BackendPoolRun<B: ProverBackend> {
+    /// Finished proofs paired with their statements, in *input order*.
+    pub proofs: BackendProofs<B>,
+    /// Per-device run statistics, in pool order.
+    pub device_stats: Vec<RunStats>,
+    /// Per device, the original instance indices it proved.
+    pub assignments: Vec<Vec<usize>>,
+    /// The shard policy that routed the batch.
+    pub policy: ShardPolicy,
+    /// Wall time of the batch: the slowest device's elapsed ms.
+    pub makespan_ms: f64,
+    /// Per-device elapsed milliseconds for this batch.
+    pub device_ms: Vec<f64>,
+    /// Fault-recovery account (`None` for a fault-free run).
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// Proves a batch of backend instances across a [`DevicePool`] sharded
+/// under `policy` — the backend-generic engine behind
+/// [`prove_batch_pool`]. The memory-aware policy sizes per-device
+/// admission from [`ProverBackend::task_footprint_bytes`].
+///
+/// # Errors
+///
+/// As [`prove_batch_pool`]: [`PipelineError::OutOfDeviceMemory`] when a
+/// shard cannot fit its device even under the admission cap, and
+/// [`PipelineError::DeviceFailed`] when every pool device fail-stops.
+///
+/// # Panics
+///
+/// Panics if a backend stage panics (e.g. an unsatisfying assignment).
+pub fn prove_batch_pool_with<B: ProverBackend>(
+    pool: &mut DevicePool,
+    backend: &B,
+    instances: Vec<B::Instance>,
+    total_threads: u32,
+    multi_stream: bool,
+    policy: ShardPolicy,
+) -> Result<BackendPoolRun<B>, PipelineError> {
+    let footprint = backend.task_footprint_bytes();
+    let tasks: Vec<B::Task> = instances.into_iter().map(|i| backend.begin(i)).collect();
+    let stage_backend = backend.clone();
+    let run = run_sharded(
+        pool,
+        policy,
+        tasks,
+        |_| footprint,
+        move |gpu| stage_backend.stages(gpu, total_threads),
+        multi_stream,
+    )?;
+    let proofs = run.outputs.into_iter().map(|t| backend.finish(t)).collect();
+    Ok(BackendPoolRun {
+        proofs,
+        device_stats: run.device_stats,
+        assignments: run.plan.assignments,
+        policy,
+        makespan_ms: run.makespan_ms,
+        device_ms: run.device_ms,
+        recovery: run.recovery,
+    })
+}
+
+/// One request entering the backend-generic online service: a priority
+/// class, an arrival cycle in virtual device time, and the backend
+/// instance to prove.
+pub type BackendProofRequest<B> = (PriorityClass, u64, <B as ProverBackend>::Instance);
+
+/// Serves an open-loop stream of backend requests through the online
+/// service front — the backend-generic engine behind [`prove_service`].
+/// With a [`MixedBackend`](crate::backend::MixedBackend) the one service
+/// instance interleaves both protocols' tasks through the same pipelines
+/// under the existing SLO classes.
+///
+/// # Errors
+///
+/// As [`prove_service`]: [`ServiceError::InvalidInput`] for zero-capacity
+/// configs, empty pools, or mixed-clock pools, and
+/// [`ServiceError::Pipeline`] for device-side failures.
+///
+/// # Panics
+///
+/// Panics if a backend stage panics (e.g. an unsatisfying assignment).
+pub fn prove_service_with<B: ProverBackend>(
+    pool: &mut DevicePool,
+    backend: &B,
+    config: &ServiceConfig,
+    requests: Vec<BackendProofRequest<B>>,
+    total_threads: u32,
+    multi_stream: bool,
+) -> Result<ServiceOutcome<B::Task>, ServiceError> {
+    let service_requests: Vec<ServiceRequest<B::Task>> = requests
+        .into_iter()
+        .map(|(class, arrival_cycle, instance)| ServiceRequest {
+            class,
+            arrival_cycle,
+            task: backend.begin(instance),
+        })
+        .collect();
+    let stage_backend = backend.clone();
+    run_service(
+        pool,
+        config,
+        service_requests,
+        move |gpu| stage_backend.stages(gpu, total_threads),
+        multi_stream,
+    )
+}
+
 /// Computes the module work weights for thread allocation — the analogue of
 /// the paper's measured 35 : 12 : 113 amortized-time ratio, derived here
 /// from the cost model so the allocation tracks the simulated device.
@@ -274,7 +512,7 @@ pub fn module_weights<F: Field>(gpu: &Gpu, r1cs: &R1cs<F>, params: &PcsParams) -
 /// Builds the four Figure-7 stages for one device: thread allocation
 /// follows the measured-ratio rule under that device's cost model, so
 /// heterogeneous pool members each get their own stage set.
-fn build_stages<F: Field>(
+pub(crate) fn build_stages<F: Field>(
     gpu: &Gpu,
     r1cs: &Arc<R1cs<F>>,
     params: PcsParams,
@@ -350,19 +588,10 @@ pub fn prove_batch<F: Field>(
     total_threads: u32,
     multi_stream: bool,
 ) -> Result<BatchRun<F>, PipelineError> {
-    let stages = build_stages(gpu, &r1cs, params, total_threads);
-    let tasks: Vec<BatchTask<F>> = instances
-        .into_iter()
-        .map(|(inputs, witness)| BatchTask::new(inputs, witness))
-        .collect();
-    let run = Pipeline::new(gpu, stages, multi_stream).run(tasks)?;
-    let proofs = run
-        .outputs
-        .into_iter()
-        .map(|t| (t.inputs.clone(), t.proof.expect("completed")))
-        .collect();
+    let backend = SpartanBackend::new(r1cs, params);
+    let run = prove_batch_with(gpu, &backend, instances, total_threads, multi_stream)?;
     Ok(BatchRun {
-        proofs,
+        proofs: run.proofs,
         stats: run.stats,
     })
 }
@@ -448,30 +677,20 @@ pub fn prove_batch_pool<F: Field>(
     multi_stream: bool,
     policy: ShardPolicy,
 ) -> Result<PoolBatchRun<F>, PipelineError> {
-    let footprint = task_footprint_bytes(&r1cs, &params);
-    let tasks: Vec<BatchTask<F>> = instances
-        .into_iter()
-        .map(|(inputs, witness)| BatchTask::new(inputs, witness))
-        .collect();
-    let stages_r1cs = Arc::clone(&r1cs);
-    let run = run_sharded(
+    let backend = SpartanBackend::new(r1cs, params);
+    let run = prove_batch_pool_with(
         pool,
-        policy,
-        tasks,
-        |_| footprint,
-        move |gpu| build_stages(gpu, &stages_r1cs, params, total_threads),
+        &backend,
+        instances,
+        total_threads,
         multi_stream,
-    )?;
-    let proofs = run
-        .outputs
-        .into_iter()
-        .map(|t| (t.inputs.clone(), t.proof.expect("completed")))
-        .collect();
-    Ok(PoolBatchRun {
-        proofs,
-        device_stats: run.device_stats,
-        assignments: run.plan.assignments,
         policy,
+    )?;
+    Ok(PoolBatchRun {
+        proofs: run.proofs,
+        device_stats: run.device_stats,
+        assignments: run.assignments,
+        policy: run.policy,
         makespan_ms: run.makespan_ms,
         device_ms: run.device_ms,
         recovery: run.recovery,
@@ -517,20 +736,13 @@ pub fn prove_service<F: Field>(
     total_threads: u32,
     multi_stream: bool,
 ) -> Result<ServiceProofRun<F>, ServiceError> {
-    let service_requests: Vec<ServiceRequest<BatchTask<F>>> = requests
-        .into_iter()
-        .map(|(class, arrival_cycle, (inputs, witness))| ServiceRequest {
-            class,
-            arrival_cycle,
-            task: BatchTask::new(inputs, witness),
-        })
-        .collect();
-    let stages_r1cs = Arc::clone(&r1cs);
-    run_service(
+    let backend = SpartanBackend::new(r1cs, params);
+    prove_service_with(
         pool,
+        &backend,
         config,
-        service_requests,
-        move |gpu| build_stages(gpu, &stages_r1cs, params, total_threads),
+        requests,
+        total_threads,
         multi_stream,
     )
 }
@@ -933,23 +1145,24 @@ mod tests {
 /// resident per pool device, and the simulation clocks accumulate across
 /// chunks — the MLaaS/zkBridge deployment shape where "customer inputs come
 /// in like a flowing stream".
-pub struct StreamingProver<F: Field> {
+pub struct StreamingProver<B: ProverBackend> {
     pool: DevicePool,
     policy: ShardPolicy,
-    r1cs: Arc<R1cs<F>>,
-    params: PcsParams,
+    backend: B,
     total_threads: u32,
     proofs_emitted: usize,
     metrics: Registry,
+    module: &'static str,
 }
 
-/// Module label the streaming prover records its metrics under.
+/// Module label the sumcheck-backend streaming prover records its metrics
+/// under (backend-generic provers label with the backend name instead).
 const SYSTEM_MODULE: &str = "system";
 
-impl<F: Field> StreamingProver<F> {
-    /// Creates a resident prover on one device — a single-member pool
-    /// under the round-robin policy (which degenerates to "everything on
-    /// device 0").
+impl<F: Field> StreamingProver<SpartanBackend<F>> {
+    /// Creates a resident sumcheck prover on one device — a single-member
+    /// pool under the round-robin policy (which degenerates to
+    /// "everything on device 0").
     pub fn new(gpu: Gpu, r1cs: Arc<R1cs<F>>, params: PcsParams, total_threads: u32) -> Self {
         Self::over_pool(
             DevicePool::new(vec![gpu]),
@@ -960,9 +1173,9 @@ impl<F: Field> StreamingProver<F> {
         )
     }
 
-    /// Creates a resident prover over a multi-device pool; each chunk is
-    /// sharded across the pool under `policy` and `total_threads` is the
-    /// per-device thread budget.
+    /// Creates a resident sumcheck prover over a multi-device pool; each
+    /// chunk is sharded across the pool under `policy` and
+    /// `total_threads` is the per-device thread budget.
     pub fn over_pool(
         pool: DevicePool,
         policy: ShardPolicy,
@@ -973,11 +1186,44 @@ impl<F: Field> StreamingProver<F> {
         Self {
             pool,
             policy,
-            r1cs,
-            params,
+            backend: SpartanBackend::new(r1cs, params),
             total_threads,
             proofs_emitted: 0,
             metrics: Registry::new(),
+            module: SYSTEM_MODULE,
+        }
+    }
+}
+
+impl<B: ProverBackend> StreamingProver<B> {
+    /// Creates a resident prover for any backend on one device; metrics
+    /// are labelled with the backend's name.
+    pub fn with_backend(gpu: Gpu, backend: B, total_threads: u32) -> Self {
+        Self::over_pool_with_backend(
+            DevicePool::new(vec![gpu]),
+            ShardPolicy::RoundRobin,
+            backend,
+            total_threads,
+        )
+    }
+
+    /// Creates a resident prover for any backend over a multi-device
+    /// pool; metrics are labelled with the backend's name.
+    pub fn over_pool_with_backend(
+        pool: DevicePool,
+        policy: ShardPolicy,
+        backend: B,
+        total_threads: u32,
+    ) -> Self {
+        let module = backend.name();
+        Self {
+            pool,
+            policy,
+            backend,
+            total_threads,
+            proofs_emitted: 0,
+            metrics: Registry::new(),
+            module,
         }
     }
 
@@ -997,28 +1243,27 @@ impl<F: Field> StreamingProver<F> {
     /// Panics if any assignment is unsatisfying.
     pub fn prove_chunk(
         &mut self,
-        instances: Vec<(Vec<F>, Vec<F>)>,
-    ) -> Result<ProvedInstances<F>, PipelineError> {
-        let run = prove_batch_pool(
+        instances: Vec<B::Instance>,
+    ) -> Result<BackendProofs<B>, PipelineError> {
+        let run = prove_batch_pool_with(
             &mut self.pool,
-            Arc::clone(&self.r1cs),
-            self.params,
+            &self.backend,
             instances,
             self.total_threads,
             true,
             self.policy,
         )
-        .inspect_err(|e| observe::record_error(&mut self.metrics, SYSTEM_MODULE, e))?;
+        .inspect_err(|e| observe::record_error(&mut self.metrics, self.module, e))?;
         observe::record_pool_run(
             &mut self.metrics,
-            SYSTEM_MODULE,
+            self.module,
             &run.device_stats,
             &run.device_ms,
         );
         if let Some(recovery) = &run.recovery {
-            observe::record_recovery(&mut self.metrics, SYSTEM_MODULE, recovery);
+            observe::record_recovery(&mut self.metrics, self.module, recovery);
         }
-        observe::record_pool_health(&mut self.metrics, SYSTEM_MODULE, &self.pool);
+        observe::record_pool_health(&mut self.metrics, self.module, &self.pool);
         self.proofs_emitted += run.proofs.len();
         Ok(run.proofs)
     }

@@ -18,14 +18,20 @@
 //! assert!(verify(&params, &r1cs, &inputs, &proof));
 //! ```
 
+pub mod backend;
 pub mod batch;
 pub mod pcs;
 pub mod r1cs;
 pub mod spartan;
 
+pub use backend::{
+    GrothBackend, MixedBackend, MixedInstance, MixedProof, MixedStatement, MixedTask,
+    ProverBackend, SpartanBackend, BACKEND_NAMES,
+};
 pub use batch::{
-    prove_batch, prove_batch_pool, prove_service, task_footprint_bytes, BatchRun, PoolBatchRun,
-    ProofRequest, ServiceProofRun, StreamingProver,
+    prove_batch, prove_batch_naive_with, prove_batch_pool, prove_batch_pool_with, prove_batch_with,
+    prove_service, prove_service_with, task_footprint_bytes, BackendBatchRun, BackendPoolRun,
+    BackendProofRequest, BatchRun, PoolBatchRun, ProofRequest, ServiceProofRun, StreamingProver,
 };
 pub use pcs::{PcsCommitment, PcsOpening, PcsParams};
 pub use r1cs::{R1cs, R1csBuilder, Var};
