@@ -1,11 +1,12 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `tables <experiment|all|help> [--quick|--medium|--paper]
+//! Usage: `tables <experiment|all|help> [--quick|--medium|--paper|--wall]
 //! [--devices N] [--profile <name>] [--threads N] [--fault-plan <spec>]
-//! [--trace <spec>] [--trace-file <path>] [--backend <name>]`
+//! [--trace <spec>] [--trace-file <path>] [--backend <name>]
+//! [--no-wall-clock]`
 //! where experiment is one of `table3..table11`, `fig4`, `fig9`,
 //! `ablation`, `scaling`, `faults`, `serve`, `backends`, `trace`,
-//! `timeline`, `bench-json`.
+//! `timeline`, `profile`, `bench-json`.
 //!
 //! `--threads N` sets the host worker-pool size every experiment runs
 //! under (device clocks and per-slot payload work fan out across it);
@@ -64,15 +65,24 @@
 //! `TIMELINE.trace.json` (the device's Chrome trace with the recorder
 //! merged in as counter tracks, for `chrome://tracing` or Perfetto).
 //!
+//! `profile` is also explicit-only: it self-times every hot-path kernel
+//! (strict/lazy/4-way Montgomery multiply, LUT vs naive binary inner
+//! products, scalar vs 4-lane SHA-256 compression, NTT butterflies) at the
+//! scale's `wall_log` size, attributes one instrumented single-thread
+//! prove to named pipeline phases, prints the markdown report, and writes
+//! `PROFILE.json` to the current directory.
+//!
 //! `bench-json` is also explicit-only: it runs the standard module and
 //! system pipelines on the A100 profile and writes the machine-readable
 //! `BENCH.json` artifact (throughput, lifecycle latency quantiles,
 //! per-stage occupancy, limiting-stage analysis) to the current directory
 //! for cross-commit regression tracking. The file is byte-deterministic at
 //! a given scale except for the `wall_clock` section, which records the
-//! *measured* host wall time of the quick multi-device run at several
-//! thread counts (strip it with `sed -E 's/,"wall_clock":\{[^}]*\}//'`
-//! before byte comparisons).
+//! *measured* host wall time of the multi-device run at the scale's
+//! `wall_log`/`wall_batch` sizes at 1, 2, and 4 host threads — the
+//! `--wall` preset runs it full-size for the CI speedup gate. Pass
+//! `--no-wall-clock` to omit the measured section entirely and write the
+//! fully byte-deterministic artifact for regression comparison.
 //!
 //! Unrecognized experiments or flags print usage and exit non-zero.
 
@@ -125,13 +135,24 @@ const EXPERIMENTS: &[(&str, bool, &str)] = &[
         "flight recorder: sparklines, alert log, TIMELINE.json (explicit-only)",
     ),
     (
+        "profile",
+        false,
+        "hot-path kernel self-timing + prover phase attribution; writes PROFILE.json (explicit-only)",
+    ),
+    (
         "bench-json",
         false,
-        "write machine-readable BENCH.json (explicit-only)",
+        "write machine-readable BENCH.json (explicit-only, --no-wall-clock)",
     ),
 ];
 
-const FLAGS: &[&str] = &["--quick", "--medium", "--paper"];
+const FLAGS: &[&str] = &[
+    "--quick",
+    "--medium",
+    "--paper",
+    "--wall",
+    "--no-wall-clock",
+];
 
 fn usage() -> String {
     let mut out = String::from(
@@ -144,14 +165,21 @@ fn usage() -> String {
         let marker = if *in_all { " (all)" } else { "" };
         out.push_str(&format!("  {name:<12} {desc}{marker}\n"));
     }
-    out.push_str("\nscale flags: --quick (default), --medium, --paper\n");
+    out.push_str(
+        "\nscale flags: --quick (default), --medium, --paper, --wall (quick\n\
+         \x20            shapes with the full-size wall-clock workload — the\n\
+         \x20            CI speedup-gate preset)\n",
+    );
     out.push_str(
         "scaling flags: --devices N (largest pool, swept 1,2,4..N; default 8)\n\
          \x20              --profile <v100|a100|rtx3090ti|h100|gh200> (default a100)\n",
     );
     out.push_str(
         "host flags:    --threads N (host worker pool; default BATCHZK_THREADS\n\
-         \x20              or available parallelism; results identical at any N)\n",
+         \x20              or available parallelism; results identical at any N)\n\
+         bench flags:   --no-wall-clock (omit the measured wall_clock section\n\
+         \x20              from BENCH.json; the artifact becomes fully\n\
+         \x20              byte-deterministic for regression comparison)\n",
     );
     out.push_str(
         "fault flags:   --fault-plan <spec> (extra `faults` scenario; spec is\n\
@@ -325,9 +353,12 @@ fn main() -> ExitCode {
         Scale::paper()
     } else if args.iter().any(|a| a == "--medium") {
         Scale::medium()
+    } else if args.iter().any(|a| a == "--wall") {
+        Scale::wall()
     } else {
         Scale::quick()
     };
+    let no_wall_clock = args.iter().any(|a| a == "--no-wall-clock");
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -430,9 +461,25 @@ fn main() -> ExitCode {
             }
         }
     }
+    // `profile` is explicit-only: it writes an artifact, like `bench-json`.
+    if which.contains(&"profile") {
+        println!("{}", experiments::profile(&scale));
+        let json = experiments::profile_json(&scale);
+        match std::fs::write("PROFILE.json", &json) {
+            Ok(()) => println!("wrote PROFILE.json ({} bytes)", json.len()),
+            Err(e) => {
+                eprintln!("tables: failed to write PROFILE.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // `bench-json` is explicit-only: it writes an artifact, not a table.
     if which.contains(&"bench-json") {
-        let json = experiments::bench_json_with_wall_clock(&scale, &[1, 2, 4]);
+        let json = if no_wall_clock {
+            experiments::bench_json(&scale)
+        } else {
+            experiments::bench_json_with_wall_clock(&scale, &[1, 2, 4])
+        };
         match std::fs::write("BENCH.json", &json) {
             Ok(()) => println!("wrote BENCH.json ({} bytes)", json.len()),
             Err(e) => {

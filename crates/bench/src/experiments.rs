@@ -6,7 +6,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use batchzk_encoder::{Encoder, EncoderParams};
-use batchzk_field::{Field, Fr};
+use batchzk_field::lut::{naive_select_sum, SubsetSumLUT};
+use batchzk_field::soa::SoaVec;
+use batchzk_field::{Field, Fr, NttDomain, RngCore};
 use batchzk_gpu_sim::{ArrivalPlan, DevicePool, DeviceProfile, FaultPlan, Gpu};
 use batchzk_hash::Prg;
 use batchzk_metrics::{
@@ -2417,15 +2419,17 @@ pub fn bench_json(scale: &Scale) -> String {
     out
 }
 
-/// [`bench_json`] plus a `wall_clock` section: the quick multi-device
-/// system run re-executed at each of `thread_counts` host threads, timed
-/// with real wall-clock. Everything else in the artifact is simulated and
-/// byte-deterministic; this section is the one *measured* quantity, so it
-/// is emitted as a single flat object that regression tooling can strip
-/// with `sed -E 's/,"wall_clock":\{[^}]*\}//'` before byte comparison.
-/// Speedups are relative to the first entry of `thread_counts` and are
-/// bounded by `min(threads, host_cores, devices)` — `host_cores` is
-/// recorded so readers can tell a saturated host from a scaling failure.
+/// [`bench_json`] plus a `wall_clock` section: the multi-device system run
+/// at the scale's `wall_log`/`wall_batch` sizes re-executed at each of
+/// `thread_counts` host threads, timed with real wall-clock. Everything
+/// else in the artifact is simulated and byte-deterministic; this section
+/// is the one *measured* quantity, so it is emitted as a single flat
+/// object (no nested braces) and regression tooling compares artifacts
+/// with `tables bench-json --no-wall-clock` instead of stripping it
+/// textually. Speedups are relative to the first entry of `thread_counts`
+/// and are bounded by `min(threads, host_cores, devices)` — `host_cores`
+/// and the `saturated` flag are recorded so readers can tell a saturated
+/// host from a scaling failure.
 pub fn bench_json_with_wall_clock(scale: &Scale, thread_counts: &[usize]) -> String {
     use batchzk_metrics::registry::format_f64;
     use std::fmt::Write as _;
@@ -2433,7 +2437,7 @@ pub fn bench_json_with_wall_clock(scale: &Scale, thread_counts: &[usize]) -> Str
     assert!(!thread_counts.is_empty(), "need at least one thread count");
     const DEVICES: usize = 4;
     let profile = DeviceProfile::a100();
-    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << scale.scaling_log, 42);
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(1usize << scale.wall_log, 42);
     let r1cs = Arc::new(r1cs);
     let mut wall_ms = Vec::with_capacity(thread_counts.len());
     for &t in thread_counts {
@@ -2445,18 +2449,19 @@ pub fn bench_json_with_wall_clock(scale: &Scale, thread_counts: &[usize]) -> Str
                 &r1cs,
                 &inputs,
                 &witness,
-                scale.scaling_batch,
+                scale.wall_batch,
                 None,
             );
         });
         wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
     }
 
-    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let host_cores = batchzk_par::host_cores();
+    let saturated = thread_counts.iter().copied().max().unwrap_or(1) > host_cores;
     let mut section = format!(
         "{{\"devices\":{DEVICES},\"log_n\":{},\"batch\":{},\"host_cores\":{host_cores},\
-         \"threads\":[",
-        scale.scaling_log, scale.scaling_batch
+         \"saturated\":{saturated},\"threads\":[",
+        scale.wall_log, scale.wall_batch
     );
     for (i, t) in thread_counts.iter().enumerate() {
         if i > 0 {
@@ -2489,6 +2494,376 @@ pub fn bench_json_with_wall_clock(scale: &Scale, thread_counts: &[usize]) -> Str
     out
 }
 
+/// One self-timed hot-path kernel measurement of the `profile` experiment.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// Stable kernel id (the JSON `name` field).
+    pub name: &'static str,
+    /// Operations performed (field muls, hashed blocks, butterflies, ...).
+    pub ops: u64,
+    /// Measured wall time in nanoseconds.
+    pub wall_ns: f64,
+}
+
+impl KernelProfile {
+    /// Nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        self.wall_ns / self.ops.max(1) as f64
+    }
+
+    /// Million operations per second.
+    pub fn mops(&self) -> f64 {
+        if self.wall_ns <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e3 / self.wall_ns
+        }
+    }
+}
+
+/// One named phase of the instrumented single-thread prover run.
+#[derive(Debug, Clone)]
+pub struct PhaseProfile {
+    /// Phase name (`transcript`, `encode`, `merkle`, `sumcheck`, `pcs-open`).
+    pub name: &'static str,
+    /// Measured wall time in milliseconds.
+    pub ms: f64,
+}
+
+/// Everything the `profile` experiment measures: per-kernel microbenchmarks
+/// plus a phase-attributed single-thread prover run at the same size.
+#[derive(Debug)]
+pub struct ProfileStudy {
+    /// log2 of the workload size (the scale's `wall_log`).
+    pub log_n: u32,
+    /// Microbenchmark rows, in emission order.
+    pub kernels: Vec<KernelProfile>,
+    /// Named phases of the instrumented prove, in pipeline order.
+    pub phases: Vec<PhaseProfile>,
+    /// Wall time of the whole single-thread prove (phases plus glue).
+    pub total_ms: f64,
+    /// Share of `total_ms` attributed to the named phases (0..=1).
+    pub coverage: f64,
+    /// Per-op win of the subset-sum LUT over the naive per-weight
+    /// Montgomery multiply on the same binary selectors.
+    pub lut_speedup: f64,
+}
+
+/// Times `f` once, returning elapsed nanoseconds.
+fn timed_ns(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos() as f64
+}
+
+/// Runs the `profile` measurements: self-timed microbenchmarks of every
+/// hot-path kernel (strict/lazy/4-way Montgomery multiply, LUT vs naive
+/// binary inner product, scalar vs 4-lane SHA-256 compression, NTT
+/// butterflies) and one instrumented single-thread prove whose wall time
+/// is attributed to named pipeline phases. Everything except the timings
+/// is deterministic at a given scale.
+pub fn profile_study(scale: &Scale) -> ProfileStudy {
+    use std::hint::black_box;
+
+    let log = scale.wall_log;
+    let n = 1usize << log;
+    // Repeat each microbenchmark until it covers ~2^18 operations so the
+    // per-op figures are stable against timer noise at any scale.
+    let reps = ((1usize << 18) >> log).max(1);
+    let mut rng = Prg::seed_from_u64(7);
+    let a: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+    let b: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+
+    let mut kernels = Vec::new();
+
+    // The same n-element inner product three ways: strict per-op reduction,
+    // the lazy-reduction accumulate, and the 4-way interleaved SoA kernel.
+    let ns = timed_ns(|| {
+        let mut acc = Fr::ZERO;
+        for _ in 0..reps {
+            acc += a.iter().zip(&b).map(|(x, y)| *x * *y).sum::<Fr>();
+        }
+        black_box(acc);
+    });
+    kernels.push(KernelProfile {
+        name: "mont-mul",
+        ops: (n * reps) as u64,
+        wall_ns: ns,
+    });
+
+    let ns = timed_ns(|| {
+        let mut acc = Fr::ZERO;
+        for _ in 0..reps {
+            acc += Fr::dot(&a, &b);
+        }
+        black_box(acc);
+    });
+    kernels.push(KernelProfile {
+        name: "mont-mul-lazy",
+        ops: (n * reps) as u64,
+        wall_ns: ns,
+    });
+
+    let sa = SoaVec::from_slice(&a);
+    let sb = SoaVec::from_slice(&b);
+    let ns = timed_ns(|| {
+        let mut acc = Fr::ZERO;
+        for _ in 0..reps {
+            acc += sa.dot(&sb);
+        }
+        black_box(acc);
+    });
+    kernels.push(KernelProfile {
+        name: "mont-mul-x4",
+        ops: (n * reps) as u64,
+        wall_ns: ns,
+    });
+
+    // Binary-selector inner products: the naive path spends one Montgomery
+    // multiply per weight; the subset-sum LUT (built once, amortized across
+    // messages) replaces each 8-weight chunk with a single table add.
+    let width = n.min(256);
+    let weights = &a[..width];
+    let bits: Vec<bool> = (0..width).map(|_| rng.next_u64() & 1 == 1).collect();
+    let rounds = (n * reps / width).max(1);
+    let ns = timed_ns(|| {
+        let mut acc = Fr::ZERO;
+        for _ in 0..rounds {
+            acc += naive_select_sum(weights, &bits);
+        }
+        black_box(acc);
+    });
+    kernels.push(KernelProfile {
+        name: "binary-dot-naive",
+        ops: (rounds * width) as u64,
+        wall_ns: ns,
+    });
+
+    let lut = SubsetSumLUT::new(weights, 8.min(width));
+    let masks = lut.masks_from_bits(&bits);
+    let ns = timed_ns(|| {
+        let mut acc = Fr::ZERO;
+        for _ in 0..rounds {
+            acc += lut.select_sum_masks(&masks);
+        }
+        black_box(acc);
+    });
+    kernels.push(KernelProfile {
+        name: "binary-dot-lut",
+        ops: (rounds * width) as u64,
+        wall_ns: ns,
+    });
+
+    // SHA-256 compression, one 64-byte block per op: scalar vs the 4-lane
+    // interleaved kernel the Merkle module uses.
+    let blocks: Vec<[u8; 64]> = (0..(n * reps / 16).max(64))
+        .map(|i| {
+            let mut blk = [0u8; 64];
+            blk[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            blk
+        })
+        .collect();
+    let ns = timed_ns(|| {
+        for blk in &blocks {
+            black_box(batchzk_hash::hash_block(blk));
+        }
+    });
+    kernels.push(KernelProfile {
+        name: "sha256-block",
+        ops: blocks.len() as u64,
+        wall_ns: ns,
+    });
+    let ns = timed_ns(|| {
+        black_box(batchzk_hash::hash_blocks(&blocks));
+    });
+    kernels.push(KernelProfile {
+        name: "sha256-block-x4",
+        ops: blocks.len() as u64,
+        wall_ns: ns,
+    });
+
+    // Radix-2 NTT butterflies at the wall size.
+    let domain = NttDomain::<Fr>::new(log);
+    let mut values = a.clone();
+    let ns = timed_ns(|| {
+        for _ in 0..reps {
+            domain.forward(&mut values);
+        }
+        black_box(&values);
+    });
+    kernels.push(KernelProfile {
+        name: "ntt-butterfly",
+        ops: domain.butterfly_count() * reps as u64,
+        wall_ns: ns,
+    });
+
+    // Phase attribution: one real single-thread prove at the same size,
+    // with the pipeline phases timed inside a single total-time envelope —
+    // coverage is attributed/total within one run, not a cross-run ratio.
+    let (r1cs, inputs, witness) = synthetic_r1cs::<Fr>(n, 42);
+    let params = pcs_params();
+    let (phases, total_ms) = batchzk_par::with_threads(1, || {
+        let total = Instant::now();
+        let z = r1cs.assemble_z(&inputs, &witness);
+
+        let t = Instant::now();
+        let mut transcript = spartan::statement_transcript(&r1cs, &inputs);
+        let transcript_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let encoded = pcs::commit_encode(&params, &z[r1cs.half_len()..]);
+        let encode_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let (commitment, data) = pcs::commit_merkle(encoded);
+        let merkle_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        transcript.absorb_digest(b"w-commitment", &commitment.root);
+        let t = Instant::now();
+        let part = spartan::run_sumchecks(&r1cs, &z, &mut transcript);
+        let sumcheck_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let y_prime = &part.point_y[..part.point_y.len() - 1];
+        let _ = pcs::open(&params, &data, y_prime, &mut transcript);
+        let open_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        (
+            vec![
+                PhaseProfile {
+                    name: "transcript",
+                    ms: transcript_ms,
+                },
+                PhaseProfile {
+                    name: "encode",
+                    ms: encode_ms,
+                },
+                PhaseProfile {
+                    name: "merkle",
+                    ms: merkle_ms,
+                },
+                PhaseProfile {
+                    name: "sumcheck",
+                    ms: sumcheck_ms,
+                },
+                PhaseProfile {
+                    name: "pcs-open",
+                    ms: open_ms,
+                },
+            ],
+            total.elapsed().as_secs_f64() * 1e3,
+        )
+    });
+    let attributed: f64 = phases.iter().map(|p| p.ms).sum();
+    let coverage = if total_ms > 0.0 {
+        attributed / total_ms
+    } else {
+        0.0
+    };
+    let per_op = |name: &str| {
+        kernels
+            .iter()
+            .find(|k| k.name == name)
+            .map(KernelProfile::ns_per_op)
+            .unwrap_or(0.0)
+    };
+    let lut_speedup = per_op("binary-dot-naive") / per_op("binary-dot-lut").max(1e-9);
+    ProfileStudy {
+        log_n: log,
+        kernels,
+        phases,
+        total_ms,
+        coverage,
+        lut_speedup,
+    }
+}
+
+/// The `profile` experiment as a markdown report: kernel rows with per-op
+/// cost and throughput, then the phase attribution of the single-thread
+/// prove.
+pub fn profile(scale: &Scale) -> String {
+    let study = profile_study(scale);
+    let mut out = format!(
+        "## Profile — hot-path kernel self-timing (single thread, size 2^{})\n\n\
+         | Kernel | Ops | ns/op | Mops/s |\n|---|---|---|---|\n",
+        study.log_n
+    );
+    for k in &study.kernels {
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {:.2} |\n",
+            k.name,
+            k.ops,
+            k.ns_per_op(),
+            k.mops()
+        ));
+    }
+    out.push_str(&format!(
+        "\nLUT vs naive binary inner product: {:.2}x per op\n",
+        study.lut_speedup
+    ));
+    out.push_str("\n| Phase | ms | share |\n|---|---|---|\n");
+    for p in &study.phases {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.1}% |\n",
+            p.name,
+            p.ms,
+            100.0 * p.ms / study.total_ms.max(1e-9)
+        ));
+    }
+    out.push_str(&format!(
+        "\nNamed kernels cover {:.1}% of the {:.3} ms single-thread prove.\n",
+        100.0 * study.coverage,
+        study.total_ms
+    ));
+    out
+}
+
+/// The `profile` experiment as a machine-readable JSON artifact
+/// (`PROFILE.json`). Structure, names, op counts, and sizes are
+/// byte-deterministic at a given scale; only the timing values vary.
+pub fn profile_json(scale: &Scale) -> String {
+    use batchzk_metrics::registry::format_f64;
+    use std::fmt::Write as _;
+
+    let study = profile_study(scale);
+    let mut out = format!("{{\"profile\":{{\"log_n\":{},\"kernels\":[", study.log_n);
+    for (i, k) in study.kernels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ops\":{},\"wall_ns\":{},\"ns_per_op\":{},\"mops\":{}}}",
+            k.name,
+            k.ops,
+            format_f64(k.wall_ns),
+            format_f64(k.ns_per_op()),
+            format_f64(k.mops())
+        );
+    }
+    out.push_str("],\"phases\":[");
+    for (i, p) in study.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ms\":{},\"share\":{}}}",
+            p.name,
+            format_f64(p.ms),
+            format_f64(p.ms / study.total_ms.max(1e-9))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "],\"total_ms\":{},\"coverage\":{},\"lut_speedup\":{}}}}}",
+        format_f64(study.total_ms),
+        format_f64(study.coverage),
+        format_f64(study.lut_speedup)
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2508,6 +2883,8 @@ mod tests {
             service_probe_batch: 8,
             backends_log: 8,
             backends_batch: 3,
+            wall_log: 8,
+            wall_batch: 48,
             tag: "test",
         }
     }
@@ -2650,25 +3027,91 @@ mod tests {
         for field in [
             "\"wall_clock\":{",
             "\"host_cores\":",
+            "\"saturated\":",
+            "\"log_n\":8",
+            "\"batch\":48",
             "\"threads\":[1,2]",
             "\"wall_ms\":[",
             "\"speedup\":[1.0,",
         ] {
             assert!(json.contains(field), "missing field {field}");
         }
+        // The saturated flag reflects the real host: probing 2 threads
+        // saturates exactly when the host has fewer than 2 cores.
+        let expect = format!("\"saturated\":{}", batchzk_par::host_cores() < 2);
+        assert!(json.contains(&expect), "missing {expect}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        // Stripping the one measured section (the documented sed regex:
-        // a flat object, no nested braces) recovers the deterministic
-        // artifact byte-for-byte.
+        // The one measured section stays a single flat object (no nested
+        // braces), and removing it recovers the deterministic artifact
+        // byte-for-byte — which is exactly what the `--no-wall-clock`
+        // flag of `tables bench-json` emits for regression comparisons.
         let start = json.find(",\"wall_clock\":{").expect("section present");
         let open = start + ",\"wall_clock\":".len();
         let end = open + json[open..].find('}').expect("closes") + 1;
         assert!(
             !json[open + 1..end - 1].contains('{'),
-            "wall_clock must stay flat so `sed` can strip it"
+            "wall_clock must stay a flat object"
         );
         let stripped = format!("{}{}", &json[..start], &json[end..]);
         assert_eq!(stripped, bench_json(&s));
+    }
+
+    #[test]
+    fn profile_attributes_wall_time_and_lut_wins() {
+        let s = tiny_scale();
+        let study = profile_study(&s);
+        let names: Vec<&str> = study.kernels.iter().map(|k| k.name).collect();
+        for k in [
+            "mont-mul",
+            "mont-mul-lazy",
+            "mont-mul-x4",
+            "binary-dot-naive",
+            "binary-dot-lut",
+            "sha256-block",
+            "sha256-block-x4",
+            "ntt-butterfly",
+        ] {
+            assert!(names.contains(&k), "missing kernel {k}");
+        }
+        assert!(study.kernels.iter().all(|k| k.ops > 0 && k.wall_ns > 0.0));
+        // The acceptance bar: >=80% of the single-thread prove is
+        // attributed to named phases, and the phases never exceed the
+        // envelope they were timed inside.
+        assert!(study.coverage >= 0.8, "coverage {:.3}", study.coverage);
+        assert!(
+            study.coverage <= 1.0 + 1e-9,
+            "coverage {:.3}",
+            study.coverage
+        );
+        // The subset-sum LUT beats one-Montgomery-mul-per-weight.
+        assert!(
+            study.lut_speedup > 1.0,
+            "lut speedup {:.2}x",
+            study.lut_speedup
+        );
+    }
+
+    #[test]
+    fn profile_report_and_json_render() {
+        let s = tiny_scale();
+        let md = profile(&s);
+        assert!(md.contains("| mont-mul |"), "{md}");
+        assert!(md.contains("| encode |"), "{md}");
+        assert!(md.contains("LUT vs naive"), "{md}");
+        let json = profile_json(&s);
+        for field in [
+            "\"profile\":{",
+            "\"log_n\":8",
+            "\"kernels\":[",
+            "\"phases\":[",
+            "\"total_ms\":",
+            "\"coverage\":",
+            "\"lut_speedup\":",
+        ] {
+            assert!(json.contains(field), "missing field {field}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -18,11 +18,14 @@
 //! assert!(code.len() > msg.len());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod code;
 mod sparse;
 
 pub use code::{Encoder, EncoderParams, Level};
-pub use sparse::{SparseMatrix, WARP_SIZE};
+pub use sparse::{RowLuts, SparseMatrix, WARP_SIZE};
 
 #[cfg(test)]
 mod randomized_tests {

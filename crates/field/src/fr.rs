@@ -35,38 +35,9 @@ declare_field!(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::limb::naive_mul_mod;
+    use crate::Field;
     use crate::SplitMix64;
-    use crate::{limb, Field};
-
-    /// Schoolbook 256x256 -> 512-bit multiply followed by binary long
-    /// division: an independent oracle for Montgomery multiplication.
-    fn naive_mul_mod(a: &limb::Limbs, b: &limb::Limbs, p: &limb::Limbs) -> limb::Limbs {
-        let mut wide = [0u64; 8];
-        for i in 0..4 {
-            let mut carry = 0u64;
-            for j in 0..4 {
-                let (lo, c) = limb::mac(wide[i + j], a[i], b[j], carry);
-                wide[i + j] = lo;
-                carry = c;
-            }
-            wide[i + 4] = carry;
-        }
-        // Binary reduction: process bits from the top.
-        let mut rem = [0u64; 4];
-        for bit in (0..512).rev() {
-            // rem <<= 1 (top bit of rem is always 0 because rem < p < 2^255)
-            let mut carry = (wide[bit / 64] >> (bit % 64)) & 1;
-            for limb_ in rem.iter_mut() {
-                let new_carry = *limb_ >> 63;
-                *limb_ = (*limb_ << 1) | carry;
-                carry = new_carry;
-            }
-            if limb::geq(&rem, p) {
-                rem = limb::sub_wide(&rem, p).0;
-            }
-        }
-        rem
-    }
 
     #[test]
     fn derived_constants_consistent() {

@@ -25,6 +25,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod limb;
 mod mont;
 pub mod rng;
@@ -33,14 +36,16 @@ mod traits;
 mod batch;
 mod fq;
 mod fr;
+pub mod lut;
 pub mod ntt;
+pub mod soa;
 
 pub use batch::batch_invert;
 pub use fq::Fq;
 pub use fr::Fr;
 pub use ntt::NttDomain;
 pub use rng::{RngCore, SplitMix64};
-pub use traits::{field_from_i64, Field};
+pub use traits::{field_from_i64, Field, MontLimbs};
 
 #[cfg(test)]
 mod randomized_tests {

@@ -171,6 +171,182 @@ pub const fn mont_mul(a: &Limbs, b: &Limbs, p: &Limbs, inv: u64) -> Limbs {
     }
 }
 
+/// Montgomery multiplication without the final conditional subtraction —
+/// the *lazy reduction* kernel.
+///
+/// # Contract
+///
+/// Requires `p < 2^254` (true of both BN254 fields) and `a, b < 2p`. The
+/// result is then `a * b * 2^{-256} mod p`, represented by some value
+/// `< 2p` — i.e. it stays inside the redundant `[0, 2p)` domain, so chains
+/// of multiply-accumulate steps can defer the canonicalizing subtraction to
+/// a single [`reduce_once`] at the very end. The bound follows from CIOS:
+/// the output is `(a·b + m·p)/2^256 < (4p² + 2^256·p)/2^256 < 2p` whenever
+/// `4p < 2^256`.
+#[inline]
+pub const fn mont_mul_unreduced(a: &Limbs, b: &Limbs, p: &Limbs, inv: u64) -> Limbs {
+    let mut t = [0u64; NLIMBS + 2];
+    let mut i = 0;
+    while i < NLIMBS {
+        let mut carry = 0u64;
+        let mut j = 0;
+        while j < NLIMBS {
+            let (lo, c) = mac(t[j], a[i], b[j], carry);
+            t[j] = lo;
+            carry = c;
+            j += 1;
+        }
+        let (s, c) = adc(t[NLIMBS], carry, 0);
+        t[NLIMBS] = s;
+        t[NLIMBS + 1] = c;
+
+        let m = t[0].wrapping_mul(inv);
+        let (_, mut carry) = mac(t[0], m, p[0], 0);
+        let mut j = 1;
+        while j < NLIMBS {
+            let (lo, c) = mac(t[j], m, p[j], carry);
+            t[j - 1] = lo;
+            carry = c;
+            j += 1;
+        }
+        let (s, c) = adc(t[NLIMBS], carry, 0);
+        t[NLIMBS - 1] = s;
+        t[NLIMBS] = t[NLIMBS + 1] + c;
+        t[NLIMBS + 1] = 0;
+        i += 1;
+    }
+    // For p < 2^254 and inputs < 2p the result is < 2p < 2^255, so the
+    // carry limb is always zero here — no subtraction needed.
+    [t[0], t[1], t[2], t[3]]
+}
+
+/// Addition in the redundant `[0, 2p)` domain: both inputs `< 2p`, result
+/// `< 2p`. `two_p` must be `2p` (no overflow for `p < 2^254`).
+#[inline]
+pub const fn add_lazy(a: &Limbs, b: &Limbs, two_p: &Limbs) -> Limbs {
+    // a + b < 4p < 2^256 for p < 2^254, so the carry-out is always zero.
+    let (sum, _carry) = add_wide(a, b);
+    if geq(&sum, two_p) {
+        sub_wide(&sum, two_p).0
+    } else {
+        sum
+    }
+}
+
+/// Canonicalizes a redundant-domain value: maps `[0, 2p)` onto `[0, p)` with
+/// one conditional subtraction. The exit gate of every lazy-reduction chain.
+#[inline]
+pub const fn reduce_once(a: &Limbs, p: &Limbs) -> Limbs {
+    if geq(a, p) {
+        sub_wide(a, p).0
+    } else {
+        *a
+    }
+}
+
+/// Doubles `2p` out of the modulus: `two_p = 2p`, valid for `p < 2^255`.
+#[inline]
+pub const fn double_wide(p: &Limbs) -> Limbs {
+    add_wide(p, p).0
+}
+
+/// Four independent Montgomery multiplications with interleaved inner loops
+/// (4-way CIOS unrolling).
+///
+/// Processing four products in lockstep breaks the carry-chain serialization
+/// of a single CIOS pass: each of the four accumulators advances one `mac`
+/// per lane per step, giving the compiler independent instruction streams to
+/// schedule (and, with the SoA layout in `batchzk_field::soa`, contiguous
+/// per-limb loads). Inputs below `p`; results below `p` — byte-identical to
+/// four [`mont_mul`] calls.
+#[inline]
+pub fn mont_mul_x4(a: &[Limbs; 4], b: &[Limbs; 4], p: &Limbs, inv: u64) -> [Limbs; 4] {
+    let mut t = [[0u64; NLIMBS + 2]; 4];
+    // Transpose `a` so each outer step consumes one limb column across lanes.
+    let a_cols: [[u64; 4]; NLIMBS] =
+        core::array::from_fn(|i| core::array::from_fn(|lane| a[lane][i]));
+    for ai in a_cols {
+        // t += a[i] * b, four lanes in lockstep.
+        let mut carry = [0u64; 4];
+        for j in 0..NLIMBS {
+            for lane in 0..4 {
+                let (lo, c) = mac(t[lane][j], ai[lane], b[lane][j], carry[lane]);
+                t[lane][j] = lo;
+                carry[lane] = c;
+            }
+        }
+        for lane in 0..4 {
+            let (s, c) = adc(t[lane][NLIMBS], carry[lane], 0);
+            t[lane][NLIMBS] = s;
+            t[lane][NLIMBS + 1] = c;
+        }
+        // Reduction step, four lanes in lockstep.
+        let mut m = [0u64; 4];
+        let mut carry = [0u64; 4];
+        for lane in 0..4 {
+            m[lane] = t[lane][0].wrapping_mul(inv);
+            let (_, c) = mac(t[lane][0], m[lane], p[0], 0);
+            carry[lane] = c;
+        }
+        for j in 1..NLIMBS {
+            for lane in 0..4 {
+                let (lo, c) = mac(t[lane][j], m[lane], p[j], carry[lane]);
+                t[lane][j - 1] = lo;
+                carry[lane] = c;
+            }
+        }
+        for lane in 0..4 {
+            let (s, c) = adc(t[lane][NLIMBS], carry[lane], 0);
+            t[lane][NLIMBS - 1] = s;
+            t[lane][NLIMBS] = t[lane][NLIMBS + 1] + c;
+            t[lane][NLIMBS + 1] = 0;
+        }
+    }
+    let mut out = [[0u64; NLIMBS]; 4];
+    for lane in 0..4 {
+        let r: Limbs = [t[lane][0], t[lane][1], t[lane][2], t[lane][3]];
+        out[lane] = if t[lane][NLIMBS] != 0 || geq(&r, p) {
+            sub_wide(&r, p).0
+        } else {
+            r
+        };
+    }
+    out
+}
+
+/// Schoolbook 256×256 → 512-bit multiply followed by binary long division:
+/// an independent, obviously-correct oracle for Montgomery multiplication.
+///
+/// Orders of magnitude slower than [`mont_mul`]; exists so property tests can
+/// check every fast kernel against arithmetic that shares no code with them.
+pub fn naive_mul_mod(a: &Limbs, b: &Limbs, p: &Limbs) -> Limbs {
+    let mut wide = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u64;
+        for j in 0..4 {
+            let (lo, c) = mac(wide[i + j], a[i], b[j], carry);
+            wide[i + j] = lo;
+            carry = c;
+        }
+        wide[i + 4] = carry;
+    }
+    // Binary reduction: process bits from the top.
+    let mut rem = [0u64; 4];
+    for bit in (0..512).rev() {
+        // rem <<= 1 (top bit of rem is always 0 because rem < p < 2^255)
+        let mut carry = (wide[bit / 64] >> (bit % 64)) & 1;
+        for limb_ in rem.iter_mut() {
+            let new_carry = *limb_ >> 63;
+            *limb_ = (*limb_ << 1) | carry;
+            carry = new_carry;
+        }
+        if geq(&rem, p) {
+            rem = sub_wide(&rem, p).0;
+        }
+    }
+    rem
+}
+
 /// Shifts a 256-bit integer right by `k` bits (`k < 256`).
 #[inline]
 pub const fn shr(a: &Limbs, k: usize) -> Limbs {
@@ -253,6 +429,110 @@ mod tests {
         assert_eq!(pow2_mod(1, &p), [2, 0, 0, 0]);
         assert_eq!(pow2_mod(3, &p), [1, 0, 0, 0]);
         assert_eq!(pow2_mod(256, &p), [2, 0, 0, 0]); // 256 mod 3 == 1 -> 2
+    }
+
+    // BN254 Fr modulus, used to exercise the Montgomery kernels on a real
+    // 254-bit prime.
+    const P: Limbs = [
+        0x43e1f593f0000001,
+        0x2833e84879b97091,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ];
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn rand_below(limit: &Limbs, state: &mut u64) -> Limbs {
+        loop {
+            let c = [
+                splitmix(state),
+                splitmix(state),
+                splitmix(state),
+                splitmix(state) >> 1,
+            ];
+            if !geq(&c, limit) {
+                return c;
+            }
+        }
+    }
+
+    #[test]
+    fn unreduced_mul_stays_below_two_p_and_matches_oracle() {
+        let inv = mont_inv64(P[0]);
+        let two_p = double_wide(&P);
+        let mut st = 7u64;
+        for _ in 0..200 {
+            // Inputs anywhere in the redundant [0, 2p) domain.
+            let a = rand_below(&two_p, &mut st);
+            let b = rand_below(&two_p, &mut st);
+            let u = mont_mul_unreduced(&a, &b, &P, inv);
+            assert!(!geq(&u, &two_p), "unreduced result escaped [0, 2p)");
+            // Canonicalized, it must equal the fully reduced CIOS on the
+            // canonicalized inputs.
+            let ar = reduce_once(&a, &P);
+            let br = reduce_once(&b, &P);
+            assert_eq!(reduce_once(&u, &P), mont_mul(&ar, &br, &P, inv));
+        }
+    }
+
+    #[test]
+    fn add_lazy_closed_over_redundant_domain() {
+        let two_p = double_wide(&P);
+        let mut st = 11u64;
+        for _ in 0..200 {
+            let a = rand_below(&two_p, &mut st);
+            let b = rand_below(&two_p, &mut st);
+            let s = add_lazy(&a, &b, &two_p);
+            assert!(!geq(&s, &two_p));
+            // Same value mod p as the canonical modular addition.
+            let expect = add_mod(&reduce_once(&a, &P), &reduce_once(&b, &P), &P);
+            assert_eq!(reduce_once(&s, &P), expect);
+        }
+    }
+
+    #[test]
+    fn mont_mul_x4_matches_scalar_lanes() {
+        let inv = mont_inv64(P[0]);
+        let mut st = 13u64;
+        for _ in 0..50 {
+            let a = [
+                rand_below(&P, &mut st),
+                rand_below(&P, &mut st),
+                rand_below(&P, &mut st),
+                rand_below(&P, &mut st),
+            ];
+            let b = [
+                rand_below(&P, &mut st),
+                rand_below(&P, &mut st),
+                rand_below(&P, &mut st),
+                rand_below(&P, &mut st),
+            ];
+            let quad = mont_mul_x4(&a, &b, &P, inv);
+            for lane in 0..4 {
+                assert_eq!(quad[lane], mont_mul(&a[lane], &b[lane], &P, inv));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_oracle_agrees_with_mont_mul() {
+        // mont_mul(a, b) = a·b·2^{-256}; multiplying by R = 2^256 mod p on
+        // the oracle side closes the loop without any Montgomery code.
+        let inv = mont_inv64(P[0]);
+        let r = pow2_mod(256, &P);
+        let mut st = 17u64;
+        for _ in 0..50 {
+            let a = rand_below(&P, &mut st);
+            let b = rand_below(&P, &mut st);
+            let mont = mont_mul(&a, &b, &P, inv);
+            assert_eq!(naive_mul_mod(&mont, &r, &P), naive_mul_mod(&a, &b, &P));
+        }
     }
 
     #[test]

@@ -44,6 +44,10 @@ macro_rules! declare_field {
                 $crate::limb::pow2_mod(512, &Self::MODULUS);
             /// `-p^{-1} mod 2^64`.
             pub const INV: u64 = $crate::limb::mont_inv64(Self::MODULUS[0]);
+            /// `2p` — the ceiling of the redundant lazy-reduction domain
+            /// used by the fused multiply-accumulate kernels.
+            pub const TWO_P: $crate::limb::Limbs =
+                $crate::limb::double_wide(&Self::MODULUS);
 
             /// Builds an element from its Montgomery representation.
             /// Internal: callers must guarantee `limbs < p`.
@@ -273,6 +277,40 @@ macro_rules! declare_field {
                 let p_minus_1 = $crate::limb::sub_wide(&Self::MODULUS, &[1, 0, 0, 0]).0;
                 let exp = $crate::limb::shr(&p_minus_1, k as usize);
                 Self::generator().pow(&exp)
+            }
+
+            fn dot_pairs(pairs: impl Iterator<Item = (Self, Self)>) -> Self {
+                // Lazy-reduction fused multiply-accumulate: unreduced CIOS
+                // products accumulated in the redundant [0, 2p) domain, one
+                // canonicalizing subtraction at the very end. Bit-identical
+                // to the trait's multiply-then-add default.
+                let mut acc = [0u64; $crate::limb::NLIMBS];
+                for (a, b) in pairs {
+                    let prod = $crate::limb::mont_mul_unreduced(
+                        &a.0,
+                        &b.0,
+                        &Self::MODULUS,
+                        Self::INV,
+                    );
+                    acc = $crate::limb::add_lazy(&acc, &prod, &Self::TWO_P);
+                }
+                Self($crate::limb::reduce_once(&acc, &Self::MODULUS))
+            }
+        }
+
+        impl $crate::MontLimbs for $name {
+            const P: $crate::limb::Limbs = Self::MODULUS;
+            const P2: $crate::limb::Limbs = Self::TWO_P;
+            const NEG_INV: u64 = Self::INV;
+
+            #[inline]
+            fn mont_limbs(self) -> $crate::limb::Limbs {
+                self.0
+            }
+
+            #[inline]
+            fn from_mont_limbs_unchecked(limbs: $crate::limb::Limbs) -> Self {
+                Self(limbs)
             }
         }
 

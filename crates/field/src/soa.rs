@@ -1,0 +1,234 @@
+//! Flat structure-of-limbs (SoA) batches of field elements.
+//!
+//! The array-of-structs layout (`&[Fr]`) interleaves the four limbs of each
+//! element, so a loop over elements strides 32 bytes between same-position
+//! limbs. [`SoaVec`] stores limb 0 of every element contiguously, then limb
+//! 1, and so on — the layout a SIMD unit (or a GPU's coalesced loads) wants.
+//! Combined with the 4-way interleaved CIOS kernel
+//! ([`crate::limb::mont_mul_x4`]), the per-element carry chains stop
+//! serializing the whole loop: four independent products advance in
+//! lockstep, and `par_map` bodies that operate on `SoaVec` chunks
+//! autovectorize without per-element shuffles.
+//!
+//! Every operation is bit-identical to its scalar counterpart — the layout
+//! changes, the arithmetic does not — which the property tests in
+//! `tests/hot_path_kernels.rs` check against the schoolbook oracle.
+
+use core::marker::PhantomData;
+
+use crate::limb::{self, Limbs, NLIMBS};
+use crate::MontLimbs;
+
+/// A batch of field elements stored limb-plane by limb-plane.
+///
+/// # Examples
+///
+/// ```
+/// use batchzk_field::{soa::SoaVec, Field, Fr};
+///
+/// let a: Vec<Fr> = (1..9u64).map(Fr::from).collect();
+/// let b: Vec<Fr> = (11..19u64).map(Fr::from).collect();
+/// let mut s = SoaVec::from_slice(&a);
+/// s.mul_pairwise(&SoaVec::from_slice(&b));
+/// let expect: Vec<Fr> = a.iter().zip(&b).map(|(x, y)| *x * *y).collect();
+/// assert_eq!(s.to_vec(), expect);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaVec<F> {
+    /// `planes[l][i]` is limb `l` of element `i`.
+    planes: [Vec<u64>; NLIMBS],
+    len: usize,
+    _marker: PhantomData<F>,
+}
+
+impl<F: MontLimbs> SoaVec<F> {
+    /// Transposes a slice of elements into limb planes.
+    pub fn from_slice(elems: &[F]) -> Self {
+        let mut planes: [Vec<u64>; NLIMBS] =
+            core::array::from_fn(|_| Vec::with_capacity(elems.len()));
+        for &e in elems {
+            let l = e.mont_limbs();
+            for (plane, limb) in planes.iter_mut().zip(l) {
+                plane.push(limb);
+            }
+        }
+        Self {
+            planes,
+            len: elems.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Gathers element `i` back out of the planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> F {
+        assert!(i < self.len, "SoaVec index out of range");
+        let limbs: Limbs = core::array::from_fn(|l| self.planes[l][i]);
+        F::from_mont_limbs_unchecked(limbs)
+    }
+
+    /// Transposes back to the array-of-structs layout.
+    pub fn to_vec(&self) -> Vec<F> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    #[inline]
+    fn gather(&self, i: usize) -> Limbs {
+        core::array::from_fn(|l| self.planes[l][i])
+    }
+
+    #[inline]
+    fn scatter(&mut self, i: usize, limbs: Limbs) {
+        for (plane, limb) in self.planes.iter_mut().zip(limbs) {
+            plane[i] = limb;
+        }
+    }
+
+    /// Pairwise product `self[i] *= rhs[i]`, four lanes at a time through
+    /// the interleaved CIOS kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batches have different lengths.
+    pub fn mul_pairwise(&mut self, rhs: &Self) {
+        assert_eq!(self.len, rhs.len, "SoaVec length mismatch");
+        let quads = self.len / 4;
+        for q in 0..quads {
+            let i = q * 4;
+            let a: [Limbs; 4] = core::array::from_fn(|k| self.gather(i + k));
+            let b: [Limbs; 4] = core::array::from_fn(|k| rhs.gather(i + k));
+            let out = limb::mont_mul_x4(&a, &b, &F::P, F::NEG_INV);
+            for (k, limbs) in out.into_iter().enumerate() {
+                self.scatter(i + k, limbs);
+            }
+        }
+        for i in quads * 4..self.len {
+            let prod = limb::mont_mul(&self.gather(i), &rhs.gather(i), &F::P, F::NEG_INV);
+            self.scatter(i, prod);
+        }
+    }
+
+    /// Pairwise sum `self[i] += rhs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batches have different lengths.
+    pub fn add_pairwise(&mut self, rhs: &Self) {
+        assert_eq!(self.len, rhs.len, "SoaVec length mismatch");
+        for i in 0..self.len {
+            let sum = limb::add_mod(&self.gather(i), &rhs.gather(i), &F::P);
+            self.scatter(i, sum);
+        }
+    }
+
+    /// Scales every element by `s` (four lanes at a time).
+    pub fn scale(&mut self, s: F) {
+        let sl = s.mont_limbs();
+        let quads = self.len / 4;
+        for q in 0..quads {
+            let i = q * 4;
+            let a: [Limbs; 4] = core::array::from_fn(|k| self.gather(i + k));
+            let b = [sl; 4];
+            let out = limb::mont_mul_x4(&a, &b, &F::P, F::NEG_INV);
+            for (k, limbs) in out.into_iter().enumerate() {
+                self.scatter(i + k, limbs);
+            }
+        }
+        for i in quads * 4..self.len {
+            let prod = limb::mont_mul(&self.gather(i), &sl, &F::P, F::NEG_INV);
+            self.scatter(i, prod);
+        }
+    }
+
+    /// Inner product `Σ self[i]·rhs[i]` through the lazy-reduction
+    /// accumulate path (unreduced products, one final canonicalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batches have different lengths.
+    pub fn dot(&self, rhs: &Self) -> F {
+        assert_eq!(self.len, rhs.len, "SoaVec length mismatch");
+        let mut acc = [0u64; NLIMBS];
+        for i in 0..self.len {
+            let prod = limb::mont_mul_unreduced(&self.gather(i), &rhs.gather(i), &F::P, F::NEG_INV);
+            acc = limb::add_lazy(&acc, &prod, &F::P2);
+        }
+        F::from_mont_limbs_unchecked(limb::reduce_once(&acc, &F::P))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Fr, SplitMix64};
+
+    fn samples(seed: u64, n: usize) -> Vec<Fr> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        (0..n).map(|_| Fr::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_elements() {
+        for n in [0usize, 1, 3, 4, 5, 8, 17] {
+            let v = samples(n as u64, n);
+            let s = SoaVec::from_slice(&v);
+            assert_eq!(s.len(), n);
+            assert_eq!(s.to_vec(), v);
+        }
+    }
+
+    #[test]
+    fn mul_pairwise_matches_scalar() {
+        for n in [1usize, 4, 7, 16, 33] {
+            let a = samples(100 + n as u64, n);
+            let b = samples(200 + n as u64, n);
+            let mut s = SoaVec::from_slice(&a);
+            s.mul_pairwise(&SoaVec::from_slice(&b));
+            let expect: Vec<Fr> = a.iter().zip(&b).map(|(x, y)| *x * *y).collect();
+            assert_eq!(s.to_vec(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn add_and_scale_match_scalar() {
+        let a = samples(1, 13);
+        let b = samples(2, 13);
+        let c = samples(3, 1)[0];
+        let mut s = SoaVec::from_slice(&a);
+        s.add_pairwise(&SoaVec::from_slice(&b));
+        s.scale(c);
+        let expect: Vec<Fr> = a.iter().zip(&b).map(|(x, y)| (*x + *y) * c).collect();
+        assert_eq!(s.to_vec(), expect);
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        for n in [0usize, 1, 5, 32] {
+            let a = samples(300 + n as u64, n);
+            let b = samples(400 + n as u64, n);
+            let naive: Fr = a.iter().zip(&b).map(|(x, y)| *x * *y).sum();
+            let got = SoaVec::from_slice(&a).dot(&SoaVec::from_slice(&b));
+            assert_eq!(got, naive, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut a = SoaVec::from_slice(&samples(1, 4));
+        a.mul_pairwise(&SoaVec::from_slice(&samples(2, 5)));
+    }
+}

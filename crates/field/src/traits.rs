@@ -5,6 +5,7 @@ use core::hash::Hash;
 use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
+use crate::limb::Limbs;
 use crate::rng::RngCore;
 
 /// A prime field with enough structure for sum-check, Merkle commitments,
@@ -109,6 +110,47 @@ pub trait Field:
     ///
     /// Panics if `k > Self::TWO_ADICITY`.
     fn two_adic_root(k: u32) -> Self;
+
+    /// Inner product `Σ aᵢ·bᵢ` over an iterator of pairs — the hot loop of
+    /// sparse-matrix rows, row combinations, and sum-check folds.
+    ///
+    /// The default implementation is the textbook multiply-then-add loop.
+    /// Montgomery-backed fields override it with a lazy-reduction fused
+    /// multiply-accumulate (unreduced CIOS products accumulated in the
+    /// redundant `[0, 2p)` domain, one canonicalizing subtraction at the
+    /// end). Overrides must return bit-identical results to this default.
+    fn dot_pairs(pairs: impl Iterator<Item = (Self, Self)>) -> Self {
+        pairs.fold(Self::ZERO, |acc, (a, b)| acc + a * b)
+    }
+
+    /// Slice inner product `Σ aᵢ·bᵢ` over the common prefix of `a` and `b`.
+    fn dot(a: &[Self], b: &[Self]) -> Self {
+        Self::dot_pairs(a.iter().copied().zip(b.iter().copied()))
+    }
+}
+
+/// Low-level access to the four-limb Montgomery representation behind a
+/// [`Field`] implementation — the hook the flat SoA batch layout
+/// ([`crate::soa`]) and other limb-level kernels build on. Implemented
+/// automatically by `declare_field!`.
+pub trait MontLimbs: Field {
+    /// The field modulus `p`.
+    const P: Limbs;
+    /// `2p` — the ceiling of the redundant lazy-reduction domain.
+    const P2: Limbs;
+    /// `-p^{-1} mod 2^64`, the Montgomery reduction constant.
+    const NEG_INV: u64;
+
+    /// The raw Montgomery-form limbs of this element.
+    fn mont_limbs(self) -> Limbs;
+
+    /// Rebuilds an element from Montgomery-form limbs.
+    ///
+    /// The caller must guarantee `limbs < p`. Passing an unreduced value is
+    /// memory-safe but yields an element that breaks `Eq`/serialization
+    /// canonicity, so every kernel must canonicalize (e.g. via
+    /// [`crate::limb::reduce_once`]) before calling this.
+    fn from_mont_limbs_unchecked(limbs: Limbs) -> Self;
 }
 
 /// Convenience: converts a possibly-negative i64 into a field element.

@@ -4,12 +4,18 @@
 //! paper's register-resident Merkle kernel, plus the Fiat–Shamir
 //! [`Transcript`] and the Merkle-root-seeded [`Prg`] from Figure 7.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod prg;
 mod sha256;
 mod transcript;
 
 pub use prg::Prg;
-pub use sha256::{compress, hash_block, hash_pair, sha256, sha256_block64, Digest, Sha256, H0};
+pub use sha256::{
+    compress, compress4, hash_block, hash_blocks, hash_pair, hash_pairs, sha256, sha256_block64,
+    Digest, Sha256, H0,
+};
 pub use transcript::Transcript;
 
 #[cfg(test)]

@@ -20,8 +20,11 @@
 //! assert!(path.verify(&tree.root()));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use batchzk_field::Field;
-use batchzk_hash::{hash_block, hash_pair, Digest};
+use batchzk_hash::{hash_blocks, hash_pair, hash_pairs, Digest};
 
 /// A fully materialized Merkle tree (all layers kept, leaf layer first).
 #[derive(Debug, Clone)]
@@ -40,7 +43,8 @@ impl MerkleTree {
     /// Panics if `blocks` is empty.
     pub fn from_blocks(blocks: &[[u8; 64]]) -> Self {
         assert!(!blocks.is_empty(), "cannot build a Merkle tree of nothing");
-        let leaves: Vec<Digest> = blocks.iter().map(hash_block).collect();
+        // Batched leaf hashing: four independent compressions in lockstep.
+        let leaves = hash_blocks(blocks);
         Self::from_leaves(leaves)
     }
 
@@ -101,11 +105,10 @@ impl MerkleTree {
         let mut layers = vec![leaves];
         while layers.last().expect("non-empty").len() > 1 {
             let prev = layers.last().expect("non-empty");
-            let next: Vec<Digest> = prev
-                .chunks(2)
-                .map(|pair| hash_pair(&pair[0], &pair[1]))
-                .collect();
-            layers.push(next);
+            // Batched node hashing through the interleaved 4-lane kernel.
+            let pairs: Vec<(Digest, Digest)> =
+                prev.chunks(2).map(|pair| (pair[0], pair[1])).collect();
+            layers.push(hash_pairs(&pairs));
         }
         Self { layers, leaf_count }
     }

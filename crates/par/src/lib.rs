@@ -37,6 +37,7 @@
 //! assert_eq!(cells, vec![0, 1, 2, 3, 4, 5, 6, 7]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -70,6 +71,15 @@ pub fn current_threads() -> usize {
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Physical parallelism of the host as reported by
+/// [`std::thread::available_parallelism`] (1 when the query fails).
+/// Unlike [`current_threads`] this ignores every override: it is the
+/// quantity wall-clock measurements record so readers can tell a
+/// saturated host from a scaling failure.
+pub fn host_cores() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Runs `f` with the thread count forced to `n`, restoring the previous

@@ -24,6 +24,9 @@
 //! assert_eq!(p.evaluate(&out.point()), final_claim);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod algorithm1;
 mod poly;
 mod prove;
@@ -31,7 +34,9 @@ mod rounds;
 
 pub use poly::{eq_eval, eq_table, MultilinearPoly};
 pub use prove::{prove_cubic_eq, prove_linear, prove_quadratic, ProverOutput};
-pub use rounds::{interpolate_at, prover_round_challenge, verify_rounds, SumcheckProof};
+pub use rounds::{
+    interpolate_at, prover_round_challenge, verify_rounds, LagrangeDenoms, SumcheckProof,
+};
 
 #[cfg(test)]
 mod randomized_tests {

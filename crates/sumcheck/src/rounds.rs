@@ -19,55 +19,98 @@ impl<F: Field> SumcheckProof<F> {
     }
 }
 
+/// Precomputed inverted Lagrange denominators for interpolation on the
+/// consecutive integer nodes `0, 1, ..., d`.
+///
+/// The denominators `j!·(d−j)!·(−1)^{d−j}` depend only on the degree, not
+/// on the values or the evaluation point, so a verifier running many rounds
+/// of the same degree builds this once — one `batch_invert` for the whole
+/// sum-check instead of one per round.
+#[derive(Debug, Clone)]
+pub struct LagrangeDenoms<F> {
+    /// `inv_denoms[j] = 1 / (j!·(d−j)!·(−1)^{d−j})`.
+    inv_denoms: Vec<F>,
+}
+
+impl<F: Field> LagrangeDenoms<F> {
+    /// Precomputes the inverted denominators for degree `degree`.
+    pub fn new(degree: usize) -> Self {
+        let mut denoms: Vec<F> = (0..=degree)
+            .map(|j| {
+                let mut v = F::ONE;
+                for t in 1..=j {
+                    v *= F::from(t as u64);
+                }
+                for t in 1..=(degree - j) {
+                    v *= F::from(t as u64);
+                }
+                if (degree - j) % 2 == 1 {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .collect();
+        batch_invert(&mut denoms);
+        Self { inv_denoms: denoms }
+    }
+
+    /// The degree these denominators were built for.
+    pub fn degree(&self) -> usize {
+        self.inv_denoms.len() - 1
+    }
+
+    /// Evaluates the degree-`d` polynomial through `(0, ys[0]), ...,
+    /// (d, ys[d])` at `r` without any inversion work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ys.len() != self.degree() + 1`.
+    pub fn interpolate_at(&self, ys: &[F], r: F) -> F {
+        assert_eq!(
+            ys.len(),
+            self.inv_denoms.len(),
+            "value count must match the precomputed degree"
+        );
+        let d = ys.len() - 1;
+        if d == 0 {
+            return ys[0];
+        }
+        // terms (r - k) for k = 0..=d
+        let diffs: Vec<F> = (0..=d).map(|k| r - F::from(k as u64)).collect();
+        // If r is one of the nodes, return directly (denominator would vanish).
+        if let Some(k) = diffs.iter().position(|v| v.is_zero()) {
+            return ys[k];
+        }
+        // prefix[j] = Π_{k<j} diffs[k], suffix[j] = Π_{k>j} diffs[k]
+        let mut prefix = vec![F::ONE; d + 1];
+        for j in 1..=d {
+            prefix[j] = prefix[j - 1] * diffs[j - 1];
+        }
+        let mut suffix = vec![F::ONE; d + 1];
+        for j in (0..d).rev() {
+            suffix[j] = suffix[j + 1] * diffs[j + 1];
+        }
+        (0..=d)
+            .map(|j| ys[j] * prefix[j] * suffix[j] * self.inv_denoms[j])
+            .sum()
+    }
+}
+
 /// Evaluates the degree-`d` polynomial through the points
 /// `(0, ys[0]), ..., (d, ys[d])` at `r` (Lagrange on consecutive integer
 /// nodes).
+///
+/// One-shot convenience over [`LagrangeDenoms`]; callers interpolating many
+/// round polynomials of the same degree should precompute the denominators
+/// instead, as [`verify_rounds`] does.
 ///
 /// # Panics
 ///
 /// Panics if `ys` is empty.
 pub fn interpolate_at<F: Field>(ys: &[F], r: F) -> F {
     assert!(!ys.is_empty(), "need at least one interpolation node");
-    let d = ys.len() - 1;
-    if d == 0 {
-        return ys[0];
-    }
-    // terms (r - k) for k = 0..=d
-    let diffs: Vec<F> = (0..=d).map(|k| r - F::from(k as u64)).collect();
-    // If r is one of the nodes, return directly (denominator would vanish).
-    if let Some(k) = diffs.iter().position(|v| v.is_zero()) {
-        return ys[k];
-    }
-    // prefix[j] = Π_{k<j} diffs[k], suffix[j] = Π_{k>j} diffs[k]
-    let mut prefix = vec![F::ONE; d + 1];
-    for j in 1..=d {
-        prefix[j] = prefix[j - 1] * diffs[j - 1];
-    }
-    let mut suffix = vec![F::ONE; d + 1];
-    for j in (0..d).rev() {
-        suffix[j] = suffix[j + 1] * diffs[j + 1];
-    }
-    // Denominators: j! * (d-j)! * (-1)^{d-j}
-    let mut denoms: Vec<F> = (0..=d)
-        .map(|j| {
-            let mut v = F::ONE;
-            for t in 1..=j {
-                v *= F::from(t as u64);
-            }
-            for t in 1..=(d - j) {
-                v *= F::from(t as u64);
-            }
-            if (d - j) % 2 == 1 {
-                -v
-            } else {
-                v
-            }
-        })
-        .collect();
-    batch_invert(&mut denoms);
-    (0..=d)
-        .map(|j| ys[j] * prefix[j] * suffix[j] * denoms[j])
-        .sum()
+    LagrangeDenoms::new(ys.len() - 1).interpolate_at(ys, r)
 }
 
 /// Runs the verifier's round loop for a degree-`degree` sum-check.
@@ -85,6 +128,9 @@ pub fn verify_rounds<F: Field>(
 ) -> Option<(F, Vec<F>)> {
     let mut claim = claim;
     let mut rs = Vec::with_capacity(proof.rounds.len());
+    // The Lagrange denominators depend only on the degree: invert them once
+    // for the whole proof rather than once per round.
+    let denoms = LagrangeDenoms::new(degree);
     for round in &proof.rounds {
         if round.len() != degree + 1 {
             return None;
@@ -94,7 +140,7 @@ pub fn verify_rounds<F: Field>(
         }
         transcript.absorb_fields(b"sumcheck-round", round);
         let r: F = transcript.challenge_field(b"sumcheck-r");
-        claim = interpolate_at(round, r);
+        claim = denoms.interpolate_at(round, r);
         rs.push(r);
     }
     Some((claim, rs))
@@ -151,6 +197,35 @@ mod tests {
             interpolate_at(&sum, r),
             interpolate_at(&ya, r) + interpolate_at(&yb, r)
         );
+    }
+
+    #[test]
+    fn precomputed_denoms_match_oneshot() {
+        let mut rng = Prg::seed_from_u64(3);
+        for d in 0..6usize {
+            let denoms = LagrangeDenoms::new(d);
+            assert_eq!(denoms.degree(), d);
+            let ys: Vec<Fr> = (0..=d).map(|_| Fr::random(&mut rng)).collect();
+            for _ in 0..8 {
+                let r = Fr::random(&mut rng);
+                assert_eq!(denoms.interpolate_at(&ys, r), interpolate_at(&ys, r));
+            }
+            // Node hits go through the shortcut path too.
+            for k in 0..=d as u64 {
+                assert_eq!(
+                    denoms.interpolate_at(&ys, Fr::from(k)),
+                    ys[k as usize],
+                    "d={d} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precomputed degree")]
+    fn denoms_reject_wrong_arity() {
+        let denoms = LagrangeDenoms::<Fr>::new(2);
+        let _ = denoms.interpolate_at(&[Fr::ONE, Fr::ONE], Fr::ONE);
     }
 
     #[test]
