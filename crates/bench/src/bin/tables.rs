@@ -43,9 +43,10 @@
 //! `backends` compares every [`batchzk_zkp::ProverBackend`] proved through
 //! the fully pipelined schedule against the kernel-per-task naive schedule
 //! (byte-identical proofs asserted), then replays the committed mixed
-//! trace (`traces/mixed.trace`) through one service instance serving both
-//! protocols. `--backend <name>` restricts the sweep to one backend
-//! (`sumcheck` or `groth16`); unknown names exit non-zero with usage.
+//! trace (`traces/mixed.trace`) through one service instance serving every
+//! protocol. `--backend <name>` restricts the sweep to one backend — any
+//! name in [`batchzk_zkp::BACKEND_NAMES`], which the usage text enumerates
+//! — and unknown names exit non-zero with usage.
 //! The `serve`/`timeline` arrival grammar also accepts a per-arrival
 //! backend suffix (`class/backend@...`), validated against the same set.
 //!
@@ -122,7 +123,7 @@ const EXPERIMENTS: &[(&str, bool, &str)] = &[
     (
         "backends",
         true,
-        "pipelined vs naive per ProverBackend + mixed-trace service (--backend)",
+        "pipelined vs naive per ProverBackend + mixed-trace service (--backend {backends})",
     ),
     (
         "trace",
@@ -161,8 +162,12 @@ fn usage() -> String {
     );
     out.push_str("  all          every experiment marked (all) below\n");
     out.push_str("  help         this listing\n");
+    // The backend set is enumerated from `zkp::BACKEND_NAMES`, never
+    // hardcoded: a new backend shows up in the help text automatically.
+    let backend_names = batchzk_zkp::BACKEND_NAMES.join("|");
     for (name, in_all, desc) in EXPERIMENTS {
         let marker = if *in_all { " (all)" } else { "" };
+        let desc = desc.replace("{backends}", &backend_names);
         out.push_str(&format!("  {name:<12} {desc}{marker}\n"));
     }
     out.push_str(
@@ -196,10 +201,9 @@ fn usage() -> String {
          \x20              class may carry a backend suffix, class/backend@...)\n",
     );
     out.push_str(&format!(
-        "backend flags: --backend <{}> (restrict `backends` to one\n\
+        "backend flags: --backend <{backend_names}> (restrict `backends` to one\n\
          \x20              prover backend; trace backend suffixes are validated\n\
          \x20              against the same set)\n",
-        batchzk_zkp::BACKEND_NAMES.join("|"),
     ));
     out
 }

@@ -24,8 +24,8 @@ use batchzk_zkp::r1cs::{synthetic_r1cs, R1cs};
 use batchzk_zkp::{
     pcs, prove_batch, prove_batch_naive_with, prove_batch_pool, prove_batch_with, prove_service,
     prove_service_with, spartan, BackendProofRequest, GrothBackend, MixedBackend, MixedInstance,
-    MixedTask, PcsParams, ProofRequest, ProverBackend, ServiceProofRun, SpartanBackend,
-    BACKEND_NAMES,
+    MixedTask, OrionBackend, PcsParams, ProofRequest, ProverBackend, ServiceProofRun,
+    SpartanBackend, BACKEND_NAMES,
 };
 
 use crate::baseline::{groth16_cpu, groth16_gpu, BELLPERSON_BYTES_PER_CONSTRAINT};
@@ -1184,7 +1184,7 @@ fn service_observations<T>(o: &ServiceOutcome<T>) -> Vec<ServiceClassObservation
 ///
 /// A trace whose arrivals carry backend labels (`class/backend@...`)
 /// routes through the mixed-backend service instead: one
-/// [`MixedBackend`] service instance interleaves both protocols, and the
+/// [`MixedBackend`] service instance interleaves all protocols, and the
 /// report adds the per-backend completion split.
 ///
 /// # Errors
@@ -1322,7 +1322,7 @@ pub fn service_json(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String>
 // Backend comparison (`tables backends`, BENCH.json `backends` section).
 // ---------------------------------------------------------------------------
 
-/// The committed mixed-backend arrival trace: both protocols interleaved
+/// The committed mixed-backend arrival trace: all three protocols interleaved
 /// through one service instance (`traces/mixed.trace`).
 pub const MIXED_TRACE: &str = include_str!("../../../traces/mixed.trace");
 
@@ -1466,6 +1466,15 @@ fn backends_study(
             scale.backends_batch,
         ));
     }
+    if only.is_none_or(|o| o == BACKEND_NAMES[2]) {
+        let orion = OrionBackend::<Fr>::new(log as usize, pcs_params());
+        points.push(backend_scenarios(
+            registry,
+            &orion,
+            |n| (0..n).map(|i| orion.instance(3000 + i as u64)).collect(),
+            scale.backends_batch,
+        ));
+    }
     let mixed = if only.is_none() {
         Some(
             mixed_service_study(scale, &mixed_plan(), registry)
@@ -1487,17 +1496,18 @@ struct MixedServicePoint {
     devices: usize,
     outcome: ServiceOutcome<MixedTask>,
     /// Completions per backend, indexed like [`BACKEND_NAMES`].
-    completed_by_backend: [u64; 2],
+    completed_by_backend: [u64; BACKEND_NAMES.len()],
 }
 
 /// The committed mixed trace replayed through one
 /// [`prove_service_with`]`(`[`MixedBackend`]`)` instance per pool size:
-/// sumcheck and Groth16-style tasks interleave through the same pipelines
-/// under the existing SLO classes.
+/// sumcheck, Groth16-style, and Orion tasks interleave through the same
+/// pipelines under the existing SLO classes.
 struct MixedServiceStudy {
     spec: String,
     log_sumcheck: u32,
     log_groth: u32,
+    log_orion: u32,
     arrivals: usize,
     proof_interval_cycles: u64,
     unit_cycles: u64,
@@ -1542,6 +1552,7 @@ fn mixed_service_study(
     let backend = MixedBackend::new(
         SpartanBackend::new(Arc::clone(&r1cs), pcs_params()),
         GrothBackend::new(scale.backends_log),
+        OrionBackend::new(scale.backends_log as usize, pcs_params()),
     );
     let mut points = Vec::new();
     for devices in SERVICE_DEVICES {
@@ -1553,6 +1564,9 @@ fn mixed_service_study(
                 let instance = match a.backend.as_deref() {
                     Some("groth16") => {
                         MixedInstance::Groth(backend.groth().circuit().witness(2000 + i as u64))
+                    }
+                    Some("orion") => {
+                        MixedInstance::Orion(backend.orion().instance(4000 + i as u64))
                     }
                     // `validate_trace_backends` rejected everything else.
                     _ => MixedInstance::Sumcheck((inputs.clone(), witness.clone())),
@@ -1570,7 +1584,7 @@ fn mixed_service_study(
             true,
         )
         .map_err(|e| e.to_string())?;
-        let mut completed_by_backend = [0u64; 2];
+        let mut completed_by_backend = [0u64; BACKEND_NAMES.len()];
         for c in &outcome.completions {
             let idx = BACKEND_NAMES
                 .iter()
@@ -1593,6 +1607,7 @@ fn mixed_service_study(
         spec: plan.spec(),
         log_sumcheck: scale.service_log,
         log_groth: scale.backends_log,
+        log_orion: scale.backends_log,
         arrivals: arrivals.len(),
         proof_interval_cycles: interval,
         unit_cycles: unit,
@@ -1605,7 +1620,7 @@ fn mixed_service_study(
 /// schedule at the same size on fresh A100 devices (latency scenario at
 /// batch 1, throughput scenario at the scale's backend batch), asserting
 /// the two schedules produce byte-identical proofs — then the committed
-/// mixed trace through one service instance serving both protocols.
+/// mixed trace through one service instance serving every protocol.
 /// `only` (the `--backend` flag) restricts the sweep to one backend and
 /// skips the mixed replay.
 pub fn backends(scale: &Scale, only: Option<&str>) -> String {
@@ -1634,20 +1649,21 @@ pub fn backends(scale: &Scale, only: Option<&str>) -> String {
     }
     if let Some(m) = &study.mixed {
         out.push_str(&format!(
-            "\n### Mixed service — one pool, both protocols\n\n\
+            "\n### Mixed service — one pool, all protocols\n\n\
              Trace: `{}`\n\n\
-             Sumcheck at 2^{}, Groth16-style at 2^{}; {} arrivals,\n\
-             1 trace unit = {} device cycles.\n\n\
-             | Devices | Accepted | Rejected | Completed ({}) | Completed ({}) | Goodput (within-SLO/Mcycle) |\n\
-             |---|---|---|---|---|---|\n",
-            m.spec,
-            m.log_sumcheck,
-            m.log_groth,
-            m.arrivals,
-            m.unit_cycles,
-            BACKEND_NAMES[0],
-            BACKEND_NAMES[1],
+             Sumcheck at 2^{}, Groth16-style at 2^{}, Orion at 2^{}; {} arrivals,\n\
+             1 trace unit = {} device cycles.\n\n",
+            m.spec, m.log_sumcheck, m.log_groth, m.log_orion, m.arrivals, m.unit_cycles,
         ));
+        out.push_str("| Devices | Accepted | Rejected |");
+        for name in BACKEND_NAMES {
+            out.push_str(&format!(" Completed ({name}) |"));
+        }
+        out.push_str(" Goodput (within-SLO/Mcycle) |\n|---|---|---|");
+        for _ in BACKEND_NAMES {
+            out.push_str("---|");
+        }
+        out.push_str("---|\n");
         for p in &m.points {
             let accepted: u64 = p.outcome.reports.iter().map(|r| r.accepted).sum();
             let rejected: u64 = p
@@ -1656,15 +1672,11 @@ pub fn backends(scale: &Scale, only: Option<&str>) -> String {
                 .iter()
                 .map(|r| r.rejected_queue_full + r.rejected_saturated)
                 .sum();
-            out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {:.3} |\n",
-                p.devices,
-                accepted,
-                rejected,
-                p.completed_by_backend[0],
-                p.completed_by_backend[1],
-                p.outcome.goodput_per_mcycle(),
-            ));
+            out.push_str(&format!("| {} | {} | {} |", p.devices, accepted, rejected));
+            for &c in &p.completed_by_backend {
+                out.push_str(&format!(" {c} |"));
+            }
+            out.push_str(&format!(" {:.3} |\n", p.outcome.goodput_per_mcycle()));
         }
     }
     out
@@ -1715,10 +1727,11 @@ fn backends_json_from_study(study: &BackendsStudy) -> String {
     let _ = write!(
         out,
         ",\"mixed_service\":{{\"trace\":\"{}\",\"log_sumcheck\":{},\"log_groth16\":{},\
-         \"arrivals\":{},\"proof_interval_cycles\":{},\"unit_cycles\":{},\"runs\":[",
+         \"log_orion\":{},\"arrivals\":{},\"proof_interval_cycles\":{},\"unit_cycles\":{},\"runs\":[",
         escape_json(&m.spec),
         m.log_sumcheck,
         m.log_groth,
+        m.log_orion,
         m.arrivals,
         m.proof_interval_cycles,
         m.unit_cycles,
@@ -1729,13 +1742,20 @@ fn backends_json_from_study(study: &BackendsStudy) -> String {
         }
         let _ = write!(
             out,
-            "{{\"devices\":{},\"completed_by_backend\":{{\"{}\":{},\"{}\":{}}},\"classes\":[",
-            p.devices,
-            BACKEND_NAMES[0],
-            p.completed_by_backend[0],
-            BACKEND_NAMES[1],
-            p.completed_by_backend[1],
+            "{{\"devices\":{},\"completed_by_backend\":{{",
+            p.devices
         );
+        for (k, (name, count)) in BACKEND_NAMES
+            .iter()
+            .zip(&p.completed_by_backend)
+            .enumerate()
+        {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{count}");
+        }
+        out.push_str("},\"classes\":[");
         for (j, r) in p.outcome.reports.iter().enumerate() {
             if j > 0 {
                 out.push(',');
@@ -1785,11 +1805,12 @@ fn mixed_serve(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String> {
     let mut registry = batchzk_metrics::Registry::new();
     let study = mixed_service_study(scale, plan, &mut registry)?;
     let mut out = format!(
-        "## Serve (mixed backends) — sumcheck 2^{} + groth16 2^{} on A100 pools of 1 and 4 ({} arrivals)\n\n\
+        "## Serve (mixed backends) — sumcheck 2^{} + groth16 2^{} + orion 2^{} on A100 pools of 1 and 4 ({} arrivals)\n\n\
          Trace: `{}`\n\n\
          Calibration: proof interval {} cycles, so 1 trace unit = {} device cycles.\n",
         study.log_sumcheck,
         study.log_groth,
+        study.log_orion,
         study.arrivals,
         plan.spec(),
         study.proof_interval_cycles,
@@ -1821,12 +1842,14 @@ fn mixed_serve(scale: &Scale, plan: &ArrivalPlan) -> Result<String, String> {
                 r.slo_attainment() * 100.0,
             ));
         }
+        let split: Vec<String> = BACKEND_NAMES
+            .iter()
+            .zip(&p.completed_by_backend)
+            .map(|(name, count)| format!("{count} [{name}]"))
+            .collect();
         out.push_str(&format!(
-            "\nCompleted by backend: {} [{}], {} [{}]; goodput {:.3} within-SLO proofs/Mcycle.\n",
-            p.completed_by_backend[0],
-            BACKEND_NAMES[0],
-            p.completed_by_backend[1],
-            BACKEND_NAMES[1],
+            "\nCompleted by backend: {}; goodput {:.3} within-SLO proofs/Mcycle.\n",
+            split.join(", "),
             o.goodput_per_mcycle(),
         ));
     }
@@ -3245,6 +3268,7 @@ mod tests {
         for needle in [
             "| sumcheck |",
             "| groth16 |",
+            "| orion |",
             "latency",
             "throughput",
             "Mixed service",
@@ -3261,6 +3285,7 @@ mod tests {
         for field in [
             "\"backend\":\"sumcheck\"",
             "\"backend\":\"groth16\"",
+            "\"backend\":\"orion\"",
             "\"scenario\":\"latency\"",
             "\"scenario\":\"throughput\"",
             "\"speedup\":",
@@ -3279,10 +3304,14 @@ mod tests {
         let report = backends(&s, Some("groth16"));
         assert!(report.contains("| groth16 |"), "{report}");
         assert!(!report.contains("| sumcheck |"), "{report}");
+        assert!(!report.contains("| orion |"), "{report}");
         assert!(
             !report.contains("Mixed service"),
             "filtered sweep skips the mixed replay:\n{report}"
         );
+        let orion_only = backends(&s, Some("orion"));
+        assert!(orion_only.contains("| orion |"), "{orion_only}");
+        assert!(!orion_only.contains("| groth16 |"), "{orion_only}");
     }
 
     #[test]
@@ -3314,16 +3343,20 @@ mod tests {
             );
         }
         // The committed mixed trace genuinely interleaves: the 4-device
-        // pool completes proofs of both protocols.
+        // pool completes proofs of every protocol.
         let wide = study.points.last().unwrap();
         assert!(
             wide.completed_by_backend.iter().all(|&c| c > 0),
-            "both backends must complete work: {:?}",
+            "every backend must complete work: {:?}",
             wide.completed_by_backend
         );
         // The backend-labelled service families rode into the registry.
         let metrics = registry.to_json();
-        for needle in ["backend=\\\"sumcheck\\\"", "backend=\\\"groth16\\\""] {
+        for needle in [
+            "backend=\\\"sumcheck\\\"",
+            "backend=\\\"groth16\\\"",
+            "backend=\\\"orion\\\"",
+        ] {
             let plain = needle.replace("\\\"", "\"");
             assert!(
                 metrics.contains(&plain) || metrics.contains(needle),
@@ -3341,6 +3374,7 @@ mod tests {
             "Completed by backend",
             "[sumcheck]",
             "[groth16]",
+            "[orion]",
             "### 1 device",
             "### 4 devices",
         ] {

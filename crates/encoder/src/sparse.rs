@@ -413,7 +413,9 @@ mod tests {
         let m = SparseMatrix::<Fr>::random_regular(16, 48, 9, &mut rng);
         let luts = m.row_luts();
         for msg in 0..5u64 {
-            let bits: Vec<bool> = (0..48).map(|c| (c as u64 * 7 + msg).is_multiple_of(3)).collect();
+            let bits: Vec<bool> = (0..48)
+                .map(|c| (c as u64 * 7 + msg).is_multiple_of(3))
+                .collect();
             assert_eq!(luts.mul_bits(&bits), m.mul_bits(&bits), "msg={msg}");
         }
     }

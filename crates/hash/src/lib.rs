@@ -14,7 +14,7 @@ mod transcript;
 pub use prg::Prg;
 pub use sha256::{
     compress, compress4, hash_block, hash_blocks, hash_pair, hash_pairs, sha256, sha256_block64,
-    Digest, Sha256, H0,
+    sha256_quad, Digest, Sha256, H0,
 };
 pub use transcript::Transcript;
 

@@ -389,12 +389,84 @@ pub fn hash_pairs(pairs: &[(Digest, Digest)]) -> Vec<Digest> {
     out
 }
 
+/// Four full (padded) SHA-256 hashes of equal-length messages, advanced in
+/// lockstep through [`compress4`]. Byte-identical to mapping [`sha256`]
+/// over the lanes.
+///
+/// Equal lengths keep the four Merkle–Damgård chains on the same block
+/// schedule, so the whole message — padding included — runs through the
+/// SoA kernel with no scalar fallback. This is the leaf kernel for
+/// interleaved-codeword commitments, where every column serializes to the
+/// same byte length.
+///
+/// # Panics
+///
+/// Panics if the four messages differ in length.
+pub fn sha256_quad(messages: [&[u8]; 4]) -> [Digest; 4] {
+    let len = messages[0].len();
+    assert!(
+        messages.iter().all(|m| m.len() == len),
+        "sha256_quad lanes must be equal length"
+    );
+    let mut states = [H0; 4];
+    let full_blocks = len / 64;
+    let mut blocks = [[0u8; 64]; 4];
+    for b in 0..full_blocks {
+        for (block, m) in blocks.iter_mut().zip(&messages) {
+            block.copy_from_slice(&m[b * 64..(b + 1) * 64]);
+        }
+        compress4(&mut states, &blocks);
+    }
+    // Padding (FIPS 180-4 §5.1.1): 0x80, zeros, 64-bit big-endian bit
+    // length. Same tail length in every lane, so the pad blocks stay in
+    // lockstep too.
+    let rem = len % 64;
+    let bit_len = (len as u64).wrapping_mul(8);
+    for (block, m) in blocks.iter_mut().zip(&messages) {
+        block.fill(0);
+        block[..rem].copy_from_slice(&m[len - rem..]);
+        block[rem] = 0x80;
+    }
+    if rem >= 56 {
+        // No room for the length words: compress the 0x80 block, then
+        // finish in a fresh all-zero block.
+        compress4(&mut states, &blocks);
+        blocks = [[0u8; 64]; 4];
+    }
+    for block in blocks.iter_mut() {
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+    }
+    compress4(&mut states, &blocks);
+    core::array::from_fn(|i| digest_from_state(&states[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn hex(d: &Digest) -> String {
         d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_quad_matches_scalar() {
+        // Lengths spanning every padding branch: empty, short, exactly at
+        // the 56-byte boundary, one block, and multi-block with tails.
+        for len in [0usize, 1, 18, 55, 56, 63, 64, 65, 119, 120, 128, 338] {
+            let msgs: Vec<Vec<u8>> = (0..4u8)
+                .map(|lane| (0..len).map(|i| lane.wrapping_add(i as u8)).collect())
+                .collect();
+            let quad = sha256_quad([&msgs[0], &msgs[1], &msgs[2], &msgs[3]]);
+            for (lane, m) in msgs.iter().enumerate() {
+                assert_eq!(quad[lane], sha256(m), "len={len} lane={lane}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn sha256_quad_rejects_ragged_lanes() {
+        sha256_quad([b"aa", b"aa", b"aa", b"a"]);
     }
 
     #[test]

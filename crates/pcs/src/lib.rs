@@ -1,8 +1,11 @@
+//! # batchzk-pcs
+//!
 //! The Brakedown/Orion linear-code polynomial commitment scheme — the
 //! composition of the paper's three modules (Figure 1, second category):
-//! the witness matrix is row-encoded with the linear-time encoder, columns
-//! are committed with a Merkle tree, and evaluation claims reduce to random
-//! row combinations checked at randomly opened columns.
+//! the coefficient matrix is row-encoded with the linear-time encoder, the
+//! interleaved-codeword columns are committed with a Merkle tree, and
+//! evaluation claims reduce to random row combinations checked at randomly
+//! opened columns.
 //!
 //! Layout convention: a multilinear polynomial over `k` variables is viewed
 //! as an `n_rows × n_cols` matrix with the *low* `log n_cols` variables
@@ -10,13 +13,34 @@
 //! `z̃(r) = eq_row(r_hi)ᵀ · M · eq_col(r_lo)`, which is what makes the
 //! row-combination protocol complete.
 //!
+//! The prover API is phase-split along the pipeline seams of the Figure 7
+//! schedule, one function per module stage:
+//!
+//! 1. [`commit_encode`] — arrange the matrix, encode every row (encoder
+//!    module);
+//! 2. [`commit_merkle`] — hash the interleaved-codeword columns into
+//!    leaves through the SoA SHA-256 kernel
+//!    ([`batchzk_hash::sha256_quad`]) and build the tree (Merkle module);
+//! 3. [`open_combine`] — the proximity and evaluation combination rows,
+//!    random linear combinations computed with the field dot kernels
+//!    (sum-check-style fold arithmetic);
+//! 4. [`open_queries`] — the transcript-seeded column openings with their
+//!    Merkle paths, emitting the finished [`PcsOpening`].
+//!
+//! [`commit`] and [`open`] are the un-pipelined compositions; both paths
+//! are byte-identical. The pipelined four-stage prover built on these
+//! phases lives in `batchzk-zkp`'s `orion` module.
+//!
 //! Like Brakedown itself, this PCS is *not* zero-knowledge on its own (see
 //! `DESIGN.md` for the documented simplifications); the paper's evaluation
 //! measures prover throughput, which this does not affect.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use batchzk_encoder::{Encoder, EncoderParams};
 use batchzk_field::Field;
-use batchzk_hash::{Digest, Sha256, Transcript};
+use batchzk_hash::{sha256_quad, Digest, Sha256, Transcript};
 use batchzk_merkle::{MerklePath, MerkleTree};
 use batchzk_sumcheck::eq_table;
 /// Public parameters of the commitment scheme.
@@ -119,14 +143,50 @@ impl<F: Field> PcsOpening<F> {
     }
 }
 
+/// Domain-separation prefix of every column leaf hash.
+const COLUMN_PREFIX: &[u8] = b"batchzk-pcs-column";
+
 /// Hashes one codeword column into a Merkle leaf digest.
 fn hash_column<F: Field>(values: &[F]) -> Digest {
     let mut h = Sha256::new();
-    h.update(b"batchzk-pcs-column");
+    h.update(COLUMN_PREFIX);
     for v in values {
         h.update(&v.to_bytes());
     }
     h.finalize()
+}
+
+/// Serializes column `j` of the interleaved codeword into `buf` in the
+/// exact byte layout [`hash_column`] absorbs.
+fn serialize_column<F: Field>(encoded: &[Vec<F>], j: usize, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(COLUMN_PREFIX);
+    for row in encoded {
+        buf.extend_from_slice(&row[j].to_bytes());
+    }
+}
+
+/// Hashes every interleaved-codeword column into its Merkle leaf, four
+/// columns at a time through the SoA SHA-256 kernel
+/// ([`sha256_quad`] — every column serializes to the same byte length, so
+/// the four Merkle–Damgård chains stay in lockstep), with a scalar tail.
+/// Byte-identical to mapping [`hash_column`] over the columns.
+fn hash_columns<F: Field>(encoded: &[Vec<F>], codeword_len: usize) -> Vec<Digest> {
+    let mut leaves = Vec::with_capacity(codeword_len);
+    let mut bufs: [Vec<u8>; 4] = Default::default();
+    let mut j = 0;
+    while j + 4 <= codeword_len {
+        for (lane, buf) in bufs.iter_mut().enumerate() {
+            serialize_column(encoded, j + lane, buf);
+        }
+        leaves.extend(sha256_quad([&bufs[0], &bufs[1], &bufs[2], &bufs[3]]));
+        j += 4;
+    }
+    for j in j..codeword_len {
+        let column: Vec<F> = encoded.iter().map(|row| row[j]).collect();
+        leaves.push(hash_column(&column));
+    }
+    leaves
 }
 
 /// Picks the matrix shape for a `k`-variable polynomial: columns get
@@ -200,12 +260,7 @@ pub fn commit_merkle<F: Field>(encoded: EncodedRows<F>) -> (PcsCommitment, PcsPr
     let n_rows = rows.len();
     let n_cols = rows[0].len();
     let codeword_len = encoder.codeword_len();
-    let leaves: Vec<Digest> = (0..codeword_len)
-        .map(|j| {
-            let column: Vec<F> = encoded.iter().map(|row| row[j]).collect();
-            hash_column(&column)
-        })
-        .collect();
+    let leaves = hash_columns(&encoded, codeword_len);
     let tree = MerkleTree::from_leaves(leaves);
     let commitment = PcsCommitment {
         root: tree.root(),
@@ -243,19 +298,42 @@ fn point_tensors<F: Field>(point: &[F], n_rows: usize, n_cols: usize) -> (Vec<F>
     (eq_col, eq_row)
 }
 
-/// Opens the committed polynomial at `point`, returning the evaluation and
-/// the opening proof. The caller must have absorbed the commitment into the
-/// transcript (prover and verifier symmetrically).
+/// Output of the combination phase of an opening — the hand-off point
+/// between the fold-arithmetic module and the query module in the
+/// pipelined prover.
+#[derive(Debug)]
+pub struct CombinedRows<F> {
+    proximity_row: Vec<F>,
+    combined_row: Vec<F>,
+    eq_col: Vec<F>,
+}
+
+impl<F: Field> CombinedRows<F> {
+    /// Number of matrix columns both rows span.
+    pub fn n_cols(&self) -> usize {
+        self.combined_row.len()
+    }
+
+    /// The claimed evaluation `⟨combined_row, eq_col⟩`.
+    pub fn value(&self) -> F {
+        F::dot(&self.combined_row, &self.eq_col)
+    }
+}
+
+/// Phase 1 of an opening: derive the proximity challenge γ from the
+/// transcript and compute the two combination rows `γᵀ · M` and
+/// `eq_row(r_hi)ᵀ · M` (the field dot kernels of the sum-check module),
+/// absorbing both into the transcript. The caller must have absorbed the
+/// commitment into the transcript (prover and verifier symmetrically).
 ///
 /// # Panics
 ///
 /// Panics if `point` has the wrong dimension.
-pub fn open<F: Field>(
-    params: &PcsParams,
+pub fn open_combine<F: Field>(
     data: &PcsProverData<F>,
     point: &[F],
     transcript: &mut Transcript,
-) -> (F, PcsOpening<F>) {
+) -> CombinedRows<F> {
     let n_rows = data.rows.len();
     let n_cols = data.rows[0].len();
     let (eq_col, eq_row) = point_tensors(point, n_rows, n_cols);
@@ -272,7 +350,23 @@ pub fn open<F: Field>(
     }
     transcript.absorb_fields(b"pcs-proximity-row", &proximity_row);
     transcript.absorb_fields(b"pcs-combined-row", &combined_row);
+    CombinedRows {
+        proximity_row,
+        combined_row,
+        eq_col,
+    }
+}
 
+/// Phase 2 of an opening: draw the seeded column-query indices from the
+/// transcript, gather the opened columns with their Merkle paths, and emit
+/// the evaluation with the finished proof.
+pub fn open_queries<F: Field>(
+    params: &PcsParams,
+    data: &PcsProverData<F>,
+    rows: CombinedRows<F>,
+    transcript: &mut Transcript,
+) -> (F, PcsOpening<F>) {
+    let n_rows = data.rows.len();
     let codeword_len = data.codeword_len();
     let indices = transcript.challenge_indices(
         b"pcs-columns",
@@ -288,21 +382,44 @@ pub fn open<F: Field>(
         })
         .collect();
 
-    let value = combined_row.iter().zip(&eq_col).map(|(a, b)| *a * *b).sum();
+    let value = rows.value();
     (
         value,
         PcsOpening {
-            proximity_row,
-            combined_row,
+            proximity_row: rows.proximity_row,
+            combined_row: rows.combined_row,
             columns,
         },
     )
 }
 
-/// Number of column tests actually performed (capped at the codeword
-/// length — opening more columns than exist adds nothing).
-fn column_tests_for(_n_rows: usize, params: &PcsParams, codeword_len: usize) -> usize {
+/// Opens the committed polynomial at `point`, returning the evaluation and
+/// the opening proof — the composition of [`open_combine`] and
+/// [`open_queries`] in one call. The caller must have absorbed the
+/// commitment into the transcript (prover and verifier symmetrically).
+///
+/// # Panics
+///
+/// Panics if `point` has the wrong dimension.
+pub fn open<F: Field>(
+    params: &PcsParams,
+    data: &PcsProverData<F>,
+    point: &[F],
+    transcript: &mut Transcript,
+) -> (F, PcsOpening<F>) {
+    let rows = open_combine(data, point, transcript);
+    open_queries(params, data, rows, transcript)
+}
+
+/// Number of column tests an opening at this codeword length performs
+/// (capped at the codeword length — opening more columns than exist adds
+/// nothing). Public so work models can charge the query phase exactly.
+pub fn column_tests(params: &PcsParams, codeword_len: usize) -> usize {
     params.num_col_tests.min(codeword_len)
+}
+
+fn column_tests_for(_n_rows: usize, params: &PcsParams, codeword_len: usize) -> usize {
+    column_tests(params, codeword_len)
 }
 
 /// Verifies an opening against a commitment.
@@ -358,25 +475,17 @@ pub fn verify<F: Field>(
             return false;
         }
         // Proximity: γᵀ · U[:, j] == enc(γᵀ · M)[j].
-        let prox: F = gamma.iter().zip(&col.values).map(|(g, v)| *g * *v).sum();
-        if prox != enc_proximity[col.index] {
+        if F::dot(&gamma, &col.values) != enc_proximity[col.index] {
             return false;
         }
         // Consistency: eq_rowᵀ · U[:, j] == enc(eq_rowᵀ · M)[j].
-        let cons: F = eq_row.iter().zip(&col.values).map(|(e, v)| *e * *v).sum();
-        if cons != enc_combined[col.index] {
+        if F::dot(&eq_row, &col.values) != enc_combined[col.index] {
             return false;
         }
     }
 
     // Final evaluation: ⟨combined_row, eq_col⟩ must equal the claim.
-    let eval: F = opening
-        .combined_row
-        .iter()
-        .zip(&eq_col)
-        .map(|(a, b)| *a * *b)
-        .sum();
-    eval == value
+    F::dot(&opening.combined_row, &eq_col) == value
 }
 
 #[cfg(test)]
@@ -508,6 +617,69 @@ mod tests {
         // Verifier forgets to absorb the root -> different challenges.
         let mut vt = Transcript::new(b"t");
         assert!(!verify(&p, &commitment, &point, value, &opening, &mut vt));
+    }
+
+    #[test]
+    fn soa_column_leaves_match_scalar_hashing() {
+        // The quad-lane leaf kernel must be byte-identical to hashing each
+        // column alone, including the scalar tail when the codeword length
+        // is not a multiple of four.
+        let mut rng = Prg::seed_from_u64(105);
+        for n_rows in [1usize, 3, 4] {
+            let codeword_len = 11; // forces a 3-column scalar tail
+            let encoded: Vec<Vec<Fr>> = (0..n_rows)
+                .map(|_| (0..codeword_len).map(|_| Fr::random(&mut rng)).collect())
+                .collect();
+            let leaves = hash_columns(&encoded, codeword_len);
+            for (j, leaf) in leaves.iter().enumerate() {
+                let column: Vec<Fr> = encoded.iter().map(|row| row[j]).collect();
+                assert_eq!(*leaf, hash_column(&column), "n_rows={n_rows} col={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_path_rejected() {
+        // A correct column under a corrupted authentication path (one
+        // flipped sibling byte) must fail the Merkle membership check.
+        let mut rng = Prg::seed_from_u64(106);
+        let k = 8;
+        let evals: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
+        let point: Vec<Fr> = (0..k).map(|_| Fr::random(&mut rng)).collect();
+        let p = params();
+        let (commitment, data) = commit(&p, &evals);
+        let mut pt = Transcript::new(b"t");
+        pt.absorb_digest(b"root", &commitment.root);
+        let (value, mut opening) = open(&p, &data, &point, &mut pt);
+        let mut bytes = opening.columns[2].path.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        opening.columns[2].path = MerklePath::from_bytes(&bytes).expect("shape preserved");
+        let mut vt = Transcript::new(b"t");
+        vt.absorb_digest(b"root", &commitment.root);
+        assert!(!verify(&p, &commitment, &point, value, &opening, &mut vt));
+    }
+
+    #[test]
+    fn phase_split_matches_composed_open() {
+        // open_combine → open_queries must reproduce open() byte-for-byte:
+        // same transcript interaction, same value, same proof.
+        let mut rng = Prg::seed_from_u64(107);
+        let k = 7;
+        let evals: Vec<Fr> = (0..1usize << k).map(|_| Fr::random(&mut rng)).collect();
+        let point: Vec<Fr> = (0..k).map(|_| Fr::random(&mut rng)).collect();
+        let p = params();
+        let (commitment, data) = commit(&p, &evals);
+        let mut t1 = Transcript::new(b"t");
+        t1.absorb_digest(b"root", &commitment.root);
+        let (v1, o1) = open(&p, &data, &point, &mut t1);
+        let mut t2 = Transcript::new(b"t");
+        t2.absorb_digest(b"root", &commitment.root);
+        let rows = open_combine(&data, &point, &mut t2);
+        assert_eq!(rows.n_cols(), commitment.n_cols);
+        let (v2, o2) = open_queries(&p, &data, rows, &mut t2);
+        assert_eq!(v1, v2);
+        assert_eq!(o1, o2);
     }
 
     #[test]

@@ -6,20 +6,22 @@
 //! Spartan/sumcheck protocol. This module splits it along a trait so the
 //! same pipeline engine, shard policies, admission control, and metrics
 //! serve *any* protocol that can express its prover as a fixed sequence of
-//! [`PipeStage`](batchzk_pipeline::PipeStage)s:
+//! [`PipeStage`]s:
 //!
 //! * [`SpartanBackend`] — the paper's sumcheck system (encoder → Merkle →
 //!   sum-check → assemble), byte-identical to the pre-trait code path;
 //! * [`GrothBackend`] — the Groth16-style NTT+MSM stack built from the real
-//!   [`batchzk_field::NttDomain`] and [`batchzk_curve::msm`] kernels (see
+//!   [`batchzk_field::NttDomain`] and `batchzk_curve::msm` kernels (see
 //!   [`batchzk_pipeline::groth`]);
-//! * [`MixedBackend`] — a task-level union of the two, so one
+//! * [`OrionBackend`] — the standalone Orion-style PCS-opening pipeline
+//!   (encode → merkle → combine → open, see [`crate::orion`]);
+//! * [`MixedBackend`] — a task-level union of the three, so one
 //!   [`run_service`](batchzk_pipeline::run_service) instance serves a mixed
 //!   trace under the existing SLO classes.
 //!
-//! A third protocol plugs in by implementing the trait: define a task type
+//! A further protocol plugs in by implementing the trait: define a task type
 //! carrying the proof state, stages that advance it while reporting
-//! simulated [`StageWork`](batchzk_pipeline::StageWork), an analytic
+//! simulated [`StageWork`], an analytic
 //! footprint for the memory-aware scheduler, and a verification hook.
 //! Every layer above — sharding, fault recovery, the online service,
 //! BENCH.json — comes for free (DESIGN.md §15).
@@ -32,6 +34,7 @@ use batchzk_pipeline::groth::{self, GrothCircuit, GrothProof, GrothTask};
 use batchzk_pipeline::{BoxedStage, PipeStage, StageWork};
 
 use crate::batch::{build_stages, module_weights, task_footprint_bytes, BatchTask};
+use crate::orion::{OrionBackend, OrionProof, OrionTask};
 use crate::pcs::PcsParams;
 use crate::r1cs::R1cs;
 use crate::spartan::{self, Proof};
@@ -39,7 +42,7 @@ use crate::spartan::{self, Proof};
 /// Stable names of every built-in backend, in CLI/report order. The
 /// `tables` harness validates `--backend` flags and mixed-trace specs
 /// against this list.
-pub const BACKEND_NAMES: [&str; 2] = ["sumcheck", "groth16"];
+pub const BACKEND_NAMES: [&str; 3] = ["sumcheck", "groth16", "orion"];
 
 /// One pipelined proving protocol: how to turn submitted instances into
 /// in-pipeline tasks, which stages advance them, what they cost, and how
@@ -162,7 +165,7 @@ impl<F: Field> ProverBackend for SpartanBackend<F> {
 /// The Groth16-style NTT+MSM stack as a [`ProverBackend`], wrapping the
 /// pipelined implementation in [`batchzk_pipeline::groth`]: witness NTTs →
 /// quotient → MSM buckets → MSM reduce/assemble, running the real
-/// [`batchzk_field::NttDomain`] and [`batchzk_curve::msm`] kernels under
+/// [`batchzk_field::NttDomain`] and `batchzk_curve::msm` kernels under
 /// the gpu-sim cost model.
 #[derive(Clone)]
 pub struct GrothBackend {
@@ -231,6 +234,8 @@ pub enum MixedInstance {
     Sumcheck((Vec<Fr>, Vec<Fr>)),
     /// A Groth16-style instance: the gate witness vector.
     Groth(Vec<Fr>),
+    /// An Orion PCS-opening instance: `(evaluations, point)`.
+    Orion((Vec<Fr>, Vec<Fr>)),
 }
 
 /// A proof-in-progress in the mixed pipeline.
@@ -239,6 +244,8 @@ pub enum MixedTask {
     Sumcheck(BatchTask<Fr>),
     /// A Groth16-style task.
     Groth(GrothTask),
+    /// An Orion PCS-opening task.
+    Orion(OrionTask<Fr>),
 }
 
 impl MixedTask {
@@ -247,6 +254,7 @@ impl MixedTask {
         match self {
             MixedTask::Sumcheck(_) => BACKEND_NAMES[0],
             MixedTask::Groth(_) => BACKEND_NAMES[1],
+            MixedTask::Orion(_) => BACKEND_NAMES[2],
         }
     }
 }
@@ -258,6 +266,8 @@ pub enum MixedStatement {
     Sumcheck(Vec<Fr>),
     /// Groth16-style public inputs.
     Groth(Vec<Fr>),
+    /// An Orion evaluation point.
+    Orion(Vec<Fr>),
 }
 
 /// A finished mixed-service proof.
@@ -267,59 +277,81 @@ pub enum MixedProof {
     Sumcheck(Proof<Fr>),
     /// A Groth16-style proof.
     Groth(GrothProof),
+    /// An Orion PCS-opening proof.
+    Orion(OrionProof<Fr>),
 }
 
-/// Serves both protocols from one pipeline: every stage is a dispatching
-/// pair of the two backends' stages at the same depth, so sumcheck and
-/// Groth16-style tasks interleave freely through one
+/// Serves all three protocols from one pipeline: every stage is a
+/// dispatching triple of the backends' stages at the same depth, so
+/// sumcheck, Groth16-style, and Orion tasks interleave freely through one
 /// [`run_service`](batchzk_pipeline::run_service) (or batch) instance.
 ///
-/// Both stage sets are sized from their own module weights against the
-/// same thread budget — the device multiplexes whichever protocol occupies
-/// a slot, exactly as a shared production pool would.
+/// Each stage set is sized from its own module weights against the same
+/// thread budget — the device multiplexes whichever protocol occupies a
+/// slot, exactly as a shared production pool would.
 #[derive(Clone)]
 pub struct MixedBackend {
     sumcheck: SpartanBackend<Fr>,
     groth: GrothBackend,
+    orion: OrionBackend<Fr>,
 }
 
 impl MixedBackend {
     /// Creates the mixed backend from one backend of each protocol.
-    pub fn new(sumcheck: SpartanBackend<Fr>, groth: GrothBackend) -> Self {
-        Self { sumcheck, groth }
+    pub fn new(sumcheck: SpartanBackend<Fr>, groth: GrothBackend, orion: OrionBackend<Fr>) -> Self {
+        Self {
+            sumcheck,
+            groth,
+            orion,
+        }
     }
 
-    /// The sumcheck half.
+    /// The sumcheck third.
     pub fn sumcheck(&self) -> &SpartanBackend<Fr> {
         &self.sumcheck
     }
 
-    /// The Groth16-style half.
+    /// The Groth16-style third.
     pub fn groth(&self) -> &GrothBackend {
         &self.groth
     }
+
+    /// The Orion PCS-opening third.
+    pub fn orion(&self) -> &OrionBackend<Fr> {
+        &self.orion
+    }
 }
 
-/// One pipeline slot serving both protocols: dispatches on the task
+/// One pipeline slot serving all protocols: dispatches on the task
 /// variant and forwards to the matching backend's stage at this depth.
 struct MixedStage {
     sumcheck: BoxedStage<BatchTask<Fr>>,
     groth: BoxedStage<GrothTask>,
+    orion: BoxedStage<OrionTask<Fr>>,
 }
 
 impl PipeStage<MixedTask> for MixedStage {
     fn name(&self) -> String {
-        format!("{}+{}", self.sumcheck.name(), self.groth.name())
+        format!(
+            "{}+{}+{}",
+            self.sumcheck.name(),
+            self.groth.name(),
+            self.orion.name()
+        )
     }
 
     fn threads(&self) -> u32 {
-        self.sumcheck.threads().max(self.groth.threads())
+        self.sumcheck
+            .threads()
+            .max(self.groth.threads())
+            .max(self.orion.threads())
     }
 
     fn process(&self, task: &mut MixedTask) -> StageWork {
         match task {
             MixedTask::Sumcheck(t) => self.sumcheck.process(t),
             MixedTask::Groth(t) => self.groth.process(t),
+            MixedTask::Orion(t) => self.orion.process(t),
         }
     }
 }
@@ -338,35 +370,45 @@ impl ProverBackend for MixedBackend {
         match instance {
             MixedInstance::Sumcheck(i) => MixedTask::Sumcheck(self.sumcheck.begin(i)),
             MixedInstance::Groth(i) => MixedTask::Groth(self.groth.begin(i)),
+            MixedInstance::Orion(i) => MixedTask::Orion(self.orion.begin(i)),
         }
     }
 
     fn module_weights(&self, gpu: &Gpu) -> Vec<u64> {
-        // Per slot, the heavier of the two protocols' module weights: the
+        // Per slot, the heaviest of the protocols' module weights: the
         // slot must keep up with whichever task variant occupies it.
         self.sumcheck
             .module_weights(gpu)
             .into_iter()
             .zip(self.groth.module_weights(gpu))
-            .map(|(a, b)| a.max(b))
+            .zip(self.orion.module_weights(gpu))
+            .map(|((a, b), c)| a.max(b).max(c))
             .collect()
     }
 
     fn stages(&self, gpu: &Gpu, total_threads: u32) -> Vec<BoxedStage<Self::Task>> {
         let sumcheck = self.sumcheck.stages(gpu, total_threads);
         let groth = self.groth.stages(gpu, total_threads);
+        let orion = self.orion.stages(gpu, total_threads);
         assert_eq!(
             sumcheck.len(),
             groth.len(),
             "mixed service requires equal pipeline depths"
         );
+        assert_eq!(
+            sumcheck.len(),
+            orion.len(),
+            "mixed service requires equal pipeline depths"
+        );
         sumcheck
             .into_iter()
             .zip(groth)
-            .map(|(s, g)| {
+            .zip(orion)
+            .map(|((s, g), o)| {
                 Box::new(MixedStage {
                     sumcheck: s,
                     groth: g,
+                    orion: o,
                 }) as BoxedStage<MixedTask>
             })
             .collect()
@@ -376,6 +418,7 @@ impl ProverBackend for MixedBackend {
         self.sumcheck
             .task_footprint_bytes()
             .max(self.groth.task_footprint_bytes())
+            .max(self.orion.task_footprint_bytes())
     }
 
     fn finish(&self, task: Self::Task) -> (Self::Statement, Self::Proof) {
@@ -388,6 +431,10 @@ impl ProverBackend for MixedBackend {
                 let (s, p) = self.groth.finish(t);
                 (MixedStatement::Groth(s), MixedProof::Groth(p))
             }
+            MixedTask::Orion(t) => {
+                let (s, p) = self.orion.finish(t);
+                (MixedStatement::Orion(s), MixedProof::Orion(p))
+            }
         }
     }
 
@@ -395,6 +442,7 @@ impl ProverBackend for MixedBackend {
         match (statement, proof) {
             (MixedStatement::Sumcheck(s), MixedProof::Sumcheck(p)) => self.sumcheck.verify(s, p),
             (MixedStatement::Groth(s), MixedProof::Groth(p)) => self.groth.verify(s, p),
+            (MixedStatement::Orion(s), MixedProof::Orion(p)) => self.orion.verify(s, p),
             _ => false,
         }
     }

@@ -2,8 +2,10 @@
 //!
 //! The complete zero-knowledge-proof system of the BatchZK reproduction:
 //! R1CS circuits, the Brakedown/Orion linear-code polynomial commitment
-//! (encoder + Merkle tree), the Spartan-style two-sum-check SNARK, and the
-//! fully pipelined batch prover of the paper's Figure 7.
+//! (encoder + Merkle tree, in [`batchzk_pcs`] and re-exported as [`pcs`]),
+//! the Spartan-style two-sum-check SNARK, the fully pipelined batch prover
+//! of the paper's Figure 7, and the pipelined standalone PCS-opening
+//! prover ([`orion`]).
 //!
 //! # Examples
 //!
@@ -20,9 +22,14 @@
 
 pub mod backend;
 pub mod batch;
-pub mod pcs;
+pub mod orion;
 pub mod r1cs;
 pub mod spartan;
+
+/// The Brakedown/Orion linear-code polynomial commitment, re-exported from
+/// its own crate ([`batchzk_pcs`]) so `batchzk_zkp::pcs` paths keep
+/// working.
+pub use batchzk_pcs as pcs;
 
 pub use backend::{
     GrothBackend, MixedBackend, MixedInstance, MixedProof, MixedStatement, MixedTask,
@@ -33,6 +40,7 @@ pub use batch::{
     prove_service, prove_service_with, task_footprint_bytes, BackendBatchRun, BackendPoolRun,
     BackendProofRequest, BatchRun, PoolBatchRun, ProofRequest, ServiceProofRun, StreamingProver,
 };
+pub use orion::{OrionBackend, OrionProof, OrionTask};
 pub use pcs::{PcsCommitment, PcsOpening, PcsParams};
 pub use r1cs::{R1cs, R1csBuilder, Var};
 pub use spartan::{prove, prove_with_artifacts, verify, Proof};

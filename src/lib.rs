@@ -16,7 +16,10 @@
 //! * [`metrics`] — service-level metrics registry, lifecycle spans, and
 //!   the trace-driven bottleneck analyzer;
 //! * [`pipeline`] — the pipelined modules and the naive baselines;
-//! * [`zkp`] — Brakedown PCS, Spartan-style SNARK, pipelined batch prover;
+//! * [`pcs`] — the Brakedown/Orion interleaved-codeword polynomial
+//!   commitment (phase-split prover, verifier);
+//! * [`zkp`] — Spartan-style SNARK, pipelined batch prover, and the
+//!   pipelined Orion PCS-opening backend;
 //! * [`vml`] — the verifiable machine-learning application.
 //!
 //! # Quickstart
@@ -39,6 +42,7 @@ pub use batchzk_gpu_sim as gpu_sim;
 pub use batchzk_hash as hash;
 pub use batchzk_merkle as merkle;
 pub use batchzk_metrics as metrics;
+pub use batchzk_pcs as pcs;
 pub use batchzk_pipeline as pipeline;
 pub use batchzk_sumcheck as sumcheck;
 pub use batchzk_vml as vml;
